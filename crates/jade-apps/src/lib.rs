@@ -1,0 +1,20 @@
+//! # jade-apps — the SC'95 Jade application suite
+//!
+//! Rust ports of the four applications the paper evaluates (Section 4):
+//!
+//! * [`water`] — forces and potentials in a system of water molecules;
+//! * [`string_app`] — geophysical tomography (velocity model between wells);
+//! * [`ocean`] — eddy and boundary currents in large-scale ocean movements;
+//! * [`cholesky`] — panel Cholesky factorization of a sparse matrix.
+//!
+//! Each module provides the Jade version (generic over any
+//! [`jade_core::JadeRuntime`]), a plain serial reference implementation, a
+//! deterministic workload generator, and the paper's calibration targets.
+
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod water;
+pub mod string_app;
+pub mod ocean;
+pub mod cholesky;

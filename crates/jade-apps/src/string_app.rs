@@ -1,0 +1,467 @@
+//! **String**: computes a velocity model of the geology between two oil
+//! wells by tomographic inversion (paper Section 4, citing Harris et al.).
+//!
+//! The paper's data set is a proprietary West-Texas oil field image; we
+//! substitute a synthetic layered-geology velocity model with embedded
+//! anomalies, at the paper's exact discretization: a **185 ft × 450 ft
+//! image at 1 ft × 1 ft resolution**, and the paper's exact shared-object
+//! size for the model (383,528 bytes). The code path is the application's:
+//! parallel phases trace rays through the discretized model, compute the
+//! difference between simulated and observed travel times, and backproject
+//! the difference linearly along the ray into an explicitly replicated
+//! difference array; each serial phase reduces the replicated arrays and
+//! updates the velocity model. Six iterations, one parallel phase each.
+
+use crate::common::{checksum, creation_order};
+use jade_core::{Handle, JadeRuntime, TaskBuilder, Trace, TraceRuntime};
+
+/// Paper-measured execution times used for calibration (Tables 1 and 6).
+pub mod calib {
+    pub const DASH_SERIAL_S: f64 = 20594.50;
+    pub const DASH_STRIPPED_S: f64 = 19314.80;
+    pub const IPSC_SERIAL_S: f64 = 20270.45;
+    pub const IPSC_STRIPPED_S: f64 = 19629.42;
+}
+
+/// Cost (abstract operations) per ray-cell traversal step.
+const C_STEP: f64 = 1.0;
+/// Cost per backprojected cell.
+const C_BP: f64 = 0.5;
+/// Cost per model cell in the serial update. One abstract operation is a
+/// full ray-tracing step (hundreds of flops); the serial phase's array
+/// arithmetic is charged at its much smaller flop-equivalent so the serial
+/// fraction matches the paper's near-linear String speedups.
+const C_MODEL: f64 = 0.01;
+/// Cost per reduced difference-array element (one add), in ray-step units.
+const C_RED: f64 = 0.002;
+/// Relaxation factor of the inversion.
+const RELAX: f64 = 0.7;
+
+/// Workload configuration.
+#[derive(Clone, Debug)]
+pub struct StringConfig {
+    /// Horizontal extent (ft / cells) — distance between the wells.
+    pub nx: usize,
+    /// Vertical extent (ft / cells) — imaged depth interval.
+    pub nz: usize,
+    /// Source spacing (ft) in the left well.
+    pub src_spacing: usize,
+    /// Receiver spacing (ft) in the right well.
+    pub rcv_spacing: usize,
+    pub iterations: usize,
+    pub procs: usize,
+}
+
+impl StringConfig {
+    /// The paper's discretization: 185 ft × 450 ft at 1 ft resolution,
+    /// six iterations.
+    pub fn paper(procs: usize) -> StringConfig {
+        StringConfig { nx: 185, nz: 450, src_spacing: 10, rcv_spacing: 5, iterations: 6, procs }
+    }
+
+    pub fn small(procs: usize) -> StringConfig {
+        StringConfig { nx: 24, nz: 40, src_spacing: 8, rcv_spacing: 8, iterations: 2, procs }
+    }
+
+    pub fn cells(&self) -> usize {
+        self.nx * self.nz
+    }
+
+    fn sources(&self) -> Vec<f64> {
+        (0..self.nz / self.src_spacing)
+            .map(|i| (i * self.src_spacing) as f64 + 0.5)
+            .collect()
+    }
+
+    fn receivers(&self) -> Vec<f64> {
+        (0..self.nz / self.rcv_spacing)
+            .map(|i| (i * self.rcv_spacing) as f64 + 0.5)
+            .collect()
+    }
+
+    /// All (source depth, receiver depth) ray pairs.
+    pub fn rays(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for &s in &self.sources() {
+            for &r in &self.receivers() {
+                out.push((s, r));
+            }
+        }
+        out
+    }
+}
+
+/// The synthetic "true" geology: slowness (s/ft) with depth-dependent
+/// layering and two smooth anomalies.
+pub fn true_model(cfg: &StringConfig) -> Vec<f64> {
+    let (nx, nz) = (cfg.nx, cfg.nz);
+    let mut m = vec![0.0; nx * nz];
+    for iz in 0..nz {
+        for ix in 0..nx {
+            let z = iz as f64 / nz as f64;
+            let x = ix as f64 / nx as f64;
+            // Velocity increases with depth (1800..3000 ft/s) with layers.
+            let v = 1800.0 + 1200.0 * z + 150.0 * (z * 40.0).sin();
+            // Two anomalies: one fast lens, one slow pocket.
+            let a1 = (-((x - 0.3) * (x - 0.3) / 0.01 + (z - 0.4) * (z - 0.4) / 0.005)).exp();
+            let a2 = (-((x - 0.7) * (x - 0.7) / 0.02 + (z - 0.7) * (z - 0.7) / 0.004)).exp();
+            let v = v * (1.0 + 0.12 * a1 - 0.10 * a2);
+            m[iz * nx + ix] = 1.0 / v;
+        }
+    }
+    m
+}
+
+/// Trace a straight ray from (0, z0) to (nx, z1), visiting every crossed
+/// cell with its in-cell path length. Returns the accumulated travel time
+/// through `model` (slowness per cell).
+pub fn trace_ray(
+    model: &[f64],
+    nx: usize,
+    nz: usize,
+    z0: f64,
+    z1: f64,
+    mut visit: impl FnMut(usize, f64),
+) -> f64 {
+    let dz_total = z1 - z0;
+    let per_x = dz_total / nx as f64;
+    // Length of the ray within one x-column.
+    let col_len = (1.0 + per_x * per_x).sqrt();
+    let mut time = 0.0;
+    for ix in 0..nx {
+        let za = z0 + per_x * ix as f64;
+        let zb = za + per_x;
+        let (mut lo, mut hi) = if za <= zb { (za, zb) } else { (zb, za) };
+        lo = lo.clamp(0.0, nz as f64 - 1e-9);
+        hi = hi.clamp(0.0, nz as f64 - 1e-9);
+        let iz_lo = lo as usize;
+        let iz_hi = hi as usize;
+        if iz_lo == iz_hi {
+            let idx = iz_lo * nx + ix;
+            time += model[idx] * col_len;
+            visit(idx, col_len);
+        } else {
+            let span = hi - lo;
+            for iz in iz_lo..=iz_hi.min(nz - 1) {
+                let cell_lo = (iz as f64).max(lo);
+                let cell_hi = ((iz + 1) as f64).min(hi);
+                if cell_hi <= cell_lo {
+                    continue;
+                }
+                let frac = (cell_hi - cell_lo) / span;
+                let len = col_len * frac;
+                let idx = iz * nx + ix;
+                time += model[idx] * len;
+                visit(idx, len);
+            }
+        }
+    }
+    time
+}
+
+/// Observed travel times computed from the true model.
+pub fn observations(cfg: &StringConfig) -> Vec<f64> {
+    let truth = true_model(cfg);
+    cfg.rays()
+        .iter()
+        .map(|&(s, r)| trace_ray(&truth, cfg.nx, cfg.nz, s, r, |_, _| {}))
+        .collect()
+}
+
+/// Replicated per-task accumulator: backprojected differences and weights.
+#[derive(Clone, Debug, Default)]
+pub struct DiffArray {
+    pub sum: Vec<f64>,
+    pub weight: Vec<f64>,
+}
+
+/// Final numeric results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StringOutput {
+    /// RMS travel-time misfit after the final iteration.
+    pub rms_misfit: f64,
+    /// Order-sensitive checksum of the final model.
+    pub model_checksum: f64,
+}
+
+pub struct StringHandles {
+    pub model: Handle<Vec<f64>>,
+    pub misfit: Handle<f64>,
+}
+
+/// Build and submit the whole String program on any Jade runtime.
+pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &StringConfig) -> StringHandles {
+    let procs = cfg.procs.max(1);
+    let cells = cfg.cells();
+    let rays = cfg.rays();
+    let obs = observations(cfg);
+    let (nx, nz) = (cfg.nx, cfg.nz);
+
+    // Starting model: uniform slowness at the mean background velocity.
+    let start = vec![1.0 / 2400.0; cells];
+    // The paper's model object is 383,528 bytes; reproduce the exact
+    // communication size at full scale, and scale proportionally otherwise.
+    let model_bytes = if (nx, nz) == (185, 450) { 383_528 } else { cells * 4 + 1000 };
+    let model = rt.create("model", model_bytes, start);
+    rt.set_home(model, 0);
+    let params = rt.create("ray-params", 4096, (rays.clone(), obs.clone()));
+    rt.set_home(params, 0);
+    let diffs: Vec<Handle<DiffArray>> = (0..procs)
+        .map(|t| {
+            let h = rt.create(
+                &format!("diff[{t}]"),
+                model_bytes,
+                DiffArray { sum: vec![0.0; cells], weight: vec![0.0; cells] },
+            );
+            rt.set_home(h, t);
+            h
+        })
+        .collect();
+    let misfits: Vec<Handle<f64>> = (0..procs)
+        .map(|t| {
+            let h = rt.create(&format!("misfit[{t}]"), 8, 0.0f64);
+            rt.set_home(h, t);
+            h
+        })
+        .collect();
+    let misfit = rt.create("misfit", 8, 0.0f64);
+    rt.set_home(misfit, 0);
+
+    let order = creation_order(procs);
+    for _ in 0..cfg.iterations {
+        // ---- Parallel phase: trace a group of rays per task,
+        // backprojecting into the task's own replicated difference array.
+        rt.begin_phase();
+        for &t in &order {
+            let dh = diffs[t];
+            let mh = misfits[t];
+            let nprocs = procs;
+            rt.submit(
+                TaskBuilder::new("trace-rays")
+                    .wr(dh)
+                    .rd(model)
+                    .rd(params)
+                    .wr(mh)
+                    .body(move |ctx| {
+                        let m = ctx.rd(model);
+                        let p = ctx.rd(params);
+                        let (rays, obs) = &*p;
+                        let mut d = ctx.wr(dh);
+                        d.sum.iter_mut().for_each(|x| *x = 0.0);
+                        d.weight.iter_mut().for_each(|x| *x = 0.0);
+                        let mut sq = 0.0;
+                        let mut steps = 0u64;
+                        for ri in (t..rays.len()).step_by(nprocs) {
+                            let (zs, zr) = rays[ri];
+                            // First pass: predicted time and path cells.
+                            let mut path: Vec<(usize, f64)> = Vec::with_capacity(nx + nz);
+                            let t_pred = trace_ray(&m, nx, nz, zs, zr, |idx, len| {
+                                path.push((idx, len));
+                            });
+                            let dt = obs[ri] - t_pred;
+                            sq += dt * dt;
+                            let total_len: f64 = path.iter().map(|&(_, l)| l).sum();
+                            for &(idx, len) in &path {
+                                d.sum[idx] += dt * len / total_len;
+                                d.weight[idx] += len;
+                            }
+                            steps += path.len() as u64;
+                        }
+                        *ctx.wr(mh) = sq;
+                        ctx.charge(steps as f64 * (C_STEP + C_BP));
+                    }),
+            );
+        }
+        // ---- Serial phase: reduce difference arrays, update the model.
+        rt.begin_phase();
+        {
+            let diffs = diffs.clone();
+            let misfits = misfits.clone();
+            let mut b = TaskBuilder::new("update-model").wr(model).wr(misfit);
+            for &dh in &diffs {
+                b = b.rd(dh);
+            }
+            for &mh in &misfits {
+                b = b.rd(mh);
+            }
+            let nrays = rays.len() as f64;
+            rt.submit(b.serial_phase().body(move |ctx| {
+                let mut m = ctx.wr(model);
+                let cells = m.len();
+                let mut sum = vec![0.0f64; cells];
+                let mut wt = vec![0.0f64; cells];
+                for &dh in &diffs {
+                    let d = ctx.rd(dh);
+                    for i in 0..cells {
+                        sum[i] += d.sum[i];
+                        wt[i] += d.weight[i];
+                    }
+                }
+                for i in 0..cells {
+                    if wt[i] > 0.0 {
+                        m[i] += RELAX * sum[i] / wt[i];
+                    }
+                }
+                let sq: f64 = misfits.iter().map(|&mh| *ctx.rd(mh)).sum();
+                *ctx.wr(misfit) = (sq / nrays).sqrt();
+                ctx.charge(cells as f64 * C_MODEL + (diffs.len() * cells) as f64 * C_RED);
+            }));
+        }
+    }
+    StringHandles { model, misfit }
+}
+
+pub fn output<R: JadeRuntime>(rt: &R, h: &StringHandles) -> StringOutput {
+    StringOutput {
+        rms_misfit: *rt.store().read(h.misfit),
+        model_checksum: checksum(rt.store().read(h.model).iter().copied()),
+    }
+}
+
+pub fn run_on<R: JadeRuntime>(rt: &mut R, cfg: &StringConfig) -> StringOutput {
+    let h = build(rt, cfg);
+    rt.finish();
+    output(rt, &h)
+}
+
+pub fn run_trace(cfg: &StringConfig) -> (Trace, StringOutput) {
+    let mut rt = TraceRuntime::new();
+    let h = build(&mut rt, cfg);
+    rt.finish();
+    let out = output(&rt, &h);
+    let (_, trace) = rt.into_parts();
+    (trace, out)
+}
+
+/// Plain serial reference implementation (no Jade, no replication).
+pub fn reference(cfg: &StringConfig) -> (StringOutput, f64) {
+    let cells = cfg.cells();
+    let rays = cfg.rays();
+    let obs = observations(cfg);
+    let (nx, nz) = (cfg.nx, cfg.nz);
+    let mut model = vec![1.0 / 2400.0; cells];
+    let mut ops = 0.0;
+    let mut rms = 0.0;
+    for _ in 0..cfg.iterations {
+        let mut sum = vec![0.0f64; cells];
+        let mut wt = vec![0.0f64; cells];
+        let mut sq = 0.0;
+        for (ri, &(zs, zr)) in rays.iter().enumerate() {
+            let mut path: Vec<(usize, f64)> = Vec::new();
+            let t_pred = trace_ray(&model, nx, nz, zs, zr, |idx, len| path.push((idx, len)));
+            let dt = obs[ri] - t_pred;
+            sq += dt * dt;
+            let total_len: f64 = path.iter().map(|&(_, l)| l).sum();
+            for &(idx, len) in &path {
+                sum[idx] += dt * len / total_len;
+                wt[idx] += len;
+            }
+            ops += path.len() as f64 * (C_STEP + C_BP);
+        }
+        for i in 0..cells {
+            if wt[i] > 0.0 {
+                model[i] += RELAX * sum[i] / wt[i];
+            }
+        }
+        ops += cells as f64 * C_MODEL + cells as f64 * C_RED; // one "copy"
+        rms = (sq / rays.len() as f64).sqrt();
+    }
+    (
+        StringOutput { rms_misfit: rms, model_checksum: checksum(model.iter().copied()) },
+        ops,
+    )
+}
+
+pub fn expected_tasks(cfg: &StringConfig) -> usize {
+    cfg.iterations * (cfg.procs + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_lengths_sum_to_ray_length() {
+        // The per-cell path lengths of a ray must sum to its total length.
+        let cfg = StringConfig::small(1);
+        let model = vec![1.0; cfg.cells()];
+        let mut total = 0.0;
+        let t = trace_ray(&model, cfg.nx, cfg.nz, 3.5, 31.5, |_, l| total += l);
+        let expect = ((cfg.nx * cfg.nx) as f64 + (31.5f64 - 3.5).powi(2)).sqrt();
+        assert!((total - expect).abs() < 1e-9, "{total} vs {expect}");
+        // Uniform unit slowness: time == length.
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizontal_ray_crosses_one_row() {
+        let cfg = StringConfig::small(1);
+        let model = vec![2.0; cfg.cells()];
+        let mut cells = Vec::new();
+        let t = trace_ray(&model, cfg.nx, cfg.nz, 5.5, 5.5, |idx, l| cells.push((idx, l)));
+        assert_eq!(cells.len(), cfg.nx);
+        assert!(cells.iter().all(|&(idx, _)| idx / cfg.nx == 5));
+        assert!((t - 2.0 * cfg.nx as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_reduces_misfit() {
+        let cfg = StringConfig::small(1);
+        // Misfit of the uniform starting model:
+        let truth_obs = observations(&cfg);
+        let start = vec![1.0 / 2400.0; cfg.cells()];
+        let mut sq0 = 0.0;
+        for (&(s, r), &o) in cfg.rays().iter().zip(&truth_obs) {
+            let t = trace_ray(&start, cfg.nx, cfg.nz, s, r, |_, _| {});
+            sq0 += (o - t) * (o - t);
+        }
+        let rms0 = (sq0 / truth_obs.len() as f64).sqrt();
+        let (out, _) = reference(&cfg);
+        assert!(
+            out.rms_misfit < rms0 * 0.5,
+            "inversion should reduce misfit: {} -> {}",
+            rms0,
+            out.rms_misfit
+        );
+    }
+
+    #[test]
+    fn trace_matches_reference_single_proc() {
+        let cfg = StringConfig::small(1);
+        let (trace, out) = run_trace(&cfg);
+        let (ref_out, ref_ops) = reference(&cfg);
+        assert_eq!(out.rms_misfit, ref_out.rms_misfit);
+        assert_eq!(out.model_checksum, ref_out.model_checksum);
+        assert_eq!(trace.task_count(), expected_tasks(&cfg));
+        assert!(ref_ops > 0.0);
+    }
+
+    #[test]
+    fn multi_proc_close_to_reference() {
+        let cfg = StringConfig::small(3);
+        let (trace, out) = run_trace(&cfg);
+        let (ref_out, _) = reference(&cfg);
+        let rel = (out.rms_misfit - ref_out.rms_misfit).abs() / ref_out.rms_misfit.max(1e-12);
+        assert!(rel < 1e-6, "rel {rel}");
+        assert!(trace.validate().is_empty());
+    }
+
+    #[test]
+    fn paper_scale_object_size() {
+        let cfg = StringConfig::paper(2);
+        let mut rt = TraceRuntime::new();
+        let h = build(&mut rt, &cfg);
+        let (_, trace) = rt.into_parts();
+        assert_eq!(trace.object_size(h.model.id()), 383_528);
+    }
+
+    #[test]
+    fn locality_object_is_difference_copy() {
+        let cfg = StringConfig::small(2);
+        let (trace, _) = run_trace(&cfg);
+        for t in trace.tasks.iter().filter(|t| t.label == "trace-rays") {
+            let lo = t.spec.locality_object().unwrap();
+            assert!(trace.objects[lo.index()].name.starts_with("diff["));
+        }
+    }
+}

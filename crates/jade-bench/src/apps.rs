@@ -1,0 +1,146 @@
+//! Uniform interface over the four applications for the experiment harness.
+
+use jade_apps::{cholesky, ocean, string_app, water};
+use jade_core::Trace;
+
+/// The paper's application set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum App {
+    Water,
+    StringApp,
+    Ocean,
+    Cholesky,
+}
+
+impl App {
+    pub const ALL: [App; 4] = [App::Water, App::StringApp, App::Ocean, App::Cholesky];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Water => "Water",
+            App::StringApp => "String",
+            App::Ocean => "Ocean",
+            App::Cholesky => "Panel Cholesky",
+        }
+    }
+
+    /// Does the programmer provide explicit task placement for this app?
+    /// (Paper Section 5.2: only Ocean and Panel Cholesky.)
+    pub fn has_placement(self) -> bool {
+        matches!(self, App::Ocean | App::Cholesky)
+    }
+
+    /// Generate the program trace for `procs` processors at the given
+    /// scale. `quick` uses reduced workloads for smoke runs.
+    pub fn trace(self, procs: usize, quick: bool) -> Trace {
+        match self {
+            App::Water => {
+                let cfg = if quick {
+                    water::WaterConfig { molecules: 256, iterations: 3, procs, seed: 1995 }
+                } else {
+                    water::WaterConfig::paper(procs)
+                };
+                water::run_trace(&cfg).0
+            }
+            App::StringApp => {
+                let cfg = if quick {
+                    string_app::StringConfig {
+                        nx: 48,
+                        nz: 96,
+                        src_spacing: 8,
+                        rcv_spacing: 8,
+                        iterations: 3,
+                        procs,
+                    }
+                } else {
+                    string_app::StringConfig::paper(procs)
+                };
+                string_app::run_trace(&cfg).0
+            }
+            App::Ocean => {
+                let cfg = if quick {
+                    ocean::OceanConfig { n: 96, iterations: 60, procs }
+                } else {
+                    ocean::OceanConfig::paper(procs)
+                };
+                ocean::run_trace(&cfg).0
+            }
+            App::Cholesky => {
+                let cfg = if quick {
+                    cholesky::CholeskyConfig { grid: 16, subassemblies: 2, iface: 16, panel_width: 4, procs }
+                } else {
+                    cholesky::CholeskyConfig::paper(procs)
+                };
+                cholesky::run_trace(&cfg).0
+            }
+        }
+    }
+
+    /// Paper-measured calibration anchors:
+    /// (DASH serial, DASH stripped, iPSC serial, iPSC stripped) seconds.
+    pub fn calib(self) -> (f64, f64, f64, f64) {
+        match self {
+            App::Water => (
+                water::calib::DASH_SERIAL_S,
+                water::calib::DASH_STRIPPED_S,
+                water::calib::IPSC_SERIAL_S,
+                water::calib::IPSC_STRIPPED_S,
+            ),
+            App::StringApp => (
+                string_app::calib::DASH_SERIAL_S,
+                string_app::calib::DASH_STRIPPED_S,
+                string_app::calib::IPSC_SERIAL_S,
+                string_app::calib::IPSC_STRIPPED_S,
+            ),
+            App::Ocean => (
+                ocean::calib::DASH_SERIAL_S,
+                ocean::calib::DASH_STRIPPED_S,
+                ocean::calib::IPSC_SERIAL_S,
+                ocean::calib::IPSC_STRIPPED_S,
+            ),
+            App::Cholesky => (
+                cholesky::calib::DASH_SERIAL_S,
+                cholesky::calib::DASH_STRIPPED_S,
+                cholesky::calib::IPSC_SERIAL_S,
+                cholesky::calib::IPSC_STRIPPED_S,
+            ),
+        }
+    }
+
+    /// Seconds of compute per abstract operation on DASH, calibrated so the
+    /// one-processor Jade run lands on the paper's stripped serial time.
+    pub fn dash_sec_per_op(self, trace: &Trace) -> f64 {
+        let (_, stripped, _, _) = self.calib();
+        stripped / trace.total_work()
+    }
+
+    /// Seconds of compute per abstract operation on the iPSC/860.
+    pub fn ipsc_sec_per_op(self, trace: &Trace) -> f64 {
+        let (_, _, _, stripped) = self.calib();
+        stripped / trace.total_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_traces_build_for_every_app() {
+        for app in App::ALL {
+            let t = app.trace(4, true);
+            assert!(t.task_count() > 0, "{:?}", app);
+            assert!(t.validate().is_empty());
+            assert!(app.dash_sec_per_op(&t) > 0.0);
+            assert!(app.ipsc_sec_per_op(&t) > 0.0);
+        }
+    }
+
+    #[test]
+    fn placement_flags() {
+        assert!(!App::Water.has_placement());
+        assert!(!App::StringApp.has_placement());
+        assert!(App::Ocean.has_placement());
+        assert!(App::Cholesky.has_placement());
+    }
+}

@@ -1,0 +1,135 @@
+//! `repro` — regenerate every table and figure of Rinard, SC'95.
+//!
+//! ```text
+//! repro [--quick] all              # the whole evaluation section
+//! repro table1 table6              # serial/stripped calibration anchors
+//! repro table2 .. table5           # DASH execution times
+//! repro table7 .. table10          # iPSC execution times
+//! repro table11 .. table14         # adaptive broadcast
+//! repro fig2 .. fig5, fig12..fig15 # task locality percentages
+//! repro fig6 .. fig9               # DASH total task execution time
+//! repro fig10 fig11 fig20 fig21    # task management percentages
+//! repro fig16 .. fig19             # iPSC comm/computation ratios
+//! repro replication                # Section 5.1
+//! repro bcast-analysis             # Section 5.3 numbers
+//! repro latency-hiding             # Section 5.4
+//! repro concurrent-fetch           # Section 5.5
+//! ```
+//!
+//! `--quick` substitutes reduced workloads (for smoke runs); the default is
+//! the paper-scale data sets.
+
+use jade_bench::experiments as ex;
+use jade_bench::{App, Harness};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] <experiment>...\n\
+         experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
+         replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
+         utilization"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut wanted: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "-h" | "--help" => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    let mut h = Harness::new(quick);
+    if quick {
+        println!("[quick mode: reduced workloads — shapes hold, absolute numbers shrink]");
+    }
+    for w in wanted.clone() {
+        run_one(&mut h, &w);
+    }
+}
+
+fn run_one(h: &mut Harness, what: &str) {
+    let exec_apps = [App::Water, App::StringApp, App::Ocean, App::Cholesky];
+    match what {
+        "all" => {
+            for t in [
+                "table1", "table6", "tables", "figures", "replication", "bcast-analysis",
+                "latency-hiding", "concurrent-fetch", "ablations", "heterogeneous",
+            ] {
+                run_one(h, t);
+            }
+        }
+        "tables" => {
+            for t in 2..=5 {
+                run_one(h, &format!("table{t}"));
+            }
+            for t in 7..=14 {
+                run_one(h, &format!("table{t}"));
+            }
+        }
+        "figures" => {
+            for f in 2..=21 {
+                if f != 1 {
+                    run_one(h, &format!("fig{f}"));
+                }
+            }
+        }
+        "table1" => ex::table_serial(h, true),
+        "table6" => ex::table_serial(h, false),
+        "table2" => ex::table_exec(h, App::Water, true),
+        "table3" => ex::table_exec(h, App::StringApp, true),
+        "table4" => ex::table_exec(h, App::Ocean, true),
+        "table5" => ex::table_exec(h, App::Cholesky, true),
+        "table7" => ex::table_exec(h, App::Water, false),
+        "table8" => ex::table_exec(h, App::StringApp, false),
+        "table9" => ex::table_exec(h, App::Ocean, false),
+        "table10" => ex::table_exec(h, App::Cholesky, false),
+        "table11" => ex::table_bcast(h, App::Water),
+        "table12" => ex::table_bcast(h, App::StringApp),
+        "table13" => ex::table_bcast(h, App::Ocean),
+        "table14" => ex::table_bcast(h, App::Cholesky),
+        "fig2" => ex::fig_locality(h, App::Water, true),
+        "fig3" => ex::fig_locality(h, App::StringApp, true),
+        "fig4" => ex::fig_locality(h, App::Ocean, true),
+        "fig5" => ex::fig_locality(h, App::Cholesky, true),
+        "fig6" => ex::fig_taskexec(h, App::Water),
+        "fig7" => ex::fig_taskexec(h, App::StringApp),
+        "fig8" => ex::fig_taskexec(h, App::Ocean),
+        "fig9" => ex::fig_taskexec(h, App::Cholesky),
+        "fig10" => ex::fig_mgmt(h, App::Ocean, true),
+        "fig11" => ex::fig_mgmt(h, App::Cholesky, true),
+        "fig12" => ex::fig_locality(h, App::Water, false),
+        "fig13" => ex::fig_locality(h, App::StringApp, false),
+        "fig14" => ex::fig_locality(h, App::Ocean, false),
+        "fig15" => ex::fig_locality(h, App::Cholesky, false),
+        "fig16" => ex::fig_commratio(h, App::Water),
+        "fig17" => ex::fig_commratio(h, App::StringApp),
+        "fig18" => ex::fig_commratio(h, App::Ocean),
+        "fig19" => ex::fig_commratio(h, App::Cholesky),
+        "fig20" => ex::fig_mgmt(h, App::Ocean, false),
+        "fig21" => ex::fig_mgmt(h, App::Cholesky, false),
+        "replication" => ex::replication(h),
+        "bcast-analysis" => ex::bcast_analysis(h),
+        "latency-hiding" => ex::latency_hiding(h),
+        "concurrent-fetch" => ex::concurrent_fetch(h),
+        "ablations" => ex::ablations(h),
+        "heterogeneous" => ex::heterogeneous(h),
+        "utilization" => {
+            for app in [App::Water, App::Ocean, App::Cholesky] {
+                ex::utilization(h, app, 8);
+            }
+        }
+        other => {
+            let _ = exec_apps;
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}

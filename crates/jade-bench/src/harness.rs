@@ -1,0 +1,142 @@
+//! Run management: trace caching, machine-run helpers, table formatting.
+
+use crate::apps::App;
+use jade_core::{LocalityMode, Trace};
+use jade_dash::{DashConfig, DashRunResult};
+use jade_ipsc::{IpscConfig, IpscRunResult};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The processor counts of every experiment in the paper.
+pub const PROCS: [usize; 7] = [1, 2, 4, 8, 16, 24, 32];
+
+/// Caches generated traces so each (app, procs) workload is built once.
+pub struct Harness {
+    pub quick: bool,
+    traces: HashMap<(App, usize), Rc<Trace>>,
+}
+
+impl Harness {
+    pub fn new(quick: bool) -> Harness {
+        Harness { quick, traces: HashMap::new() }
+    }
+
+    pub fn trace(&mut self, app: App, procs: usize) -> Rc<Trace> {
+        let quick = self.quick;
+        Rc::clone(
+            self.traces
+                .entry((app, procs))
+                .or_insert_with(|| Rc::new(app.trace(procs, quick))),
+        )
+    }
+
+    /// Run `app` on the simulated DASH.
+    pub fn dash(&mut self, app: App, procs: usize, mode: LocalityMode) -> DashRunResult {
+        let trace = self.trace(app, procs);
+        let spo = app.dash_sec_per_op(&trace);
+        jade_dash::run(&trace, &DashConfig::paper(procs, mode, spo))
+    }
+
+    /// Run `app` on the simulated DASH with a tweaked configuration.
+    pub fn dash_with(
+        &mut self,
+        app: App,
+        procs: usize,
+        mode: LocalityMode,
+        f: impl FnOnce(&mut DashConfig),
+    ) -> DashRunResult {
+        let trace = self.trace(app, procs);
+        let spo = app.dash_sec_per_op(&trace);
+        let mut cfg = DashConfig::paper(procs, mode, spo);
+        f(&mut cfg);
+        jade_dash::run(&trace, &cfg)
+    }
+
+    /// Run `app` on the simulated iPSC/860.
+    pub fn ipsc(&mut self, app: App, procs: usize, mode: LocalityMode) -> IpscRunResult {
+        self.ipsc_with(app, procs, mode, |_| {})
+    }
+
+    /// Run `app` on the simulated iPSC/860 with a tweaked configuration.
+    pub fn ipsc_with(
+        &mut self,
+        app: App,
+        procs: usize,
+        mode: LocalityMode,
+        f: impl FnOnce(&mut IpscConfig),
+    ) -> IpscRunResult {
+        let trace = self.trace(app, procs);
+        let spo = app.ipsc_sec_per_op(&trace);
+        let mut cfg = IpscConfig::paper(procs, mode, spo);
+        f(&mut cfg);
+        jade_ipsc::run(&trace, &cfg)
+    }
+
+    /// The locality levels reported for an app (Task Placement only where
+    /// the programmer provides placements).
+    pub fn modes_for(&self, app: App) -> Vec<LocalityMode> {
+        if app.has_placement() {
+            vec![LocalityMode::TaskPlacement, LocalityMode::Locality, LocalityMode::NoLocality]
+        } else {
+            vec![LocalityMode::Locality, LocalityMode::NoLocality]
+        }
+    }
+}
+
+/// Format one table row: a label plus one value per processor count.
+pub fn row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:>16} |");
+    for v in values {
+        s.push_str(&format!(" {v:>9.2}"));
+    }
+    s
+}
+
+/// Format the standard header with the processor counts.
+pub fn header(title: &str) -> String {
+    let mut s = format!("{title}\n{:>16} |", "procs");
+    for p in PROCS {
+        s.push_str(&format!(" {p:>9}"));
+    }
+    s.push('\n');
+    s.push_str(&"-".repeat(18 + 10 * PROCS.len()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cache_reuses() {
+        let mut h = Harness::new(true);
+        let a = h.trace(App::Cholesky, 2);
+        let b = h.trace(App::Cholesky, 2);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn quick_dash_and_ipsc_runs_complete() {
+        let mut h = Harness::new(true);
+        let d = h.dash(App::Cholesky, 4, LocalityMode::Locality);
+        assert!(d.exec_time_s > 0.0);
+        let i = h.ipsc(App::Cholesky, 4, LocalityMode::TaskPlacement);
+        assert!(i.exec_time_s > 0.0);
+    }
+
+    #[test]
+    fn modes_per_app() {
+        let h = Harness::new(true);
+        assert_eq!(h.modes_for(App::Water).len(), 2);
+        assert_eq!(h.modes_for(App::Ocean).len(), 3);
+    }
+
+    #[test]
+    fn formatting() {
+        let hd = header("Table X");
+        assert!(hd.contains("Table X"));
+        let r = row("Locality", &[1.0, 2.0]);
+        assert!(r.contains("Locality"));
+        assert!(r.contains("2.00"));
+    }
+}

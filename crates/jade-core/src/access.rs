@@ -1,0 +1,234 @@
+//! Access specifications: the data access information at the heart of Jade.
+//!
+//! A task's access specification is built by executing its *access
+//! specification section* — in this Rust incarnation, the closure passed to
+//! [`crate::runtime::JadeRuntime`] task construction, or the
+//! [`crate::task::TaskBuilder`] `rd`/`wr` calls. Each statement declares how
+//! the task will access one shared object; the union of executed statements
+//! is the specification. Declaration **order matters**: the first declared
+//! object is the task's *locality object* (paper Sections 3.2.1 and 3.4.3).
+
+use crate::ids::ObjectId;
+
+/// How a task accesses one shared object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AccessMode {
+    /// `rd(o)`: the task may read `o`.
+    Read,
+    /// `wr(o)`: the task may write `o`.
+    Write,
+    /// Both `rd(o)` and `wr(o)` were declared.
+    ReadWrite,
+}
+
+impl AccessMode {
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+
+    /// Combine two declarations on the same object.
+    pub fn merge(self, other: AccessMode) -> AccessMode {
+        if self == other {
+            self
+        } else {
+            AccessMode::ReadWrite
+        }
+    }
+
+    /// Two accesses to the same object conflict unless both are pure reads.
+    #[inline]
+    pub fn conflicts(self, other: AccessMode) -> bool {
+        self.writes() || other.writes()
+    }
+}
+
+/// One declaration: (object, mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AccessDecl {
+    pub object: ObjectId,
+    pub mode: AccessMode,
+}
+
+/// An ordered access specification.
+///
+/// Kept as a small vector in declaration order; duplicate declarations on
+/// the same object are merged in place (the first declaration's position is
+/// preserved, so the locality object is stable).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AccessSpec {
+    decls: Vec<AccessDecl>,
+}
+
+impl AccessSpec {
+    pub fn new() -> AccessSpec {
+        AccessSpec { decls: Vec::new() }
+    }
+
+    /// Declare a read of `object`.
+    pub fn rd(&mut self, object: impl Into<ObjectId>) -> &mut Self {
+        self.declare(object.into(), AccessMode::Read)
+    }
+
+    /// Declare a write of `object`.
+    pub fn wr(&mut self, object: impl Into<ObjectId>) -> &mut Self {
+        self.declare(object.into(), AccessMode::Write)
+    }
+
+    /// Declare a combined read-write access of `object`.
+    pub fn rd_wr(&mut self, object: impl Into<ObjectId>) -> &mut Self {
+        self.declare(object.into(), AccessMode::ReadWrite)
+    }
+
+    fn declare(&mut self, object: ObjectId, mode: AccessMode) -> &mut Self {
+        if let Some(d) = self.decls.iter_mut().find(|d| d.object == object) {
+            d.mode = d.mode.merge(mode);
+        } else {
+            self.decls.push(AccessDecl { object, mode });
+        }
+        self
+    }
+
+    /// All declarations, in declaration order.
+    #[inline]
+    pub fn decls(&self) -> &[AccessDecl] {
+        &self.decls
+    }
+
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// The declared mode for `object`, if any.
+    pub fn mode_of(&self, object: ObjectId) -> Option<AccessMode> {
+        self.decls.iter().find(|d| d.object == object).map(|d| d.mode)
+    }
+
+    /// The task's locality object: the **first** declared object. The
+    /// schedulers on both machines attempt to run the task on the processor
+    /// that owns this object.
+    pub fn locality_object(&self) -> Option<ObjectId> {
+        self.decls.first().map(|d| d.object)
+    }
+
+    /// Objects the task reads (including read-write).
+    pub fn read_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.decls.iter().filter(|d| d.mode.reads()).map(|d| d.object)
+    }
+
+    /// Objects the task writes (including read-write).
+    pub fn written_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.decls.iter().filter(|d| d.mode.writes()).map(|d| d.object)
+    }
+
+    /// True if this spec has a dynamic data dependence with `other`: some
+    /// object is accessed by both, and at least one side writes it.
+    pub fn conflicts_with(&self, other: &AccessSpec) -> bool {
+        self.decls.iter().any(|a| {
+            other
+                .mode_of(a.object)
+                .is_some_and(|m| a.mode.conflicts(m))
+        })
+    }
+}
+
+impl FromIterator<AccessDecl> for AccessSpec {
+    fn from_iter<I: IntoIterator<Item = AccessDecl>>(iter: I) -> AccessSpec {
+        let mut s = AccessSpec::new();
+        for d in iter {
+            s.declare(d.object, d.mode);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(n: u32) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn order_preserved_and_locality_first() {
+        let mut s = AccessSpec::new();
+        s.rd(o(5)).wr(o(2)).rd(o(9));
+        assert_eq!(s.locality_object(), Some(o(5)));
+        assert_eq!(s.len(), 3);
+        let objs: Vec<_> = s.decls().iter().map(|d| d.object).collect();
+        assert_eq!(objs, vec![o(5), o(2), o(9)]);
+    }
+
+    #[test]
+    fn duplicate_declarations_merge() {
+        let mut s = AccessSpec::new();
+        s.rd(o(1)).wr(o(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mode_of(o(1)), Some(AccessMode::ReadWrite));
+        // Position of the first declaration is kept.
+        let mut s2 = AccessSpec::new();
+        s2.rd(o(3)).rd(o(1)).wr(o(3));
+        assert_eq!(s2.locality_object(), Some(o(3)));
+    }
+
+    #[test]
+    fn read_write_iterators() {
+        let mut s = AccessSpec::new();
+        s.rd(o(1)).wr(o(2)).rd_wr(o(3));
+        assert_eq!(s.read_objects().collect::<Vec<_>>(), vec![o(1), o(3)]);
+        assert_eq!(s.written_objects().collect::<Vec<_>>(), vec![o(2), o(3)]);
+    }
+
+    #[test]
+    fn conflict_rules() {
+        assert!(!AccessMode::Read.conflicts(AccessMode::Read));
+        assert!(AccessMode::Read.conflicts(AccessMode::Write));
+        assert!(AccessMode::Write.conflicts(AccessMode::Write));
+
+        let mut readers = AccessSpec::new();
+        readers.rd(o(1)).rd(o(2));
+        let mut readers2 = AccessSpec::new();
+        readers2.rd(o(2));
+        assert!(!readers.conflicts_with(&readers2));
+
+        let mut writer = AccessSpec::new();
+        writer.wr(o(2));
+        assert!(readers.conflicts_with(&writer));
+        assert!(writer.conflicts_with(&readers));
+
+        let mut disjoint = AccessSpec::new();
+        disjoint.wr(o(7));
+        assert!(!readers.conflicts_with(&disjoint));
+    }
+
+    #[test]
+    fn empty_spec() {
+        let s = AccessSpec::new();
+        assert!(s.is_empty());
+        assert_eq!(s.locality_object(), None);
+        assert!(!s.conflicts_with(&s.clone()));
+    }
+
+    #[test]
+    fn from_iter_merges() {
+        let s: AccessSpec = [
+            AccessDecl { object: o(1), mode: AccessMode::Read },
+            AccessDecl { object: o(1), mode: AccessMode::Write },
+            AccessDecl { object: o(2), mode: AccessMode::Read },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mode_of(o(1)), Some(AccessMode::ReadWrite));
+    }
+}

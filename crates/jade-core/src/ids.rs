@@ -1,0 +1,167 @@
+//! Identifier newtypes for the Jade object and task spaces.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Identifies a shared object in the Jade object store.
+///
+/// Jade programmers aggregate memory into *shared objects* by allocating at
+/// that granularity; the implementation performs all dependence analysis and
+/// communication at object granularity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Identifies a task. Task ids are assigned in serial program (creation)
+/// order, which is exactly the order the synchronizer uses to resolve
+/// dynamic data dependences.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TaskId(pub u32);
+
+/// A processor index. `jade-core` is machine-independent; the machine
+/// runtimes interpret this against their own topology.
+pub type ProcId = usize;
+
+/// The main processor: the one executing the main thread of control, which
+/// in all of the paper's applications creates every task.
+pub const MAIN_PROC: ProcId = 0;
+
+/// The paper's three locality optimization levels (Section 5.2). Shared by
+/// both machine runtimes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LocalityMode {
+    /// First-come first-served distribution of enabled tasks to idle
+    /// processors (single shared queue on DASH, single queue at the main
+    /// processor on the iPSC/860).
+    NoLocality,
+    /// The implementation's locality heuristic: execute each task on the
+    /// owner of its locality object when the load balance allows it.
+    /// Explicit placements in the trace are ignored.
+    Locality,
+    /// Like `Locality`, but explicit programmer placements are honored.
+    TaskPlacement,
+}
+
+impl LocalityMode {
+    /// Does the runtime use locality-aware queues at this level?
+    pub fn uses_locality(self) -> bool {
+        !matches!(self, LocalityMode::NoLocality)
+    }
+
+    /// Are explicit placements honored at this level?
+    pub fn honors_placement(self) -> bool {
+        matches!(self, LocalityMode::TaskPlacement)
+    }
+
+    /// All three levels, in the paper's order.
+    pub const ALL: [LocalityMode; 3] =
+        [LocalityMode::TaskPlacement, LocalityMode::Locality, LocalityMode::NoLocality];
+}
+
+impl std::fmt::Display for LocalityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LocalityMode::NoLocality => "No Locality",
+            LocalityMode::Locality => "Locality",
+            LocalityMode::TaskPlacement => "Task Placement",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed handle to a shared object of payload type `T`.
+///
+/// Handles are `Copy` tokens; the data itself lives in the
+/// [`Store`](crate::Store). The phantom type parameter makes `ctx.rd(h)` /
+/// `ctx.wr(h)` statically typed even though the store is heterogeneous.
+pub struct Handle<T> {
+    pub(crate) id: ObjectId,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Handle<T> {
+    /// The untyped object id this handle refers to.
+    #[inline]
+    pub fn id(self) -> ObjectId {
+        self.id
+    }
+
+    /// Construct a handle from a raw id. The caller asserts that the object
+    /// was created with payload type `T`; a mismatch is caught (with a
+    /// panic) at first access, never silently.
+    pub fn from_id(id: ObjectId) -> Handle<T> {
+        Handle { id, _marker: PhantomData }
+    }
+}
+
+// Manual impls: `derive` would bound them on `T`, but handles are ids only.
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl<T> Eq for Handle<T> {}
+
+impl<T> From<Handle<T>> for ObjectId {
+    fn from(h: Handle<T>) -> ObjectId {
+        h.id
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+impl<T> fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "handle#{}", self.id.0)
+    }
+}
+
+impl ObjectId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_copy_and_eq() {
+        let h: Handle<Vec<f64>> = Handle::from_id(ObjectId(3));
+        let h2 = h;
+        assert_eq!(h, h2);
+        assert_eq!(h.id(), ObjectId(3));
+        let id: ObjectId = h.into();
+        assert_eq!(id, ObjectId(3));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", ObjectId(7)), "obj#7");
+        assert_eq!(format!("{:?}", TaskId(9)), "task#9");
+    }
+}

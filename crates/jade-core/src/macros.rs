@@ -1,0 +1,86 @@
+//! The `withonly!` macro: Jade's task construct, in Jade's shape.
+//!
+//! C-Jade:
+//!
+//! ```c
+//! withonly { rd(positions); wr(contrib); } do (i) { ... }
+//! ```
+//!
+//! Rust:
+//!
+//! ```
+//! use jade_core::{withonly, JadeRuntime, TraceRuntime};
+//!
+//! let mut rt = TraceRuntime::new();
+//! let positions = rt.create("positions", 8, vec![1.0f64]);
+//! let contrib = rt.create("contrib", 8, 0.0f64);
+//! withonly!(rt, "interactions", { rd(positions), wr(contrib) }, move |ctx| {
+//!     *ctx.wr(contrib) = ctx.rd(positions)[0] * 2.0;
+//! });
+//! rt.finish();
+//! assert_eq!(*rt.store().read(contrib), 2.0);
+//! ```
+
+/// Submit a task from an access specification section and a body.
+///
+/// `$stmt` is any [`TaskBuilder`](crate::TaskBuilder) declaration method:
+/// `rd`, `wr`, `rd_wr`. Declaration order is preserved (the first object is
+/// the locality object). The expression evaluates to the new task's
+/// [`TaskId`](crate::TaskId).
+#[macro_export]
+macro_rules! withonly {
+    ($rt:expr, $label:expr, { $($stmt:ident($obj:expr)),* $(,)? }, $body:expr) => {{
+        #[allow(unused_mut)]
+        let mut __tb = $crate::TaskBuilder::new($label);
+        $( __tb = __tb.$stmt($obj); )*
+        $rt.submit(__tb.body($body))
+    }};
+    // With explicit placement: `withonly!(rt, "label", on proc, { ... }, body)`.
+    ($rt:expr, $label:expr, on $proc:expr, { $($stmt:ident($obj:expr)),* $(,)? }, $body:expr) => {{
+        #[allow(unused_mut)]
+        let mut __tb = $crate::TaskBuilder::new($label).place($proc);
+        $( __tb = __tb.$stmt($obj); )*
+        $rt.submit(__tb.body($body))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{JadeRuntime, TraceRuntime};
+
+    #[test]
+    fn basic_withonly() {
+        let mut rt = TraceRuntime::new();
+        let a = rt.create("a", 8, 10u64);
+        let b = rt.create("b", 8, 0u64);
+        let id = withonly!(rt, "copy", { rd(a), wr(b) }, move |ctx| {
+            *ctx.wr(b) = *ctx.rd(a) + 5;
+        });
+        rt.finish();
+        assert_eq!(id.index(), 0);
+        assert_eq!(*rt.store().read(b), 15);
+        let (_, trace) = rt.into_parts();
+        assert_eq!(trace.tasks[0].spec.locality_object(), Some(a.id()));
+    }
+
+    #[test]
+    fn withonly_with_placement() {
+        let mut rt = TraceRuntime::new();
+        let x = rt.create("x", 8, 0u64);
+        withonly!(rt, "placed", on 3, { wr(x) }, move |ctx| {
+            *ctx.wr(x) = 1;
+        });
+        rt.finish();
+        let (_, trace) = rt.into_parts();
+        assert_eq!(trace.tasks[0].placement, Some(3));
+    }
+
+    #[test]
+    fn empty_spec_allowed() {
+        let mut rt = TraceRuntime::new();
+        withonly!(rt, "noop", {}, |_| {});
+        rt.finish();
+        let (_, trace) = rt.into_parts();
+        assert!(trace.tasks[0].spec.is_empty());
+    }
+}

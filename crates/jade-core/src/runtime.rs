@@ -1,0 +1,55 @@
+//! The runtime interface Jade programs are written against.
+//!
+//! Applications are generic over [`JadeRuntime`], so one program text runs
+//! unmodified on every backend — exactly the portability claim of the paper
+//! ("Jade programs port without modification between all platforms"):
+//!
+//! * [`crate::trace::TraceRuntime`] — serial execution + trace recording
+//!   (feeds the DASH and iPSC machine simulators);
+//! * `jade_threads::ThreadRuntime` — real parallel execution on OS threads.
+
+use crate::ids::{Handle, ObjectId, ProcId, TaskId};
+use crate::store::Store;
+use crate::task::TaskDef;
+
+/// A backend capable of running a Jade program.
+pub trait JadeRuntime {
+    /// The shared-object store (read results here after [`finish`]).
+    ///
+    /// [`finish`]: JadeRuntime::finish
+    fn store(&self) -> &Store;
+
+    /// Mutable store access for allocation (before/between tasks).
+    fn store_mut(&mut self) -> &mut Store;
+
+    /// Allocate a shared object. `size_bytes` is the communication size the
+    /// machine models charge to move the object.
+    fn create<T: Send + Sync + 'static>(
+        &mut self,
+        name: &str,
+        size_bytes: usize,
+        data: T,
+    ) -> Handle<T> {
+        self.store_mut().create(name, size_bytes, data)
+    }
+
+    /// Assign an object's memory-module home processor.
+    fn set_home(&mut self, o: impl Into<ObjectId>, home: ProcId)
+    where
+        Self: Sized,
+    {
+        self.store_mut().set_home(o.into(), home);
+    }
+
+    /// Submit a task (the `withonly ... do ...` construct). Returns the
+    /// task's id. Submission order defines the serial program order the
+    /// synchronizer preserves.
+    fn submit(&mut self, def: TaskDef) -> TaskId;
+
+    /// Mark an application phase boundary (used for the paper's per-phase
+    /// analyses; a no-op on backends that don't track phases).
+    fn begin_phase(&mut self) {}
+
+    /// Block until every submitted task has completed.
+    fn finish(&mut self);
+}

@@ -1,0 +1,411 @@
+//! The queue-based synchronizer: Jade's dynamic dependence analysis.
+//!
+//! For every shared object the synchronizer keeps a FIFO queue of declared
+//! accesses in serial program (task creation) order. An access is *granted*
+//! when it could legally begin:
+//!
+//! * a **read** is granted when no write precedes it in the queue (so a run
+//!   of reads at the head executes concurrently — this is what makes the
+//!   replication optimization possible);
+//! * a **write** (or read-write) is granted only at the head of the queue.
+//!
+//! A task is *enabled* when all of its declared accesses are granted. This
+//! preserves exactly the dynamic data dependence constraints of the paper:
+//! conflicting tasks execute in serial program order, non-conflicting tasks
+//! run concurrently.
+//!
+//! The synchronizer is deliberately pure — no clocks, no processors — so the
+//! same component drives the DASH simulator, the iPSC simulator and the real
+//! `jade-threads` executor, and so its invariants are easy to property-test.
+
+use crate::access::{AccessMode, AccessSpec};
+use crate::ids::{ObjectId, TaskId};
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+struct QEntry {
+    task: TaskId,
+    mode: AccessMode,
+    granted: bool,
+}
+
+#[derive(Clone, Debug)]
+struct TaskState {
+    /// Declared objects (so completion knows which queues to clean).
+    objects: Vec<ObjectId>,
+    /// Number of declared accesses not yet granted.
+    ungranted: usize,
+    completed: bool,
+}
+
+/// Dynamic dependence analysis over declared access specifications.
+#[derive(Clone, Debug)]
+pub struct Synchronizer {
+    queues: Vec<VecDeque<QEntry>>,
+    tasks: Vec<TaskState>,
+    /// With replication disabled (`false`), reads serialize like writes —
+    /// the Section 5.1 thought experiment: "eliminating replication would
+    /// serialize all of the applications".
+    replication: bool,
+    live_tasks: usize,
+}
+
+impl Default for Synchronizer {
+    fn default() -> Self {
+        Synchronizer::new(true)
+    }
+}
+
+impl Synchronizer {
+    /// `replication`: whether concurrent reads of one object are permitted.
+    pub fn new(replication: bool) -> Synchronizer {
+        Synchronizer { queues: Vec::new(), tasks: Vec::new(), replication, live_tasks: 0 }
+    }
+
+    fn queue_mut(&mut self, o: ObjectId) -> &mut VecDeque<QEntry> {
+        if o.index() >= self.queues.len() {
+            self.queues.resize_with(o.index() + 1, VecDeque::new);
+        }
+        &mut self.queues[o.index()]
+    }
+
+    /// Register a task. **Must** be called in serial program order: task ids
+    /// are consecutive from zero. Returns `true` if the task is immediately
+    /// enabled (all accesses granted).
+    pub fn add_task(&mut self, id: TaskId, spec: &AccessSpec) -> bool {
+        assert_eq!(
+            id.index(),
+            self.tasks.len(),
+            "tasks must be registered in serial program order"
+        );
+        let mut ungranted = 0;
+        let mut objects = Vec::with_capacity(spec.len());
+        for d in spec.decls() {
+            objects.push(d.object);
+            let replication = self.replication;
+            let q = self.queue_mut(d.object);
+            // The new entry goes to the tail; it is granted iff a reader
+            // with no writer ahead (all earlier entries are then granted
+            // reads), or the queue is empty.
+            let granted = if q.is_empty() {
+                true
+            } else if d.mode == AccessMode::Read && replication {
+                q.iter().all(|e| e.mode == AccessMode::Read)
+            } else {
+                false
+            };
+            if !granted {
+                ungranted += 1;
+            }
+            q.push_back(QEntry { task: id, mode: d.mode, granted });
+        }
+        self.tasks.push(TaskState { objects, ungranted, completed: false });
+        self.live_tasks += 1;
+        ungranted == 0
+    }
+
+    /// True if every declared access of `id` is currently granted.
+    pub fn is_enabled(&self, id: TaskId) -> bool {
+        let t = &self.tasks[id.index()];
+        !t.completed && t.ungranted == 0
+    }
+
+    /// Mark `id` complete, releasing its queue entries. Newly enabled tasks
+    /// are appended to `newly_enabled` (in task-id order per object queue,
+    /// which is deterministic).
+    pub fn complete(&mut self, id: TaskId, newly_enabled: &mut Vec<TaskId>) {
+        let state = &mut self.tasks[id.index()];
+        assert!(!state.completed, "task {id:?} completed twice");
+        assert_eq!(state.ungranted, 0, "task {id:?} completed while not enabled");
+        state.completed = true;
+        self.live_tasks -= 1;
+        let objects = std::mem::take(&mut self.tasks[id.index()].objects);
+        for o in objects {
+            self.remove_from_queue(id, o, newly_enabled);
+        }
+    }
+
+    /// Release one of `id`'s declared accesses **before** the task
+    /// completes — Jade's advanced pipelining statements (`no_rd(o)`,
+    /// `no_wr(o)`): a task that has finished using an object gives up its
+    /// right to access it, letting successors proceed while the task keeps
+    /// running. Newly enabled tasks are appended to `newly_enabled`.
+    ///
+    /// Panics if the task never declared (or already released) the object.
+    pub fn release(&mut self, id: TaskId, object: ObjectId, newly_enabled: &mut Vec<TaskId>) {
+        let state = &mut self.tasks[id.index()];
+        assert!(!state.completed, "release after completion of {id:?}");
+        let pos = state
+            .objects
+            .iter()
+            .position(|&o| o == object)
+            .unwrap_or_else(|| panic!("{id:?} releasing undeclared/released {object:?}"));
+        state.objects.swap_remove(pos);
+        self.remove_from_queue(id, object, newly_enabled);
+    }
+
+    /// Remove `id`'s entry from `object`'s queue and re-grant from the head.
+    fn remove_from_queue(&mut self, id: TaskId, o: ObjectId, newly_enabled: &mut Vec<TaskId>) {
+        let replication = self.replication;
+        let q = &mut self.queues[o.index()];
+        let pos = q
+            .iter()
+            .position(|e| e.task == id)
+            .expect("task not in object queue");
+        debug_assert!(q[pos].granted, "removing an ungranted access");
+        q.remove(pos);
+        for i in 0..q.len() {
+            let is_read = q[i].mode == AccessMode::Read;
+            if i == 0 || (is_read && replication) {
+                if !q[i].granted && (i == 0 || q.iter().take(i).all(|e| e.mode == AccessMode::Read)) {
+                    q[i].granted = true;
+                    let t = q[i].task;
+                    let ts = &mut self.tasks[t.index()];
+                    ts.ungranted -= 1;
+                    if ts.ungranted == 0 {
+                        newly_enabled.push(t);
+                    }
+                }
+                if !(is_read && replication) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of registered tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of registered but not yet completed tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.live_tasks
+    }
+
+    /// True when every registered task has completed.
+    pub fn all_complete(&self) -> bool {
+        self.live_tasks == 0
+    }
+
+    /// Queue length for one object (diagnostics/tests).
+    pub fn queue_len(&self, o: ObjectId) -> usize {
+        self.queues.get(o.index()).map_or(0, |q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(n: u32) -> ObjectId {
+        ObjectId(n)
+    }
+
+    fn spec(reads: &[u32], writes: &[u32]) -> AccessSpec {
+        let mut s = AccessSpec::new();
+        for &r in reads {
+            s.rd(o(r));
+        }
+        for &w in writes {
+            s.wr(o(w));
+        }
+        s
+    }
+
+    #[test]
+    fn independent_tasks_enable_immediately() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0])));
+        assert!(sync.add_task(TaskId(1), &spec(&[], &[1])));
+    }
+
+    #[test]
+    fn writer_then_reader_serializes() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0])));
+        assert!(!sync.add_task(TaskId(1), &spec(&[0], &[])));
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(0), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(1)]);
+        assert!(sync.is_enabled(TaskId(1)));
+    }
+
+    #[test]
+    fn concurrent_readers_all_enabled() {
+        let mut sync = Synchronizer::default();
+        for i in 0..10 {
+            assert!(sync.add_task(TaskId(i), &spec(&[0], &[])), "reader {i}");
+        }
+    }
+
+    #[test]
+    fn replication_off_serializes_readers() {
+        let mut sync = Synchronizer::new(false);
+        assert!(sync.add_task(TaskId(0), &spec(&[0], &[])));
+        assert!(!sync.add_task(TaskId(1), &spec(&[0], &[])));
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(0), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn readers_block_writer_until_all_done() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[0], &[])));
+        assert!(sync.add_task(TaskId(1), &spec(&[0], &[])));
+        assert!(!sync.add_task(TaskId(2), &spec(&[], &[0])));
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(1), &mut enabled); // out-of-order completion OK
+        assert!(enabled.is_empty());
+        sync.complete(TaskId(0), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn reader_behind_writer_waits_but_later_reader_run_shares() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0]))); // writer
+        assert!(!sync.add_task(TaskId(1), &spec(&[0], &[]))); // reader
+        assert!(!sync.add_task(TaskId(2), &spec(&[0], &[]))); // reader
+        assert!(!sync.add_task(TaskId(3), &spec(&[], &[0]))); // writer
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(0), &mut enabled);
+        // Both readers enable together; the trailing writer does not.
+        assert_eq!(enabled, vec![TaskId(1), TaskId(2)]);
+        enabled.clear();
+        sync.complete(TaskId(1), &mut enabled);
+        assert!(enabled.is_empty());
+        sync.complete(TaskId(2), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn multi_object_task_waits_for_all() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0])));
+        assert!(sync.add_task(TaskId(1), &spec(&[], &[1])));
+        // Task 2 reads both objects; blocked by both writers.
+        assert!(!sync.add_task(TaskId(2), &spec(&[0, 1], &[])));
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(0), &mut enabled);
+        assert!(enabled.is_empty(), "still blocked on object 1");
+        sync.complete(TaskId(1), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn read_write_mode_is_exclusive() {
+        let mut sync = Synchronizer::default();
+        let mut s0 = AccessSpec::new();
+        s0.rd_wr(o(0));
+        assert!(sync.add_task(TaskId(0), &s0));
+        assert!(!sync.add_task(TaskId(1), &spec(&[0], &[])));
+        let mut s2 = AccessSpec::new();
+        s2.rd_wr(o(0));
+        assert!(!sync.add_task(TaskId(2), &s2));
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(0), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(1)]);
+        enabled.clear();
+        sync.complete(TaskId(1), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn empty_spec_enables_immediately() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &AccessSpec::new()));
+        let mut enabled = Vec::new();
+        sync.complete(TaskId(0), &mut enabled);
+        assert!(sync.all_complete());
+    }
+
+    #[test]
+    fn release_lets_successor_start_early() {
+        // Pipelining: a writer releases object 0 mid-task; the waiting
+        // reader enables while the writer is still running.
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0, 1])));
+        assert!(!sync.add_task(TaskId(1), &spec(&[0], &[])));
+        let mut enabled = Vec::new();
+        sync.release(TaskId(0), o(0), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(1)], "reader enabled before writer completes");
+        assert!(!sync.all_complete());
+        enabled.clear();
+        sync.complete(TaskId(1), &mut enabled);
+        sync.complete(TaskId(0), &mut enabled); // still holds object 1
+        assert!(sync.all_complete());
+    }
+
+    #[test]
+    fn release_of_read_unblocks_writer() {
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[0], &[1])));
+        assert!(!sync.add_task(TaskId(1), &spec(&[], &[0])));
+        let mut enabled = Vec::new();
+        sync.release(TaskId(0), o(0), &mut enabled);
+        assert_eq!(enabled, vec![TaskId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing undeclared")]
+    fn double_release_panics() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[0], &[]));
+        let mut e = Vec::new();
+        sync.release(TaskId(0), o(0), &mut e);
+        sync.release(TaskId(0), o(0), &mut e);
+    }
+
+    #[test]
+    fn complete_after_partial_release_cleans_rest() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[0, 1, 2], &[]));
+        sync.add_task(TaskId(1), &spec(&[], &[0]));
+        sync.add_task(TaskId(2), &spec(&[], &[1]));
+        let mut e = Vec::new();
+        sync.release(TaskId(0), o(0), &mut e);
+        assert_eq!(e, vec![TaskId(1)]);
+        e.clear();
+        sync.complete(TaskId(0), &mut e);
+        assert_eq!(e, vec![TaskId(2)], "remaining entries released at completion");
+    }
+
+    #[test]
+    #[should_panic(expected = "serial program order")]
+    fn out_of_order_registration_panics() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(1), &AccessSpec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_complete_panics() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &AccessSpec::new());
+        let mut e = Vec::new();
+        sync.complete(TaskId(0), &mut e);
+        sync.complete(TaskId(0), &mut e);
+    }
+
+    #[test]
+    fn long_pipeline_executes_in_order() {
+        // w(0) -> r(0)w(1) -> r(1)w(2) -> ... classic pipeline.
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0])));
+        for i in 1..50u32 {
+            assert!(!sync.add_task(TaskId(i), &spec(&[i - 1], &[i])));
+        }
+        let mut order = Vec::new();
+        let mut ready = vec![TaskId(0)];
+        while let Some(t) = ready.pop() {
+            order.push(t);
+            sync.complete(t, &mut ready);
+        }
+        assert_eq!(order, (0..50).map(TaskId).collect::<Vec<_>>());
+        assert!(sync.all_complete());
+    }
+}

@@ -1,0 +1,299 @@
+//! The shared-memory task scheduler (paper Section 3.2.1).
+//!
+//! At the *Locality* optimization level there is one task queue per
+//! processor, structured as a queue of **object task queues**: one queue per
+//! locality object, owned by the processor in whose memory module the object
+//! is allocated. Enabled tasks enter the object task queue of their locality
+//! object; a processor takes the first task of its first object task queue,
+//! and an idle processor with nothing local cyclically searches other
+//! processors' queues and steals the **last** task of the **last** object
+//! task queue (preserving the cache-locality of the victim's front runs).
+//!
+//! At the *No Locality* level the scheduler is a single shared FIFO queue.
+//!
+//! Explicitly placed tasks (the *Task Placement* level) are pinned: they
+//! enter a per-processor pinned queue and are never stolen.
+
+use dsim::SimTime;
+pub use jade_core::LocalityMode;
+use jade_core::{ObjectId, ProcId, TaskId};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct QueuedTask {
+    task: TaskId,
+    enqueued: SimTime,
+}
+
+#[derive(Default, Debug)]
+struct ProcQueue {
+    /// Explicitly placed tasks; never stolen.
+    pinned: VecDeque<QueuedTask>,
+    /// Object task queues in arrival order (only non-empty queues listed).
+    order: VecDeque<ObjectId>,
+    by_obj: HashMap<ObjectId, VecDeque<QueuedTask>>,
+    len: usize,
+}
+
+impl ProcQueue {
+    fn push(&mut self, obj: ObjectId, task: TaskId, now: SimTime) {
+        let q = self.by_obj.entry(obj).or_default();
+        if q.is_empty() {
+            self.order.push_back(obj);
+        }
+        q.push_back(QueuedTask { task, enqueued: now });
+        self.len += 1;
+    }
+
+    fn pop_first(&mut self) -> Option<TaskId> {
+        if let Some(t) = self.pinned.pop_front() {
+            self.len -= 1;
+            return Some(t.task);
+        }
+        let &obj = self.order.front()?;
+        let q = self.by_obj.get_mut(&obj).expect("order/by_obj out of sync");
+        let t = q.pop_front().expect("listed object queue is empty");
+        if q.is_empty() {
+            self.order.pop_front();
+            self.by_obj.remove(&obj);
+        }
+        self.len -= 1;
+        Some(t.task)
+    }
+
+    /// Steal the last task of the last object task queue.
+    fn pop_last(&mut self) -> Option<TaskId> {
+        let &obj = self.order.back()?;
+        let q = self.by_obj.get_mut(&obj).expect("order/by_obj out of sync");
+        let t = q.pop_back().expect("listed object queue is empty");
+        if q.is_empty() {
+            self.order.pop_back();
+            self.by_obj.remove(&obj);
+        }
+        self.len -= 1;
+        Some(t.task)
+    }
+
+    /// Age of the oldest stealable (non-pinned) task.
+    fn oldest_enqueue(&self) -> Option<SimTime> {
+        self.order
+            .iter()
+            .filter_map(|o| self.by_obj[o].front())
+            .map(|t| t.enqueued)
+            .min()
+    }
+
+    fn stealable_len(&self) -> usize {
+        self.len - self.pinned.len()
+    }
+}
+
+/// The DASH task scheduler.
+pub struct DashScheduler {
+    mode: LocalityMode,
+    shared: VecDeque<QueuedTask>,
+    procs: Vec<ProcQueue>,
+    queued: usize,
+    /// Number of successful steals (reported in run results).
+    pub steals: u64,
+}
+
+impl DashScheduler {
+    pub fn new(mode: LocalityMode, nprocs: usize) -> DashScheduler {
+        DashScheduler {
+            mode,
+            shared: VecDeque::new(),
+            procs: (0..nprocs).map(|_| ProcQueue::default()).collect(),
+            queued: 0,
+            steals: 0,
+        }
+    }
+
+    pub fn mode(&self) -> LocalityMode {
+        self.mode
+    }
+
+    /// Number of queued (enabled, undispatched) tasks.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Insert an enabled task. `target` is the owner of the task's locality
+    /// object; `pinned` marks an explicit placement being honored.
+    pub fn insert(
+        &mut self,
+        task: TaskId,
+        target: ProcId,
+        locality_obj: Option<ObjectId>,
+        pinned: bool,
+        now: SimTime,
+    ) {
+        self.queued += 1;
+        if !self.mode.uses_locality() {
+            self.shared.push_back(QueuedTask { task, enqueued: now });
+            return;
+        }
+        let pq = &mut self.procs[target];
+        if pinned {
+            pq.pinned.push_back(QueuedTask { task, enqueued: now });
+            pq.len += 1;
+        } else {
+            // Tasks with an empty access spec have no locality object; they
+            // queue under a reserved nil object id on the target.
+            let obj = locality_obj.unwrap_or(ObjectId(u32::MAX));
+            pq.push(obj, task, now);
+        }
+    }
+
+    /// Take the next task for processor `p` from its own queue.
+    pub fn pop_local(&mut self, p: ProcId) -> Option<TaskId> {
+        if !self.mode.uses_locality() {
+            let t = self.shared.pop_front()?;
+            self.queued -= 1;
+            return Some(t.task);
+        }
+        let t = self.procs[p].pop_first()?;
+        self.queued -= 1;
+        Some(t)
+    }
+
+    /// Attempt a steal for idle processor `thief`: cyclically search other
+    /// processors, taking the last task of the last object task queue.
+    ///
+    /// To avoid pathological early steals of tasks that are about to be run
+    /// by their own (momentarily busy) processor, a victim is eligible when
+    /// it has at least two stealable tasks, or when its oldest stealable
+    /// task has waited since before `patience_cutoff`. This models the scan
+    /// latency of the real distributed stealing protocol.
+    pub fn steal(&mut self, thief: ProcId, patience_cutoff: SimTime) -> Option<(TaskId, ProcId)> {
+        if !self.mode.uses_locality() {
+            return None;
+        }
+        let n = self.procs.len();
+        for k in 1..n {
+            let victim = (thief + k) % n;
+            let pq = &self.procs[victim];
+            let eligible = pq.stealable_len() >= 2
+                || pq
+                    .oldest_enqueue()
+                    .is_some_and(|e| e <= patience_cutoff);
+            if eligible {
+                if let Some(t) = self.procs[victim].pop_last() {
+                    self.queued -= 1;
+                    self.steals += 1;
+                    return Some((t, victim));
+                }
+            }
+        }
+        None
+    }
+
+    /// True if any stealable task exists anywhere (used to decide whether an
+    /// idle processor should schedule a retry).
+    pub fn any_stealable(&self) -> bool {
+        if !self.mode.uses_locality() {
+            return !self.shared.is_empty();
+        }
+        self.procs.iter().any(|pq| pq.stealable_len() > 0)
+    }
+
+    /// Queue length of processor `p` (diagnostics).
+    pub fn proc_queue_len(&self, p: ProcId) -> usize {
+        if self.mode.uses_locality() {
+            self.procs[p].len
+        } else {
+            self.shared.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    fn o(n: u32) -> Option<ObjectId> {
+        Some(ObjectId(n))
+    }
+
+    #[test]
+    fn shared_fifo_order() {
+        let mut s = DashScheduler::new(LocalityMode::NoLocality, 4);
+        s.insert(TaskId(0), 1, o(0), false, T0);
+        s.insert(TaskId(1), 2, o(1), false, T0);
+        assert_eq!(s.pop_local(3), Some(TaskId(0)));
+        assert_eq!(s.pop_local(0), Some(TaskId(1)));
+        assert_eq!(s.pop_local(0), None);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn object_queue_fifo_within_object() {
+        let mut s = DashScheduler::new(LocalityMode::Locality, 2);
+        s.insert(TaskId(0), 0, o(5), false, T0);
+        s.insert(TaskId(1), 0, o(5), false, T0);
+        s.insert(TaskId(2), 0, o(6), false, T0);
+        // First task of first object task queue.
+        assert_eq!(s.pop_local(0), Some(TaskId(0)));
+        assert_eq!(s.pop_local(0), Some(TaskId(1)));
+        assert_eq!(s.pop_local(0), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn steal_takes_last_of_last() {
+        let mut s = DashScheduler::new(LocalityMode::Locality, 2);
+        s.insert(TaskId(0), 0, o(5), false, T0);
+        s.insert(TaskId(1), 0, o(5), false, T0);
+        s.insert(TaskId(2), 0, o(6), false, T0);
+        let (t, victim) = s.steal(1, T0).unwrap();
+        assert_eq!(victim, 0);
+        assert_eq!(t, TaskId(2), "steals from the LAST object task queue");
+        let (t2, _) = s.steal(1, T0).unwrap();
+        assert_eq!(t2, TaskId(1), "steals the LAST task of the queue");
+        assert_eq!(s.steals, 2);
+    }
+
+    #[test]
+    fn single_fresh_task_not_stolen_before_patience() {
+        let mut s = DashScheduler::new(LocalityMode::Locality, 2);
+        s.insert(TaskId(0), 0, o(5), false, SimTime(1000));
+        // Patience cutoff earlier than enqueue time: not eligible.
+        assert!(s.steal(1, SimTime(500)).is_none());
+        // Cutoff after enqueue: eligible.
+        assert_eq!(s.steal(1, SimTime(1000)).unwrap().0, TaskId(0));
+    }
+
+    #[test]
+    fn pinned_tasks_never_stolen() {
+        let mut s = DashScheduler::new(LocalityMode::TaskPlacement, 2);
+        s.insert(TaskId(0), 0, o(5), true, T0);
+        assert!(s.steal(1, SimTime(u64::MAX / 2)).is_none());
+        assert_eq!(s.pop_local(0), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn steal_search_is_cyclic() {
+        let mut s = DashScheduler::new(LocalityMode::Locality, 4);
+        s.insert(TaskId(0), 1, o(1), false, T0);
+        s.insert(TaskId(1), 3, o(3), false, T0);
+        // Thief 2 searches 3, 0, 1: finds proc 3 first.
+        let (t, victim) = s.steal(2, T0).unwrap();
+        assert_eq!((t, victim), (TaskId(1), 3));
+    }
+
+    #[test]
+    fn no_locality_never_steals() {
+        let mut s = DashScheduler::new(LocalityMode::NoLocality, 2);
+        s.insert(TaskId(0), 0, o(0), false, T0);
+        assert!(s.steal(1, SimTime(u64::MAX / 2)).is_none());
+        assert!(s.any_stealable()); // shared queue is "stealable" work
+    }
+
+    #[test]
+    fn task_without_locality_object() {
+        let mut s = DashScheduler::new(LocalityMode::Locality, 2);
+        s.insert(TaskId(0), 1, None, false, T0);
+        assert_eq!(s.pop_local(1), Some(TaskId(0)));
+    }
+}

@@ -1,0 +1,564 @@
+//! The DASH machine simulation: replays a Jade program trace under the
+//! shared-memory runtime algorithms of paper Sections 3.1–3.2.
+//!
+//! The main thread (on processor 0) walks the trace in serial program order,
+//! paying a creation cost per task and registering accesses with the
+//! synchronizer. Serial-phase tasks are main-thread inline code: the main
+//! thread blocks until they can execute and runs them on processor 0 —
+//! while it is blocked, processor 0's dispatcher runs ordinary tasks.
+//! Enabled tasks flow through the [`DashScheduler`]; execution time is the
+//! task's calibrated compute work plus the memory-system communication
+//! charges from [`MemSim`].
+
+use crate::costs::DashCosts;
+use crate::memsim::MemSim;
+use crate::scheduler::{DashScheduler, LocalityMode};
+use dsim::{Calendar, DashSpec, ProcClock, ProcId, SimDuration, SimTime, TimeKind};
+use jade_core::{Synchronizer, TaskId, Trace};
+
+/// Configuration of one DASH run.
+#[derive(Clone, Debug)]
+pub struct DashConfig {
+    pub machine: DashSpec,
+    pub costs: DashCosts,
+    pub mode: LocalityMode,
+    /// Seconds of compute per abstract operation (per-application
+    /// calibration; see EXPERIMENTS.md).
+    pub sec_per_op: f64,
+    /// Work-free methodology (Figures 10/11): zero out task work and
+    /// communication, keep all management costs.
+    pub work_free: bool,
+    /// Model shared-object communication (set false to isolate scheduling).
+    pub model_comm: bool,
+    /// Disable read replication in the synchronizer (Section 5.1 analysis).
+    pub replication: bool,
+    /// Deterministic per-task duration jitter (fraction, mean zero),
+    /// modeling the cache/contention variability of a real machine. Without
+    /// it, equal-length tasks complete in lock step and the load balancer
+    /// never sees an imbalance — unlike the paper's machines.
+    pub jitter_frac: f64,
+}
+
+impl DashConfig {
+    pub fn paper(procs: usize, mode: LocalityMode, sec_per_op: f64) -> DashConfig {
+        DashConfig {
+            machine: DashSpec::paper(procs),
+            costs: DashCosts::default(),
+            mode,
+            sec_per_op,
+            work_free: false,
+            model_comm: true,
+            replication: true,
+            jitter_frac: 0.08,
+        }
+    }
+}
+
+/// Measurements from one DASH run.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct DashRunResult {
+    pub procs: usize,
+    /// Wall-clock (virtual) execution time of the whole program.
+    pub exec_time_s: f64,
+    /// Total time spent executing task code, summed over all tasks —
+    /// includes communication stalls, exactly like the 60 ns counter
+    /// methodology of Figures 6–9.
+    pub task_time_s: f64,
+    /// Percentage of locality-tracked tasks that executed on the owner of
+    /// their locality object (Figures 2–5).
+    pub locality_pct: f64,
+    /// Number of tasks counted in `locality_pct` (parallel tasks with a
+    /// locality object).
+    pub locality_tracked: usize,
+    pub tasks_executed: usize,
+    pub steals: u64,
+    /// Total management time across processors.
+    pub mgmt_time_s: f64,
+    /// Management time on the main processor (task creation serialization).
+    pub main_mgmt_s: f64,
+    /// Total communication stall time inside tasks.
+    pub comm_time_s: f64,
+    /// Bytes moved between clusters.
+    pub bytes_moved: u64,
+    /// Per-processor busy time, split as (app, comm, mgmt) seconds.
+    pub per_proc_busy: Vec<(f64, f64, f64)>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Main thread processes its next trace record.
+    MainStep,
+    /// A task finished on a processor.
+    Finish { proc: ProcId, task: TaskId },
+    /// An idle processor re-checks for stealable work.
+    Retry { proc: ProcId },
+}
+
+struct Sim<'a> {
+    trace: &'a Trace,
+    cfg: &'a DashConfig,
+    cal: Calendar<Ev>,
+    pc: ProcClock,
+    sync: Synchronizer,
+    sched: DashScheduler,
+    mem: Option<MemSim>,
+    /// Precomputed target processor (owner of locality object) per task.
+    target: Vec<ProcId>,
+    next_rec: usize,
+    main_blocked: Option<TaskId>,
+    main_serial_ready: bool,
+    main_done: bool,
+    running: Vec<Option<TaskId>>,
+    retry_pending: Vec<bool>,
+    /// Deterministic LCG used to pick which idle processor grabs a shared-
+    /// queue task at the No-Locality level: the paper's first-come
+    /// first-served distribution is arbitrary, and a symmetric simulated
+    /// system would otherwise develop accidental processor/task affinity.
+    lcg: u64,
+    // Stats.
+    locality_hits: usize,
+    locality_tracked: usize,
+    tasks_executed: usize,
+    task_time: SimDuration,
+    comm_time: SimDuration,
+}
+
+/// Simulate `trace` on the configured DASH machine.
+pub fn run(trace: &Trace, cfg: &DashConfig) -> DashRunResult {
+    let procs = cfg.machine.procs;
+    assert!(procs >= 1, "need at least one processor");
+    let target = trace
+        .tasks
+        .iter()
+        .map(|t| {
+            t.spec
+                .locality_object()
+                .map_or(jade_core::MAIN_PROC, |o| trace.object_home(o).min(procs - 1))
+        })
+        .collect();
+    let mut sim = Sim {
+        trace,
+        cfg,
+        cal: Calendar::new(),
+        pc: ProcClock::new(procs),
+        sync: Synchronizer::new(cfg.replication),
+        sched: DashScheduler::new(cfg.mode, procs),
+        mem: (cfg.model_comm && !cfg.work_free).then(|| MemSim::new(cfg.machine.clone(), trace)),
+        target,
+        next_rec: 0,
+        main_blocked: None,
+        main_serial_ready: false,
+        main_done: false,
+        running: vec![None; procs],
+        retry_pending: vec![false; procs],
+        lcg: 0x9E3779B97F4A7C15,
+        locality_hits: 0,
+        locality_tracked: 0,
+        tasks_executed: 0,
+        task_time: SimDuration::ZERO,
+        comm_time: SimDuration::ZERO,
+    };
+    sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
+    while let Some((t, ev)) = sim.cal.pop() {
+        match ev {
+            Ev::MainStep => sim.main_step(t),
+            Ev::Finish { proc, task } => sim.on_finish(proc, task, t),
+            Ev::Retry { proc } => {
+                sim.retry_pending[proc] = false;
+                sim.try_fill(proc, t);
+            }
+        }
+    }
+    assert!(sim.main_done, "simulation stalled: main thread never finished");
+    assert!(
+        sim.sync.all_complete(),
+        "simulation stalled: {} tasks never completed",
+        sim.sync.live_tasks()
+    );
+    DashRunResult {
+        procs,
+        exec_time_s: sim.pc.horizon().as_secs_f64(),
+        task_time_s: sim.task_time.as_secs_f64(),
+        locality_pct: dsim::percent(sim.locality_hits as f64, sim.locality_tracked as f64),
+        locality_tracked: sim.locality_tracked,
+        tasks_executed: sim.tasks_executed,
+        steals: sim.sched.steals,
+        mgmt_time_s: sim.pc.total(TimeKind::Mgmt).as_secs_f64(),
+        main_mgmt_s: sim.pc.usage(0).mgmt.as_secs_f64(),
+        comm_time_s: sim.comm_time.as_secs_f64(),
+        bytes_moved: sim.mem.as_ref().map_or(0, |m| m.bytes_moved),
+        per_proc_busy: (0..procs)
+            .map(|p| {
+                let u = sim.pc.usage(p);
+                (u.app.as_secs_f64(), u.comm.as_secs_f64(), u.mgmt.as_secs_f64())
+            })
+            .collect(),
+    }
+}
+
+/// Deterministic mean-zero multiplicative jitter for task `id`.
+fn jitter(id: TaskId, frac: f64) -> f64 {
+    let h = (id.0 as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+    let u = ((h >> 40) % 10_000) as f64 / 10_000.0; // [0, 1)
+    1.0 + frac * (u - 0.5)
+}
+
+impl Sim<'_> {
+    fn is_idle(&self, p: ProcId) -> bool {
+        self.running[p].is_none() && (p != 0 || self.main_available())
+    }
+
+    /// Processor 0 may run tasks only while the main thread is blocked on a
+    /// serial phase or has finished creating tasks.
+    fn main_available(&self) -> bool {
+        self.main_done || self.main_blocked.is_some()
+    }
+
+    fn main_step(&mut self, t: SimTime) {
+        if self.next_rec == self.trace.tasks.len() {
+            self.main_done = true;
+            self.try_fill(0, t);
+            return;
+        }
+        let rec = &self.trace.tasks[self.next_rec];
+        let id = rec.id;
+        self.next_rec += 1;
+        if rec.serial_phase {
+            // Serial-phase code: main blocks until the dependences resolve,
+            // then executes inline on processor 0.
+            self.main_blocked = Some(id);
+            let enabled = self.sync.add_task(id, &rec.spec);
+            if enabled {
+                self.start_task(0, id, t);
+            } else {
+                // Processor 0 is now free to run tasks while main waits.
+                self.try_fill(0, t);
+            }
+        } else {
+            let end = self.pc.occupy(0, t, self.cfg.costs.create(), TimeKind::Mgmt);
+            let enabled = self.sync.add_task(id, &rec.spec);
+            if enabled {
+                self.on_enabled(id, end);
+            }
+            self.cal.schedule(end, Ev::MainStep);
+        }
+    }
+
+    fn on_enabled(&mut self, id: TaskId, t: SimTime) {
+        if self.main_blocked == Some(id) {
+            if self.running[0].is_none() {
+                self.start_task(0, id, t);
+            } else {
+                self.main_serial_ready = true;
+            }
+            return;
+        }
+        let rec = &self.trace.tasks[id.index()];
+        let procs = self.pc.procs();
+        let pinned = self.cfg.mode.honors_placement() && rec.placement.is_some();
+        let target = if pinned {
+            rec.placement.unwrap().min(procs - 1)
+        } else {
+            self.target[id.index()]
+        };
+        self.sched
+            .insert(id, target, rec.spec.locality_object(), pinned, t);
+        // Wake processors that could run it.
+        if self.sched.mode().uses_locality() {
+            if self.is_idle(target) {
+                self.try_fill(target, t);
+            } else if !pinned {
+                for k in 1..procs {
+                    let p = (target + k) % procs;
+                    if self.is_idle(p) {
+                        self.try_fill(p, t);
+                        break;
+                    }
+                }
+            }
+        } else if let Some(p) = self.pick_idle() {
+            self.try_fill(p, t);
+        }
+    }
+
+    /// Pseudo-randomly (but deterministically) pick an idle processor.
+    fn pick_idle(&mut self) -> Option<ProcId> {
+        let idle: Vec<ProcId> = (0..self.pc.procs()).filter(|&p| self.is_idle(p)).collect();
+        if idle.is_empty() {
+            return None;
+        }
+        self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        Some(idle[((self.lcg >> 33) as usize) % idle.len()])
+    }
+
+    fn try_fill(&mut self, p: ProcId, t: SimTime) {
+        if !self.is_idle(p) {
+            return;
+        }
+        if let Some(task) = self.sched.pop_local(p) {
+            self.dispatch(p, task, t, false);
+            return;
+        }
+        let cutoff = SimTime(t.0.saturating_sub(
+            SimDuration::from_secs_f64(self.cfg.costs.steal_patience_s).0,
+        ));
+        if let Some((task, _victim)) = self.sched.steal(p, cutoff) {
+            self.dispatch(p, task, t, true);
+            return;
+        }
+        if self.sched.any_stealable() && !self.retry_pending[p] {
+            self.retry_pending[p] = true;
+            let delay = SimDuration::from_secs_f64(self.cfg.costs.steal_patience_s);
+            self.cal.schedule(t + delay, Ev::Retry { proc: p });
+        }
+    }
+
+    fn dispatch(&mut self, p: ProcId, task: TaskId, t: SimTime, stolen: bool) {
+        let mut cost = self.cfg.costs.dispatch();
+        if stolen {
+            cost += self.cfg.costs.steal();
+        }
+        let end = self.pc.occupy(p, t, cost, TimeKind::Mgmt);
+        self.start_task(p, task, end);
+    }
+
+    fn start_task(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        debug_assert!(self.running[p].is_none(), "dispatch to busy processor");
+        self.running[p] = Some(id);
+        let rec = &self.trace.tasks[id.index()];
+        let work = if self.cfg.work_free {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(rec.work * self.cfg.sec_per_op * jitter(id, self.cfg.jitter_frac))
+        };
+        let comm = match &mut self.mem {
+            Some(mem) => mem.task_accesses(p, &rec.spec),
+            None => SimDuration::ZERO,
+        };
+        // Locality accounting: parallel tasks with a locality object.
+        if !rec.serial_phase && rec.spec.locality_object().is_some() {
+            self.locality_tracked += 1;
+            if p == self.target[id.index()] {
+                self.locality_hits += 1;
+            }
+        }
+        self.tasks_executed += 1;
+        self.task_time += work + comm;
+        self.comm_time += comm;
+        let mut end = self.pc.occupy(p, t, work, TimeKind::App);
+        if comm > SimDuration::ZERO {
+            end = self.pc.occupy(p, t, comm, TimeKind::Comm);
+        }
+        self.cal.schedule(end, Ev::Finish { proc: p, task: id });
+    }
+
+    fn on_finish(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        let end = self.pc.occupy(p, t, self.cfg.costs.complete(), TimeKind::Mgmt);
+        let mut newly = Vec::new();
+        self.sync.complete(id, &mut newly);
+        self.running[p] = None;
+        if self.main_blocked == Some(id) {
+            self.main_blocked = None;
+            self.main_serial_ready = false;
+            self.cal.schedule(end, Ev::MainStep);
+        }
+        for t2 in newly {
+            self.on_enabled(t2, end);
+        }
+        // If a serial task became ready while processor 0 was busy with the
+        // task that just finished, run it now.
+        if p == 0 && self.main_serial_ready {
+            if let Some(serial) = self.main_blocked {
+                self.main_serial_ready = false;
+                self.start_task(0, serial, end);
+                return;
+            }
+        }
+        self.try_fill(p, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_core::{AccessSpec, ObjectId, TraceBuilder};
+
+    fn spec(reads: &[ObjectId], writes: &[ObjectId]) -> AccessSpec {
+        let mut s = AccessSpec::new();
+        for &r in reads {
+            s.rd(r);
+        }
+        for &w in writes {
+            s.wr(w);
+        }
+        s
+    }
+
+    /// A trivially parallel trace: `n` tasks each writing a private object
+    /// homed round-robin across `procs` processors.
+    fn parallel_trace(n: usize, procs: usize, work: f64) -> Trace {
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..n)
+            .map(|i| b.object(&format!("o{i}"), 1024, Some(i % procs)))
+            .collect();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), work);
+        }
+        b.build()
+    }
+
+    fn cfg(procs: usize, mode: LocalityMode) -> DashConfig {
+        let mut c = DashConfig::paper(procs, mode, 1.0);
+        c.jitter_frac = 0.0; // exact timing assertions below
+        c
+    }
+
+    #[test]
+    fn single_processor_runs_everything() {
+        let trace = parallel_trace(10, 1, 0.1);
+        let r = run(&trace, &cfg(1, LocalityMode::Locality));
+        assert_eq!(r.tasks_executed, 10);
+        // Exec time at least the serial work.
+        assert!(r.exec_time_s >= 1.0, "{}", r.exec_time_s);
+        // Management overhead is visible but small.
+        assert!(r.mgmt_time_s > 0.0 && r.mgmt_time_s < 0.1);
+    }
+
+    #[test]
+    fn parallel_speedup() {
+        let trace = parallel_trace(32, 8, 1.0);
+        let r1 = run(&trace, &cfg(1, LocalityMode::Locality));
+        let r8 = run(&trace, &cfg(8, LocalityMode::Locality));
+        assert!(r8.exec_time_s < r1.exec_time_s / 4.0, "8-proc {} vs 1-proc {}", r8.exec_time_s, r1.exec_time_s);
+    }
+
+    #[test]
+    fn locality_mode_runs_tasks_on_owners() {
+        // One task per processor-owned object, long enough that no stealing
+        // is needed: 100% locality.
+        let trace = parallel_trace(8, 8, 1.0);
+        let r = run(&trace, &cfg(8, LocalityMode::Locality));
+        assert_eq!(r.locality_tracked, 8);
+        // Proc 0's task waits until the main thread finishes creating; all
+        // others are picked up by their owners immediately.
+        assert!(r.locality_pct >= 87.0, "locality {}", r.locality_pct);
+    }
+
+    #[test]
+    fn no_locality_mode_scatters_tasks() {
+        // Many tasks all homed on processor 1: under NoLocality they're
+        // handed to whichever processor is idle.
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..64).map(|i| b.object(&format!("o{i}"), 64, Some(1))).collect();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), 0.01);
+        }
+        let trace = b.build();
+        let r = run(&trace, &cfg(8, LocalityMode::NoLocality));
+        assert_eq!(r.tasks_executed, 64);
+        assert!(r.locality_pct < 60.0, "locality {}", r.locality_pct);
+    }
+
+    #[test]
+    fn dependent_tasks_serialize() {
+        let mut b = TraceBuilder::new();
+        let o = b.object("chain", 64, Some(0));
+        for _ in 0..5 {
+            b.task(spec(&[], &[o]), 1.0);
+        }
+        let trace = b.build();
+        let r = run(&trace, &cfg(8, LocalityMode::Locality));
+        // A write-write chain cannot speed up: ~5 s of serialized work.
+        assert!(r.exec_time_s >= 5.0, "{}", r.exec_time_s);
+    }
+
+    #[test]
+    fn serial_phase_blocks_main() {
+        // parallel writers -> serial reader -> parallel writers.
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..4).map(|i| b.object(&format!("o{i}"), 64, Some(i))).collect();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), 1.0);
+        }
+        b.next_phase();
+        b.task_full(spec(&objs, &[]), 0.5, None, true);
+        b.next_phase();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), 1.0);
+        }
+        let trace = b.build();
+        let r = run(&trace, &cfg(4, LocalityMode::Locality));
+        assert_eq!(r.tasks_executed, 9);
+        // Two parallel phases (~1 s each) plus the serial phase (~0.5 s).
+        assert!(r.exec_time_s >= 2.5, "{}", r.exec_time_s);
+        assert!(r.exec_time_s < 4.0, "{}", r.exec_time_s);
+    }
+
+    #[test]
+    fn work_free_keeps_management_only() {
+        let trace = parallel_trace(100, 4, 1.0);
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.work_free = true;
+        let r = run(&trace, &c);
+        assert_eq!(r.task_time_s, 0.0);
+        assert!(r.mgmt_time_s > 0.0);
+        assert!(r.exec_time_s < 0.2, "work-free run should be fast: {}", r.exec_time_s);
+    }
+
+    #[test]
+    fn stealing_balances_uneven_load() {
+        // All objects homed on processor 1; locality mode must steal to use
+        // the other processors.
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..32).map(|i| b.object(&format!("o{i}"), 64, Some(1))).collect();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), 1.0);
+        }
+        let trace = b.build();
+        let r = run(&trace, &cfg(8, LocalityMode::Locality));
+        assert!(r.steals > 0, "expected steals");
+        // With stealing, the run finishes far sooner than the serial 32 s.
+        assert!(r.exec_time_s < 10.0, "{}", r.exec_time_s);
+        assert!(r.locality_pct < 100.0);
+    }
+
+    #[test]
+    fn placement_pins_tasks() {
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..12).map(|i| b.object(&format!("o{i}"), 64, Some(1 + (i % 3)))).collect();
+        for (i, &o) in objs.iter().enumerate() {
+            b.task_full(spec(&[], &[o]), 0.5, Some(1 + (i % 3)), false);
+        }
+        let trace = b.build();
+        let r = run(&trace, &cfg(4, LocalityMode::TaskPlacement));
+        assert_eq!(r.locality_pct, 100.0);
+        assert_eq!(r.steals, 0);
+    }
+
+    #[test]
+    fn replication_off_serializes_readers() {
+        let mut b = TraceBuilder::new();
+        let shared = b.object("shared", 1024, Some(0));
+        let outs: Vec<_> = (0..8).map(|i| b.object(&format!("o{i}"), 64, Some(i % 4))).collect();
+        for &o in &outs {
+            b.task(spec(&[shared], &[o]), 1.0);
+        }
+        let trace = b.build();
+        let on = run(&trace, &cfg(4, LocalityMode::Locality));
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.replication = false;
+        let off = run(&trace, &c);
+        assert!(off.exec_time_s > 2.0 * on.exec_time_s,
+            "no-replication {} should be much slower than {}", off.exec_time_s, on.exec_time_s);
+    }
+
+    #[test]
+    fn deterministic() {
+        let trace = parallel_trace(50, 4, 0.3);
+        let a = run(&trace, &cfg(4, LocalityMode::Locality));
+        let b = run(&trace, &cfg(4, LocalityMode::Locality));
+        assert_eq!(a.exec_time_s, b.exec_time_s);
+        assert_eq!(a.locality_pct, b.locality_pct);
+        assert_eq!(a.steals, b.steals);
+    }
+}

@@ -1,0 +1,314 @@
+//! The communicator: Jade's software shared-object layer on message-passing
+//! machines (paper Sections 3.3–3.4.2).
+//!
+//! The communicator implements the abstraction of a single address space in
+//! software. It tracks, per shared object:
+//!
+//! * the current **version** (bumped each time a writer task completes);
+//! * the **owner** — the last processor to write the object, guaranteed to
+//!   hold the latest version;
+//! * which processors hold a valid **replica** of the current version
+//!   (replication for concurrent read access, Section 3.4.1);
+//! * the set of processors that have **requested** the current version —
+//!   the owner's evidence for the adaptive broadcast trigger: once every
+//!   processor has accessed the same version of an object, all succeeding
+//!   versions of that object are broadcast on production (Section 3.4.2).
+//!
+//! This module is pure bookkeeping; the event-level costs (request/reply
+//! messages, broadcast trees) live in the simulator (`crate::sim`).
+
+use dsim::ProcId;
+use jade_core::{ObjectId, Trace};
+
+const NO_VERSION: u64 = u64::MAX;
+
+/// Per-object ownership, versioning, replication and broadcast state.
+pub struct Communicator {
+    procs: usize,
+    version: Vec<u64>,
+    owner: Vec<ProcId>,
+    /// `have[p][o]` = version of object `o` held by processor `p`
+    /// (`NO_VERSION` = none).
+    have: Vec<Vec<u64>>,
+    /// `accessed[o][p]`: processor `p` has *consumed* the current version
+    /// of `o` — by requesting it from the owner or by a locally-satisfied
+    /// declared access. Producing a version does not count: otherwise every
+    /// object on a 2-processor run would trigger broadcast mode, which
+    /// contradicts the paper's Tables 13/14.
+    accessed: Vec<Vec<bool>>,
+    broadcast_mode: Vec<bool>,
+    adaptive_broadcast: bool,
+    /// Bytes of shared-object payload transferred (replies + broadcasts).
+    pub bytes_transferred: u64,
+    /// Number of point-to-point object transfers.
+    pub object_sends: u64,
+    /// Number of broadcast operations performed.
+    pub broadcasts: u64,
+    /// Number of eager producer-to-consumer pushes (update protocol).
+    pub eager_sends: u64,
+}
+
+impl Communicator {
+    /// Initial state: each object's only copy lives at its home processor
+    /// (the processor that allocated/initialized it); version 0.
+    pub fn new(trace: &Trace, procs: usize, adaptive_broadcast: bool) -> Communicator {
+        let n = trace.objects.len();
+        let mut have = vec![vec![NO_VERSION; n]; procs];
+        let mut owner = Vec::with_capacity(n);
+        let mut accessed = vec![vec![false; procs]; n];
+        for (i, ob) in trace.objects.iter().enumerate() {
+            let home = ob.home.unwrap_or(jade_core::MAIN_PROC).min(procs - 1);
+            owner.push(home);
+            have[home][i] = 0;
+        }
+        let _ = &mut accessed; // all-false: no version consumed yet
+        Communicator {
+            procs,
+            version: vec![0; n],
+            owner,
+            have,
+            accessed,
+            broadcast_mode: vec![false; n],
+            adaptive_broadcast,
+            bytes_transferred: 0,
+            object_sends: 0,
+            broadcasts: 0,
+            eager_sends: 0,
+        }
+    }
+
+    /// Current owner (the last writer) of an object.
+    pub fn owner(&self, o: ObjectId) -> ProcId {
+        self.owner[o.index()]
+    }
+
+    /// Current version of an object.
+    pub fn version(&self, o: ObjectId) -> u64 {
+        self.version[o.index()]
+    }
+
+    /// Does processor `p` need to fetch `o` before running a task that
+    /// accesses it?
+    pub fn needs_fetch(&self, p: ProcId, o: ObjectId) -> bool {
+        self.have[p][o.index()] != self.version[o.index()]
+    }
+
+    /// Record that `requester` asked the owner for the current version
+    /// (this is what the owner observes for the broadcast trigger), and
+    /// account for the reply's payload.
+    pub fn record_request(&mut self, requester: ProcId, o: ObjectId, bytes: usize) {
+        self.accessed[o.index()][requester] = true;
+        self.bytes_transferred += bytes as u64;
+        self.object_sends += 1;
+    }
+
+    /// Record a locally-satisfied declared access: the processor already
+    /// holds the current version (it is the owner or got it by broadcast)
+    /// and a task on it declared an access.
+    pub fn note_access(&mut self, p: ProcId, o: ObjectId) {
+        self.accessed[o.index()][p] = true;
+    }
+
+    /// Record delivery of the current version to `p` (reply arrival). A
+    /// stale in-flight delivery of `expected_version` is ignored.
+    pub fn deliver(&mut self, p: ProcId, o: ObjectId, expected_version: u64) {
+        if self.version[o.index()] == expected_version {
+            self.have[p][o.index()] = expected_version;
+        }
+    }
+
+    /// Has the current version been accessed by every processor? (The
+    /// adaptive-broadcast trigger condition.)
+    pub fn widely_accessed(&self, o: ObjectId) -> bool {
+        self.accessed[o.index()].iter().all(|&a| a)
+    }
+
+    /// Is the object in broadcast mode?
+    pub fn in_broadcast_mode(&self, o: ObjectId) -> bool {
+        self.broadcast_mode[o.index()]
+    }
+
+    /// A writer task on `p` completed, producing a new version of `o`.
+    /// Returns `true` if the new version should be broadcast.
+    pub fn on_write_complete(&mut self, p: ProcId, o: ObjectId) -> bool {
+        let i = o.index();
+        // Evaluate the trigger on the version being retired.
+        if self.adaptive_broadcast && self.widely_accessed(o) {
+            self.broadcast_mode[i] = true;
+        }
+        self.version[i] += 1;
+        self.owner[i] = p;
+        let v = self.version[i];
+        for q in 0..self.procs {
+            self.have[q][i] = if q == p { v } else { NO_VERSION };
+        }
+        self.accessed[i].iter_mut().for_each(|a| *a = false);
+        self.broadcast_mode[i]
+    }
+
+    /// Account a broadcast of `o` (the simulator schedules the deliveries).
+    pub fn record_broadcast(&mut self, _o: ObjectId, bytes: usize) {
+        let receivers = self.procs.saturating_sub(1) as u64;
+        self.bytes_transferred += bytes as u64 * receivers;
+        self.broadcasts += 1;
+    }
+
+    /// Record delivery of a broadcast copy of version `v` to `p`.
+    pub fn deliver_broadcast(&mut self, p: ProcId, o: ObjectId, v: u64) {
+        if self.version[o.index()] == v {
+            self.have[p][o.index()] = v;
+        }
+    }
+
+    /// Processors that consumed the *current* version (candidates for the
+    /// eager update protocol of paper Section 6: push each new version to
+    /// the previous version's consumers).
+    pub fn consumers(&self, o: ObjectId) -> Vec<ProcId> {
+        self.accessed[o.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &a)| a.then_some(p))
+            .collect()
+    }
+
+    /// Account one eager producer-to-consumer object push.
+    pub fn record_eager(&mut self, bytes: usize) {
+        self.bytes_transferred += bytes as u64;
+        self.eager_sends += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_core::TraceBuilder;
+
+    fn trace2() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.object("a", 1000, Some(0));
+        b.object("b", 2000, Some(1));
+        b.build()
+    }
+
+    fn o(n: u32) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn initial_state() {
+        let c = Communicator::new(&trace2(), 4, true);
+        assert_eq!(c.owner(o(0)), 0);
+        assert_eq!(c.owner(o(1)), 1);
+        assert!(!c.needs_fetch(0, o(0)));
+        assert!(c.needs_fetch(0, o(1)));
+        assert!(c.needs_fetch(2, o(0)));
+    }
+
+    #[test]
+    fn fetch_and_replicate() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        c.record_request(2, o(0), 1000);
+        c.deliver(2, o(0), 0);
+        assert!(!c.needs_fetch(2, o(0)));
+        assert_eq!(c.bytes_transferred, 1000);
+        assert_eq!(c.object_sends, 1);
+        // Replication: processor 3 can fetch the same version too.
+        c.record_request(3, o(0), 1000);
+        c.deliver(3, o(0), 0);
+        assert!(!c.needs_fetch(3, o(0)));
+    }
+
+    #[test]
+    fn write_bumps_version_and_invalidates() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        c.record_request(2, o(0), 1000);
+        c.deliver(2, o(0), 0);
+        let bcast = c.on_write_complete(2, o(0));
+        assert!(!bcast, "not widely accessed yet");
+        assert_eq!(c.owner(o(0)), 2);
+        assert_eq!(c.version(o(0)), 1);
+        assert!(c.needs_fetch(0, o(0)), "old copy invalidated");
+        assert!(!c.needs_fetch(2, o(0)));
+    }
+
+    #[test]
+    fn stale_delivery_ignored() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        c.record_request(2, o(0), 1000);
+        // Version bumps while the reply is in flight.
+        c.on_write_complete(3, o(0));
+        c.deliver(2, o(0), 0);
+        assert!(c.needs_fetch(2, o(0)), "stale copy must not satisfy");
+    }
+
+    #[test]
+    fn broadcast_triggers_after_all_access() {
+        let mut c = Communicator::new(&trace2(), 3, true);
+        // Processors 1 and 2 request the version owned by 0; a task on the
+        // owner also declares an access.
+        c.record_request(1, o(0), 1000);
+        c.record_request(2, o(0), 1000);
+        assert!(!c.widely_accessed(o(0)), "producing is not consuming");
+        c.note_access(0, o(0));
+        assert!(c.widely_accessed(o(0)));
+        assert!(!c.in_broadcast_mode(o(0)));
+        // The next write flips the object into broadcast mode.
+        assert!(c.on_write_complete(0, o(0)));
+        assert!(c.in_broadcast_mode(o(0)));
+        // And stays there for succeeding versions.
+        assert!(c.on_write_complete(1, o(0)));
+    }
+
+    #[test]
+    fn no_broadcast_when_disabled() {
+        let mut c = Communicator::new(&trace2(), 2, false);
+        c.record_request(1, o(0), 8);
+        c.note_access(0, o(0));
+        assert!(c.widely_accessed(o(0)));
+        assert!(!c.on_write_complete(0, o(0)));
+        assert!(!c.in_broadcast_mode(o(0)));
+    }
+
+    #[test]
+    fn partial_access_does_not_trigger() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        c.record_request(1, o(0), 8);
+        c.record_request(2, o(0), 8);
+        // Processor 3 never accessed it.
+        assert!(!c.widely_accessed(o(0)));
+        assert!(!c.on_write_complete(0, o(0)));
+    }
+
+    #[test]
+    fn broadcast_delivery_and_accounting() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        for p in 1..4 {
+            c.record_request(p, o(0), 1000);
+        }
+        c.note_access(0, o(0));
+        assert!(c.on_write_complete(0, o(0)));
+        c.record_broadcast(o(0), 1000);
+        assert_eq!(c.bytes_transferred, 3000 + 3000);
+        assert_eq!(c.broadcasts, 1);
+        c.deliver_broadcast(2, o(0), 1);
+        assert!(!c.needs_fetch(2, o(0)));
+        // Stale broadcast delivery ignored.
+        c.on_write_complete(0, o(0));
+        c.deliver_broadcast(3, o(0), 1);
+        assert!(c.needs_fetch(3, o(0)));
+    }
+
+    #[test]
+    fn single_processor_degenerate_case() {
+        // With one processor every version is trivially widely accessed:
+        // the degenerate case the paper notes for 1-processor runs.
+        let mut b = TraceBuilder::new();
+        b.object("x", 100, Some(0));
+        let t = b.build();
+        let mut c = Communicator::new(&t, 1, true);
+        assert!(!c.widely_accessed(o(0)), "nothing consumed yet");
+        c.note_access(0, o(0));
+        assert!(c.widely_accessed(o(0)));
+        assert!(c.on_write_complete(0, o(0)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Run the String application (borehole tomography) with real parallelism
+//! on the thread backend and report how the inversion converges.
+//!
+//! Run with: `cargo run --release --example tomography`
+
+use jade::apps::string_app::{self, StringConfig};
+use jade::{JadeRuntime, ThreadRuntime};
+
+fn main() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let cfg = StringConfig {
+        nx: 96,
+        nz: 192,
+        src_spacing: 8,
+        rcv_spacing: 4,
+        iterations: 6,
+        procs: workers,
+    };
+    println!(
+        "tomographic inversion: {}x{} ft velocity image, {} rays/iteration, {} workers",
+        cfg.nx,
+        cfg.nz,
+        cfg.rays().len(),
+        workers
+    );
+
+    // Build and run the full Jade program on OS threads.
+    let t0 = std::time::Instant::now();
+    let mut rt = ThreadRuntime::new(workers);
+    let handles = string_app::build(&mut rt, &cfg);
+    rt.finish();
+    let out = string_app::output(&rt, &handles);
+    let wall = t0.elapsed();
+
+    // Cross-check against the plain serial implementation.
+    let (ref_out, _) = string_app::reference(&cfg);
+    let rel = (out.rms_misfit - ref_out.rms_misfit).abs() / ref_out.rms_misfit.max(1e-30);
+    println!("final RMS travel-time misfit: {:.6e} s (serial reference: {:.6e}, rel diff {rel:.2e})",
+        out.rms_misfit, ref_out.rms_misfit);
+    println!("parallel wall time: {wall:?}");
+    assert!(rel < 1e-9, "parallel result must match the serial program");
+    println!("parallel result matches the serial program ✓");
+}

@@ -1,0 +1,77 @@
+//! Jade's core semantic guarantee: a Jade program produces the same result
+//! as its serial elaboration, on every backend. Each application is run
+//! through the serially-executing trace runtime, the plain serial
+//! reference, and the real-thread parallel backend, and the outputs must
+//! agree bit-for-bit (the applications order their reductions explicitly,
+//! so even floating point is deterministic).
+
+use jade::apps::{cholesky, ocean, string_app, water};
+use jade::ThreadRuntime;
+
+#[test]
+fn water_parallel_matches_serial() {
+    let cfg = water::WaterConfig::small(4);
+    let (_, trace_out) = water::run_trace(&cfg);
+    let mut rt = ThreadRuntime::new(4);
+    let thread_out = water::run_on(&mut rt, &cfg);
+    assert_eq!(trace_out, thread_out);
+}
+
+#[test]
+fn string_parallel_matches_serial() {
+    let cfg = string_app::StringConfig::small(3);
+    let (_, trace_out) = string_app::run_trace(&cfg);
+    let mut rt = ThreadRuntime::new(4);
+    let thread_out = string_app::run_on(&mut rt, &cfg);
+    assert_eq!(trace_out, thread_out);
+}
+
+#[test]
+fn ocean_parallel_matches_serial() {
+    let cfg = ocean::OceanConfig::small(5);
+    let (_, trace_out) = ocean::run_trace(&cfg);
+    let mut rt = ThreadRuntime::new(4);
+    let thread_out = ocean::run_on(&mut rt, &cfg);
+    assert_eq!(trace_out, thread_out);
+    // And both match the independent block-structured reference.
+    let (ref_out, _) = ocean::reference_blocks(&cfg, cfg.blocks());
+    assert_eq!(trace_out, ref_out);
+}
+
+#[test]
+fn cholesky_parallel_matches_serial() {
+    let cfg = cholesky::CholeskyConfig::small(4);
+    let (_, trace_out) = cholesky::run_trace(&cfg);
+    let mut rt = ThreadRuntime::new(4);
+    let thread_out = cholesky::run_on(&mut rt, &cfg);
+    assert_eq!(trace_out, thread_out);
+    let (ref_out, _) = cholesky::reference(&cfg);
+    assert_eq!(trace_out, ref_out);
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    // Scheduling varies between runs; results must not.
+    let cfg = water::WaterConfig::small(3);
+    let mut outs = Vec::new();
+    for _ in 0..3 {
+        let mut rt = ThreadRuntime::new(8);
+        outs.push(water::run_on(&mut rt, &cfg));
+    }
+    assert_eq!(outs[0], outs[1]);
+    assert_eq!(outs[1], outs[2]);
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let cfg = cholesky::CholeskyConfig::small(3);
+    let mut last = None;
+    for workers in [1usize, 2, 7] {
+        let mut rt = ThreadRuntime::new(workers);
+        let out = cholesky::run_on(&mut rt, &cfg);
+        if let Some(prev) = last {
+            assert_eq!(prev, out, "workers={workers}");
+        }
+        last = Some(out);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: every application trace runs to
+//! completion on both simulated machines at every locality level, and the
+//! runs satisfy the invariants the paper's evaluation relies on.
+
+use jade::apps::{cholesky, ocean, string_app, water};
+use jade::dash::{self, DashConfig};
+use jade::ipsc::{self, IpscConfig};
+use jade::{LocalityMode, Trace};
+
+fn traces(procs: usize) -> Vec<(&'static str, Trace, bool)> {
+    vec![
+        ("water", water::run_trace(&water::WaterConfig::small(procs)).0, false),
+        ("string", string_app::run_trace(&string_app::StringConfig::small(procs)).0, false),
+        ("ocean", ocean::run_trace(&ocean::OceanConfig::small(procs)).0, true),
+        ("cholesky", cholesky::run_trace(&cholesky::CholeskyConfig::small(procs)).0, true),
+    ]
+}
+
+#[test]
+fn every_app_runs_on_dash_at_every_level() {
+    for procs in [1usize, 3, 8] {
+        for (name, trace, placed) in traces(procs) {
+            for mode in LocalityMode::ALL {
+                if mode == LocalityMode::TaskPlacement && !placed {
+                    continue;
+                }
+                let r = dash::run(&trace, &DashConfig::paper(procs, mode, 1e-6));
+                assert_eq!(
+                    r.tasks_executed,
+                    trace.task_count(),
+                    "{name} procs={procs} {mode}: every task must execute"
+                );
+                assert!(r.exec_time_s > 0.0);
+                assert!(r.exec_time_s >= r.task_time_s / procs as f64 * 0.99,
+                    "{name}: makespan can't beat perfect speedup");
+                assert!((0.0..=100.0).contains(&r.locality_pct));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_app_runs_on_ipsc_at_every_level() {
+    for procs in [1usize, 3, 8] {
+        for (name, trace, placed) in traces(procs) {
+            for mode in LocalityMode::ALL {
+                if mode == LocalityMode::TaskPlacement && !placed {
+                    continue;
+                }
+                let r = ipsc::run(&trace, &IpscConfig::paper(procs, mode, 1e-6));
+                assert_eq!(r.tasks_executed, trace.task_count(), "{name} procs={procs} {mode}");
+                assert!(r.exec_time_s > 0.0);
+                assert!((0.0..=100.0).contains(&r.locality_pct));
+                if procs == 1 {
+                    assert_eq!(r.fetches, 0, "{name}: no fetches on one processor");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dash_placement_gives_full_locality() {
+    let trace = ocean::run_trace(&ocean::OceanConfig::small(5)).0;
+    let r = dash::run(&trace, &DashConfig::paper(5, LocalityMode::TaskPlacement, 1e-6));
+    assert_eq!(r.locality_pct, 100.0);
+    assert_eq!(r.steals, 0);
+}
+
+#[test]
+fn more_processors_do_not_lose_tasks() {
+    // More processors than tasks: degenerate but must complete.
+    let trace = water::run_trace(&water::WaterConfig { molecules: 32, iterations: 1, procs: 2, seed: 3 }).0;
+    for procs in [4usize, 16, 32] {
+        let d = dash::run(&trace, &DashConfig::paper(procs, LocalityMode::Locality, 1e-6));
+        assert_eq!(d.tasks_executed, trace.task_count());
+        let i = ipsc::run(&trace, &IpscConfig::paper(procs, LocalityMode::Locality, 1e-6));
+        assert_eq!(i.tasks_executed, trace.task_count());
+    }
+}
+
+#[test]
+fn work_free_runs_complete_and_are_faster() {
+    let trace = cholesky::run_trace(&cholesky::CholeskyConfig::small(4)).0;
+    let full = IpscConfig::paper(4, LocalityMode::TaskPlacement, 1e-5);
+    let mut free = full.clone();
+    free.work_free = true;
+    let rf = ipsc::run(&trace, &full);
+    let rw = ipsc::run(&trace, &free);
+    assert!(rw.exec_time_s < rf.exec_time_s);
+    assert_eq!(rw.tasks_executed, rf.tasks_executed);
+}
+
+#[test]
+fn simulators_are_deterministic_across_runs() {
+    let trace = ocean::run_trace(&ocean::OceanConfig::small(4)).0;
+    let d1 = dash::run(&trace, &DashConfig::paper(4, LocalityMode::Locality, 1e-6));
+    let d2 = dash::run(&trace, &DashConfig::paper(4, LocalityMode::Locality, 1e-6));
+    assert_eq!(d1.exec_time_s, d2.exec_time_s);
+    assert_eq!(d1.steals, d2.steals);
+    let i1 = ipsc::run(&trace, &IpscConfig::paper(4, LocalityMode::Locality, 1e-6));
+    let i2 = ipsc::run(&trace, &IpscConfig::paper(4, LocalityMode::Locality, 1e-6));
+    assert_eq!(i1.exec_time_s, i2.exec_time_s);
+    assert_eq!(i1.comm_bytes, i2.comm_bytes);
+}
+
+#[test]
+fn replication_off_serializes_on_both_machines() {
+    // Section 5.1: all applications have an object read by every task in
+    // the important parallel phases; without replication they serialize.
+    let trace = water::run_trace(&water::WaterConfig::small(6)).0;
+    let spo = 1e-4;
+    let d_on = DashConfig::paper(6, LocalityMode::Locality, spo);
+    let mut d_off = d_on.clone();
+    d_off.replication = false;
+    let don = dash::run(&trace, &d_on);
+    let doff = dash::run(&trace, &d_off);
+    assert!(doff.exec_time_s > 1.5 * don.exec_time_s);
+    let mut i_off = IpscConfig::paper(6, LocalityMode::Locality, spo);
+    i_off.replication = false;
+    let ion = ipsc::run(&trace, &IpscConfig::paper(6, LocalityMode::Locality, spo));
+    let ioff = ipsc::run(&trace, &i_off);
+    assert!(ioff.exec_time_s > 1.5 * ion.exec_time_s);
+}
+
+#[test]
+fn broadcast_volume_accounted() {
+    // Water's position object becomes broadcast after the first phases.
+    let trace = water::run_trace(&water::WaterConfig::small(8)).0;
+    let r = ipsc::run(&trace, &IpscConfig::paper(8, LocalityMode::Locality, 1e-6));
+    assert!(r.broadcasts > 0, "adaptive broadcast should engage for Water");
+    let mut off = IpscConfig::paper(8, LocalityMode::Locality, 1e-6);
+    off.adaptive_broadcast = false;
+    let r2 = ipsc::run(&trace, &off);
+    assert_eq!(r2.broadcasts, 0);
+}
