@@ -61,7 +61,11 @@ impl<E> Default for Calendar<E> {
 
 impl<E> Calendar<E> {
     pub fn new() -> Self {
-        Calendar { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Calendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current virtual time: the timestamp of the most recently popped event.

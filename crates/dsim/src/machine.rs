@@ -29,7 +29,7 @@ pub enum DashHit {
 }
 
 /// Static description of a DASH-like cache-coherent NUMA machine.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DashSpec {
     /// Total number of processors used by the computation.
     pub procs: usize,
@@ -101,7 +101,7 @@ impl DashSpec {
 }
 
 /// Static description of an iPSC/860-like message-passing hypercube.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IpscSpec {
     /// Total number of processors used by the computation.
     pub procs: usize,
@@ -145,7 +145,11 @@ impl IpscSpec {
     /// synchronous enough that the paper charges the main processor for the
     /// full serial distribution of an object, Section 5.3).
     pub fn message_time(&self, bytes: usize, src: ProcId, dst: ProcId) -> SimDuration {
-        let hops = if src == dst { 0 } else { self.hops(src, dst).max(1) };
+        let hops = if src == dst {
+            0
+        } else {
+            self.hops(src, dst).max(1)
+        };
         let secs = self.message_latency_s
             + self.per_hop_s * hops as f64
             + bytes as f64 / self.link_bandwidth;
@@ -158,7 +162,8 @@ impl IpscSpec {
     /// broadcast a 166 KB object to 32 processors (5 stages × ~62 ms).
     pub fn broadcast_time(&self, bytes: usize) -> SimDuration {
         let stages = hypercube_dimension(self.procs).max(1);
-        let per_stage = self.message_latency_s + self.per_hop_s + bytes as f64 / self.link_bandwidth;
+        let per_stage =
+            self.message_latency_s + self.per_hop_s + bytes as f64 / self.link_bandwidth;
         SimDuration::from_secs_f64(per_stage * stages as f64)
     }
 

@@ -4,7 +4,7 @@
 use crate::time::SimDuration;
 
 /// Online accumulator of a scalar series (count / sum / min / max / mean).
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Accum {
     pub count: u64,
     pub sum: f64,
@@ -14,7 +14,12 @@ pub struct Accum {
 
 impl Accum {
     pub fn new() -> Accum {
-        Accum { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accum {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     pub fn add(&mut self, x: f64) {

@@ -10,11 +10,11 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A point in virtual time (picoseconds since simulation start).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time (picoseconds).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
@@ -83,7 +83,10 @@ impl SimDuration {
 }
 
 fn secs_to_ps(s: f64) -> u64 {
-    assert!(s >= 0.0 && s.is_finite(), "negative or non-finite time: {s}");
+    assert!(
+        s >= 0.0 && s.is_finite(),
+        "negative or non-finite time: {s}"
+    );
     let ps = s * PS_PER_SEC as f64;
     assert!(ps < u64::MAX as f64, "virtual time overflow: {s} s");
     ps as u64
@@ -187,7 +190,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration = (1..=4).map(|i| SimDuration(i)).sum();
+        let total: SimDuration = (1..=4).map(SimDuration).sum();
         assert_eq!(total, SimDuration(10));
     }
 

@@ -64,11 +64,23 @@ pub struct CholeskyConfig {
 impl CholeskyConfig {
     /// Matched to BCSSTK15: n = 2·44² + 63 = 3935 ≈ 3948.
     pub fn paper(procs: usize) -> CholeskyConfig {
-        CholeskyConfig { grid: 44, subassemblies: 2, iface: 63, panel_width: 8, procs }
+        CholeskyConfig {
+            grid: 44,
+            subassemblies: 2,
+            iface: 63,
+            panel_width: 8,
+            procs,
+        }
     }
 
     pub fn small(procs: usize) -> CholeskyConfig {
-        CholeskyConfig { grid: 8, subassemblies: 2, iface: 8, panel_width: 4, procs }
+        CholeskyConfig {
+            grid: 8,
+            subassemblies: 2,
+            iface: 8,
+            panel_width: 4,
+            procs,
+        }
     }
 
     /// Total matrix order.
@@ -121,7 +133,13 @@ pub struct Panel {
 
 impl Panel {
     fn new(first_col: usize, cols: usize, band: usize, block_n: usize) -> Panel {
-        Panel { first_col, cols, band, block_n, data: vec![0.0; cols * (band + 1)] }
+        Panel {
+            first_col,
+            cols,
+            band,
+            block_n,
+            data: vec![0.0; cols * (band + 1)],
+        }
     }
 
     #[inline]
@@ -321,7 +339,8 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &CholeskyConfig) -> CholeskyHandle
             );
             // A cache-coherent machine only moves the band data the update
             // kernels actually touch, not the dense front representation.
-            rt.store_mut().set_cache_bytes(h.id(), 8 * (m.band + 1) * m.cols);
+            rt.store_mut()
+                .set_cache_bytes(h.id(), 8 * (m.band + 1) * m.cols);
             rt.set_home(h, ring[i % ring.len()]);
             h
         })
@@ -469,7 +488,10 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &CholeskyConfig) -> CholeskyHandle
 
 pub fn output<R: JadeRuntime>(rt: &R, h: &CholeskyHandles) -> CholeskyOutput {
     let (log_det, factor_checksum) = *rt.store().read(h.result);
-    CholeskyOutput { log_det, factor_checksum }
+    CholeskyOutput {
+        log_det,
+        factor_checksum,
+    }
 }
 
 pub fn run_on<R: JadeRuntime>(rt: &mut R, cfg: &CholeskyConfig) -> CholeskyOutput {
@@ -551,7 +573,10 @@ pub fn reference(cfg: &CholeskyConfig) -> (CholeskyOutput, f64) {
         }
     }
     (
-        CholeskyOutput { log_det: logdet, factor_checksum: checksum(all.iter().copied()) },
+        CholeskyOutput {
+            log_det: logdet,
+            factor_checksum: checksum(all.iter().copied()),
+        },
         flops as f64,
     )
 }
@@ -635,7 +660,10 @@ mod tests {
             assert_eq!(trace.task_count(), expected_tasks(&cfg));
             assert!(trace.validate().is_empty());
             let charged: f64 = trace.tasks.iter().map(|t| t.work).sum();
-            assert!((charged - ref_flops).abs() < 1e-6, "{charged} vs {ref_flops}");
+            assert!(
+                (charged - ref_flops).abs() < 1e-6,
+                "{charged} vs {ref_flops}"
+            );
         }
     }
 
@@ -650,7 +678,10 @@ mod tests {
         let cfg = CholeskyConfig::paper(8);
         assert_eq!(cfg.n(), 3935);
         let tasks = expected_tasks(&cfg);
-        assert!((2500..8000).contains(&tasks), "task count {tasks} should be a few thousand");
+        assert!(
+            (2500..8000).contains(&tasks),
+            "task count {tasks} should be a few thousand"
+        );
     }
 
     #[test]
@@ -688,7 +719,11 @@ mod tests {
     fn locality_object_is_updated_panel() {
         let cfg = CholeskyConfig::small(3);
         let (trace, _) = run_trace(&cfg);
-        for t in trace.tasks.iter().filter(|t| t.label == "external" || t.label == "join") {
+        for t in trace
+            .tasks
+            .iter()
+            .filter(|t| t.label == "external" || t.label == "join")
+        {
             let lo = t.spec.locality_object().unwrap();
             assert!(t.spec.written_objects().any(|o| o == lo));
         }

@@ -43,6 +43,33 @@ pub fn creation_order(procs: usize) -> Vec<ProcId> {
     order
 }
 
+/// A small deterministic SplitMix64 generator used to build workloads
+/// (molecule positions, sparsity patterns). Self-contained so workload
+/// generation is reproducible and dependency-free.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
 /// A tiny deterministic checksum over floats (order-sensitive), used to
 /// compare outputs across runtimes.
 pub fn checksum(xs: impl IntoIterator<Item = f64>) -> f64 {

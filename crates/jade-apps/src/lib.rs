@@ -13,8 +13,8 @@
 
 #![forbid(unsafe_code)]
 
-pub mod common;
-pub mod water;
-pub mod string_app;
-pub mod ocean;
 pub mod cholesky;
+pub mod common;
+pub mod ocean;
+pub mod string_app;
+pub mod water;

@@ -54,11 +54,19 @@ impl OceanConfig {
     /// is not stated in the paper; 900 reproduces its task-management load
     /// (see EXPERIMENTS.md §calibration).
     pub fn paper(procs: usize) -> OceanConfig {
-        OceanConfig { n: 192, iterations: 900, procs }
+        OceanConfig {
+            n: 192,
+            iterations: 900,
+            procs,
+        }
     }
 
     pub fn small(procs: usize) -> OceanConfig {
-        OceanConfig { n: 32, iterations: 12, procs }
+        OceanConfig {
+            n: 32,
+            iterations: 12,
+            procs,
+        }
     }
 
     /// Number of interior blocks: one per worker processor ("the size of
@@ -78,7 +86,11 @@ pub struct GridBlock {
 
 impl GridBlock {
     fn new(n: usize, cols: usize) -> GridBlock {
-        GridBlock { n, cols, data: vec![0.0; n * cols] }
+        GridBlock {
+            n,
+            cols,
+            data: vec![0.0; n * cols],
+        }
     }
 
     #[inline]
@@ -114,11 +126,17 @@ pub struct Layout {
 /// blocks. Boundary gaps are two columns wide (paper Section 4).
 pub fn layout(n: usize, blocks: usize) -> Layout {
     if blocks == 1 {
-        return Layout { interior: vec![(0, n)], boundary: vec![] };
+        return Layout {
+            interior: vec![(0, n)],
+            boundary: vec![],
+        };
     }
     let nb = blocks - 1;
     let interior_cols = n - 2 * nb;
-    assert!(interior_cols >= blocks, "grid too small for {blocks} blocks");
+    assert!(
+        interior_cols >= blocks,
+        "grid too small for {blocks} blocks"
+    );
     let widths = chunk_ranges(interior_cols, blocks);
     let mut interior = Vec::with_capacity(blocks);
     let mut boundary = Vec::with_capacity(nb);
@@ -202,8 +220,14 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &OceanConfig) -> OceanHandles {
             rt.set_home(h, home);
             h
         };
-        bl.push([mk(rt, format!("bndL[{g}][0]"), hl), mk(rt, format!("bndL[{g}][1]"), hl)]);
-        br.push([mk(rt, format!("bndR[{g}][0]"), hr), mk(rt, format!("bndR[{g}][1]"), hr)]);
+        bl.push([
+            mk(rt, format!("bndL[{g}][0]"), hl),
+            mk(rt, format!("bndL[{g}][1]"), hl),
+        ]);
+        br.push([
+            mk(rt, format!("bndR[{g}][0]"), hr),
+            mk(rt, format!("bndR[{g}][1]"), hr),
+        ]);
     }
     let params = rt.create("ocean-params", 512, (n, cfg.iterations));
     rt.set_home(params, 0);
@@ -217,11 +241,17 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &OceanConfig) -> OceanHandles {
             let ih = interior[b];
             let (i0, iw) = lay.interior[b];
             // Left gap: (write buffer, own old buffer, far old column, x).
-            let lg = (b > 0)
-                .then(|| (br[b - 1][q], br[b - 1][1 - q], bl[b - 1][1 - q], lay.boundary[b - 1]));
+            let lg = (b > 0).then(|| {
+                (
+                    br[b - 1][q],
+                    br[b - 1][1 - q],
+                    bl[b - 1][1 - q],
+                    lay.boundary[b - 1],
+                )
+            });
             // Right gap: (write buffer, own old buffer, far old column, x).
-            let rg = (b < blocks - 1)
-                .then(|| (bl[b][q], bl[b][1 - q], br[b][1 - q], lay.boundary[b]));
+            let rg =
+                (b < blocks - 1).then(|| (bl[b][q], bl[b][1 - q], br[b][1 - q], lay.boundary[b]));
             let placement: ProcId = ring[b % ring.len()];
             // Locality object: the interior block (paper Section 4).
             let mut tb = TaskBuilder::new("stencil").rd_wr(ih);
@@ -267,7 +297,9 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &OceanConfig) -> OceanHandles {
                             me.at(row, c - 1)
                         };
                         let right = if c == iw - 1 {
-                            rg_old.as_ref().expect("last interior col is the global edge")[row]
+                            rg_old
+                                .as_ref()
+                                .expect("last interior col is the global edge")[row]
                         } else {
                             me.at(row, c + 1)
                         };
@@ -350,7 +382,10 @@ fn grid_stats(grid: &[Vec<f64>], n: usize) -> (f64, f64) {
 
 pub fn output<R: JadeRuntime>(rt: &R, h: &OceanHandles) -> OceanOutput {
     let (residual, grid_checksum) = *rt.store().read(h.result);
-    OceanOutput { residual, grid_checksum }
+    OceanOutput {
+        residual,
+        grid_checksum,
+    }
 }
 
 pub fn run_on<R: JadeRuntime>(rt: &mut R, cfg: &OceanConfig) -> OceanOutput {
@@ -405,7 +440,11 @@ pub fn reference_blocks(cfg: &OceanConfig, blocks: usize) -> (OceanOutput, f64) 
                     continue;
                 }
                 for row in 1..n - 1 {
-                    let right = if c == iw - 1 { snap[b].0[row] } else { grid[gcol + 1][row] };
+                    let right = if c == iw - 1 {
+                        snap[b].0[row]
+                    } else {
+                        grid[gcol + 1][row]
+                    };
                     let v = 0.25
                         * (grid[gcol][row - 1] + grid[gcol][row + 1] + grid[gcol - 1][row] + right)
                         + forcing(n, row, gcol);
@@ -418,8 +457,14 @@ pub fn reference_blocks(cfg: &OceanConfig, blocks: usize) -> (OceanOutput, f64) 
                 let x = lay.boundary[b];
                 let (old_l, old_r) = &snap[b];
                 let mut new = vec![0.0; n];
-                ops += update_column(n, x, &mut new, old_l, |r| grid[i0 + iw - 1][r], |r| old_r[r])
-                    as f64
+                ops += update_column(
+                    n,
+                    x,
+                    &mut new,
+                    old_l,
+                    |r| grid[i0 + iw - 1][r],
+                    |r| old_r[r],
+                ) as f64
                     * C_CELL;
                 grid[x] = new;
             }
@@ -427,7 +472,13 @@ pub fn reference_blocks(cfg: &OceanConfig, blocks: usize) -> (OceanOutput, f64) 
     }
     let (res, ck) = grid_stats(&grid, n);
     ops += (n * n) as f64 * C_CELL;
-    (OceanOutput { residual: res, grid_checksum: ck }, ops)
+    (
+        OceanOutput {
+            residual: res,
+            grid_checksum: ck,
+        },
+        ops,
+    )
 }
 
 /// Serial reference at the single-block decomposition (plain Gauss-Seidel).
@@ -475,20 +526,38 @@ mod tests {
         // Different block counts change the edge coupling (Jacobi lags the
         // boundary columns by one iteration), so convergence rates differ
         // slightly — but both head to the same fixed point.
-        let cfg = OceanConfig { n: 32, iterations: 120, procs: 1 };
+        let cfg = OceanConfig {
+            n: 32,
+            iterations: 120,
+            procs: 1,
+        };
         let (a, _) = reference_blocks(&cfg, 1);
         let (b, _) = reference_blocks(&cfg, 3);
         let rel = (a.residual - b.residual).abs() / a.residual.max(1e-300);
         assert!(rel < 0.2, "{} vs {} (rel {rel})", a.residual, b.residual);
         // And with more iterations the hybrid's residual keeps shrinking.
-        let (b2, _) = reference_blocks(&OceanConfig { iterations: 480, ..cfg }, 3);
-        assert!(b2.residual < b.residual * 0.1, "{} vs {}", b2.residual, b.residual);
+        let (b2, _) = reference_blocks(
+            &OceanConfig {
+                iterations: 480,
+                ..cfg
+            },
+            3,
+        );
+        assert!(
+            b2.residual < b.residual * 0.1,
+            "{} vs {}",
+            b2.residual,
+            b.residual
+        );
     }
 
     #[test]
     fn solver_converges() {
         let mut cfg = OceanConfig::small(1);
-        let (out_few, _) = reference(&OceanConfig { iterations: 3, ..cfg.clone() });
+        let (out_few, _) = reference(&OceanConfig {
+            iterations: 3,
+            ..cfg.clone()
+        });
         cfg.iterations = 60;
         let (out_many, _) = reference(&cfg);
         assert!(
@@ -506,7 +575,10 @@ mod tests {
         let (trace, _) = run_trace(&cfg);
         for t in trace.tasks.iter().filter(|t| t.label == "stencil") {
             let p = t.placement.expect("stencil tasks are placed");
-            assert!(p >= 1 && p < 4, "placement {p} omits the main processor");
+            assert!(
+                (1..4).contains(&p),
+                "placement {p} omits the main processor"
+            );
         }
     }
 
@@ -516,8 +588,12 @@ mod tests {
         // adjacent block tasks read only the other's previous-parity data.
         let cfg = OceanConfig::small(5); // 4 blocks
         let (trace, _) = run_trace(&cfg);
-        let first_iter: Vec<_> =
-            trace.tasks.iter().filter(|t| t.label == "stencil").take(4).collect();
+        let first_iter: Vec<_> = trace
+            .tasks
+            .iter()
+            .filter(|t| t.label == "stencil")
+            .take(4)
+            .collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 assert!(
@@ -532,7 +608,11 @@ mod tests {
     fn consecutive_iterations_conflict() {
         let cfg = OceanConfig::small(3); // 2 blocks
         let (trace, _) = run_trace(&cfg);
-        let stencil: Vec<_> = trace.tasks.iter().filter(|t| t.label == "stencil").collect();
+        let stencil: Vec<_> = trace
+            .tasks
+            .iter()
+            .filter(|t| t.label == "stencil")
+            .collect();
         // Task (iter 1, block 0) depends on (iter 0, block 0) and on
         // (iter 0, block 1) through the boundary parity buffers.
         assert!(stencil[2].spec.conflicts_with(&stencil[0].spec));

@@ -56,11 +56,25 @@ impl StringConfig {
     /// The paper's discretization: 185 ft × 450 ft at 1 ft resolution,
     /// six iterations.
     pub fn paper(procs: usize) -> StringConfig {
-        StringConfig { nx: 185, nz: 450, src_spacing: 10, rcv_spacing: 5, iterations: 6, procs }
+        StringConfig {
+            nx: 185,
+            nz: 450,
+            src_spacing: 10,
+            rcv_spacing: 5,
+            iterations: 6,
+            procs,
+        }
     }
 
     pub fn small(procs: usize) -> StringConfig {
-        StringConfig { nx: 24, nz: 40, src_spacing: 8, rcv_spacing: 8, iterations: 2, procs }
+        StringConfig {
+            nx: 24,
+            nz: 40,
+            src_spacing: 8,
+            rcv_spacing: 8,
+            iterations: 2,
+            procs,
+        }
     }
 
     pub fn cells(&self) -> usize {
@@ -201,7 +215,11 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &StringConfig) -> StringHandles {
     let start = vec![1.0 / 2400.0; cells];
     // The paper's model object is 383,528 bytes; reproduce the exact
     // communication size at full scale, and scale proportionally otherwise.
-    let model_bytes = if (nx, nz) == (185, 450) { 383_528 } else { cells * 4 + 1000 };
+    let model_bytes = if (nx, nz) == (185, 450) {
+        383_528
+    } else {
+        cells * 4 + 1000
+    };
     let model = rt.create("model", model_bytes, start);
     rt.set_home(model, 0);
     let params = rt.create("ray-params", 4096, (rays.clone(), obs.clone()));
@@ -211,7 +229,10 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &StringConfig) -> StringHandles {
             let h = rt.create(
                 &format!("diff[{t}]"),
                 model_bytes,
-                DiffArray { sum: vec![0.0; cells], weight: vec![0.0; cells] },
+                DiffArray {
+                    sum: vec![0.0; cells],
+                    weight: vec![0.0; cells],
+                },
             );
             rt.set_home(h, t);
             h
@@ -367,7 +388,10 @@ pub fn reference(cfg: &StringConfig) -> (StringOutput, f64) {
         rms = (sq / rays.len() as f64).sqrt();
     }
     (
-        StringOutput { rms_misfit: rms, model_checksum: checksum(model.iter().copied()) },
+        StringOutput {
+            rms_misfit: rms,
+            model_checksum: checksum(model.iter().copied()),
+        },
         ops,
     )
 }
@@ -398,7 +422,9 @@ mod tests {
         let cfg = StringConfig::small(1);
         let model = vec![2.0; cfg.cells()];
         let mut cells = Vec::new();
-        let t = trace_ray(&model, cfg.nx, cfg.nz, 5.5, 5.5, |idx, l| cells.push((idx, l)));
+        let t = trace_ray(&model, cfg.nx, cfg.nz, 5.5, 5.5, |idx, l| {
+            cells.push((idx, l))
+        });
         assert_eq!(cells.len(), cfg.nx);
         assert!(cells.iter().all(|&(idx, _)| idx / cfg.nx == 5));
         assert!((t - 2.0 * cfg.nx as f64).abs() < 1e-9);

@@ -14,10 +14,8 @@
 //! simplified). The data set matches the paper: 1728 molecules, 8
 //! iterations, and a 165,888-byte position object (96 bytes per molecule).
 
-use crate::common::{checksum, chunk_ranges, creation_order};
+use crate::common::{checksum, chunk_ranges, creation_order, SplitMix64};
 use jade_core::{Handle, JadeRuntime, TaskBuilder, Trace, TraceRuntime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Paper-measured execution times used to calibrate the machine cost
 /// models (Tables 1 and 6).
@@ -58,12 +56,22 @@ pub struct WaterConfig {
 impl WaterConfig {
     /// The paper's data set: 1728 molecules, 8 iterations.
     pub fn paper(procs: usize) -> WaterConfig {
-        WaterConfig { molecules: 1728, iterations: 8, procs, seed: 1995 }
+        WaterConfig {
+            molecules: 1728,
+            iterations: 8,
+            procs,
+            seed: 1995,
+        }
     }
 
     /// A scaled-down workload for tests.
     pub fn small(procs: usize) -> WaterConfig {
-        WaterConfig { molecules: 96, iterations: 2, procs, seed: 42 }
+        WaterConfig {
+            molecules: 96,
+            iterations: 2,
+            procs,
+            seed: 42,
+        }
     }
 }
 
@@ -83,10 +91,16 @@ pub struct WaterHandles {
 }
 
 fn init_positions(cfg: &WaterConfig) -> Vec<[f64; 3]> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     // Molecules distributed randomly in a rectangular volume (paper §4).
     (0..cfg.molecules)
-        .map(|_| [rng.gen_range(0.0..12.0), rng.gen_range(0.0..12.0), rng.gen_range(0.0..12.0)])
+        .map(|_| {
+            [
+                rng.gen_range_f64(0.0, 12.0),
+                rng.gen_range_f64(0.0, 12.0),
+                rng.gen_range_f64(0.0, 12.0),
+            ]
+        })
         .collect()
 }
 
@@ -180,7 +194,10 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &WaterConfig) -> WaterHandles {
         rt.begin_phase();
         {
             let forces = forces.clone();
-            let mut b = TaskBuilder::new("update").wr(positions).rd_wr(velocities).rd(params);
+            let mut b = TaskBuilder::new("update")
+                .wr(positions)
+                .rd_wr(velocities)
+                .rd(params);
             for &fh in &forces {
                 b = b.rd(fh);
             }
@@ -247,7 +264,10 @@ pub fn build<R: JadeRuntime>(rt: &mut R, cfg: &WaterConfig) -> WaterHandles {
             }));
         }
     }
-    WaterHandles { positions, potential }
+    WaterHandles {
+        positions,
+        potential,
+    }
 }
 
 /// Extract the output after `rt.finish()`.
@@ -255,7 +275,10 @@ pub fn output<R: JadeRuntime>(rt: &R, h: &WaterHandles) -> WaterOutput {
     WaterOutput {
         potential: *rt.store().read(h.potential),
         positions_checksum: checksum(
-            rt.store().read(h.positions).iter().flat_map(|p| p.iter().copied()),
+            rt.store()
+                .read(h.positions)
+                .iter()
+                .flat_map(|p| p.iter().copied()),
         ),
     }
 }
@@ -356,7 +379,9 @@ mod tests {
         let (_, out) = run_trace(&cfg);
         let (ref_out, _) = reference(&cfg);
         // Reduction order differs; results agree to tolerance.
-        assert!((out.potential - ref_out.potential).abs() < 1e-9 * ref_out.potential.abs().max(1.0));
+        assert!(
+            (out.potential - ref_out.potential).abs() < 1e-9 * ref_out.potential.abs().max(1.0)
+        );
     }
 
     #[test]

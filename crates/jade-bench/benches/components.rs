@@ -1,62 +1,73 @@
 //! Micro-benchmarks of the runtime components themselves: synchronizer
 //! throughput, simulator event rates, trace generation, and the real
 //! thread backend.
+//!
+//! Plain self-timing harness (`harness = false`): each benchmark runs a
+//! fixed number of iterations and reports the mean wall-clock time per
+//! iteration. Run with `cargo bench -p jade-bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use jade_core::{AccessSpec, JadeRuntime, ObjectId, Synchronizer, TaskBuilder, TaskId, TraceBuilder};
 use jade_core::LocalityMode;
+use jade_core::{
+    AccessSpec, JadeRuntime, ObjectId, Synchronizer, TaskBuilder, TaskId, TraceBuilder,
+};
 use jade_threads::ThreadRuntime;
 
-fn synchronizer_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("synchronizer");
-    for &n in &[1_000usize, 10_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("pipeline", n), &n, |b, &n| {
-            // Worst case: a single write chain (every completion re-grants).
-            b.iter(|| {
-                let mut sync = Synchronizer::new(true);
-                let mut spec = AccessSpec::new();
-                spec.wr(ObjectId(0));
-                let mut ready = Vec::new();
-                for i in 0..n {
-                    if sync.add_task(TaskId(i as u32), &spec) {
-                        ready.push(TaskId(i as u32));
-                    }
-                }
-                let mut done = 0;
-                while let Some(t) = ready.pop() {
-                    done += 1;
-                    sync.complete(t, &mut ready);
-                }
-                assert_eq!(done, n);
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("independent", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sync = Synchronizer::new(true);
-                let mut ready = Vec::with_capacity(n);
-                for i in 0..n {
-                    let mut spec = AccessSpec::new();
-                    spec.wr(ObjectId(i as u32));
-                    if sync.add_task(TaskId(i as u32), &spec) {
-                        ready.push(TaskId(i as u32));
-                    }
-                }
-                let mut newly = Vec::new();
-                for t in ready {
-                    sync.complete(t, &mut newly);
-                }
-                assert!(sync.all_complete());
-            })
-        });
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warm-up iteration, then the timed batch.
+    f();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    g.finish();
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:>32}  {:>12.3} µs/iter  ({iters} iters)", per * 1e6);
 }
 
-fn simulator_event_rate(c: &mut Criterion) {
+fn synchronizer_throughput() {
+    for &n in &[1_000usize, 10_000] {
+        bench(&format!("synchronizer/pipeline/{n}"), 10, || {
+            // Worst case: a single write chain (every completion re-grants).
+            let mut sync = Synchronizer::new(true);
+            let mut spec = AccessSpec::new();
+            spec.wr(ObjectId(0));
+            let mut ready = Vec::new();
+            for i in 0..n {
+                if sync.add_task(TaskId(i as u32), &spec) {
+                    ready.push(TaskId(i as u32));
+                }
+            }
+            let mut done = 0;
+            while let Some(t) = ready.pop() {
+                done += 1;
+                sync.complete(t, &mut ready);
+            }
+            assert_eq!(done, n);
+        });
+        bench(&format!("synchronizer/independent/{n}"), 10, || {
+            let mut sync = Synchronizer::new(true);
+            let mut ready = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut spec = AccessSpec::new();
+                spec.wr(ObjectId(i as u32));
+                if sync.add_task(TaskId(i as u32), &spec) {
+                    ready.push(TaskId(i as u32));
+                }
+            }
+            let mut newly = Vec::new();
+            for t in ready {
+                sync.complete(t, &mut newly);
+            }
+            assert!(sync.all_complete());
+        });
+    }
+}
+
+fn simulator_event_rate() {
     // A fixed synthetic trace: fan-out tasks with moderate sharing.
     let mut b = TraceBuilder::new();
-    let objs: Vec<_> = (0..64).map(|i| b.object(&format!("o{i}"), 1024, Some(i % 8))).collect();
+    let objs: Vec<_> = (0..64)
+        .map(|i| b.object(&format!("o{i}"), 1024, Some(i % 8)))
+        .collect();
     for i in 0..2_000usize {
         let mut s = AccessSpec::new();
         s.wr(objs[i % 64]);
@@ -64,55 +75,52 @@ fn simulator_event_rate(c: &mut Criterion) {
         b.task(s, 0.001);
     }
     let trace = b.build();
-    let mut g = c.benchmark_group("simulators");
-    g.throughput(Throughput::Elements(trace.task_count() as u64));
-    g.bench_function("dash_2k_tasks", |bch| {
-        bch.iter(|| {
-            jade_dash::run(&trace, &jade_dash::DashConfig::paper(8, LocalityMode::Locality, 1.0))
-        })
+    bench("simulators/dash_2k_tasks", 10, || {
+        std::hint::black_box(jade_dash::run(
+            &trace,
+            &jade_dash::DashConfig::paper(8, LocalityMode::Locality, 1.0),
+        ));
     });
-    g.bench_function("ipsc_2k_tasks", |bch| {
-        bch.iter(|| {
-            jade_ipsc::run(&trace, &jade_ipsc::IpscConfig::paper(8, LocalityMode::Locality, 1.0))
-        })
+    bench("simulators/ipsc_2k_tasks", 10, || {
+        std::hint::black_box(jade_ipsc::run(
+            &trace,
+            &jade_ipsc::IpscConfig::paper(8, LocalityMode::Locality, 1.0),
+        ));
     });
-    g.finish();
 }
 
-fn trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
-    g.bench_function("water_small", |b| {
-        b.iter(|| jade_apps::water::run_trace(&jade_apps::water::WaterConfig::small(8)))
+fn trace_generation() {
+    bench("trace_generation/water_small", 10, || {
+        std::hint::black_box(jade_apps::water::run_trace(
+            &jade_apps::water::WaterConfig::small(8),
+        ));
     });
-    g.bench_function("cholesky_small", |b| {
-        b.iter(|| jade_apps::cholesky::run_trace(&jade_apps::cholesky::CholeskyConfig::small(8)))
+    bench("trace_generation/cholesky_small", 10, || {
+        std::hint::black_box(jade_apps::cholesky::run_trace(
+            &jade_apps::cholesky::CholeskyConfig::small(8),
+        ));
     });
-    g.finish();
 }
 
-fn thread_backend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thread_backend");
-    for &n in &[500usize] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("independent_tasks", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rt = ThreadRuntime::new(4);
-                let objs: Vec<_> = (0..n).map(|i| rt.create(&format!("o{i}"), 8, 0u64)).collect();
-                for (i, &o) in objs.iter().enumerate() {
-                    rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
-                        *ctx.wr(o) = i as u64;
-                    }));
-                }
-                rt.finish();
-            })
-        });
-    }
-    g.finish();
+fn thread_backend() {
+    let n = 500usize;
+    bench(&format!("thread_backend/independent_tasks/{n}"), 10, || {
+        let mut rt = ThreadRuntime::new(4);
+        let objs: Vec<_> = (0..n)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+            .collect();
+        for (i, &o) in objs.iter().enumerate() {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = i as u64;
+            }));
+        }
+        rt.finish();
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = synchronizer_throughput, simulator_event_rate, trace_generation, thread_backend
+fn main() {
+    synchronizer_throughput();
+    simulator_event_rate();
+    trace_generation();
+    thread_backend();
 }
-criterion_main!(benches);

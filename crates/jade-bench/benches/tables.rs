@@ -1,115 +1,123 @@
-//! Criterion benches, one group per table/figure family of the paper:
-//! each measures the time for *this implementation* to regenerate the
-//! experiment's data points (at reduced workload scale, so `cargo bench`
-//! completes quickly). The absolute virtual-time results themselves are
-//! produced by the `repro` binary.
+//! Benches, one per table/figure family of the paper: each measures the
+//! time for *this implementation* to regenerate the experiment's data
+//! points (at reduced workload scale, so `cargo bench` completes quickly).
+//! The absolute virtual-time results themselves are produced by the
+//! `repro` binary.
+//!
+//! Plain self-timing harness (`harness = false`); run with
+//! `cargo bench -p jade-bench --bench tables`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jade_bench::{App, Harness};
 use jade_core::LocalityMode;
 
-fn bench_exec_table(c: &mut Criterion, name: &str, app: App, dash: bool) {
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let mut h = Harness::new(true);
-            let mut acc = 0.0;
-            for procs in [1usize, 4, 16] {
-                for mode in h.modes_for(app) {
-                    acc += if dash {
-                        h.dash(app, procs, mode).exec_time_s
-                    } else {
-                        h.ipsc(app, procs, mode).exec_time_s
-                    };
-                }
+fn bench(name: &str, mut f: impl FnMut() -> f64) {
+    let iters = 5u32;
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:>28}  {:>12.3} ms/iter  ({iters} iters)", per * 1e3);
+}
+
+fn bench_exec_table(name: &str, app: App, dash: bool) {
+    bench(name, || {
+        let mut h = Harness::new(true);
+        let mut acc = 0.0;
+        for procs in [1usize, 4, 16] {
+            for mode in h.modes_for(app) {
+                acc += if dash {
+                    h.dash(app, procs, mode).exec_time_s
+                } else {
+                    h.ipsc(app, procs, mode).exec_time_s
+                };
             }
-            std::hint::black_box(acc)
-        })
+        }
+        acc
     });
 }
 
-fn tables_dash(c: &mut Criterion) {
-    bench_exec_table(c, "table2_water_dash", App::Water, true);
-    bench_exec_table(c, "table3_string_dash", App::StringApp, true);
-    bench_exec_table(c, "table4_ocean_dash", App::Ocean, true);
-    bench_exec_table(c, "table5_cholesky_dash", App::Cholesky, true);
+fn tables_dash() {
+    bench_exec_table("table2_water_dash", App::Water, true);
+    bench_exec_table("table3_string_dash", App::StringApp, true);
+    bench_exec_table("table4_ocean_dash", App::Ocean, true);
+    bench_exec_table("table5_cholesky_dash", App::Cholesky, true);
 }
 
-fn tables_ipsc(c: &mut Criterion) {
-    bench_exec_table(c, "table7_water_ipsc", App::Water, false);
-    bench_exec_table(c, "table8_string_ipsc", App::StringApp, false);
-    bench_exec_table(c, "table9_ocean_ipsc", App::Ocean, false);
-    bench_exec_table(c, "table10_cholesky_ipsc", App::Cholesky, false);
+fn tables_ipsc() {
+    bench_exec_table("table7_water_ipsc", App::Water, false);
+    bench_exec_table("table8_string_ipsc", App::StringApp, false);
+    bench_exec_table("table9_ocean_ipsc", App::Ocean, false);
+    bench_exec_table("table10_cholesky_ipsc", App::Cholesky, false);
 }
 
-fn tables_broadcast(c: &mut Criterion) {
+fn tables_broadcast() {
     for (name, app) in [
         ("table11_water_bcast", App::Water),
         ("table12_string_bcast", App::StringApp),
         ("table13_ocean_bcast", App::Ocean),
         ("table14_cholesky_bcast", App::Cholesky),
     ] {
-        c.bench_function(name, |b| {
-            b.iter(|| {
-                let mut h = Harness::new(true);
-                let mode = if app.has_placement() {
-                    LocalityMode::TaskPlacement
-                } else {
-                    LocalityMode::Locality
-                };
-                let on = h.ipsc_with(app, 8, mode, |c| c.adaptive_broadcast = true);
-                let off = h.ipsc_with(app, 8, mode, |c| c.adaptive_broadcast = false);
-                std::hint::black_box(on.exec_time_s + off.exec_time_s)
-            })
+        bench(name, || {
+            let mut h = Harness::new(true);
+            let mode = if app.has_placement() {
+                LocalityMode::TaskPlacement
+            } else {
+                LocalityMode::Locality
+            };
+            let on = h.ipsc_with(app, 8, mode, |c| c.adaptive_broadcast = true);
+            let off = h.ipsc_with(app, 8, mode, |c| c.adaptive_broadcast = false);
+            on.exec_time_s + off.exec_time_s
         });
     }
 }
 
-fn figures_locality(c: &mut Criterion) {
+fn figures_locality() {
     for (name, app, dash) in [
         ("fig2_5_locality_dash", App::Ocean, true),
         ("fig12_15_locality_ipsc", App::Cholesky, false),
     ] {
-        c.bench_function(name, |b| {
-            b.iter(|| {
-                let mut h = Harness::new(true);
-                let mut acc = 0.0;
-                for procs in [2usize, 8] {
-                    for mode in h.modes_for(app) {
-                        acc += if dash {
-                            h.dash(app, procs, mode).locality_pct
-                        } else {
-                            h.ipsc(app, procs, mode).locality_pct
-                        };
-                    }
+        bench(name, || {
+            let mut h = Harness::new(true);
+            let mut acc = 0.0;
+            for procs in [2usize, 8] {
+                for mode in h.modes_for(app) {
+                    acc += if dash {
+                        h.dash(app, procs, mode).locality_pct
+                    } else {
+                        h.ipsc(app, procs, mode).locality_pct
+                    };
                 }
-                std::hint::black_box(acc)
-            })
+            }
+            acc
         });
     }
 }
 
-fn figures_mgmt_and_comm(c: &mut Criterion) {
-    c.bench_function("fig10_11_20_21_mgmt", |b| {
-        b.iter(|| {
-            let mut h = Harness::new(true);
-            let full = h.ipsc(App::Ocean, 8, LocalityMode::TaskPlacement).exec_time_s;
-            let free = h
-                .ipsc_with(App::Ocean, 8, LocalityMode::TaskPlacement, |c| c.work_free = true)
-                .exec_time_s;
-            std::hint::black_box(free / full)
-        })
+fn figures_mgmt_and_comm() {
+    bench("fig10_11_20_21_mgmt", || {
+        let mut h = Harness::new(true);
+        let full = h
+            .ipsc(App::Ocean, 8, LocalityMode::TaskPlacement)
+            .exec_time_s;
+        let free = h
+            .ipsc_with(App::Ocean, 8, LocalityMode::TaskPlacement, |c| {
+                c.work_free = true
+            })
+            .exec_time_s;
+        free / full
     });
-    c.bench_function("fig16_19_comm_ratio", |b| {
-        b.iter(|| {
-            let mut h = Harness::new(true);
-            std::hint::black_box(h.ipsc(App::Ocean, 8, LocalityMode::Locality).comm_to_comp)
-        })
+    bench("fig16_19_comm_ratio", || {
+        let mut h = Harness::new(true);
+        h.ipsc(App::Ocean, 8, LocalityMode::Locality).comm_to_comp
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = tables_dash, tables_ipsc, tables_broadcast, figures_locality, figures_mgmt_and_comm
+fn main() {
+    tables_dash();
+    tables_ipsc();
+    tables_broadcast();
+    figures_locality();
+    figures_mgmt_and_comm();
 }
-criterion_main!(benches);

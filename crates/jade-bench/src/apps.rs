@@ -36,7 +36,12 @@ impl App {
         match self {
             App::Water => {
                 let cfg = if quick {
-                    water::WaterConfig { molecules: 256, iterations: 3, procs, seed: 1995 }
+                    water::WaterConfig {
+                        molecules: 256,
+                        iterations: 3,
+                        procs,
+                        seed: 1995,
+                    }
                 } else {
                     water::WaterConfig::paper(procs)
                 };
@@ -59,7 +64,11 @@ impl App {
             }
             App::Ocean => {
                 let cfg = if quick {
-                    ocean::OceanConfig { n: 96, iterations: 60, procs }
+                    ocean::OceanConfig {
+                        n: 96,
+                        iterations: 60,
+                        procs,
+                    }
                 } else {
                     ocean::OceanConfig::paper(procs)
                 };
@@ -67,7 +76,13 @@ impl App {
             }
             App::Cholesky => {
                 let cfg = if quick {
-                    cholesky::CholeskyConfig { grid: 16, subassemblies: 2, iface: 16, panel_width: 4, procs }
+                    cholesky::CholeskyConfig {
+                        grid: 16,
+                        subassemblies: 2,
+                        iface: 16,
+                        panel_width: 4,
+                        procs,
+                    }
                 } else {
                     cholesky::CholeskyConfig::paper(procs)
                 };

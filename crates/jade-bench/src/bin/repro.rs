@@ -20,30 +20,40 @@
 //! the paper-scale data sets.
 
 use jade_bench::experiments as ex;
-use jade_bench::{App, Harness};
+use jade_bench::{App, Harness, TraceBackend};
+use jade_core::LocalityMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] <experiment>...\n\
+        "usage: repro [--quick] [--trace-out FILE] <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
-         utilization"
+         utilization\n\
+         --trace-out FILE  also write a Chrome trace_event JSON of a\n\
+                           representative run (Ocean, 8 procs, iPSC/860);\n\
+                           open it in chrome://tracing or ui.perfetto.dev"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut quick = false;
+    let mut trace_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => usage(),
+            },
             "-h" | "--help" => usage(),
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() {
+    if wanted.is_empty() && trace_out.is_none() {
         usage();
     }
     let mut h = Harness::new(quick);
@@ -53,6 +63,16 @@ fn main() {
     for w in wanted.clone() {
         run_one(&mut h, &w);
     }
+    if let Some(path) = trace_out {
+        let json = h.chrome_trace(App::Ocean, 8, LocalityMode::Locality, TraceBackend::Ipsc);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote Chrome trace ({} bytes) to {path}", json.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn run_one(h: &mut Harness, what: &str) {
@@ -60,8 +80,16 @@ fn run_one(h: &mut Harness, what: &str) {
     match what {
         "all" => {
             for t in [
-                "table1", "table6", "tables", "figures", "replication", "bcast-analysis",
-                "latency-hiding", "concurrent-fetch", "ablations", "heterogeneous",
+                "table1",
+                "table6",
+                "tables",
+                "figures",
+                "replication",
+                "bcast-analysis",
+                "latency-hiding",
+                "concurrent-fetch",
+                "ablations",
+                "heterogeneous",
             ] {
                 run_one(h, t);
             }

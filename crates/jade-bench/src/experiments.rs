@@ -28,15 +28,28 @@ fn print_table(title: &str, rows: &[(String, Vec<f64>)], paper: Option<&paper_da
 /// by construction lands on the paper's value at full scale.
 pub fn table_serial(h: &mut Harness, dash: bool) {
     let (title, rows) = if dash {
-        ("Table 1: Serial and Stripped Execution Times on DASH (seconds)", &paper_data::TABLE1_DASH)
+        (
+            "Table 1: Serial and Stripped Execution Times on DASH (seconds)",
+            &paper_data::TABLE1_DASH,
+        )
     } else {
-        ("Table 6: Serial and Stripped Execution Times on the iPSC/860 (seconds)", &paper_data::TABLE6_IPSC)
+        (
+            "Table 6: Serial and Stripped Execution Times on the iPSC/860 (seconds)",
+            &paper_data::TABLE6_IPSC,
+        )
     };
     println!("\n{title}");
-    println!("{:>16} | {:>12} {:>12} {:>14} {:>14}", "app", "paper serial", "paper strip", "model strip", "model 1-proc");
+    println!(
+        "{:>16} | {:>12} {:>12} {:>14} {:>14}",
+        "app", "paper serial", "paper strip", "model strip", "model 1-proc"
+    );
     for (app, paper) in App::ALL.iter().zip(rows.iter()) {
         let trace = h.trace(*app, 1);
-        let spo = if dash { app.dash_sec_per_op(&trace) } else { app.ipsc_sec_per_op(&trace) };
+        let spo = if dash {
+            app.dash_sec_per_op(&trace)
+        } else {
+            app.ipsc_sec_per_op(&trace)
+        };
         let stripped = trace.total_work() * spo;
         let one_proc = if dash {
             h.dash(*app, 1, LocalityMode::Locality).exec_time_s
@@ -79,7 +92,11 @@ pub fn table_exec(h: &mut Harness, app: App, dash: bool) {
         rows.push((mode.to_string(), vals));
     }
     print_table(
-        &format!("Execution Times for {} on {} (seconds) [reproduced]", app.name(), machine),
+        &format!(
+            "Execution Times for {} on {} (seconds) [reproduced]",
+            app.name(),
+            machine
+        ),
         &rows,
         Some(&paper),
     );
@@ -113,7 +130,11 @@ pub fn fig_locality(h: &mut Harness, app: App, dash: bool) {
         rows.push((mode.to_string(), vals));
     }
     print_table(
-        &format!("Figure {fig}: Task Locality Percentage for {} on {}", app.name(), machine),
+        &format!(
+            "Figure {fig}: Task Locality Percentage for {} on {}",
+            app.name(),
+            machine
+        ),
         &rows,
         None,
     );
@@ -140,12 +161,17 @@ pub fn fig_taskexec(h: &mut Harness, app: App) {
     };
     let mut rows = Vec::new();
     for mode in h.modes_for(app) {
-        let vals: Vec<f64> =
-            PROCS.iter().map(|&p| h.dash(app, p, mode).task_time_s).collect();
+        let vals: Vec<f64> = PROCS
+            .iter()
+            .map(|&p| h.dash(app, p, mode).task_time_s)
+            .collect();
         rows.push((mode.to_string(), vals));
     }
     print_table(
-        &format!("Figure {fig}: Total Task Execution Time for {} on DASH (seconds)", app.name()),
+        &format!(
+            "Figure {fig}: Total Task Execution Time for {} on DASH (seconds)",
+            app.name()
+        ),
         &rows,
         None,
     );
@@ -185,7 +211,11 @@ pub fn fig_mgmt(h: &mut Harness, app: App, dash: bool) {
         })
         .collect();
     print_table(
-        &format!("Figure {fig}: Task Management Percentage for {} on {} (work-free / full)", app.name(), machine),
+        &format!(
+            "Figure {fig}: Task Management Percentage for {} on {} (work-free / full)",
+            app.name(),
+            machine
+        ),
         &[("Task Placement".to_string(), vals)],
         None,
     );
@@ -203,14 +233,19 @@ pub fn fig_commratio(h: &mut Harness, app: App) {
     };
     let mut rows = Vec::new();
     for mode in h.modes_for(app) {
-        let vals: Vec<f64> =
-            PROCS.iter().map(|&p| h.ipsc(app, p, mode).comm_to_comp).collect();
+        let vals: Vec<f64> = PROCS
+            .iter()
+            .map(|&p| h.ipsc(app, p, mode).comm_to_comp)
+            .collect();
         rows.push((mode.to_string(), vals));
     }
-    println!("\n{}", header(&format!(
-        "Figure {fig}: Communication to Computation Ratio for {} on the iPSC/860 (Mbytes/s)",
-        app.name()
-    )));
+    println!(
+        "\n{}",
+        header(&format!(
+            "Figure {fig}: Communication to Computation Ratio for {} on the iPSC/860 (Mbytes/s)",
+            app.name()
+        ))
+    );
     for (label, vals) in &rows {
         let mut s = format!("{label:>16} |");
         for v in vals {
@@ -228,17 +263,27 @@ pub fn fig_commratio(h: &mut Harness, app: App) {
 /// replication and concurrent fetch on; latency hiding off).
 pub fn table_bcast(h: &mut Harness, app: App) {
     let paper = paper_data::bcast_table(app.name());
-    let mode = if app.has_placement() { LocalityMode::TaskPlacement } else { LocalityMode::Locality };
+    let mode = if app.has_placement() {
+        LocalityMode::TaskPlacement
+    } else {
+        LocalityMode::Locality
+    };
     let mut rows = Vec::new();
     for (label, ab) in [("Adaptive Bcast", true), ("No Adapt Bcast", false)] {
         let vals: Vec<f64> = PROCS
             .iter()
-            .map(|&p| h.ipsc_with(app, p, mode, |c| c.adaptive_broadcast = ab).exec_time_s)
+            .map(|&p| {
+                h.ipsc_with(app, p, mode, |c| c.adaptive_broadcast = ab)
+                    .exec_time_s
+            })
             .collect();
         rows.push((label.to_string(), vals));
     }
     print_table(
-        &format!("Adaptive Broadcast for {} on the iPSC/860 (seconds) [reproduced]", app.name()),
+        &format!(
+            "Adaptive Broadcast for {} on the iPSC/860 (seconds) [reproduced]",
+            app.name()
+        ),
         &rows,
         Some(&paper),
     );
@@ -268,8 +313,12 @@ pub fn bcast_analysis(h: &mut Harness) {
             bcast,
             paper_bcast
         );
-        let with = h.ipsc_with(app, 32, LocalityMode::Locality, |c| c.adaptive_broadcast = true);
-        let without = h.ipsc_with(app, 32, LocalityMode::Locality, |c| c.adaptive_broadcast = false);
+        let with = h.ipsc_with(app, 32, LocalityMode::Locality, |c| {
+            c.adaptive_broadcast = true
+        });
+        let without = h.ipsc_with(app, 32, LocalityMode::Locality, |c| {
+            c.adaptive_broadcast = false
+        });
         println!(
             "           mean parallel phase: {:.2}s with broadcast / {:.2}s without \
              (paper: 7.3/5.4 Water, 108/106 String); broadcasts performed: {}",
@@ -282,13 +331,22 @@ pub fn bcast_analysis(h: &mut Harness) {
 /// application (all tasks read at least one common object).
 pub fn replication(h: &mut Harness) {
     println!("\nSection 5.1: replication (iPSC/860, 8 processors, Locality level)");
-    println!("{:>16} | {:>12} {:>14} {:>8}", "app", "replication", "no replication", "slowdown");
+    println!(
+        "{:>16} | {:>12} {:>14} {:>8}",
+        "app", "replication", "no replication", "slowdown"
+    );
     for app in App::ALL {
         let on = h.ipsc(app, 8, LocalityMode::Locality).exec_time_s;
         let off = h
             .ipsc_with(app, 8, LocalityMode::Locality, |c| c.replication = false)
             .exec_time_s;
-        println!("{:>16} | {:>12.2} {:>14.2} {:>7.2}x", app.name(), on, off, off / on);
+        println!(
+            "{:>16} | {:>12.2} {:>14.2} {:>7.2}x",
+            app.name(),
+            on,
+            off,
+            off / on
+        );
     }
     println!("  paper: eliminating replication would serialize all of the applications");
 }
@@ -298,7 +356,11 @@ pub fn replication(h: &mut Harness) {
 /// imbalance analysis.
 pub fn latency_hiding(h: &mut Harness) {
     println!("\nSection 5.4: latency hiding (Panel Cholesky on the iPSC/860, Locality level)");
-    println!("{:>16} | {}", "target tasks", PROCS.map(|p| format!("{p:>9}")).join(" "));
+    println!(
+        "{:>16} | {}",
+        "target tasks",
+        PROCS.map(|p| format!("{p:>9}")).join(" ")
+    );
     for target in [1usize, 2] {
         let vals: Vec<f64> = PROCS
             .iter()
@@ -336,10 +398,18 @@ pub fn concurrent_fetch(h: &mut Harness) {
         "app", "procs", "object lat (s)", "task lat (s)", "ratio", "serial-fetch"
     );
     for app in App::ALL {
-        let mode = if app.has_placement() { LocalityMode::TaskPlacement } else { LocalityMode::Locality };
+        let mode = if app.has_placement() {
+            LocalityMode::TaskPlacement
+        } else {
+            LocalityMode::Locality
+        };
         for procs in [8usize, 32] {
             let r = h.ipsc(app, procs, mode);
-            let ratio = if r.task_latency_s > 0.0 { r.object_latency_s / r.task_latency_s } else { 1.0 };
+            let ratio = if r.task_latency_s > 0.0 {
+                r.object_latency_s / r.task_latency_s
+            } else {
+                1.0
+            };
             let serial = h
                 .ipsc_with(app, procs, mode, |c| c.concurrent_fetches = false)
                 .exec_time_s;
@@ -360,53 +430,21 @@ pub fn concurrent_fetch(h: &mut Harness) {
     );
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quick_experiments_run() {
-        // Smoke-test every experiment function at quick scale with a tiny
-        // processor sweep by running the underlying harness entries.
-        let mut h = Harness::new(true);
-        for app in App::ALL {
-            let d = h.dash(app, 2, LocalityMode::Locality);
-            assert!(d.exec_time_s > 0.0);
-            let i = h.ipsc(app, 2, LocalityMode::Locality);
-            assert!(i.exec_time_s > 0.0);
-        }
-    }
-
-    #[test]
-    fn workfree_fraction_is_a_percentage() {
-        let mut h = Harness::new(true);
-        let full = h.ipsc(App::Cholesky, 4, LocalityMode::TaskPlacement).exec_time_s;
-        let free = h
-            .ipsc_with(App::Cholesky, 4, LocalityMode::TaskPlacement, |c| c.work_free = true)
-            .exec_time_s;
-        let pct = 100.0 * free / full;
-        assert!(pct > 0.0 && pct < 100.0, "{pct}");
-    }
-
-    #[test]
-    fn replication_off_is_slower() {
-        let mut h = Harness::new(true);
-        let on = h.ipsc(App::Water, 8, LocalityMode::Locality).exec_time_s;
-        let off = h
-            .ipsc_with(App::Water, 8, LocalityMode::Locality, |c| c.replication = false)
-            .exec_time_s;
-        assert!(off > 1.5 * on, "no-replication {off} vs {on}");
-    }
-}
-
 /// Ablations of the design choices DESIGN.md Section 6 calls out.
 pub fn ablations(h: &mut Harness) {
     println!("\nAblation: eager update protocol (paper Section 6, iPSC/860, 16 procs)");
     println!("  paper: an update-protocol Jade implementation helped regular applications");
     println!("  (Water, String) and degraded irregular ones by generating excess traffic.");
-    println!("{:>16} | {:>10} {:>10} {:>12} {:>12}", "app", "demand (s)", "eager (s)", "demand MB", "eager MB");
+    println!(
+        "{:>16} | {:>10} {:>10} {:>12} {:>12}",
+        "app", "demand (s)", "eager (s)", "demand MB", "eager MB"
+    );
     for app in App::ALL {
-        let mode = if app.has_placement() { LocalityMode::TaskPlacement } else { LocalityMode::Locality };
+        let mode = if app.has_placement() {
+            LocalityMode::TaskPlacement
+        } else {
+            LocalityMode::Locality
+        };
         let d = h.ipsc(app, 16, mode);
         let e = h.ipsc_with(app, 16, mode, |c| c.eager_update = true);
         println!(
@@ -429,7 +467,10 @@ pub fn ablations(h: &mut Harness) {
             t.spec = decls.into_iter().collect();
         }
         let spo = app.dash_sec_per_op(&flipped);
-        let r = jade_dash::run(&flipped, &jade_dash::DashConfig::paper(16, LocalityMode::Locality, spo));
+        let r = jade_dash::run(
+            &flipped,
+            &jade_dash::DashConfig::paper(16, LocalityMode::Locality, spo),
+        );
         println!(
             "  {:>16}: first-declared {:.2}s ({:.0}% locality) | last-declared {:.2}s ({:.0}% locality)",
             app.name(),
@@ -442,10 +483,19 @@ pub fn ablations(h: &mut Harness) {
 
     println!("\nAblation: serial vs concurrent fetches (iPSC/860, 16 procs)");
     for app in App::ALL {
-        let mode = if app.has_placement() { LocalityMode::TaskPlacement } else { LocalityMode::Locality };
+        let mode = if app.has_placement() {
+            LocalityMode::TaskPlacement
+        } else {
+            LocalityMode::Locality
+        };
         let conc = h.ipsc(app, 16, mode).exec_time_s;
-        let ser = h.ipsc_with(app, 16, mode, |c| c.concurrent_fetches = false).exec_time_s;
-        println!("  {:>16}: concurrent {conc:.2}s | serial {ser:.2}s", app.name());
+        let ser = h
+            .ipsc_with(app, 16, mode, |c| c.concurrent_fetches = false)
+            .exec_time_s;
+        println!(
+            "  {:>16}: concurrent {conc:.2}s | serial {ser:.2}s",
+            app.name()
+        );
     }
 }
 
@@ -453,7 +503,11 @@ pub fn ablations(h: &mut Harness) {
 /// (application work / communication / task management / idle), the
 /// breakdown behind the paper's bottleneck arguments. Rendered as text bars.
 pub fn utilization(h: &mut Harness, app: App, procs: usize) {
-    let mode = if app.has_placement() { LocalityMode::TaskPlacement } else { LocalityMode::Locality };
+    let mode = if app.has_placement() {
+        LocalityMode::TaskPlacement
+    } else {
+        LocalityMode::Locality
+    };
     for machine in ["DASH", "iPSC/860"] {
         let (exec, busy) = if machine == "DASH" {
             let r = h.dash(app, procs, mode);
@@ -498,15 +552,23 @@ pub fn heterogeneous(h: &mut Harness) {
     // objects. The balancer's speed adaptivity is pure here.
     {
         let mut b = jade_core::TraceBuilder::new();
-        let objs: Vec<_> = (0..200).map(|i| b.object(&format!("w{i}"), 64, Some(i % 5))).collect();
+        let objs: Vec<_> = (0..200)
+            .map(|i| b.object(&format!("w{i}"), 64, Some(i % 5)))
+            .collect();
         for &o in &objs {
             let mut s = jade_core::AccessSpec::new();
             s.wr(o);
             b.task(s, 1.0);
         }
         let trace = b.build();
-        let hetero = jade_ipsc::run(&trace, &jade_ipsc::IpscConfig::workstations(speeds.clone(), 1.0));
-        let uniform = jade_ipsc::run(&trace, &jade_ipsc::IpscConfig::workstations(vec![1.0; 5], 1.0));
+        let hetero = jade_ipsc::run(
+            &trace,
+            &jade_ipsc::IpscConfig::workstations(speeds.clone(), 1.0),
+        );
+        let uniform = jade_ipsc::run(
+            &trace,
+            &jade_ipsc::IpscConfig::workstations(vec![1.0; 5], 1.0),
+        );
         println!(
             "  200 independent 1s tasks: heterogeneous {:.1}s vs uniform {:.1}s (ideal {:.1} vs 40.0)",
             hetero.exec_time_s,
@@ -520,7 +582,10 @@ pub fn heterogeneous(h: &mut Harness) {
     let trace = h.trace(app, speeds.len());
     let spo = app.ipsc_sec_per_op(&trace);
     let serial = trace.total_work() * spo;
-    let eth = jade_ipsc::run(&trace, &jade_ipsc::IpscConfig::workstations(speeds.clone(), spo));
+    let eth = jade_ipsc::run(
+        &trace,
+        &jade_ipsc::IpscConfig::workstations(speeds.clone(), spo),
+    );
     println!(
         "  Cholesky ({} tasks) on the Ethernet cluster: {:.1}s vs {serial:.1}s serial —\n\
          the shared 10-Mbit wire serializes every panel transfer; fine-grained\n\
@@ -551,11 +616,58 @@ pub fn heterogeneous(h: &mut Harness) {
     let wtrace = h.trace(App::Water, speeds.len());
     let wspo = App::Water.ipsc_sec_per_op(&wtrace);
     let wh = jade_ipsc::run(&wtrace, &jade_ipsc::IpscConfig::workstations(speeds, wspo));
-    let wu = jade_ipsc::run(&wtrace, &jade_ipsc::IpscConfig::workstations(vec![1.0; 5], wspo));
+    let wu = jade_ipsc::run(
+        &wtrace,
+        &jade_ipsc::IpscConfig::workstations(vec![1.0; 5], wspo),
+    );
     println!(
         "  Water (grain = processor count): heterogeneous {:.1}s vs uniform {:.1}s —\n\
          each phase waits for the slowest machine's one task",
-        wh.exec_time_s,
-        wu.exec_time_s
+        wh.exec_time_s, wu.exec_time_s
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiments_run() {
+        // Smoke-test every experiment function at quick scale with a tiny
+        // processor sweep by running the underlying harness entries.
+        let mut h = Harness::new(true);
+        for app in App::ALL {
+            let d = h.dash(app, 2, LocalityMode::Locality);
+            assert!(d.exec_time_s > 0.0);
+            let i = h.ipsc(app, 2, LocalityMode::Locality);
+            assert!(i.exec_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn workfree_fraction_is_a_percentage() {
+        let mut h = Harness::new(true);
+        let full = h
+            .ipsc(App::Cholesky, 4, LocalityMode::TaskPlacement)
+            .exec_time_s;
+        let free = h
+            .ipsc_with(App::Cholesky, 4, LocalityMode::TaskPlacement, |c| {
+                c.work_free = true
+            })
+            .exec_time_s;
+        let pct = 100.0 * free / full;
+        assert!(pct > 0.0 && pct < 100.0, "{pct}");
+    }
+
+    #[test]
+    fn replication_off_is_slower() {
+        let mut h = Harness::new(true);
+        let on = h.ipsc(App::Water, 8, LocalityMode::Locality).exec_time_s;
+        let off = h
+            .ipsc_with(App::Water, 8, LocalityMode::Locality, |c| {
+                c.replication = false
+            })
+            .exec_time_s;
+        assert!(off > 1.5 * on, "no-replication {off} vs {on}");
+    }
 }

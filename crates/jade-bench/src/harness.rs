@@ -10,6 +10,13 @@ use std::rc::Rc;
 /// The processor counts of every experiment in the paper.
 pub const PROCS: [usize; 7] = [1, 2, 4, 8, 16, 24, 32];
 
+/// Which machine model a [`Harness::chrome_trace`] export runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceBackend {
+    Dash,
+    Ipsc,
+}
+
 /// Caches generated traces so each (app, procs) workload is built once.
 pub struct Harness {
     pub quick: bool,
@@ -18,7 +25,10 @@ pub struct Harness {
 
 impl Harness {
     pub fn new(quick: bool) -> Harness {
-        Harness { quick, traces: HashMap::new() }
+        Harness {
+            quick,
+            traces: HashMap::new(),
+        }
     }
 
     pub fn trace(&mut self, app: App, procs: usize) -> Rc<Trace> {
@@ -72,11 +82,42 @@ impl Harness {
         jade_ipsc::run(&trace, &cfg)
     }
 
+    /// Run `app` with event recording on the chosen machine model and
+    /// render the stream as a Chrome `trace_event` JSON document (load it
+    /// in `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn chrome_trace(
+        &mut self,
+        app: App,
+        procs: usize,
+        mode: LocalityMode,
+        backend: TraceBackend,
+    ) -> String {
+        let trace = self.trace(app, procs);
+        let events = match backend {
+            TraceBackend::Dash => {
+                let spo = app.dash_sec_per_op(&trace);
+                jade_dash::run_traced(&trace, &DashConfig::paper(procs, mode, spo)).1
+            }
+            TraceBackend::Ipsc => {
+                let spo = app.ipsc_sec_per_op(&trace);
+                jade_ipsc::run_traced(&trace, &IpscConfig::paper(procs, mode, spo)).1
+            }
+        };
+        let mut out = Vec::new();
+        jade_core::chrome::write_chrome_trace(&mut out, &events)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("chrome trace output is UTF-8")
+    }
+
     /// The locality levels reported for an app (Task Placement only where
     /// the programmer provides placements).
     pub fn modes_for(&self, app: App) -> Vec<LocalityMode> {
         if app.has_placement() {
-            vec![LocalityMode::TaskPlacement, LocalityMode::Locality, LocalityMode::NoLocality]
+            vec![
+                LocalityMode::TaskPlacement,
+                LocalityMode::Locality,
+                LocalityMode::NoLocality,
+            ]
         } else {
             vec![LocalityMode::Locality, LocalityMode::NoLocality]
         }
@@ -129,6 +170,17 @@ mod tests {
         let h = Harness::new(true);
         assert_eq!(h.modes_for(App::Water).len(), 2);
         assert_eq!(h.modes_for(App::Ocean).len(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_exports_and_validates() {
+        let mut h = Harness::new(true);
+        for backend in [TraceBackend::Dash, TraceBackend::Ipsc] {
+            let json = h.chrome_trace(App::Cholesky, 4, LocalityMode::Locality, backend);
+            let n = jade_core::chrome::validate_chrome_trace(&json, 4)
+                .unwrap_or_else(|e| panic!("{backend:?}: {e}"));
+            assert!(n > 0, "{backend:?} produced an empty trace");
+        }
     }
 
     #[test]

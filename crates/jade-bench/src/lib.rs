@@ -14,4 +14,4 @@ pub mod harness;
 pub mod paper_data;
 
 pub use apps::App;
-pub use harness::{Harness, PROCS};
+pub use harness::{Harness, TraceBackend, PROCS};

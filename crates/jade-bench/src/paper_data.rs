@@ -13,18 +13,50 @@ pub struct SerialRow {
 
 /// Table 1: serial and stripped execution times on DASH (seconds).
 pub const TABLE1_DASH: [SerialRow; 4] = [
-    SerialRow { app: "Water", serial: 3628.29, stripped: 3285.90 },
-    SerialRow { app: "String", serial: 20594.50, stripped: 19314.80 },
-    SerialRow { app: "Ocean", serial: 102.99, stripped: 100.03 },
-    SerialRow { app: "Panel Cholesky", serial: 26.67, stripped: 28.91 },
+    SerialRow {
+        app: "Water",
+        serial: 3628.29,
+        stripped: 3285.90,
+    },
+    SerialRow {
+        app: "String",
+        serial: 20594.50,
+        stripped: 19314.80,
+    },
+    SerialRow {
+        app: "Ocean",
+        serial: 102.99,
+        stripped: 100.03,
+    },
+    SerialRow {
+        app: "Panel Cholesky",
+        serial: 26.67,
+        stripped: 28.91,
+    },
 ];
 
 /// Table 6: serial and stripped execution times on the iPSC/860 (seconds).
 pub const TABLE6_IPSC: [SerialRow; 4] = [
-    SerialRow { app: "Water", serial: 2482.91, stripped: 2406.72 },
-    SerialRow { app: "String", serial: 20270.45, stripped: 19629.42 },
-    SerialRow { app: "Ocean", serial: 54.19, stripped: 60.99 },
-    SerialRow { app: "Panel Cholesky", serial: 27.60, stripped: 28.53 },
+    SerialRow {
+        app: "Water",
+        serial: 2482.91,
+        stripped: 2406.72,
+    },
+    SerialRow {
+        app: "String",
+        serial: 20270.45,
+        stripped: 19629.42,
+    },
+    SerialRow {
+        app: "Ocean",
+        serial: 54.19,
+        stripped: 60.99,
+    },
+    SerialRow {
+        app: "Panel Cholesky",
+        serial: 27.60,
+        stripped: 28.53,
+    },
 ];
 
 pub type Row = [Option<f64>; 7];
@@ -40,8 +72,30 @@ pub fn table2() -> ExecTable {
     ExecTable {
         label: "Table 2: Execution Times for Water on DASH (seconds)",
         rows: &[
-            ("Locality", [Some(3270.71), Some(1648.96), Some(833.19), Some(423.14), Some(220.63), Some(153.03), Some(119.48)]),
-            ("No Locality", [Some(3290.47), Some(1648.60), Some(832.91), Some(434.36), Some(229.84), Some(160.82), Some(124.74)]),
+            (
+                "Locality",
+                [
+                    Some(3270.71),
+                    Some(1648.96),
+                    Some(833.19),
+                    Some(423.14),
+                    Some(220.63),
+                    Some(153.03),
+                    Some(119.48),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(3290.47),
+                    Some(1648.60),
+                    Some(832.91),
+                    Some(434.36),
+                    Some(229.84),
+                    Some(160.82),
+                    Some(124.74),
+                ],
+            ),
         ],
     }
 }
@@ -51,8 +105,30 @@ pub fn table3() -> ExecTable {
     ExecTable {
         label: "Table 3: Execution Times for String on DASH (seconds)",
         rows: &[
-            ("Locality", [Some(19621.15), Some(9774.07), Some(5003.69), Some(2534.62), Some(1320.00), Some(903.95), Some(705.84)]),
-            ("No Locality", [Some(19396.12), Some(9756.71), Some(5017.82), Some(2559.44), Some(1350.06), Some(948.73), Some(769.21)]),
+            (
+                "Locality",
+                [
+                    Some(19621.15),
+                    Some(9774.07),
+                    Some(5003.69),
+                    Some(2534.62),
+                    Some(1320.00),
+                    Some(903.95),
+                    Some(705.84),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(19396.12),
+                    Some(9756.71),
+                    Some(5017.82),
+                    Some(2559.44),
+                    Some(1350.06),
+                    Some(948.73),
+                    Some(769.21),
+                ],
+            ),
         ],
     }
 }
@@ -62,9 +138,42 @@ pub fn table4() -> ExecTable {
     ExecTable {
         label: "Table 4: Execution Times for Ocean on DASH (seconds)",
         rows: &[
-            ("Task Placement", [Some(105.21), Some(105.36), Some(36.36), Some(16.14), Some(9.24), Some(8.39), Some(10.71)]),
-            ("Locality", [Some(105.33), Some(99.22), Some(37.79), Some(25.30), Some(17.58), Some(14.52), Some(13.26)]),
-            ("No Locality", [Some(104.51), Some(99.20), Some(38.97), Some(31.21), Some(22.31), Some(18.88), Some(17.31)]),
+            (
+                "Task Placement",
+                [
+                    Some(105.21),
+                    Some(105.36),
+                    Some(36.36),
+                    Some(16.14),
+                    Some(9.24),
+                    Some(8.39),
+                    Some(10.71),
+                ],
+            ),
+            (
+                "Locality",
+                [
+                    Some(105.33),
+                    Some(99.22),
+                    Some(37.79),
+                    Some(25.30),
+                    Some(17.58),
+                    Some(14.52),
+                    Some(13.26),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(104.51),
+                    Some(99.20),
+                    Some(38.97),
+                    Some(31.21),
+                    Some(22.31),
+                    Some(18.88),
+                    Some(17.31),
+                ],
+            ),
         ],
     }
 }
@@ -74,9 +183,42 @@ pub fn table5() -> ExecTable {
     ExecTable {
         label: "Table 5: Execution Times for Panel Cholesky on DASH (seconds)",
         rows: &[
-            ("Task Placement", [Some(35.71), Some(33.64), Some(15.24), Some(7.82), Some(5.95), Some(5.61), Some(5.76)]),
-            ("Locality", [Some(34.94), Some(17.99), Some(11.77), Some(7.53), Some(7.30), Some(7.43), Some(7.86)]),
-            ("No Locality", [Some(35.09), Some(18.99), Some(12.97), Some(9.29), Some(7.88), Some(8.00), Some(8.48)]),
+            (
+                "Task Placement",
+                [
+                    Some(35.71),
+                    Some(33.64),
+                    Some(15.24),
+                    Some(7.82),
+                    Some(5.95),
+                    Some(5.61),
+                    Some(5.76),
+                ],
+            ),
+            (
+                "Locality",
+                [
+                    Some(34.94),
+                    Some(17.99),
+                    Some(11.77),
+                    Some(7.53),
+                    Some(7.30),
+                    Some(7.43),
+                    Some(7.86),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(35.09),
+                    Some(18.99),
+                    Some(12.97),
+                    Some(9.29),
+                    Some(7.88),
+                    Some(8.00),
+                    Some(8.48),
+                ],
+            ),
         ],
     }
 }
@@ -86,8 +228,30 @@ pub fn table7() -> ExecTable {
     ExecTable {
         label: "Table 7: Execution Times for Water on the iPSC/860 (seconds)",
         rows: &[
-            ("Locality", [Some(2435.16), Some(1219.71), Some(617.28), Some(315.69), Some(165.64), Some(118.09), Some(91.53)]),
-            ("No Locality", [Some(2454.78), Some(1231.91), Some(623.34), Some(318.34), Some(167.77), Some(119.72), Some(93.11)]),
+            (
+                "Locality",
+                [
+                    Some(2435.16),
+                    Some(1219.71),
+                    Some(617.28),
+                    Some(315.69),
+                    Some(165.64),
+                    Some(118.09),
+                    Some(91.53),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(2454.78),
+                    Some(1231.91),
+                    Some(623.34),
+                    Some(318.34),
+                    Some(167.77),
+                    Some(119.72),
+                    Some(93.11),
+                ],
+            ),
         ],
     }
 }
@@ -97,8 +261,30 @@ pub fn table8() -> ExecTable {
     ExecTable {
         label: "Table 8: Execution Times for String on the iPSC/860 (seconds)",
         rows: &[
-            ("Locality", [Some(17382.07), Some(9473.24), Some(4773.02), Some(2418.75), Some(1249.69), Some(873.14), Some(678.55)]),
-            ("No Locality", [Some(18873.86), Some(9529.52), Some(4765.96), Some(2424.12), None, Some(869.27), Some(680.94)]),
+            (
+                "Locality",
+                [
+                    Some(17382.07),
+                    Some(9473.24),
+                    Some(4773.02),
+                    Some(2418.75),
+                    Some(1249.69),
+                    Some(873.14),
+                    Some(678.55),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(18873.86),
+                    Some(9529.52),
+                    Some(4765.96),
+                    Some(2424.12),
+                    None,
+                    Some(869.27),
+                    Some(680.94),
+                ],
+            ),
         ],
     }
 }
@@ -108,9 +294,42 @@ pub fn table9() -> ExecTable {
     ExecTable {
         label: "Table 9: Execution Times for Ocean on the iPSC/860 (seconds)",
         rows: &[
-            ("Task Placement", [Some(77.44), Some(68.14), Some(28.75), Some(18.77), Some(24.16), Some(37.18), Some(51.87)]),
-            ("Locality", [Some(77.71), Some(93.74), Some(95.95), Some(57.28), Some(39.50), Some(44.48), Some(55.96)]),
-            ("No Locality", [Some(78.03), Some(100.29), Some(159.77), Some(88.86), Some(56.33), Some(55.56), Some(63.58)]),
+            (
+                "Task Placement",
+                [
+                    Some(77.44),
+                    Some(68.14),
+                    Some(28.75),
+                    Some(18.77),
+                    Some(24.16),
+                    Some(37.18),
+                    Some(51.87),
+                ],
+            ),
+            (
+                "Locality",
+                [
+                    Some(77.71),
+                    Some(93.74),
+                    Some(95.95),
+                    Some(57.28),
+                    Some(39.50),
+                    Some(44.48),
+                    Some(55.96),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(78.03),
+                    Some(100.29),
+                    Some(159.77),
+                    Some(88.86),
+                    Some(56.33),
+                    Some(55.56),
+                    Some(63.58),
+                ],
+            ),
         ],
     }
 }
@@ -120,9 +339,42 @@ pub fn table10() -> ExecTable {
     ExecTable {
         label: "Table 10: Execution Times for Panel Cholesky on the iPSC/860 (seconds)",
         rows: &[
-            ("Task Placement", [Some(54.56), Some(50.18), Some(31.56), Some(32.50), Some(34.41), Some(36.38), Some(38.17)]),
-            ("Locality", [Some(54.54), Some(34.17), Some(33.65), Some(35.97), Some(43.73), Some(47.62), Some(50.83)]),
-            ("No Locality", [Some(54.43), Some(107.43), Some(99.39), Some(75.84), Some(59.02), Some(56.41), Some(59.45)]),
+            (
+                "Task Placement",
+                [
+                    Some(54.56),
+                    Some(50.18),
+                    Some(31.56),
+                    Some(32.50),
+                    Some(34.41),
+                    Some(36.38),
+                    Some(38.17),
+                ],
+            ),
+            (
+                "Locality",
+                [
+                    Some(54.54),
+                    Some(34.17),
+                    Some(33.65),
+                    Some(35.97),
+                    Some(43.73),
+                    Some(47.62),
+                    Some(50.83),
+                ],
+            ),
+            (
+                "No Locality",
+                [
+                    Some(54.43),
+                    Some(107.43),
+                    Some(99.39),
+                    Some(75.84),
+                    Some(59.02),
+                    Some(56.41),
+                    Some(59.45),
+                ],
+            ),
         ],
     }
 }
@@ -133,29 +385,117 @@ pub fn bcast_table(app: &str) -> ExecTable {
         "Water" => ExecTable {
             label: "Table 11: Water on the iPSC/860, adaptive broadcast (seconds)",
             rows: &[
-                ("Adaptive Bcast", [Some(2435.16), Some(1219.71), Some(617.28), Some(315.69), Some(165.64), Some(118.09), Some(91.53)]),
-                ("No Adapt Bcast", [Some(2459.87), Some(1233.98), Some(625.27), Some(323.84), Some(180.15), Some(140.59), Some(122.74)]),
+                (
+                    "Adaptive Bcast",
+                    [
+                        Some(2435.16),
+                        Some(1219.71),
+                        Some(617.28),
+                        Some(315.69),
+                        Some(165.64),
+                        Some(118.09),
+                        Some(91.53),
+                    ],
+                ),
+                (
+                    "No Adapt Bcast",
+                    [
+                        Some(2459.87),
+                        Some(1233.98),
+                        Some(625.27),
+                        Some(323.84),
+                        Some(180.15),
+                        Some(140.59),
+                        Some(122.74),
+                    ],
+                ),
             ],
         },
         "String" => ExecTable {
             label: "Table 12: String on the iPSC/860, adaptive broadcast (seconds)",
             rows: &[
-                ("Adaptive Bcast", [Some(17382.07), Some(9473.24), Some(4773.02), Some(2418.75), Some(1249.69), Some(873.14), Some(678.55)]),
-                ("No Adapt Bcast", [Some(18877.42), Some(9469.36), Some(4765.68), Some(2425.82), Some(1255.29), Some(874.18), Some(689.57)]),
+                (
+                    "Adaptive Bcast",
+                    [
+                        Some(17382.07),
+                        Some(9473.24),
+                        Some(4773.02),
+                        Some(2418.75),
+                        Some(1249.69),
+                        Some(873.14),
+                        Some(678.55),
+                    ],
+                ),
+                (
+                    "No Adapt Bcast",
+                    [
+                        Some(18877.42),
+                        Some(9469.36),
+                        Some(4765.68),
+                        Some(2425.82),
+                        Some(1255.29),
+                        Some(874.18),
+                        Some(689.57),
+                    ],
+                ),
             ],
         },
         "Ocean" => ExecTable {
             label: "Table 13: Ocean on the iPSC/860, adaptive broadcast (seconds)",
             rows: &[
-                ("Adaptive Bcast", [Some(77.44), Some(68.14), Some(28.75), Some(18.77), Some(24.16), Some(37.18), Some(51.87)]),
-                ("No Adapt Bcast", [Some(63.14), Some(65.54), Some(28.73), Some(19.11), Some(25.68), Some(39.99), Some(55.71)]),
+                (
+                    "Adaptive Bcast",
+                    [
+                        Some(77.44),
+                        Some(68.14),
+                        Some(28.75),
+                        Some(18.77),
+                        Some(24.16),
+                        Some(37.18),
+                        Some(51.87),
+                    ],
+                ),
+                (
+                    "No Adapt Bcast",
+                    [
+                        Some(63.14),
+                        Some(65.54),
+                        Some(28.73),
+                        Some(19.11),
+                        Some(25.68),
+                        Some(39.99),
+                        Some(55.71),
+                    ],
+                ),
             ],
         },
         _ => ExecTable {
             label: "Table 14: Panel Cholesky on the iPSC/860, adaptive broadcast (seconds)",
             rows: &[
-                ("Adaptive Bcast", [Some(54.56), Some(50.18), Some(31.56), Some(32.50), Some(34.41), Some(36.38), Some(38.17)]),
-                ("No Adapt Bcast", [Some(37.25), Some(49.76), Some(31.29), Some(32.01), Some(34.92), Some(35.87), Some(38.16)]),
+                (
+                    "Adaptive Bcast",
+                    [
+                        Some(54.56),
+                        Some(50.18),
+                        Some(31.56),
+                        Some(32.50),
+                        Some(34.41),
+                        Some(36.38),
+                        Some(38.17),
+                    ],
+                ),
+                (
+                    "No Adapt Bcast",
+                    [
+                        Some(37.25),
+                        Some(49.76),
+                        Some(31.29),
+                        Some(32.01),
+                        Some(34.92),
+                        Some(35.87),
+                        Some(38.16),
+                    ],
+                ),
             ],
         },
     }
@@ -167,7 +507,16 @@ mod tests {
 
     #[test]
     fn tables_have_seven_columns() {
-        for t in [table2(), table3(), table4(), table5(), table7(), table8(), table9(), table10()] {
+        for t in [
+            table2(),
+            table3(),
+            table4(),
+            table5(),
+            table7(),
+            table8(),
+            table9(),
+            table10(),
+        ] {
             for (_, row) in t.rows {
                 assert_eq!(row.len(), 7);
             }

@@ -11,7 +11,7 @@
 use crate::ids::ObjectId;
 
 /// How a task accesses one shared object.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessMode {
     /// `rd(o)`: the task may read `o`.
     Read,
@@ -49,7 +49,7 @@ impl AccessMode {
 }
 
 /// One declaration: (object, mode).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessDecl {
     pub object: ObjectId,
     pub mode: AccessMode,
@@ -60,7 +60,7 @@ pub struct AccessDecl {
 /// Kept as a small vector in declaration order; duplicate declarations on
 /// the same object are merged in place (the first declaration's position is
 /// preserved, so the locality object is stable).
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccessSpec {
     decls: Vec<AccessDecl>,
 }
@@ -110,7 +110,10 @@ impl AccessSpec {
 
     /// The declared mode for `object`, if any.
     pub fn mode_of(&self, object: ObjectId) -> Option<AccessMode> {
-        self.decls.iter().find(|d| d.object == object).map(|d| d.mode)
+        self.decls
+            .iter()
+            .find(|d| d.object == object)
+            .map(|d| d.mode)
     }
 
     /// The task's locality object: the **first** declared object. The
@@ -122,22 +125,26 @@ impl AccessSpec {
 
     /// Objects the task reads (including read-write).
     pub fn read_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.decls.iter().filter(|d| d.mode.reads()).map(|d| d.object)
+        self.decls
+            .iter()
+            .filter(|d| d.mode.reads())
+            .map(|d| d.object)
     }
 
     /// Objects the task writes (including read-write).
     pub fn written_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.decls.iter().filter(|d| d.mode.writes()).map(|d| d.object)
+        self.decls
+            .iter()
+            .filter(|d| d.mode.writes())
+            .map(|d| d.object)
     }
 
     /// True if this spec has a dynamic data dependence with `other`: some
     /// object is accessed by both, and at least one side writes it.
     pub fn conflicts_with(&self, other: &AccessSpec) -> bool {
-        self.decls.iter().any(|a| {
-            other
-                .mode_of(a.object)
-                .is_some_and(|m| a.mode.conflicts(m))
-        })
+        self.decls
+            .iter()
+            .any(|a| other.mode_of(a.object).is_some_and(|m| a.mode.conflicts(m)))
     }
 }
 
@@ -222,9 +229,18 @@ mod tests {
     #[test]
     fn from_iter_merges() {
         let s: AccessSpec = [
-            AccessDecl { object: o(1), mode: AccessMode::Read },
-            AccessDecl { object: o(1), mode: AccessMode::Write },
-            AccessDecl { object: o(2), mode: AccessMode::Read },
+            AccessDecl {
+                object: o(1),
+                mode: AccessMode::Read,
+            },
+            AccessDecl {
+                object: o(1),
+                mode: AccessMode::Write,
+            },
+            AccessDecl {
+                object: o(2),
+                mode: AccessMode::Read,
+            },
         ]
         .into_iter()
         .collect();

@@ -1,0 +1,824 @@
+//! Unified structured event layer shared by every Jade backend.
+//!
+//! The paper's evaluation is built on *instrumented runs*: every number in
+//! Tables 2–14 and Figures 2–21 is an aggregation over low-level runtime
+//! events (task dispatches, object fetches, broadcast sends, queue steals).
+//! This module gives the reproduction the same substrate. All backends —
+//! the [`Synchronizer`](crate::Synchronizer), the DASH and iPSC/860 machine
+//! simulators, and the real `jade-threads` executor — emit the same
+//! [`Event`] schema into an [`EventSink`], and the [`Metrics`] aggregator
+//! reconstructs every reported counter and component-time breakdown from
+//! the event stream alone.
+//!
+//! Three consumers sit on top:
+//!
+//! * [`Metrics::from_events`] — the single aggregation path for counters
+//!   and per-processor `app`/`comm`/`mgmt` time breakdowns;
+//! * [`check_lifecycle`] / [`check_conservation`] — structural invariants:
+//!   every task has exactly one created → dispatched → started → completed
+//!   chain, and per-processor busy intervals tile the simulated makespan
+//!   without overlap;
+//! * [`crate::chrome`] — a Chrome `trace_event` exporter so any run can be
+//!   opened in `chrome://tracing` / Perfetto.
+//!
+//! The sink is an enum, not a trait object: the [`EventSink::Disabled`]
+//! arm makes every emission a branch on a discriminant that the optimizer
+//! removes, so backends that run untraced (the default for
+//! `jade-threads`) pay nothing.
+
+use crate::ids::{ObjectId, ProcId, TaskId};
+
+/// Which component of the implementation a busy interval belongs to — the
+/// paper's three-way breakdown of processor time (Figures 10/11 and 20/21
+/// report the management component; 16–19 the communication component).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Useful application work (task bodies).
+    App,
+    /// Communication: remote fetch stalls (DASH) or message serialization,
+    /// transfer handlers and broadcast sends (iPSC/860).
+    Comm,
+    /// Task management: creation, dependence analysis, dispatch, completion.
+    Mgmt,
+}
+
+impl Component {
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::App => "app",
+            Component::Comm => "comm",
+            Component::Mgmt => "mgmt",
+        }
+    }
+}
+
+/// Outcome of the locality heuristic for one task dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locality {
+    /// Task ran on the processor owning its locality object.
+    Hit,
+    /// Task had a locality object but ran elsewhere.
+    Miss,
+    /// Not measured: serial-phase task, or no locality object declared.
+    Untracked,
+}
+
+/// One structured runtime event. `time_ps` is virtual picoseconds in the
+/// simulators and a logical sequence number in the thread backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub time_ps: u64,
+    pub proc: ProcId,
+    pub kind: EventKind,
+    pub task: Option<TaskId>,
+    pub object: Option<ObjectId>,
+}
+
+/// The event vocabulary. Task lifecycle events are emitted by the
+/// synchronizer (creation/enabling/completion) and the backends
+/// (dispatch/start); object and message events by the machine models;
+/// `Span` events record every processor-busy interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Task registered with the synchronizer (serial program order).
+    TaskCreated,
+    /// All declared accesses granted; the task may now run.
+    TaskEnabled,
+    /// Task bound to a processor. `stolen` marks a queue steal; `locality`
+    /// is the heuristic outcome at binding time.
+    TaskDispatched { stolen: bool, locality: Locality },
+    /// iPSC scheduler deferred the task to the main-processor pool.
+    TaskPooled,
+    /// Task body began executing.
+    TaskStarted,
+    /// Task completed and its queue entries were released.
+    TaskCompleted,
+    /// A declared access was released mid-task (pipelining).
+    AccessReleased,
+    /// Request message sent for a remote object (iPSC pull protocol).
+    ObjectRequest { bytes: u64 },
+    /// Object data arrived at `proc`, creating a replica. `latency_ps` is
+    /// the request-to-arrival latency (Figure 16-family numerator).
+    ObjectFetch { bytes: u64, latency_ps: u64 },
+    /// A write retired all outdated replicas of `object`.
+    ObjectInvalidate,
+    /// One broadcast of `bytes` to `receivers` other processors.
+    ObjectBroadcast { bytes: u64, receivers: u32 },
+    /// Eager point-to-point push to a known consumer.
+    EagerPush { bytes: u64 },
+    /// Control message sent (task assignment, completion notify).
+    MsgSend { bytes: u64 },
+    /// Control message received.
+    MsgRecv { bytes: u64 },
+    /// First parallel task of `phase` was created.
+    PhaseStart { phase: u32 },
+    /// A task of `phase` finished (the last such event ends the phase).
+    PhaseEnd { phase: u32 },
+    /// Processor-busy interval: `proc` was doing `component` work for
+    /// `dur_ps` starting at `time_ps`. Per-processor spans never overlap
+    /// and tile the makespan (see [`check_conservation`]).
+    Span { component: Component, dur_ps: u64 },
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskCreated => "task_created",
+            EventKind::TaskEnabled => "task_enabled",
+            EventKind::TaskDispatched { .. } => "task_dispatched",
+            EventKind::TaskPooled => "task_pooled",
+            EventKind::TaskStarted => "task_started",
+            EventKind::TaskCompleted => "task_completed",
+            EventKind::AccessReleased => "access_released",
+            EventKind::ObjectRequest { .. } => "object_request",
+            EventKind::ObjectFetch { .. } => "object_fetch",
+            EventKind::ObjectInvalidate => "object_invalidate",
+            EventKind::ObjectBroadcast { .. } => "object_broadcast",
+            EventKind::EagerPush { .. } => "eager_push",
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgRecv { .. } => "msg_recv",
+            EventKind::PhaseStart { .. } => "phase_start",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::Span { .. } => "span",
+        }
+    }
+}
+
+/// Destination for emitted events. `Disabled` costs one predictable branch
+/// per emission site; `Record` appends to an in-memory vector.
+#[derive(Clone, Debug, Default)]
+pub enum EventSink {
+    #[default]
+    Disabled,
+    Record(Vec<Event>),
+}
+
+impl EventSink {
+    /// A sink that records events in memory.
+    pub fn recording() -> EventSink {
+        EventSink::Record(Vec::new())
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, EventSink::Record(_))
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if let EventSink::Record(v) = self {
+            v.push(ev);
+        }
+    }
+
+    /// Emit an event with no task/object attribution.
+    #[inline]
+    pub fn emit(&mut self, time_ps: u64, proc: ProcId, kind: EventKind) {
+        self.push(Event {
+            time_ps,
+            proc,
+            kind,
+            task: None,
+            object: None,
+        });
+    }
+
+    /// Emit a task-attributed event.
+    #[inline]
+    pub fn emit_task(&mut self, time_ps: u64, proc: ProcId, kind: EventKind, task: TaskId) {
+        self.push(Event {
+            time_ps,
+            proc,
+            kind,
+            task: Some(task),
+            object: None,
+        });
+    }
+
+    /// Emit an object-attributed event (optionally tied to a task).
+    #[inline]
+    pub fn emit_obj(
+        &mut self,
+        time_ps: u64,
+        proc: ProcId,
+        kind: EventKind,
+        task: Option<TaskId>,
+        object: ObjectId,
+    ) {
+        self.push(Event {
+            time_ps,
+            proc,
+            kind,
+            task,
+            object: Some(object),
+        });
+    }
+
+    /// Emit a processor-busy span. Zero-length spans are dropped: they
+    /// carry no time and would only complicate the tiling invariant.
+    #[inline]
+    pub fn span(
+        &mut self,
+        start_ps: u64,
+        proc: ProcId,
+        component: Component,
+        dur_ps: u64,
+        task: Option<TaskId>,
+    ) {
+        if dur_ps > 0 {
+            self.push(Event {
+                time_ps: start_ps,
+                proc,
+                kind: EventKind::Span { component, dur_ps },
+                task,
+                object: None,
+            });
+        }
+    }
+
+    /// Take the recorded events, leaving an empty recording sink.
+    pub fn take(&mut self) -> Vec<Event> {
+        match self {
+            EventSink::Disabled => Vec::new(),
+            EventSink::Record(v) => std::mem::take(v),
+        }
+    }
+
+    /// Consume the sink, returning the recorded events.
+    pub fn into_events(self) -> Vec<Event> {
+        match self {
+            EventSink::Disabled => Vec::new(),
+            EventSink::Record(v) => v,
+        }
+    }
+}
+
+/// Per-processor busy time, split by component (picoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcTimes {
+    pub app_ps: u64,
+    pub comm_ps: u64,
+    pub mgmt_ps: u64,
+}
+
+impl ProcTimes {
+    pub fn busy_ps(&self) -> u64 {
+        self.app_ps + self.comm_ps + self.mgmt_ps
+    }
+}
+
+/// Start/end bounds of one phase of the computation, from
+/// `PhaseStart`/`PhaseEnd` events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    pub start_ps: Option<u64>,
+    pub end_ps: Option<u64>,
+}
+
+/// Everything the paper reports, reconstructed from an event stream alone.
+///
+/// All sums are integer picoseconds/bytes, so aggregation is exact and
+/// independent of event order — event-derived numbers match the machine
+/// models' own accounting bit-for-bit.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    pub tasks_created: usize,
+    pub tasks_enabled: usize,
+    pub tasks_dispatched: usize,
+    pub tasks_started: usize,
+    pub tasks_completed: usize,
+    /// Dispatches with `stolen = true`.
+    pub steals: u64,
+    /// Tasks deferred to the main-processor pool (iPSC).
+    pub pooled: u64,
+    pub locality_hits: usize,
+    /// Dispatches where the heuristic outcome was measured (hit or miss).
+    pub locality_tracked: usize,
+    pub releases: u64,
+    /// Completed object fetches (point-to-point transfers / remote stalls).
+    pub fetches: u64,
+    pub fetch_bytes: u64,
+    pub requests: u64,
+    pub request_bytes: u64,
+    pub invalidations: u64,
+    pub broadcasts: u64,
+    /// Total broadcast payload delivered: `bytes * receivers` per event.
+    pub broadcast_bytes: u64,
+    pub eager_sends: u64,
+    pub eager_bytes: u64,
+    pub msg_sends: u64,
+    pub msg_recvs: u64,
+    pub msg_bytes: u64,
+    /// Sum of request-to-arrival latencies over all fetches.
+    pub object_latency_ps: u64,
+    /// Per task with fetches: last arrival minus first request, summed.
+    pub task_latency_ps: u64,
+    /// Per-processor component breakdown from `Span` events.
+    pub per_proc: Vec<ProcTimes>,
+    /// Latest span end over all processors.
+    pub makespan_ps: u64,
+    /// App + Comm span time attributed to tasks (DASH "task time":
+    /// work plus fetch stalls; on the iPSC only App spans carry tasks'
+    /// execution, so this equals `total().app_ps` there).
+    pub task_span_ps: u64,
+    pub phases: Vec<PhaseTimes>,
+}
+
+impl Metrics {
+    /// Aggregate an event stream. `procs` sizes the per-processor table;
+    /// events from higher processor indices grow it as needed.
+    pub fn from_events(events: &[Event], procs: usize) -> Metrics {
+        let mut m = Metrics {
+            per_proc: vec![ProcTimes::default(); procs],
+            ..Metrics::default()
+        };
+        // Per-task fetch window: (first request sent, last arrival).
+        let mut windows: Vec<(TaskId, u64, u64)> = Vec::new();
+        fn window_of(windows: &mut Vec<(TaskId, u64, u64)>, task: TaskId) -> usize {
+            match windows.iter().position(|w| w.0 == task) {
+                Some(i) => i,
+                None => {
+                    windows.push((task, u64::MAX, 0));
+                    windows.len() - 1
+                }
+            }
+        }
+        for e in events {
+            match e.kind {
+                EventKind::TaskCreated => m.tasks_created += 1,
+                EventKind::TaskEnabled => m.tasks_enabled += 1,
+                EventKind::TaskDispatched { stolen, locality } => {
+                    m.tasks_dispatched += 1;
+                    if stolen {
+                        m.steals += 1;
+                    }
+                    match locality {
+                        Locality::Hit => {
+                            m.locality_tracked += 1;
+                            m.locality_hits += 1;
+                        }
+                        Locality::Miss => m.locality_tracked += 1,
+                        Locality::Untracked => {}
+                    }
+                }
+                EventKind::TaskPooled => m.pooled += 1,
+                EventKind::TaskStarted => m.tasks_started += 1,
+                EventKind::TaskCompleted => m.tasks_completed += 1,
+                EventKind::AccessReleased => m.releases += 1,
+                EventKind::ObjectRequest { bytes } => {
+                    m.requests += 1;
+                    m.request_bytes += bytes;
+                    if let Some(t) = e.task {
+                        let i = window_of(&mut windows, t);
+                        windows[i].1 = windows[i].1.min(e.time_ps);
+                    }
+                }
+                EventKind::ObjectFetch { bytes, latency_ps } => {
+                    m.fetches += 1;
+                    m.fetch_bytes += bytes;
+                    m.object_latency_ps += latency_ps;
+                    if let Some(t) = e.task {
+                        let i = window_of(&mut windows, t);
+                        windows[i].2 = windows[i].2.max(e.time_ps);
+                    }
+                }
+                EventKind::ObjectInvalidate => m.invalidations += 1,
+                EventKind::ObjectBroadcast { bytes, receivers } => {
+                    m.broadcasts += 1;
+                    m.broadcast_bytes += bytes * receivers as u64;
+                }
+                EventKind::EagerPush { bytes } => {
+                    m.eager_sends += 1;
+                    m.eager_bytes += bytes;
+                }
+                EventKind::MsgSend { bytes } => {
+                    m.msg_sends += 1;
+                    m.msg_bytes += bytes;
+                }
+                EventKind::MsgRecv { .. } => m.msg_recvs += 1,
+                EventKind::PhaseStart { phase } => {
+                    let ph = Self::phase_mut(&mut m.phases, phase);
+                    if ph.start_ps.is_none() {
+                        ph.start_ps = Some(e.time_ps);
+                    }
+                }
+                EventKind::PhaseEnd { phase } => {
+                    let ph = Self::phase_mut(&mut m.phases, phase);
+                    ph.end_ps = Some(ph.end_ps.unwrap_or(0).max(e.time_ps));
+                }
+                EventKind::Span { component, dur_ps } => {
+                    if e.proc >= m.per_proc.len() {
+                        m.per_proc.resize(e.proc + 1, ProcTimes::default());
+                    }
+                    let pt = &mut m.per_proc[e.proc];
+                    match component {
+                        Component::App => pt.app_ps += dur_ps,
+                        Component::Comm => pt.comm_ps += dur_ps,
+                        Component::Mgmt => pt.mgmt_ps += dur_ps,
+                    }
+                    m.makespan_ps = m.makespan_ps.max(e.time_ps + dur_ps);
+                    if e.task.is_some() && component != Component::Mgmt {
+                        m.task_span_ps += dur_ps;
+                    }
+                }
+            }
+        }
+        for (_, first, last) in windows {
+            if first != u64::MAX && last >= first {
+                m.task_latency_ps += last - first;
+            }
+        }
+        m
+    }
+
+    fn phase_mut(phases: &mut Vec<PhaseTimes>, phase: u32) -> &mut PhaseTimes {
+        let i = phase as usize;
+        if i >= phases.len() {
+            phases.resize(i + 1, PhaseTimes::default());
+        }
+        &mut phases[i]
+    }
+
+    /// Whole-machine component totals.
+    pub fn total(&self) -> ProcTimes {
+        let mut t = ProcTimes::default();
+        for p in &self.per_proc {
+            t.app_ps += p.app_ps;
+            t.comm_ps += p.comm_ps;
+            t.mgmt_ps += p.mgmt_ps;
+        }
+        t
+    }
+
+    /// Total communicated bytes: fetches + broadcasts + eager pushes.
+    pub fn comm_bytes(&self) -> u64 {
+        self.fetch_bytes + self.broadcast_bytes + self.eager_bytes
+    }
+
+    /// Task locality percentage over tracked dispatches (0 when none were
+    /// tracked, matching the machine models' convention).
+    pub fn locality_pct(&self) -> f64 {
+        if self.locality_tracked == 0 {
+            0.0
+        } else {
+            100.0 * self.locality_hits as f64 / self.locality_tracked as f64
+        }
+    }
+
+    /// Mean length of the phases that had parallel activity (a
+    /// `PhaseStart` is only emitted for parallel tasks), in picoseconds.
+    pub fn mean_parallel_phase_ps(&self) -> f64 {
+        let lens: Vec<u64> = self
+            .phases
+            .iter()
+            .filter_map(|p| match (p.start_ps, p.end_ps) {
+                (Some(s), Some(e)) if e >= s => Some(e - s),
+                _ => None,
+            })
+            .collect();
+        if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<u64>() as f64 / lens.len() as f64
+        }
+    }
+}
+
+/// Verify that every task in the stream has exactly one
+/// created → enabled → \[dispatched →\] started → completed chain, in that
+/// order both by stream position and by timestamp. Tasks created but not
+/// yet complete (partial streams) fail; pass only complete runs.
+pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
+    #[derive(Default, Clone)]
+    struct Chain {
+        created: usize,
+        enabled: usize,
+        dispatched: usize,
+        started: usize,
+        completed: usize,
+        stage: u8,
+        last_time: u64,
+    }
+    let mut chains: Vec<Chain> = Vec::new();
+    for (pos, e) in events.iter().enumerate() {
+        let stage = match e.kind {
+            EventKind::TaskCreated => 1,
+            EventKind::TaskEnabled => 2,
+            EventKind::TaskDispatched { .. } => 3,
+            EventKind::TaskStarted => 4,
+            EventKind::TaskCompleted => 5,
+            _ => continue,
+        };
+        let id = e
+            .task
+            .ok_or_else(|| format!("lifecycle event without task at #{pos}"))?;
+        if id.index() >= chains.len() {
+            chains.resize(id.index() + 1, Chain::default());
+        }
+        let c = &mut chains[id.index()];
+        match stage {
+            1 => c.created += 1,
+            2 => c.enabled += 1,
+            3 => c.dispatched += 1,
+            4 => c.started += 1,
+            5 => c.completed += 1,
+            _ => unreachable!(),
+        }
+        if stage < c.stage {
+            return Err(format!(
+                "{id:?}: {} out of order (after stage {}) at #{pos}",
+                e.kind.name(),
+                c.stage
+            ));
+        }
+        if e.time_ps < c.last_time {
+            return Err(format!(
+                "{id:?}: {} timestamp regressed at #{pos}",
+                e.kind.name()
+            ));
+        }
+        c.stage = stage;
+        c.last_time = e.time_ps;
+    }
+    for (i, c) in chains.iter().enumerate() {
+        let id = TaskId(i as u32);
+        if c.created != 1 || c.enabled != 1 || c.started != 1 || c.completed != 1 {
+            return Err(format!(
+                "{id:?}: chain counts created={} enabled={} started={} completed={} (want 1 each)",
+                c.created, c.enabled, c.started, c.completed
+            ));
+        }
+        if c.dispatched > 1 {
+            return Err(format!("{id:?}: dispatched {} times", c.dispatched));
+        }
+    }
+    Ok(())
+}
+
+/// Verify span conservation: per processor, busy intervals are emitted in
+/// order, never overlap, and end at or before `makespan_ps`; and at least
+/// one interval ends exactly at the makespan (the intervals *tile* the
+/// run — every gap is genuine idle time, nothing double-books a
+/// processor). Returns per-processor busy totals on success.
+pub fn check_conservation(
+    events: &[Event],
+    procs: usize,
+    makespan_ps: u64,
+) -> Result<Vec<u64>, String> {
+    let mut free_at = vec![0u64; procs];
+    let mut busy = vec![0u64; procs];
+    let mut latest_end = 0u64;
+    for (pos, e) in events.iter().enumerate() {
+        if let EventKind::Span { dur_ps, .. } = e.kind {
+            if e.proc >= procs {
+                return Err(format!("span on unknown proc {} at #{pos}", e.proc));
+            }
+            if e.time_ps < free_at[e.proc] {
+                return Err(format!(
+                    "proc {} spans overlap at #{pos}: start {} < previous end {}",
+                    e.proc, e.time_ps, free_at[e.proc]
+                ));
+            }
+            let end = e.time_ps + dur_ps;
+            free_at[e.proc] = end;
+            busy[e.proc] += dur_ps;
+            latest_end = latest_end.max(end);
+        }
+    }
+    if latest_end != makespan_ps {
+        return Err(format!(
+            "spans end at {latest_end} ps but makespan is {makespan_ps} ps"
+        ));
+    }
+    Ok(busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(t: u64, proc: ProcId, c: Component, d: u64) -> Event {
+        Event {
+            time_ps: t,
+            proc,
+            kind: EventKind::Span {
+                component: c,
+                dur_ps: d,
+            },
+            task: None,
+            object: None,
+        }
+    }
+
+    fn task_ev(t: u64, proc: ProcId, kind: EventKind, id: u32) -> Event {
+        Event {
+            time_ps: t,
+            proc,
+            kind,
+            task: Some(TaskId(id)),
+            object: None,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut s = EventSink::Disabled;
+        s.emit(0, 0, EventKind::TaskCreated);
+        s.span(0, 0, Component::App, 10, None);
+        assert!(!s.is_enabled());
+        assert!(s.into_events().is_empty());
+    }
+
+    #[test]
+    fn recording_sink_drops_zero_spans() {
+        let mut s = EventSink::recording();
+        s.span(0, 0, Component::App, 0, None);
+        s.span(5, 0, Component::App, 7, None);
+        let evs = s.into_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].time_ps, 5);
+    }
+
+    #[test]
+    fn metrics_counts_and_breakdowns() {
+        let events = vec![
+            task_ev(0, 0, EventKind::TaskCreated, 0),
+            task_ev(0, 0, EventKind::TaskEnabled, 0),
+            task_ev(
+                1,
+                1,
+                EventKind::TaskDispatched {
+                    stolen: true,
+                    locality: Locality::Miss,
+                },
+                0,
+            ),
+            task_ev(2, 1, EventKind::TaskStarted, 0),
+            span(2, 1, Component::App, 10),
+            span(12, 1, Component::Comm, 4),
+            task_ev(16, 1, EventKind::TaskCompleted, 0),
+            span(0, 0, Component::Mgmt, 3),
+        ];
+        let m = Metrics::from_events(&events, 2);
+        assert_eq!(m.tasks_created, 1);
+        assert_eq!(m.steals, 1);
+        assert_eq!(m.locality_tracked, 1);
+        assert_eq!(m.locality_hits, 0);
+        assert_eq!(
+            m.per_proc[1],
+            ProcTimes {
+                app_ps: 10,
+                comm_ps: 4,
+                mgmt_ps: 0
+            }
+        );
+        assert_eq!(m.per_proc[0].mgmt_ps, 3);
+        assert_eq!(m.makespan_ps, 16);
+        assert_eq!(m.total().busy_ps(), 17);
+        assert_eq!(m.locality_pct(), 0.0);
+    }
+
+    #[test]
+    fn metrics_task_latency_window() {
+        // Task 0 requests at t=5 and t=8; arrivals at t=20 and t=30.
+        let t0 = Some(TaskId(0));
+        let o = ObjectId(0);
+        let events = vec![
+            Event {
+                time_ps: 5,
+                proc: 1,
+                kind: EventKind::ObjectRequest { bytes: 4 },
+                task: t0,
+                object: Some(o),
+            },
+            Event {
+                time_ps: 8,
+                proc: 1,
+                kind: EventKind::ObjectRequest { bytes: 4 },
+                task: t0,
+                object: Some(o),
+            },
+            Event {
+                time_ps: 20,
+                proc: 1,
+                kind: EventKind::ObjectFetch {
+                    bytes: 100,
+                    latency_ps: 15,
+                },
+                task: t0,
+                object: Some(o),
+            },
+            Event {
+                time_ps: 30,
+                proc: 1,
+                kind: EventKind::ObjectFetch {
+                    bytes: 100,
+                    latency_ps: 22,
+                },
+                task: t0,
+                object: Some(o),
+            },
+        ];
+        let m = Metrics::from_events(&events, 2);
+        assert_eq!(m.fetches, 2);
+        assert_eq!(m.fetch_bytes, 200);
+        assert_eq!(m.object_latency_ps, 37);
+        assert_eq!(m.task_latency_ps, 25); // 30 - 5
+    }
+
+    #[test]
+    fn lifecycle_accepts_well_formed_chain() {
+        let events = vec![
+            task_ev(0, 0, EventKind::TaskCreated, 0),
+            task_ev(0, 0, EventKind::TaskEnabled, 0),
+            task_ev(
+                1,
+                0,
+                EventKind::TaskDispatched {
+                    stolen: false,
+                    locality: Locality::Untracked,
+                },
+                0,
+            ),
+            task_ev(2, 0, EventKind::TaskStarted, 0),
+            task_ev(3, 0, EventKind::TaskCompleted, 0),
+        ];
+        assert!(check_lifecycle(&events).is_ok());
+    }
+
+    #[test]
+    fn lifecycle_rejects_missing_start() {
+        let events = vec![
+            task_ev(0, 0, EventKind::TaskCreated, 0),
+            task_ev(0, 0, EventKind::TaskEnabled, 0),
+            task_ev(3, 0, EventKind::TaskCompleted, 0),
+        ];
+        assert!(check_lifecycle(&events).is_err());
+    }
+
+    #[test]
+    fn lifecycle_rejects_out_of_order() {
+        let events = vec![
+            task_ev(0, 0, EventKind::TaskCreated, 0),
+            task_ev(2, 0, EventKind::TaskStarted, 0),
+            task_ev(1, 0, EventKind::TaskEnabled, 0),
+        ];
+        assert!(check_lifecycle(&events).is_err());
+    }
+
+    #[test]
+    fn conservation_accepts_tiling_spans() {
+        let events = vec![
+            span(0, 0, Component::Mgmt, 5),
+            span(10, 0, Component::App, 10),
+            span(3, 1, Component::App, 8),
+        ];
+        let busy = check_conservation(&events, 2, 20).unwrap();
+        assert_eq!(busy, vec![15, 8]);
+    }
+
+    #[test]
+    fn conservation_rejects_overlap() {
+        let events = vec![
+            span(0, 0, Component::App, 10),
+            span(5, 0, Component::Comm, 2),
+        ];
+        assert!(check_conservation(&events, 1, 10).is_err());
+    }
+
+    #[test]
+    fn conservation_rejects_short_makespan() {
+        let events = vec![span(0, 0, Component::App, 10)];
+        assert!(check_conservation(&events, 1, 12).is_err());
+    }
+
+    #[test]
+    fn mean_parallel_phase_ignores_unstarted_phases() {
+        let events = vec![
+            Event {
+                time_ps: 10,
+                proc: 0,
+                kind: EventKind::PhaseStart { phase: 1 },
+                task: None,
+                object: None,
+            },
+            Event {
+                time_ps: 50,
+                proc: 0,
+                kind: EventKind::PhaseEnd { phase: 1 },
+                task: None,
+                object: None,
+            },
+            // Phase 0 only ever ends (serial-only): excluded from the mean.
+            Event {
+                time_ps: 9,
+                proc: 0,
+                kind: EventKind::PhaseEnd { phase: 0 },
+                task: None,
+                object: None,
+            },
+        ];
+        let m = Metrics::from_events(&events, 1);
+        assert_eq!(m.mean_parallel_phase_ps(), 40.0);
+    }
+}

@@ -8,13 +8,13 @@ use std::marker::PhantomData;
 /// Jade programmers aggregate memory into *shared objects* by allocating at
 /// that granularity; the implementation performs all dependence analysis and
 /// communication at object granularity.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
 
 /// Identifies a task. Task ids are assigned in serial program (creation)
 /// order, which is exactly the order the synchronizer uses to resolve
 /// dynamic data dependences.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u32);
 
 /// A processor index. `jade-core` is machine-independent; the machine
@@ -27,7 +27,7 @@ pub const MAIN_PROC: ProcId = 0;
 
 /// The paper's three locality optimization levels (Section 5.2). Shared by
 /// both machine runtimes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LocalityMode {
     /// First-come first-served distribution of enabled tasks to idle
     /// processors (single shared queue on DASH, single queue at the main
@@ -53,8 +53,11 @@ impl LocalityMode {
     }
 
     /// All three levels, in the paper's order.
-    pub const ALL: [LocalityMode; 3] =
-        [LocalityMode::TaskPlacement, LocalityMode::Locality, LocalityMode::NoLocality];
+    pub const ALL: [LocalityMode; 3] = [
+        LocalityMode::TaskPlacement,
+        LocalityMode::Locality,
+        LocalityMode::NoLocality,
+    ];
 }
 
 impl std::fmt::Display for LocalityMode {
@@ -89,7 +92,10 @@ impl<T> Handle<T> {
     /// was created with payload type `T`; a mismatch is caught (with a
     /// panic) at first access, never silently.
     pub fn from_id(id: ObjectId) -> Handle<T> {
-        Handle { id, _marker: PhantomData }
+        Handle {
+            id,
+            _marker: PhantomData,
+        }
     }
 }
 

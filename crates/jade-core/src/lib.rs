@@ -15,7 +15,9 @@
 //! * [`TraceRuntime`] — serial execution plus trace recording for the
 //!   machine simulators (`jade-dash`, `jade-ipsc`);
 //! * [`JadeRuntime`] — the portability interface: one application text runs
-//!   on every backend.
+//!   on every backend;
+//! * [`events`] — the unified structured event layer every backend emits,
+//!   with the [`Metrics`] aggregator and the [`chrome`] trace exporter.
 //!
 //! ```
 //! use jade_core::{JadeRuntime, TaskBuilder, TraceRuntime};
@@ -38,6 +40,8 @@
 mod access;
 #[macro_use]
 mod macros;
+pub mod chrome;
+pub mod events;
 mod ids;
 mod runtime;
 mod store;
@@ -46,6 +50,10 @@ mod task;
 mod trace;
 
 pub use access::{AccessDecl, AccessMode, AccessSpec};
+pub use events::{
+    check_conservation, check_lifecycle, Component, Event, EventKind, EventSink, Locality, Metrics,
+    ProcTimes,
+};
 pub use ids::{Handle, LocalityMode, ObjectId, ProcId, TaskId, MAIN_PROC};
 pub use runtime::JadeRuntime;
 pub use store::{ReadGuard, Store, WriteGuard};

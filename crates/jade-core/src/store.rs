@@ -14,10 +14,10 @@
 //! Jade implementation detects undeclared accesses at run time.
 
 use crate::ids::{Handle, ObjectId, ProcId};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::any::Any;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 type Payload = Box<dyn Any + Send + Sync>;
 
@@ -65,7 +65,10 @@ impl Store {
             home: None,
             data: RwLock::new(Box::new(data)),
         });
-        Handle { id, _marker: PhantomData }
+        Handle {
+            id,
+            _marker: PhantomData,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -121,34 +124,44 @@ impl Store {
     /// currently holds the object — which the synchronizer must prevent.
     pub fn read<T: 'static>(&self, h: Handle<T>) -> ReadGuard<'_, T> {
         let slot = &self.slots[h.id.index()];
-        let guard = slot
-            .data
-            .try_read_recursive()
-            .unwrap_or_else(|| panic!("object {} read-locked while write-held: synchronizer violation", slot.name));
+        let guard = slot.data.try_read().unwrap_or_else(|_| {
+            panic!(
+                "object {} read-locked while write-held: synchronizer violation",
+                slot.name
+            )
+        });
         assert!(
             (*guard).as_ref().is::<T>(),
             "type mismatch reading object {:?} ({})",
             h.id,
             slot.name
         );
-        ReadGuard { guard, _marker: PhantomData }
+        ReadGuard {
+            guard,
+            _marker: PhantomData,
+        }
     }
 
     /// Acquire a write guard on the object. Panics on type mismatch or if
     /// any other holder exists (synchronizer violation).
     pub fn write<T: 'static>(&self, h: Handle<T>) -> WriteGuard<'_, T> {
         let slot = &self.slots[h.id.index()];
-        let guard = slot
-            .data
-            .try_write()
-            .unwrap_or_else(|| panic!("object {} write-locked while held: synchronizer violation", slot.name));
+        let guard = slot.data.try_write().unwrap_or_else(|_| {
+            panic!(
+                "object {} write-locked while held: synchronizer violation",
+                slot.name
+            )
+        });
         assert!(
             (*guard).as_ref().is::<T>(),
             "type mismatch writing object {:?} ({})",
             h.id,
             slot.name
         );
-        WriteGuard { guard, _marker: PhantomData }
+        WriteGuard {
+            guard,
+            _marker: PhantomData,
+        }
     }
 
     /// Read an object and clone the payload out (convenient for extracting
@@ -162,10 +175,15 @@ impl Store {
     pub fn object_meta(
         &self,
     ) -> impl Iterator<Item = (ObjectId, &str, usize, Option<usize>, Option<ProcId>)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (ObjectId(i as u32), s.name.as_str(), s.size_bytes, s.cache_bytes, s.home))
+        self.slots.iter().enumerate().map(|(i, s)| {
+            (
+                ObjectId(i as u32),
+                s.name.as_str(),
+                s.size_bytes,
+                s.cache_bytes,
+                s.home,
+            )
+        })
     }
 }
 

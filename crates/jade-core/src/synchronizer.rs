@@ -19,7 +19,8 @@
 //! `jade-threads` executor, and so its invariants are easy to property-test.
 
 use crate::access::{AccessMode, AccessSpec};
-use crate::ids::{ObjectId, TaskId};
+use crate::events::{EventKind, EventSink};
+use crate::ids::{ObjectId, ProcId, TaskId};
 use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
@@ -59,7 +60,12 @@ impl Default for Synchronizer {
 impl Synchronizer {
     /// `replication`: whether concurrent reads of one object are permitted.
     pub fn new(replication: bool) -> Synchronizer {
-        Synchronizer { queues: Vec::new(), tasks: Vec::new(), replication, live_tasks: 0 }
+        Synchronizer {
+            queues: Vec::new(),
+            tasks: Vec::new(),
+            replication,
+            live_tasks: 0,
+        }
     }
 
     fn queue_mut(&mut self, o: ObjectId) -> &mut VecDeque<QEntry> {
@@ -97,9 +103,17 @@ impl Synchronizer {
             if !granted {
                 ungranted += 1;
             }
-            q.push_back(QEntry { task: id, mode: d.mode, granted });
+            q.push_back(QEntry {
+                task: id,
+                mode: d.mode,
+                granted,
+            });
         }
-        self.tasks.push(TaskState { objects, ungranted, completed: false });
+        self.tasks.push(TaskState {
+            objects,
+            ungranted,
+            completed: false,
+        });
         self.live_tasks += 1;
         ungranted == 0
     }
@@ -116,7 +130,10 @@ impl Synchronizer {
     pub fn complete(&mut self, id: TaskId, newly_enabled: &mut Vec<TaskId>) {
         let state = &mut self.tasks[id.index()];
         assert!(!state.completed, "task {id:?} completed twice");
-        assert_eq!(state.ungranted, 0, "task {id:?} completed while not enabled");
+        assert_eq!(
+            state.ungranted, 0,
+            "task {id:?} completed while not enabled"
+        );
         state.completed = true;
         self.live_tasks -= 1;
         let objects = std::mem::take(&mut self.tasks[id.index()].objects);
@@ -157,7 +174,8 @@ impl Synchronizer {
         for i in 0..q.len() {
             let is_read = q[i].mode == AccessMode::Read;
             if i == 0 || (is_read && replication) {
-                if !q[i].granted && (i == 0 || q.iter().take(i).all(|e| e.mode == AccessMode::Read)) {
+                if !q[i].granted && (i == 0 || q.iter().take(i).all(|e| e.mode == AccessMode::Read))
+                {
                     q[i].granted = true;
                     let t = q[i].task;
                     let ts = &mut self.tasks[t.index()];
@@ -172,6 +190,65 @@ impl Synchronizer {
             } else {
                 break;
             }
+        }
+    }
+
+    /// [`add_task`](Self::add_task) plus event emission: records
+    /// `TaskCreated`, and `TaskEnabled` if the task is immediately
+    /// runnable. The synchronizer has no clock of its own, so the caller
+    /// supplies the instant (`time_ps`) and the processor doing the
+    /// registration.
+    pub fn add_task_traced(
+        &mut self,
+        id: TaskId,
+        spec: &AccessSpec,
+        events: &mut EventSink,
+        time_ps: u64,
+        proc: ProcId,
+    ) -> bool {
+        let enabled = self.add_task(id, spec);
+        events.emit_task(time_ps, proc, EventKind::TaskCreated, id);
+        if enabled {
+            events.emit_task(time_ps, proc, EventKind::TaskEnabled, id);
+        }
+        enabled
+    }
+
+    /// [`complete`](Self::complete) plus event emission: records
+    /// `TaskCompleted` for `id` and `TaskEnabled` for every task its
+    /// completion unblocks.
+    pub fn complete_traced(
+        &mut self,
+        id: TaskId,
+        newly_enabled: &mut Vec<TaskId>,
+        events: &mut EventSink,
+        time_ps: u64,
+        proc: ProcId,
+    ) {
+        let before = newly_enabled.len();
+        self.complete(id, newly_enabled);
+        events.emit_task(time_ps, proc, EventKind::TaskCompleted, id);
+        for &t in &newly_enabled[before..] {
+            events.emit_task(time_ps, proc, EventKind::TaskEnabled, t);
+        }
+    }
+
+    /// [`release`](Self::release) plus event emission: records
+    /// `AccessReleased` and `TaskEnabled` for every unblocked successor.
+    pub fn release_traced(
+        &mut self,
+        id: TaskId,
+        object: ObjectId,
+        newly_enabled: &mut Vec<TaskId>,
+        events: &mut EventSink,
+        time_ps: u64,
+        proc: ProcId,
+    ) {
+        let before = newly_enabled.len();
+        self.release(id, object, newly_enabled);
+        events.emit_obj(time_ps, proc, EventKind::AccessReleased, Some(id), object);
+        for &t in &newly_enabled[before..] {
+            events.emit_task(time_ps, proc, EventKind::TaskEnabled, t);
         }
     }
 
@@ -332,7 +409,11 @@ mod tests {
         assert!(!sync.add_task(TaskId(1), &spec(&[0], &[])));
         let mut enabled = Vec::new();
         sync.release(TaskId(0), o(0), &mut enabled);
-        assert_eq!(enabled, vec![TaskId(1)], "reader enabled before writer completes");
+        assert_eq!(
+            enabled,
+            vec![TaskId(1)],
+            "reader enabled before writer completes"
+        );
         assert!(!sync.all_complete());
         enabled.clear();
         sync.complete(TaskId(1), &mut enabled);
@@ -371,7 +452,11 @@ mod tests {
         assert_eq!(e, vec![TaskId(1)]);
         e.clear();
         sync.complete(TaskId(0), &mut e);
-        assert_eq!(e, vec![TaskId(2)], "remaining entries released at completion");
+        assert_eq!(
+            e,
+            vec![TaskId(2)],
+            "remaining entries released at completion"
+        );
     }
 
     #[test]

@@ -216,7 +216,11 @@ impl<'a> TaskCtx<'a> {
                 id,
             )
         });
-        let ok = if need_write { mode.writes() } else { mode.reads() };
+        let ok = if need_write {
+            mode.writes()
+        } else {
+            mode.reads()
+        };
         assert!(
             ok,
             "access violation: task {:?} ({}) needs {} on object {} but declared {:?}",

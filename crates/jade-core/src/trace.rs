@@ -16,7 +16,7 @@ use crate::store::Store;
 use crate::task::{TaskCtx, TaskDef};
 
 /// Everything a machine simulator needs to know about one task.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TaskRecord {
     pub id: TaskId,
     /// Diagnostic label from the task builder.
@@ -34,7 +34,7 @@ pub struct TaskRecord {
 }
 
 /// Metadata for one shared object.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ObjectRecord {
     pub id: ObjectId,
     pub name: String,
@@ -50,7 +50,7 @@ pub struct ObjectRecord {
 }
 
 /// A complete machine-independent program trace.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     pub objects: Vec<ObjectRecord>,
     /// Tasks in serial program (creation) order.
@@ -89,7 +89,9 @@ impl Trace {
     }
 
     pub fn object_home(&self, o: ObjectId) -> ProcId {
-        self.objects[o.index()].home.unwrap_or(crate::ids::MAIN_PROC)
+        self.objects[o.index()]
+            .home
+            .unwrap_or(crate::ids::MAIN_PROC)
     }
 
     /// Internal consistency checks; used by tests and debug runs.
@@ -182,14 +184,22 @@ impl TraceBuilder {
     }
 
     pub fn build(self) -> Trace {
-        debug_assert!(self.trace.validate().is_empty(), "{:?}", self.trace.validate());
+        debug_assert!(
+            self.trace.validate().is_empty(),
+            "{:?}",
+            self.trace.validate()
+        );
         self.trace
     }
 }
 
 impl Default for Trace {
     fn default() -> Self {
-        Trace { objects: Vec::new(), tasks: Vec::new(), phases: 1 }
+        Trace {
+            objects: Vec::new(),
+            tasks: Vec::new(),
+            phases: 1,
+        }
     }
 }
 
@@ -214,7 +224,12 @@ impl Default for TraceRuntime {
 
 impl TraceRuntime {
     pub fn new() -> TraceRuntime {
-        TraceRuntime { store: Store::new(), tasks: Vec::new(), phase: 0, phases: 1 }
+        TraceRuntime {
+            store: Store::new(),
+            tasks: Vec::new(),
+            phase: 0,
+            phases: 1,
+        }
     }
 
     /// Finish and decompose into the final store and the recorded trace.
@@ -230,7 +245,11 @@ impl TraceRuntime {
                 home,
             })
             .collect();
-        let trace = Trace { objects, tasks: self.tasks, phases: self.phases };
+        let trace = Trace {
+            objects,
+            tasks: self.tasks,
+            phases: self.phases,
+        };
         (self.store, trace)
     }
 }
@@ -284,19 +303,15 @@ mod tests {
         let mut rt = TraceRuntime::new();
         let a = rt.create("a", 8, 1.0f64);
         let b = rt.create("b", 8, 0.0f64);
-        rt.submit(
-            TaskBuilder::new("copy").rd(a).wr(b).body(move |ctx| {
-                *ctx.wr(b) = *ctx.rd(a) * 2.0;
-                ctx.charge(5.0);
-            }),
-        );
+        rt.submit(TaskBuilder::new("copy").rd(a).wr(b).body(move |ctx| {
+            *ctx.wr(b) = *ctx.rd(a) * 2.0;
+            ctx.charge(5.0);
+        }));
         rt.begin_phase();
-        rt.submit(
-            TaskBuilder::new("inc").rd_wr(b).body(move |ctx| {
-                *ctx.wr(b) += 1.0;
-                ctx.charge(1.0);
-            }),
-        );
+        rt.submit(TaskBuilder::new("inc").rd_wr(b).body(move |ctx| {
+            *ctx.wr(b) += 1.0;
+            ctx.charge(1.0);
+        }));
         rt.finish();
         let (store, trace) = rt.into_parts();
         assert_eq!(*store.read(b), 3.0);

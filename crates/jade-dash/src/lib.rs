@@ -41,4 +41,4 @@ mod sim;
 pub use costs::DashCosts;
 pub use memsim::MemSim;
 pub use scheduler::{DashScheduler, LocalityMode};
-pub use sim::{run, DashConfig, DashRunResult};
+pub use sim::{run, run_traced, DashConfig, DashRunResult};

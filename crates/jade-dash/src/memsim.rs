@@ -42,9 +42,15 @@ impl MemSim {
             .iter()
             .map(|o| {
                 let mut sharers = vec![false; clusters];
-                let home_proc = o.home.unwrap_or(jade_core::MAIN_PROC).min(machine.procs - 1);
+                let home_proc = o
+                    .home
+                    .unwrap_or(jade_core::MAIN_PROC)
+                    .min(machine.procs - 1);
                 sharers[machine.cluster_of(home_proc)] = true;
-                ObjState { sharers, dirty_in: None }
+                ObjState {
+                    sharers,
+                    dirty_in: None,
+                }
             })
             .collect();
         let sizes = trace
@@ -52,20 +58,41 @@ impl MemSim {
             .iter()
             .map(|o| o.cache_bytes.unwrap_or(o.size_bytes))
             .collect();
-        MemSim { machine, objects, sizes, bytes_moved: 0 }
+        MemSim {
+            machine,
+            objects,
+            sizes,
+            bytes_moved: 0,
+        }
     }
 
     /// Price and apply all accesses in `spec` performed by a task running on
     /// processor `proc`. Returns the extra communication time the task
     /// spends stalled on remote fetches.
     pub fn task_accesses(&mut self, proc: usize, spec: &AccessSpec) -> SimDuration {
+        self.task_accesses_with(proc, spec, |_, _, _| {})
+    }
+
+    /// Like [`task_accesses`](Self::task_accesses), but reports every
+    /// inter-cluster fetch as `(object, bytes, stall)` — the per-access
+    /// detail behind the event layer's `ObjectFetch` records. Accesses
+    /// that hit in the task's own cluster are not reported.
+    pub fn task_accesses_with(
+        &mut self,
+        proc: usize,
+        spec: &AccessSpec,
+        mut on_fetch: impl FnMut(jade_core::ObjectId, u64, SimDuration),
+    ) -> SimDuration {
         let cluster = self.machine.cluster_of(proc);
         let mut total = SimDuration::ZERO;
         for d in spec.decls() {
-            let cost = match d.mode {
+            let (cost, bytes) = match d.mode {
                 AccessMode::Read => self.read(cluster, d.object.index()),
                 AccessMode::Write | AccessMode::ReadWrite => self.write(cluster, d.object.index()),
             };
+            if bytes > 0 {
+                on_fetch(d.object, bytes, cost);
+            }
             total += cost;
         }
         total
@@ -82,13 +109,16 @@ impl MemSim {
         }
     }
 
-    fn read(&mut self, cluster: usize, obj: usize) -> SimDuration {
+    fn read(&mut self, cluster: usize, obj: usize) -> (SimDuration, u64) {
         let hit = self.hit_level(cluster, obj);
         let bytes = self.sizes[obj];
         let cost = self.machine.transfer_time(bytes, hit);
-        if hit != DashHit::OwnCache {
+        let fetched = if hit != DashHit::OwnCache {
             self.bytes_moved += bytes as u64;
-        }
+            bytes as u64
+        } else {
+            0
+        };
         let st = &mut self.objects[obj];
         // A read fetches a clean copy into this cluster; a dirty copy is
         // written back and the line becomes shared.
@@ -97,29 +127,31 @@ impl MemSim {
             st.sharers[d] = true;
             st.dirty_in = None;
         }
-        cost
+        (cost, fetched)
     }
 
-    fn write(&mut self, cluster: usize, obj: usize) -> SimDuration {
+    fn write(&mut self, cluster: usize, obj: usize) -> (SimDuration, u64) {
         let already_exclusive = {
             let st = &self.objects[obj];
             st.sharers[cluster] && st.sharers.iter().filter(|&&s| s).count() == 1
         };
-        let cost = if already_exclusive {
-            SimDuration::ZERO
+        let (cost, fetched) = if already_exclusive {
+            (SimDuration::ZERO, 0)
         } else {
             let hit = self.hit_level(cluster, obj);
             let c = self.machine.transfer_time(self.sizes[obj], hit);
             if hit != DashHit::OwnCache {
                 self.bytes_moved += self.sizes[obj] as u64;
+                (c, self.sizes[obj] as u64)
+            } else {
+                (c, 0)
             }
-            c
         };
         let st = &mut self.objects[obj];
         st.sharers.iter_mut().for_each(|s| *s = false);
         st.sharers[cluster] = true;
         st.dirty_in = Some(cluster);
-        cost
+        (cost, fetched)
     }
 }
 

@@ -41,7 +41,10 @@ impl ProcQueue {
         if q.is_empty() {
             self.order.push_back(obj);
         }
-        q.push_back(QueuedTask { task, enqueued: now });
+        q.push_back(QueuedTask {
+            task,
+            enqueued: now,
+        });
         self.len += 1;
     }
 
@@ -130,12 +133,18 @@ impl DashScheduler {
     ) {
         self.queued += 1;
         if !self.mode.uses_locality() {
-            self.shared.push_back(QueuedTask { task, enqueued: now });
+            self.shared.push_back(QueuedTask {
+                task,
+                enqueued: now,
+            });
             return;
         }
         let pq = &mut self.procs[target];
         if pinned {
-            pq.pinned.push_back(QueuedTask { task, enqueued: now });
+            pq.pinned.push_back(QueuedTask {
+                task,
+                enqueued: now,
+            });
             pq.len += 1;
         } else {
             // Tasks with an empty access spec have no locality object; they
@@ -174,9 +183,7 @@ impl DashScheduler {
             let victim = (thief + k) % n;
             let pq = &self.procs[victim];
             let eligible = pq.stealable_len() >= 2
-                || pq
-                    .oldest_enqueue()
-                    .is_some_and(|e| e <= patience_cutoff);
+                || pq.oldest_enqueue().is_some_and(|e| e <= patience_cutoff);
             if eligible {
                 if let Some(t) = self.procs[victim].pop_last() {
                     self.queued -= 1;

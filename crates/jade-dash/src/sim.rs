@@ -14,7 +14,9 @@ use crate::costs::DashCosts;
 use crate::memsim::MemSim;
 use crate::scheduler::{DashScheduler, LocalityMode};
 use dsim::{Calendar, DashSpec, ProcClock, ProcId, SimDuration, SimTime, TimeKind};
-use jade_core::{Synchronizer, TaskId, Trace};
+use jade_core::{
+    Component, Event, EventKind, EventSink, Locality, Metrics, Synchronizer, TaskId, Trace,
+};
 
 /// Configuration of one DASH run.
 #[derive(Clone, Debug)]
@@ -55,7 +57,7 @@ impl DashConfig {
 }
 
 /// Measurements from one DASH run.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DashRunResult {
     pub procs: usize,
     /// Wall-clock (virtual) execution time of the whole program.
@@ -115,25 +117,29 @@ struct Sim<'a> {
     /// first-served distribution is arbitrary, and a symmetric simulated
     /// system would otherwise develop accidental processor/task affinity.
     lcg: u64,
-    // Stats.
-    locality_hits: usize,
-    locality_tracked: usize,
-    tasks_executed: usize,
-    task_time: SimDuration,
-    comm_time: SimDuration,
+    /// Every measurement below comes out of this event stream: the run's
+    /// counters are aggregated from it by [`Metrics::from_events`], not
+    /// kept as ad-hoc tallies.
+    events: EventSink,
 }
 
 /// Simulate `trace` on the configured DASH machine.
 pub fn run(trace: &Trace, cfg: &DashConfig) -> DashRunResult {
+    run_traced(trace, cfg).0
+}
+
+/// Simulate `trace` and also return the structured event stream the run's
+/// measurements were aggregated from (see [`jade_core::events`]).
+pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>) {
     let procs = cfg.machine.procs;
     assert!(procs >= 1, "need at least one processor");
     let target = trace
         .tasks
         .iter()
         .map(|t| {
-            t.spec
-                .locality_object()
-                .map_or(jade_core::MAIN_PROC, |o| trace.object_home(o).min(procs - 1))
+            t.spec.locality_object().map_or(jade_core::MAIN_PROC, |o| {
+                trace.object_home(o).min(procs - 1)
+            })
         })
         .collect();
     let mut sim = Sim {
@@ -152,11 +158,7 @@ pub fn run(trace: &Trace, cfg: &DashConfig) -> DashRunResult {
         running: vec![None; procs],
         retry_pending: vec![false; procs],
         lcg: 0x9E3779B97F4A7C15,
-        locality_hits: 0,
-        locality_tracked: 0,
-        tasks_executed: 0,
-        task_time: SimDuration::ZERO,
-        comm_time: SimDuration::ZERO,
+        events: EventSink::recording(),
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
     while let Some((t, ev)) = sim.cal.pop() {
@@ -169,31 +171,55 @@ pub fn run(trace: &Trace, cfg: &DashConfig) -> DashRunResult {
             }
         }
     }
-    assert!(sim.main_done, "simulation stalled: main thread never finished");
+    assert!(
+        sim.main_done,
+        "simulation stalled: main thread never finished"
+    );
     assert!(
         sim.sync.all_complete(),
         "simulation stalled: {} tasks never completed",
         sim.sync.live_tasks()
     );
-    DashRunResult {
+    let events = sim.events.into_events();
+    let m = Metrics::from_events(&events, procs);
+    debug_assert_eq!(
+        m.steals, sim.sched.steals,
+        "event steals disagree with scheduler"
+    );
+    debug_assert_eq!(
+        m.fetch_bytes,
+        sim.mem.as_ref().map_or(0, |mm| mm.bytes_moved),
+        "event fetch bytes disagree with memory model"
+    );
+    debug_assert!(
+        jade_core::check_conservation(&events, procs, sim.pc.horizon().0).is_ok(),
+        "busy spans do not tile the makespan"
+    );
+    let total = m.total();
+    let result = DashRunResult {
         procs,
         exec_time_s: sim.pc.horizon().as_secs_f64(),
-        task_time_s: sim.task_time.as_secs_f64(),
-        locality_pct: dsim::percent(sim.locality_hits as f64, sim.locality_tracked as f64),
-        locality_tracked: sim.locality_tracked,
-        tasks_executed: sim.tasks_executed,
-        steals: sim.sched.steals,
-        mgmt_time_s: sim.pc.total(TimeKind::Mgmt).as_secs_f64(),
-        main_mgmt_s: sim.pc.usage(0).mgmt.as_secs_f64(),
-        comm_time_s: sim.comm_time.as_secs_f64(),
-        bytes_moved: sim.mem.as_ref().map_or(0, |m| m.bytes_moved),
+        task_time_s: SimDuration(m.task_span_ps).as_secs_f64(),
+        locality_pct: dsim::percent(m.locality_hits as f64, m.locality_tracked as f64),
+        locality_tracked: m.locality_tracked,
+        tasks_executed: m.tasks_started,
+        steals: m.steals,
+        mgmt_time_s: SimDuration(total.mgmt_ps).as_secs_f64(),
+        main_mgmt_s: SimDuration(m.per_proc[0].mgmt_ps).as_secs_f64(),
+        comm_time_s: SimDuration(total.comm_ps).as_secs_f64(),
+        bytes_moved: m.fetch_bytes,
         per_proc_busy: (0..procs)
             .map(|p| {
                 let u = sim.pc.usage(p);
-                (u.app.as_secs_f64(), u.comm.as_secs_f64(), u.mgmt.as_secs_f64())
+                (
+                    u.app.as_secs_f64(),
+                    u.comm.as_secs_f64(),
+                    u.mgmt.as_secs_f64(),
+                )
             })
             .collect(),
-    }
+    };
+    (result, events)
 }
 
 /// Deterministic mean-zero multiplicative jitter for task `id`.
@@ -227,7 +253,9 @@ impl Sim<'_> {
             // Serial-phase code: main blocks until the dependences resolve,
             // then executes inline on processor 0.
             self.main_blocked = Some(id);
-            let enabled = self.sync.add_task(id, &rec.spec);
+            let enabled = self
+                .sync
+                .add_task_traced(id, &rec.spec, &mut self.events, t.0, 0);
             if enabled {
                 self.start_task(0, id, t);
             } else {
@@ -235,8 +263,13 @@ impl Sim<'_> {
                 self.try_fill(0, t);
             }
         } else {
-            let end = self.pc.occupy(0, t, self.cfg.costs.create(), TimeKind::Mgmt);
-            let enabled = self.sync.add_task(id, &rec.spec);
+            let create = self.cfg.costs.create();
+            let end = self.pc.occupy(0, t, create, TimeKind::Mgmt);
+            self.events
+                .span(end.0 - create.0, 0, Component::Mgmt, create.0, Some(id));
+            let enabled = self
+                .sync
+                .add_task_traced(id, &rec.spec, &mut self.events, end.0, 0);
             if enabled {
                 self.on_enabled(id, end);
             }
@@ -287,7 +320,10 @@ impl Sim<'_> {
         if idle.is_empty() {
             return None;
         }
-        self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         Some(idle[((self.lcg >> 33) as usize) % idle.len()])
     }
 
@@ -299,9 +335,9 @@ impl Sim<'_> {
             self.dispatch(p, task, t, false);
             return;
         }
-        let cutoff = SimTime(t.0.saturating_sub(
-            SimDuration::from_secs_f64(self.cfg.costs.steal_patience_s).0,
-        ));
+        let cutoff = SimTime(
+            t.0.saturating_sub(SimDuration::from_secs_f64(self.cfg.costs.steal_patience_s).0),
+        );
         if let Some((task, _victim)) = self.sched.steal(p, cutoff) {
             self.dispatch(p, task, t, true);
             return;
@@ -313,12 +349,30 @@ impl Sim<'_> {
         }
     }
 
+    /// The heuristic outcome to record for a dispatch of `id` to `p`:
+    /// measured only for parallel tasks that declared a locality object.
+    fn locality_of(&self, p: ProcId, id: TaskId) -> Locality {
+        let rec = &self.trace.tasks[id.index()];
+        if rec.serial_phase || rec.spec.locality_object().is_none() {
+            Locality::Untracked
+        } else if p == self.target[id.index()] {
+            Locality::Hit
+        } else {
+            Locality::Miss
+        }
+    }
+
     fn dispatch(&mut self, p: ProcId, task: TaskId, t: SimTime, stolen: bool) {
         let mut cost = self.cfg.costs.dispatch();
         if stolen {
             cost += self.cfg.costs.steal();
         }
+        let locality = self.locality_of(p, task);
+        self.events
+            .emit_task(t.0, p, EventKind::TaskDispatched { stolen, locality }, task);
         let end = self.pc.occupy(p, t, cost, TimeKind::Mgmt);
+        self.events
+            .span(end.0 - cost.0, p, Component::Mgmt, cost.0, Some(task));
         self.start_task(p, task, end);
     }
 
@@ -326,36 +380,71 @@ impl Sim<'_> {
         debug_assert!(self.running[p].is_none(), "dispatch to busy processor");
         self.running[p] = Some(id);
         let rec = &self.trace.tasks[id.index()];
+        if rec.serial_phase {
+            // Serial tasks bind to the main processor without a scheduler
+            // dispatch; emit the binding here so every task has one
+            // dispatched event in its lifecycle chain.
+            self.events.emit_task(
+                t.0,
+                p,
+                EventKind::TaskDispatched {
+                    stolen: false,
+                    locality: Locality::Untracked,
+                },
+                id,
+            );
+        }
+        self.events.emit_task(t.0, p, EventKind::TaskStarted, id);
         let work = if self.cfg.work_free {
             SimDuration::ZERO
         } else {
-            SimDuration::from_secs_f64(rec.work * self.cfg.sec_per_op * jitter(id, self.cfg.jitter_frac))
+            SimDuration::from_secs_f64(
+                rec.work * self.cfg.sec_per_op * jitter(id, self.cfg.jitter_frac),
+            )
         };
+        // Inter-cluster fetches this task stalls on, as (object, bytes, stall).
+        let mut fetches: Vec<(jade_core::ObjectId, u64, SimDuration)> = Vec::new();
         let comm = match &mut self.mem {
-            Some(mem) => mem.task_accesses(p, &rec.spec),
+            Some(mem) => mem.task_accesses_with(p, &rec.spec, |o, bytes, stall| {
+                fetches.push((o, bytes, stall))
+            }),
             None => SimDuration::ZERO,
         };
-        // Locality accounting: parallel tasks with a locality object.
-        if !rec.serial_phase && rec.spec.locality_object().is_some() {
-            self.locality_tracked += 1;
-            if p == self.target[id.index()] {
-                self.locality_hits += 1;
-            }
-        }
-        self.tasks_executed += 1;
-        self.task_time += work + comm;
-        self.comm_time += comm;
         let mut end = self.pc.occupy(p, t, work, TimeKind::App);
+        self.events
+            .span(end.0 - work.0, p, Component::App, work.0, Some(id));
         if comm > SimDuration::ZERO {
+            let comm_start = end;
             end = self.pc.occupy(p, t, comm, TimeKind::Comm);
+            self.events
+                .span(end.0 - comm.0, p, Component::Comm, comm.0, Some(id));
+            // Each fetch completes at its offset within the stall interval.
+            let mut at = comm_start;
+            for (o, bytes, stall) in fetches {
+                at += stall;
+                self.events.emit_obj(
+                    at.0,
+                    p,
+                    EventKind::ObjectFetch {
+                        bytes,
+                        latency_ps: stall.0,
+                    },
+                    Some(id),
+                    o,
+                );
+            }
         }
         self.cal.schedule(end, Ev::Finish { proc: p, task: id });
     }
 
     fn on_finish(&mut self, p: ProcId, id: TaskId, t: SimTime) {
-        let end = self.pc.occupy(p, t, self.cfg.costs.complete(), TimeKind::Mgmt);
+        let complete = self.cfg.costs.complete();
+        let end = self.pc.occupy(p, t, complete, TimeKind::Mgmt);
+        self.events
+            .span(end.0 - complete.0, p, Component::Mgmt, complete.0, Some(id));
         let mut newly = Vec::new();
-        self.sync.complete(id, &mut newly);
+        self.sync
+            .complete_traced(id, &mut newly, &mut self.events, end.0, p);
         self.running[p] = None;
         if self.main_blocked == Some(id) {
             self.main_blocked = None;
@@ -429,7 +518,12 @@ mod tests {
         let trace = parallel_trace(32, 8, 1.0);
         let r1 = run(&trace, &cfg(1, LocalityMode::Locality));
         let r8 = run(&trace, &cfg(8, LocalityMode::Locality));
-        assert!(r8.exec_time_s < r1.exec_time_s / 4.0, "8-proc {} vs 1-proc {}", r8.exec_time_s, r1.exec_time_s);
+        assert!(
+            r8.exec_time_s < r1.exec_time_s / 4.0,
+            "8-proc {} vs 1-proc {}",
+            r8.exec_time_s,
+            r1.exec_time_s
+        );
     }
 
     #[test]
@@ -449,7 +543,9 @@ mod tests {
         // Many tasks all homed on processor 1: under NoLocality they're
         // handed to whichever processor is idle.
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..64).map(|i| b.object(&format!("o{i}"), 64, Some(1))).collect();
+        let objs: Vec<_> = (0..64)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(1)))
+            .collect();
         for &o in &objs {
             b.task(spec(&[], &[o]), 0.01);
         }
@@ -476,7 +572,9 @@ mod tests {
     fn serial_phase_blocks_main() {
         // parallel writers -> serial reader -> parallel writers.
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..4).map(|i| b.object(&format!("o{i}"), 64, Some(i))).collect();
+        let objs: Vec<_> = (0..4)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(i)))
+            .collect();
         for &o in &objs {
             b.task(spec(&[], &[o]), 1.0);
         }
@@ -502,7 +600,11 @@ mod tests {
         let r = run(&trace, &c);
         assert_eq!(r.task_time_s, 0.0);
         assert!(r.mgmt_time_s > 0.0);
-        assert!(r.exec_time_s < 0.2, "work-free run should be fast: {}", r.exec_time_s);
+        assert!(
+            r.exec_time_s < 0.2,
+            "work-free run should be fast: {}",
+            r.exec_time_s
+        );
     }
 
     #[test]
@@ -510,7 +612,9 @@ mod tests {
         // All objects homed on processor 1; locality mode must steal to use
         // the other processors.
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..32).map(|i| b.object(&format!("o{i}"), 64, Some(1))).collect();
+        let objs: Vec<_> = (0..32)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(1)))
+            .collect();
         for &o in &objs {
             b.task(spec(&[], &[o]), 1.0);
         }
@@ -525,7 +629,9 @@ mod tests {
     #[test]
     fn placement_pins_tasks() {
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..12).map(|i| b.object(&format!("o{i}"), 64, Some(1 + (i % 3)))).collect();
+        let objs: Vec<_> = (0..12)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(1 + (i % 3))))
+            .collect();
         for (i, &o) in objs.iter().enumerate() {
             b.task_full(spec(&[], &[o]), 0.5, Some(1 + (i % 3)), false);
         }
@@ -539,7 +645,9 @@ mod tests {
     fn replication_off_serializes_readers() {
         let mut b = TraceBuilder::new();
         let shared = b.object("shared", 1024, Some(0));
-        let outs: Vec<_> = (0..8).map(|i| b.object(&format!("o{i}"), 64, Some(i % 4))).collect();
+        let outs: Vec<_> = (0..8)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(i % 4)))
+            .collect();
         for &o in &outs {
             b.task(spec(&[shared], &[o]), 1.0);
         }
@@ -548,8 +656,12 @@ mod tests {
         let mut c = cfg(4, LocalityMode::Locality);
         c.replication = false;
         let off = run(&trace, &c);
-        assert!(off.exec_time_s > 2.0 * on.exec_time_s,
-            "no-replication {} should be much slower than {}", off.exec_time_s, on.exec_time_s);
+        assert!(
+            off.exec_time_s > 2.0 * on.exec_time_s,
+            "no-replication {} should be much slower than {}",
+            off.exec_time_s,
+            on.exec_time_s
+        );
     }
 
     #[test]
@@ -560,5 +672,47 @@ mod tests {
         assert_eq!(a.exec_time_s, b.exec_time_s);
         assert_eq!(a.locality_pct, b.locality_pct);
         assert_eq!(a.steals, b.steals);
+    }
+
+    #[test]
+    fn event_stream_reconstructs_run() {
+        // Mix of parallel phases and a serial phase so every event path
+        // (dispatch, steal retry, serial inline start) is exercised.
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..16)
+            .map(|i| b.object(&format!("o{i}"), 512, Some(i % 4)))
+            .collect();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), 0.05);
+        }
+        b.next_phase();
+        b.task_full(spec(&objs, &[]), 0.1, None, true);
+        let trace = b.build();
+        let (r, events) = run_traced(&trace, &cfg(4, LocalityMode::Locality));
+
+        jade_core::check_lifecycle(&events).expect("lifecycle chains");
+        let m = Metrics::from_events(&events, 4);
+        // The makespan is tiled by per-processor busy spans...
+        jade_core::check_conservation(&events, 4, m.makespan_ps).expect("span conservation");
+        // ...and agrees with the clock the result was built from.
+        assert_eq!(SimDuration(m.makespan_ps).as_secs_f64(), r.exec_time_s);
+        // Per-processor breakdowns from events match the processor clock.
+        for (p, busy) in r.per_proc_busy.iter().enumerate() {
+            let pt = m.per_proc[p];
+            assert_eq!(SimDuration(pt.app_ps).as_secs_f64(), busy.0, "proc {p} app");
+            assert_eq!(
+                SimDuration(pt.comm_ps).as_secs_f64(),
+                busy.1,
+                "proc {p} comm"
+            );
+            assert_eq!(
+                SimDuration(pt.mgmt_ps).as_secs_f64(),
+                busy.2,
+                "proc {p} mgmt"
+            );
+        }
+        assert_eq!(m.tasks_started, r.tasks_executed);
+        assert_eq!(m.tasks_created, trace.tasks.len());
+        assert_eq!(m.fetch_bytes, r.bytes_moved);
     }
 }

@@ -42,4 +42,4 @@ pub use communicator::Communicator;
 pub use costs::IpscCosts;
 pub use jade_core::LocalityMode;
 pub use scheduler::{Decision, IpscScheduler};
-pub use sim::{run, IpscConfig, IpscRunResult};
+pub use sim::{run, run_traced, IpscConfig, IpscRunResult};

@@ -67,7 +67,12 @@ impl IpscScheduler {
     /// Decide where an enabled task goes. `target` is the owner of the
     /// task's locality object at this moment; `placement` is an explicit
     /// programmer placement (honored unconditionally when present).
-    pub fn on_enabled(&mut self, task: TaskId, target: ProcId, placement: Option<ProcId>) -> Decision {
+    pub fn on_enabled(
+        &mut self,
+        task: TaskId,
+        target: ProcId,
+        placement: Option<ProcId>,
+    ) -> Decision {
         if let Some(p) = placement {
             self.loads[p] += 1;
             return Decision::Assign(p);
@@ -86,7 +91,10 @@ impl IpscScheduler {
             let candidates: Vec<usize> = (0..self.loads.len())
                 .filter(|&q| self.loads[q] == min_load)
                 .collect();
-            self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             candidates[((self.lcg >> 33) as usize) % candidates.len()]
         };
         self.loads[p] += 1;
@@ -104,11 +112,7 @@ impl IpscScheduler {
     /// Pull a pooled task for `p` if it is below the target count,
     /// preferring tasks targeted at it. `target_of` computes the *current*
     /// target processor of a pooled task (object ownership is dynamic).
-    pub fn try_pull(
-        &mut self,
-        p: ProcId,
-        target_of: impl Fn(TaskId) -> ProcId,
-    ) -> Option<TaskId> {
+    pub fn try_pull(&mut self, p: ProcId, target_of: impl Fn(TaskId) -> ProcId) -> Option<TaskId> {
         if self.loads[p] >= self.target_tasks || self.pool.is_empty() {
             return None;
         }

@@ -19,8 +19,20 @@ use crate::communicator::Communicator;
 use crate::costs::IpscCosts;
 use crate::scheduler::{Decision, IpscScheduler};
 use dsim::{Calendar, IpscSpec, ProcClock, ProcId, SimDuration, SimTime, TimeKind};
-use jade_core::{LocalityMode, ObjectId, Synchronizer, TaskId, Trace};
+use jade_core::{
+    Component, Event, EventKind, EventSink, Locality, LocalityMode, Metrics, ObjectId,
+    Synchronizer, TaskId, Trace,
+};
 use std::collections::VecDeque;
+
+/// Event-layer component for a [`TimeKind`] of processor occupancy.
+fn comp(kind: TimeKind) -> Component {
+    match kind {
+        TimeKind::App => Component::App,
+        TimeKind::Comm => Component::Comm,
+        TimeKind::Mgmt => Component::Mgmt,
+    }
+}
 
 /// Configuration of one iPSC/860 run.
 #[derive(Clone, Debug)]
@@ -107,7 +119,7 @@ impl IpscConfig {
 }
 
 /// Measurements from one iPSC/860 run.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IpscRunResult {
     pub procs: usize,
     /// Wall-clock (virtual) execution time of the whole program.
@@ -147,14 +159,42 @@ pub struct IpscRunResult {
 #[derive(Debug)]
 enum Ev {
     MainStep,
-    AssignArrive { proc: ProcId, task: TaskId },
-    RequestArrive { obj: ObjectId, requester: ProcId, task: TaskId, sent_at: SimTime },
-    ObjectArrive { proc: ProcId, obj: ObjectId, version: u64, task: TaskId, requested_at: SimTime },
-    BroadcastArrive { proc: ProcId, obj: ObjectId, version: u64 },
+    AssignArrive {
+        proc: ProcId,
+        task: TaskId,
+    },
+    RequestArrive {
+        obj: ObjectId,
+        requester: ProcId,
+        task: TaskId,
+        sent_at: SimTime,
+    },
+    ObjectArrive {
+        proc: ProcId,
+        obj: ObjectId,
+        version: u64,
+        task: TaskId,
+        requested_at: SimTime,
+    },
+    BroadcastArrive {
+        proc: ProcId,
+        obj: ObjectId,
+        version: u64,
+    },
     /// Eager producer-to-consumer push (update protocol, Section 6).
-    EagerArrive { proc: ProcId, obj: ObjectId, version: u64 },
-    Finish { proc: ProcId, task: TaskId },
-    NotifyArrive { proc: ProcId, task: TaskId },
+    EagerArrive {
+        proc: ProcId,
+        obj: ObjectId,
+        version: u64,
+    },
+    Finish {
+        proc: ProcId,
+        task: TaskId,
+    },
+    NotifyArrive {
+        proc: ProcId,
+        task: TaskId,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
@@ -162,7 +202,6 @@ struct TState {
     assigned_to: ProcId,
     outstanding: usize,
     ready: bool,
-    first_req: Option<SimTime>,
     /// Remaining objects to request (serial-fetch mode only).
     fetch_queue: VecDeque<ObjectId>,
 }
@@ -187,25 +226,31 @@ struct Sim<'a> {
     main_blocked: Option<TaskId>,
     main_done: bool,
     /// Handler time that interrupted each processor's currently-executing
-    /// task; the task's completion is pushed back by this amount.
-    interrupt_debt: Vec<SimDuration>,
+    /// task, split by component; the task's completion is pushed back by
+    /// the total. The split lets the settlement at `Ev::Finish` emit
+    /// correctly-typed spans for the preempted interval.
+    debt_comm: Vec<SimDuration>,
+    debt_mgmt: Vec<SimDuration>,
     /// Shared-medium wire occupancy (workstation configurations): index 0
-    /// of a one-entry clock; `None` on switched networks.
+    /// of a one-entry clock; `None` on switched networks. The wire is a
+    /// pseudo-processor and gets no event spans.
     wire: Option<ProcClock>,
-    // Stats.
-    locality_hits: usize,
-    locality_tracked: usize,
-    tasks_executed: usize,
-    task_time: SimDuration,
-    object_latency: SimDuration,
-    task_latency: SimDuration,
-    phase_start: Vec<Option<SimTime>>,
-    phase_end: Vec<Option<SimTime>>,
-    phase_parallel: Vec<bool>,
+    /// Structured event stream; every statistic in [`IpscRunResult`] is
+    /// reconstructed from it.
+    events: EventSink,
+    /// Phases whose `PhaseStart` has been emitted.
+    phase_started: Vec<bool>,
 }
 
 /// Simulate `trace` on the configured iPSC/860.
 pub fn run(trace: &Trace, cfg: &IpscConfig) -> IpscRunResult {
+    run_traced(trace, cfg).0
+}
+
+/// Like [`run`], but also returns the structured event stream of the run.
+/// The result itself is computed from the events (via
+/// [`Metrics::from_events`]), so the two views cannot diverge.
+pub fn run_traced(trace: &Trace, cfg: &IpscConfig) -> (IpscRunResult, Vec<Event>) {
     let procs = cfg.machine.procs;
     assert!(procs >= 1, "need at least one processor");
     let nphases = trace.phases.max(1) as usize;
@@ -219,57 +264,69 @@ pub fn run(trace: &Trace, cfg: &IpscConfig) -> IpscRunResult {
         comm: Communicator::new(trace, procs, cfg.adaptive_broadcast),
         tstate: vec![TState::default(); trace.tasks.len()],
         pstate: (0..procs)
-            .map(|_| PState { queue: VecDeque::new(), executing: None })
+            .map(|_| PState {
+                queue: VecDeque::new(),
+                executing: None,
+            })
             .collect(),
         next_rec: 0,
         main_blocked: None,
         main_done: false,
-        interrupt_debt: vec![SimDuration::ZERO; procs],
+        debt_comm: vec![SimDuration::ZERO; procs],
+        debt_mgmt: vec![SimDuration::ZERO; procs],
         wire: cfg.shared_medium.then(|| ProcClock::new(1)),
-        locality_hits: 0,
-        locality_tracked: 0,
-        tasks_executed: 0,
-        task_time: SimDuration::ZERO,
-        object_latency: SimDuration::ZERO,
-        task_latency: SimDuration::ZERO,
-        phase_start: vec![None; nphases],
-        phase_end: vec![None; nphases],
-        phase_parallel: vec![false; nphases],
+        events: EventSink::recording(),
+        phase_started: vec![false; nphases],
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
     while let Some((t, ev)) = sim.cal.pop() {
         sim.handle(t, ev);
     }
-    assert!(sim.main_done, "simulation stalled: main thread never finished");
+    assert!(
+        sim.main_done,
+        "simulation stalled: main thread never finished"
+    );
     assert!(
         sim.sync.all_complete(),
         "simulation stalled: {} tasks never completed",
         sim.sync.live_tasks()
     );
-    let task_secs = sim.task_time.as_secs_f64();
-    let phase_lengths: Vec<f64> = (0..nphases)
-        .filter(|&ph| sim.phase_parallel[ph])
-        .filter_map(|ph| match (sim.phase_start[ph], sim.phase_end[ph]) {
-            (Some(s), Some(e)) => Some(e.since(s).as_secs_f64()),
+    let events = sim.events.into_events();
+    let m = Metrics::from_events(&events, procs);
+    // The event stream must reproduce the machine model's own books.
+    debug_assert_eq!(m.comm_bytes(), sim.comm.bytes_transferred);
+    debug_assert_eq!(m.fetches, sim.comm.object_sends);
+    debug_assert_eq!(m.broadcasts, sim.comm.broadcasts);
+    debug_assert_eq!(m.pooled, sim.sched.pooled_total);
+    debug_assert_eq!(
+        jade_core::check_conservation(&events, procs, sim.pc.horizon().0).err(),
+        None
+    );
+    let task_secs = SimDuration(m.task_span_ps).as_secs_f64();
+    let phase_lengths: Vec<f64> = m
+        .phases
+        .iter()
+        .filter_map(|ph| match (ph.start_ps, ph.end_ps) {
+            (Some(s), Some(e)) if e >= s => Some(SimDuration(e - s).as_secs_f64()),
             _ => None,
         })
         .collect();
-    IpscRunResult {
+    let result = IpscRunResult {
         procs,
         exec_time_s: sim.pc.horizon().as_secs_f64(),
         task_time_s: task_secs,
-        locality_pct: dsim::percent(sim.locality_hits as f64, sim.locality_tracked as f64),
-        locality_tracked: sim.locality_tracked,
-        tasks_executed: sim.tasks_executed,
-        comm_bytes: sim.comm.bytes_transferred,
-        comm_to_comp: dsim::ratio(sim.comm.bytes_transferred as f64 / 1e6, task_secs),
-        object_latency_s: sim.object_latency.as_secs_f64(),
-        task_latency_s: sim.task_latency.as_secs_f64(),
-        fetches: sim.comm.object_sends,
-        broadcasts: sim.comm.broadcasts,
-        pooled: sim.sched.pooled_total,
-        mgmt_time_s: sim.pc.total(TimeKind::Mgmt).as_secs_f64(),
-        main_busy_s: (sim.pc.usage(0).mgmt + sim.pc.usage(0).comm).as_secs_f64(),
+        locality_pct: dsim::percent(m.locality_hits as f64, m.locality_tracked as f64),
+        locality_tracked: m.locality_tracked,
+        tasks_executed: m.tasks_started,
+        comm_bytes: m.comm_bytes(),
+        comm_to_comp: dsim::ratio(m.comm_bytes() as f64 / 1e6, task_secs),
+        object_latency_s: SimDuration(m.object_latency_ps).as_secs_f64(),
+        task_latency_s: SimDuration(m.task_latency_ps).as_secs_f64(),
+        fetches: m.fetches,
+        broadcasts: m.broadcasts,
+        pooled: m.pooled,
+        mgmt_time_s: SimDuration(m.total().mgmt_ps).as_secs_f64(),
+        main_busy_s: SimDuration(m.per_proc[0].mgmt_ps + m.per_proc[0].comm_ps).as_secs_f64(),
         mean_parallel_phase_s: if phase_lengths.is_empty() {
             0.0
         } else {
@@ -278,10 +335,15 @@ pub fn run(trace: &Trace, cfg: &IpscConfig) -> IpscRunResult {
         per_proc_busy: (0..procs)
             .map(|p| {
                 let u = sim.pc.usage(p);
-                (u.app.as_secs_f64(), u.comm.as_secs_f64(), u.mgmt.as_secs_f64())
+                (
+                    u.app.as_secs_f64(),
+                    u.comm.as_secs_f64(),
+                    u.mgmt.as_secs_f64(),
+                )
             })
             .collect(),
-    }
+    };
+    (result, events)
 }
 
 /// Deterministic mean-zero multiplicative jitter for task `id`.
@@ -296,12 +358,19 @@ impl Sim<'_> {
         match ev {
             Ev::MainStep => self.main_step(t),
             Ev::AssignArrive { proc, task } => self.on_assign_arrive(proc, task, t),
-            Ev::RequestArrive { obj, requester, task, sent_at } => {
-                self.on_request_arrive(obj, requester, task, sent_at, t)
-            }
-            Ev::ObjectArrive { proc, obj, version, task, requested_at } => {
-                self.on_object_arrive(proc, obj, version, task, requested_at, t)
-            }
+            Ev::RequestArrive {
+                obj,
+                requester,
+                task,
+                sent_at,
+            } => self.on_request_arrive(obj, requester, task, sent_at, t),
+            Ev::ObjectArrive {
+                proc,
+                obj,
+                version,
+                task,
+                requested_at,
+            } => self.on_object_arrive(proc, obj, version, task, requested_at, t),
             Ev::BroadcastArrive { proc, obj, version } => {
                 self.handler_op(proc, t, self.cfg.costs.object_recv(), TimeKind::Comm);
                 self.comm.deliver_broadcast(proc, obj, version);
@@ -312,11 +381,19 @@ impl Sim<'_> {
             }
             Ev::Finish { proc, task } => {
                 // Interrupt handlers that preempted this task pushed its
-                // completion back; settle the debt before finishing.
-                let debt = std::mem::take(&mut self.interrupt_debt[proc]);
+                // completion back; settle the debt before finishing. The
+                // settled interval tiles onto the processor's timeline
+                // right after the task's own span, so the spans emitted
+                // here keep the per-processor timeline gap-free.
+                let mgmt = std::mem::take(&mut self.debt_mgmt[proc]);
+                let comm = std::mem::take(&mut self.debt_comm[proc]);
+                let debt = mgmt + comm;
                 if debt > SimDuration::ZERO {
                     let until = t + debt;
                     self.pc.push_free_at(proc, until);
+                    self.events.span(t.0, proc, Component::Mgmt, mgmt.0, None);
+                    self.events
+                        .span(t.0 + mgmt.0, proc, Component::Comm, comm.0, None);
                     self.cal.schedule(until, Ev::Finish { proc, task });
                 } else {
                     self.on_finish(proc, task, t);
@@ -346,11 +423,28 @@ impl Sim<'_> {
     fn handler_op(&mut self, p: ProcId, now: SimTime, dur: SimDuration, kind: TimeKind) -> SimTime {
         if self.pstate[p].executing.is_some() {
             self.pc.account(p, dur, kind);
-            self.interrupt_debt[p] += dur;
+            match kind {
+                TimeKind::Comm => self.debt_comm[p] += dur,
+                _ => self.debt_mgmt[p] += dur,
+            }
             now + dur
         } else {
-            self.pc.occupy(p, now, dur, kind)
+            self.occupy_ev(p, now, dur, kind, None)
         }
+    }
+
+    /// Occupy `p`'s timeline and emit the matching event span.
+    fn occupy_ev(
+        &mut self,
+        p: ProcId,
+        now: SimTime,
+        dur: SimDuration,
+        kind: TimeKind,
+        task: Option<TaskId>,
+    ) -> SimTime {
+        let end = self.pc.occupy(p, now, dur, kind);
+        self.events.span(end.0 - dur.0, p, comp(kind), dur.0, task);
+        end
     }
 
     fn main_step(&mut self, t: SimTime) {
@@ -364,16 +458,21 @@ impl Sim<'_> {
         self.next_rec += 1;
         if rec.serial_phase {
             self.main_blocked = Some(id);
-            let enabled = self.sync.add_task(id, &rec.spec);
+            let enabled = self
+                .sync
+                .add_task_traced(id, &rec.spec, &mut self.events, t.0, 0);
             if enabled {
                 self.begin_serial(id, t);
             } else {
                 self.try_execute(0, t);
             }
         } else {
-            let end = self.pc.occupy(0, t, self.cfg.costs.create(), TimeKind::Mgmt);
+            let create = self.cfg.costs.create();
+            let end = self.occupy_ev(0, t, create, TimeKind::Mgmt, Some(id));
             self.note_phase_start(rec.phase, end, rec.serial_phase);
-            let enabled = self.sync.add_task(id, &rec.spec);
+            let enabled = self
+                .sync
+                .add_task_traced(id, &rec.spec, &mut self.events, end.0, 0);
             if enabled {
                 self.schedule_enabled(id, end);
             }
@@ -383,17 +482,14 @@ impl Sim<'_> {
 
     fn note_phase_start(&mut self, phase: u32, t: SimTime, serial: bool) {
         let ph = phase as usize;
-        if self.phase_start[ph].is_none() {
-            self.phase_start[ph] = Some(t);
-        }
-        if !serial {
-            self.phase_parallel[ph] = true;
+        if !serial && !self.phase_started[ph] {
+            self.phase_started[ph] = true;
+            self.events.emit(t.0, 0, EventKind::PhaseStart { phase });
         }
     }
 
-    fn note_phase_end(&mut self, phase: u32, t: SimTime) {
-        let ph = phase as usize;
-        self.phase_end[ph] = Some(self.phase_end[ph].map_or(t, |e| e.max(t)));
+    fn note_phase_end(&mut self, phase: u32, p: ProcId, t: SimTime) {
+        self.events.emit(t.0, p, EventKind::PhaseEnd { phase });
     }
 
     /// Target processor of a task: the current owner of its locality object.
@@ -427,33 +523,62 @@ impl Sim<'_> {
         let target = self.target_of(id);
         match self.sched.on_enabled(id, target, placement) {
             Decision::Assign(p) => self.send_assignment(p, id, end),
-            Decision::Pool => {}
+            Decision::Pool => self.events.emit_task(end.0, 0, EventKind::TaskPooled, id),
         }
     }
 
     fn send_assignment(&mut self, p: ProcId, id: TaskId, t: SimTime) {
         let rec = &self.trace.tasks[id.index()];
-        // Locality accounting happens at assignment, against the owner of
-        // the locality object at this moment (ownership is dynamic).
-        if !rec.serial_phase && rec.spec.locality_object().is_some() {
-            self.locality_tracked += 1;
-            if p == self.target_of(id) {
-                self.locality_hits += 1;
-            }
-        }
+        // Locality is judged at assignment, against the owner of the
+        // locality object at this moment (ownership is dynamic).
+        let locality = if rec.serial_phase || rec.spec.locality_object().is_none() {
+            Locality::Untracked
+        } else if p == self.target_of(id) {
+            Locality::Hit
+        } else {
+            Locality::Miss
+        };
+        self.events.emit_task(
+            t.0,
+            p,
+            EventKind::TaskDispatched {
+                stolen: false,
+                locality,
+            },
+            id,
+        );
         self.tstate[id.index()].assigned_to = p;
         if p == 0 {
             self.cal.schedule(t, Ev::AssignArrive { proc: 0, task: id });
         } else {
             let dur = self.msg(self.cfg.costs.assign_bytes, 0, p);
+            self.events.emit_task(
+                t.0,
+                0,
+                EventKind::MsgSend {
+                    bytes: self.cfg.costs.assign_bytes as u64,
+                },
+                id,
+            );
             let send_end = self.handler_op(0, t, dur, TimeKind::Comm);
-            self.cal.schedule(send_end, Ev::AssignArrive { proc: p, task: id });
+            self.cal
+                .schedule(send_end, Ev::AssignArrive { proc: p, task: id });
         }
     }
 
     fn on_assign_arrive(&mut self, p: ProcId, id: TaskId, t: SimTime) {
         // "The interrupt handler that received the message containing the
         // task immediately sends out messages requesting the remote objects"
+        if p != 0 {
+            self.events.emit_task(
+                t.0,
+                p,
+                EventKind::MsgRecv {
+                    bytes: self.cfg.costs.assign_bytes as u64,
+                },
+                id,
+            );
+        }
         let t1 = self.handler_op(p, t, self.cfg.costs.recv_handler(), TimeKind::Mgmt);
         self.pstate[p].queue.push_back(id);
         self.issue_fetches(p, id, t1);
@@ -486,17 +611,27 @@ impl Sim<'_> {
             // Request sends serialize on the processor; the transfers
             // themselves proceed in parallel at the owners.
             let mut t_cur = t;
-            for (i, o) in needed.iter().copied().enumerate() {
+            for o in needed.iter().copied() {
                 t_cur = self.handler_op(p, t_cur, self.cfg.costs.request_send(), TimeKind::Comm);
                 let owner = self.comm.owner(o);
-                let ts = &mut self.tstate[id.index()];
-                if i == 0 {
-                    ts.first_req = Some(t_cur);
-                }
+                self.events.emit_obj(
+                    t_cur.0,
+                    p,
+                    EventKind::ObjectRequest {
+                        bytes: self.cfg.costs.request_bytes as u64,
+                    },
+                    Some(id),
+                    o,
+                );
                 let arrive = t_cur + self.msg(self.cfg.costs.request_bytes, p, owner);
                 self.cal.schedule(
                     arrive,
-                    Ev::RequestArrive { obj: o, requester: p, task: id, sent_at: t_cur },
+                    Ev::RequestArrive {
+                        obj: o,
+                        requester: p,
+                        task: id,
+                        sent_at: t_cur,
+                    },
                 );
             }
         } else {
@@ -511,15 +646,25 @@ impl Sim<'_> {
             return;
         };
         let sent = self.handler_op(p, t, self.cfg.costs.request_send(), TimeKind::Comm);
-        let ts = &mut self.tstate[id.index()];
-        if ts.first_req.is_none() {
-            ts.first_req = Some(sent);
-        }
+        self.events.emit_obj(
+            sent.0,
+            p,
+            EventKind::ObjectRequest {
+                bytes: self.cfg.costs.request_bytes as u64,
+            },
+            Some(id),
+            o,
+        );
         let owner = self.comm.owner(o);
         let arrive = sent + self.msg(self.cfg.costs.request_bytes, p, owner);
         self.cal.schedule(
             arrive,
-            Ev::RequestArrive { obj: o, requester: p, task: id, sent_at: sent },
+            Ev::RequestArrive {
+                obj: o,
+                requester: p,
+                task: id,
+                sent_at: sent,
+            },
         );
     }
 
@@ -545,7 +690,13 @@ impl Sim<'_> {
         let version = self.comm.version(obj);
         self.cal.schedule(
             send_end,
-            Ev::ObjectArrive { proc: requester, obj, version, task, requested_at: sent_at },
+            Ev::ObjectArrive {
+                proc: requester,
+                obj,
+                version,
+                task,
+                requested_at: sent_at,
+            },
         );
     }
 
@@ -558,15 +709,22 @@ impl Sim<'_> {
         requested_at: SimTime,
         t: SimTime,
     ) {
+        self.events.emit_obj(
+            t.0,
+            p,
+            EventKind::ObjectFetch {
+                bytes: self.trace.object_size(obj) as u64,
+                latency_ps: t.since(requested_at).0,
+            },
+            Some(task),
+            obj,
+        );
         let t1 = self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
         self.comm.deliver(p, obj, version);
-        self.object_latency += t.since(requested_at);
         let ts = &mut self.tstate[task.index()];
         ts.outstanding -= 1;
         if ts.outstanding == 0 && ts.fetch_queue.is_empty() {
             ts.ready = true;
-            let first = ts.first_req.expect("had outstanding requests");
-            self.task_latency += t.since(first);
             self.try_execute(p, t1);
         } else if !self.cfg.concurrent_fetches {
             self.send_next_fetch(p, task, t1);
@@ -604,6 +762,20 @@ impl Sim<'_> {
     fn start_task(&mut self, p: ProcId, id: TaskId, t: SimTime) {
         self.pstate[p].executing = Some(id);
         let rec = &self.trace.tasks[id.index()];
+        if rec.serial_phase {
+            // Serial tasks never pass through the scheduler; give them a
+            // dispatch record here so every task has a full lifecycle.
+            self.events.emit_task(
+                t.0,
+                p,
+                EventKind::TaskDispatched {
+                    stolen: false,
+                    locality: Locality::Untracked,
+                },
+                id,
+            );
+        }
+        self.events.emit_task(t.0, p, EventKind::TaskStarted, id);
         let speed = self
             .cfg
             .speed_factors
@@ -616,15 +788,13 @@ impl Sim<'_> {
                 rec.work * self.cfg.sec_per_op * jitter(id, self.cfg.jitter_frac) / speed,
             )
         };
-        self.task_time += work;
-        self.tasks_executed += 1;
-        let end = self.pc.occupy(p, t, work, TimeKind::App);
+        let end = self.occupy_ev(p, t, work, TimeKind::App, Some(id));
         self.cal.schedule(end, Ev::Finish { proc: p, task: id });
     }
 
     fn on_finish(&mut self, p: ProcId, id: TaskId, t: SimTime) {
         let rec = &self.trace.tasks[id.index()];
-        let mut t_cur = self.pc.occupy(p, t, self.cfg.costs.complete(), TimeKind::Mgmt);
+        let mut t_cur = self.occupy_ev(p, t, self.cfg.costs.complete(), TimeKind::Mgmt, Some(id));
         // New versions of written objects; broadcast when in broadcast mode.
         let written: Vec<ObjectId> = rec.spec.written_objects().collect();
         for o in written {
@@ -636,6 +806,8 @@ impl Sim<'_> {
                 Vec::new()
             };
             let bcast = self.comm.on_write_complete(p, o);
+            self.events
+                .emit_obj(t_cur.0, p, EventKind::ObjectInvalidate, Some(id), o);
             if bcast && !self.cfg.work_free && self.pc.procs() == 1 {
                 // Degenerate single-processor case (paper Section 5.3): the
                 // lone processor always holds every version, so every update
@@ -644,23 +816,48 @@ impl Sim<'_> {
                 // time plus the message latency.
                 let bytes = self.trace.object_size(o);
                 self.comm.record_broadcast(o, bytes);
-                let dur = SimDuration::from_secs_f64(
-                    self.cfg.machine.message_latency_s + 0.2 * bytes as f64 / self.cfg.machine.link_bandwidth,
+                self.events.emit_obj(
+                    t_cur.0,
+                    p,
+                    EventKind::ObjectBroadcast {
+                        bytes: bytes as u64,
+                        receivers: 0,
+                    },
+                    Some(id),
+                    o,
                 );
-                t_cur = self.pc.occupy(p, t_cur, dur, TimeKind::Comm);
+                let dur = SimDuration::from_secs_f64(
+                    self.cfg.machine.message_latency_s
+                        + 0.2 * bytes as f64 / self.cfg.machine.link_bandwidth,
+                );
+                t_cur = self.occupy_ev(p, t_cur, dur, TimeKind::Comm, None);
             }
             if bcast && !self.cfg.work_free && self.pc.procs() > 1 {
                 let bytes = self.trace.object_size(o);
                 self.comm.record_broadcast(o, bytes);
+                self.events.emit_obj(
+                    t_cur.0,
+                    p,
+                    EventKind::ObjectBroadcast {
+                        bytes: bytes as u64,
+                        receivers: (self.pc.procs() - 1) as u32,
+                    },
+                    Some(id),
+                    o,
+                );
                 let root_busy = self.cfg.machine.broadcast_root_busy(bytes);
-                let done = self.pc.occupy(p, t_cur, root_busy, TimeKind::Comm);
+                let done = self.occupy_ev(p, t_cur, root_busy, TimeKind::Comm, None);
                 let arrival = t_cur + self.cfg.machine.broadcast_time(bytes);
                 let version = self.comm.version(o);
                 for q in 0..self.pc.procs() {
                     if q != p {
                         self.cal.schedule(
                             arrival.max(done),
-                            Ev::BroadcastArrive { proc: q, obj: o, version },
+                            Ev::BroadcastArrive {
+                                proc: q,
+                                obj: o,
+                                version,
+                            },
                         );
                     }
                 }
@@ -676,19 +873,36 @@ impl Sim<'_> {
                         continue;
                     }
                     self.comm.record_eager(bytes);
+                    self.events.emit_obj(
+                        t_cur.0,
+                        p,
+                        EventKind::EagerPush {
+                            bytes: bytes as u64,
+                        },
+                        Some(id),
+                        o,
+                    );
                     let dur = self.msg(bytes, p, q);
-                    t_cur = self.pc.occupy(p, t_cur, dur, TimeKind::Comm);
-                    self.cal.schedule(t_cur, Ev::EagerArrive { proc: q, obj: o, version });
+                    t_cur = self.occupy_ev(p, t_cur, dur, TimeKind::Comm, None);
+                    self.cal.schedule(
+                        t_cur,
+                        Ev::EagerArrive {
+                            proc: q,
+                            obj: o,
+                            version,
+                        },
+                    );
                 }
             }
         }
-        self.note_phase_end(rec.phase, t_cur);
+        self.note_phase_end(rec.phase, p, t_cur);
         self.pstate[p].executing = None;
         if self.main_blocked == Some(id) {
             // Serial task: main resumes; completion is processed locally.
             self.main_blocked = None;
             let mut newly = Vec::new();
-            self.sync.complete(id, &mut newly);
+            self.sync
+                .complete_traced(id, &mut newly, &mut self.events, t_cur.0, p);
             for t2 in newly {
                 self.schedule_enabled(t2, t_cur);
             }
@@ -697,22 +911,48 @@ impl Sim<'_> {
         }
         // Completion notification to the main processor.
         if p == 0 {
-            self.cal.schedule(t_cur, Ev::NotifyArrive { proc: 0, task: id });
+            self.cal
+                .schedule(t_cur, Ev::NotifyArrive { proc: 0, task: id });
         } else {
-            let send_end =
-                self.pc.occupy(p, t_cur, self.msg(self.cfg.costs.notify_bytes, p, 0), TimeKind::Comm);
-            self.cal.schedule(send_end, Ev::NotifyArrive { proc: p, task: id });
+            self.events.emit_task(
+                t_cur.0,
+                p,
+                EventKind::MsgSend {
+                    bytes: self.cfg.costs.notify_bytes as u64,
+                },
+                id,
+            );
+            let send_end = self.occupy_ev(
+                p,
+                t_cur,
+                self.msg(self.cfg.costs.notify_bytes, p, 0),
+                TimeKind::Comm,
+                None,
+            );
+            self.cal
+                .schedule(send_end, Ev::NotifyArrive { proc: p, task: id });
         }
         self.try_execute(p, t_cur);
     }
 
     fn on_notify(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        if p != 0 {
+            self.events.emit_task(
+                t.0,
+                0,
+                EventKind::MsgRecv {
+                    bytes: self.cfg.costs.notify_bytes as u64,
+                },
+                id,
+            );
+        }
         let end = self.handler_op(0, t, self.cfg.costs.notify_handler(), TimeKind::Mgmt);
         // Completion processing removes the task from the load books first,
         // so successors enabled below see the freed processor.
         self.sched.finish(p);
         let mut newly = Vec::new();
-        self.sync.complete(id, &mut newly);
+        self.sync
+            .complete_traced(id, &mut newly, &mut self.events, end.0, p);
         for t2 in newly {
             self.schedule_enabled(t2, end);
         }
@@ -792,7 +1032,9 @@ mod tests {
         // Two rounds of tasks on the same objects: the second round's tasks
         // target the procs that wrote the first round.
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..8).map(|i| b.object(&format!("o{i}"), 256, Some(i % 8))).collect();
+        let objs: Vec<_> = (0..8)
+            .map(|i| b.object(&format!("o{i}"), 256, Some(i % 8)))
+            .collect();
         for &o in &objs {
             b.task(spec(&[], &[o]), 1.0);
         }
@@ -809,7 +1051,9 @@ mod tests {
         // All objects owned by processor 1: under NoLocality, assignment is
         // purely load-based.
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..32).map(|i| b.object(&format!("o{i}"), 256, Some(1))).collect();
+        let objs: Vec<_> = (0..32)
+            .map(|i| b.object(&format!("o{i}"), 256, Some(1)))
+            .collect();
         for &o in &objs {
             b.task(spec(&[], &[o]), 0.5);
         }
@@ -840,7 +1084,9 @@ mod tests {
     fn replicated_read_fetches_once_per_processor() {
         let mut b = TraceBuilder::new();
         let shared = b.object("shared", 50_000, Some(0));
-        let outs: Vec<_> = (0..4).map(|i| b.object(&format!("o{i}"), 8, Some(i))).collect();
+        let outs: Vec<_> = (0..4)
+            .map(|i| b.object(&format!("o{i}"), 8, Some(i)))
+            .collect();
         for &o in &outs {
             // Locality object = the private out (declared first), so each
             // task runs at its out's home and only `shared` moves.
@@ -862,7 +1108,9 @@ mod tests {
         let procs = 8;
         let mut b = TraceBuilder::new();
         let hot = b.object("hot", 200_000, Some(0));
-        let outs: Vec<_> = (0..procs).map(|i| b.object(&format!("o{i}"), 8, Some(i))).collect();
+        let outs: Vec<_> = (0..procs)
+            .map(|i| b.object(&format!("o{i}"), 8, Some(i)))
+            .collect();
         for _ in 0..6 {
             b.task_full(spec(&[], &[hot]), 0.01, None, true);
             b.next_phase();
@@ -894,7 +1142,9 @@ mod tests {
         // with target_tasks=2 a worker fetches the next task's object while
         // executing the current one.
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..60).map(|i| b.object(&format!("o{i}"), 40_000, Some(0))).collect();
+        let objs: Vec<_> = (0..60)
+            .map(|i| b.object(&format!("o{i}"), 40_000, Some(0)))
+            .collect();
         for &o in &objs {
             b.task(spec(&[], &[o]), 0.2);
         }
@@ -916,7 +1166,9 @@ mod tests {
     #[test]
     fn placement_is_honored() {
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..9).map(|i| b.object(&format!("o{i}"), 64, Some(1 + i % 3))).collect();
+        let objs: Vec<_> = (0..9)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(1 + i % 3)))
+            .collect();
         for (i, &o) in objs.iter().enumerate() {
             b.task_full(spec(&[], &[o]), 0.5, Some(1 + (i % 3)), false);
         }
@@ -935,7 +1187,9 @@ mod tests {
         // objects, so main owns everything; placed tasks then miss their
         // targets on first touch (the paper's 92% effect, Section 5.2.2).
         let mut b = TraceBuilder::new();
-        let objs: Vec<_> = (0..4).map(|i| b.object(&format!("p{i}"), 64, Some(1 + i % 3))).collect();
+        let objs: Vec<_> = (0..4)
+            .map(|i| b.object(&format!("p{i}"), 64, Some(1 + i % 3)))
+            .collect();
         let mut init = AccessSpec::new();
         for &o in &objs {
             init.wr(o);
@@ -946,7 +1200,10 @@ mod tests {
         }
         let trace = b.build();
         let r = run(&trace, &cfg(4, LocalityMode::TaskPlacement));
-        assert_eq!(r.locality_pct, 0.0, "first touch targets main, placed elsewhere");
+        assert_eq!(
+            r.locality_pct, 0.0,
+            "first touch targets main, placed elsewhere"
+        );
     }
 
     #[test]
@@ -963,7 +1220,9 @@ mod tests {
     #[test]
     fn serial_fetch_ablation_is_slower() {
         let mut b = TraceBuilder::new();
-        let srcs: Vec<_> = (0..6).map(|i| b.object(&format!("s{i}"), 300_000, Some(1 + i % 3))).collect();
+        let srcs: Vec<_> = (0..6)
+            .map(|i| b.object(&format!("s{i}"), 300_000, Some(1 + i % 3)))
+            .collect();
         let dst = b.object("dst", 8, Some(0));
         let mut s = AccessSpec::new();
         for &x in &srcs {
@@ -1044,7 +1303,11 @@ mod tests {
         assert_eq!(r.tasks_executed, 64);
         // Total work 64 s over aggregate speed 7 ≈ 9.1 s; naive division by
         // 4 equal machines of speed 1 would take 16 s.
-        assert!(r.exec_time_s < 14.0, "fast machine under-used: {}", r.exec_time_s);
+        assert!(
+            r.exec_time_s < 14.0,
+            "fast machine under-used: {}",
+            r.exec_time_s
+        );
     }
 
     #[test]
@@ -1054,7 +1317,9 @@ mod tests {
         // serialize on the wire, so the Ethernet run cannot be faster.
         let mut b = TraceBuilder::new();
         let hot = b.object("hot", 500_000, Some(0));
-        let outs: Vec<_> = (0..6).map(|i| b.object(&format!("o{i}"), 8, Some(1 + i % 3))).collect();
+        let outs: Vec<_> = (0..6)
+            .map(|i| b.object(&format!("o{i}"), 8, Some(1 + i % 3)))
+            .collect();
         for &o in &outs {
             let mut s = AccessSpec::new();
             s.wr(o).rd(hot);
@@ -1067,8 +1332,60 @@ mod tests {
         cube.shared_medium = false;
         let r_eth = run(&trace, &eth);
         let r_cube = run(&trace, &cube);
-        assert!(r_eth.exec_time_s >= r_cube.exec_time_s,
-            "shared medium {} vs switched {}", r_eth.exec_time_s, r_cube.exec_time_s);
+        assert!(
+            r_eth.exec_time_s >= r_cube.exec_time_s,
+            "shared medium {} vs switched {}",
+            r_eth.exec_time_s,
+            r_cube.exec_time_s
+        );
+    }
+
+    #[test]
+    fn event_stream_reconstructs_run() {
+        // Mixed serial + parallel trace with real communication: the event
+        // stream alone must reproduce the run result and tile the timeline.
+        let procs = 4;
+        let mut b = TraceBuilder::new();
+        let hot = b.object("hot", 100_000, Some(0));
+        let outs: Vec<_> = (0..procs)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(i)))
+            .collect();
+        b.task_full(spec(&[], &[hot]), 0.05, None, true);
+        b.next_phase();
+        for _ in 0..3 {
+            for &o in &outs {
+                let mut s = AccessSpec::new();
+                s.wr(o).rd(hot);
+                b.task(s, 0.3);
+            }
+        }
+        let trace = b.build();
+        let (r, events) = run_traced(&trace, &cfg(procs, LocalityMode::Locality));
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = jade_core::Metrics::from_events(&events, procs);
+        let busy = jade_core::check_conservation(&events, procs, m.makespan_ps).unwrap();
+        assert_eq!(busy.len(), procs);
+        assert_eq!(SimDuration(m.makespan_ps).as_secs_f64(), r.exec_time_s);
+        assert_eq!(m.tasks_created, trace.tasks.len());
+        assert_eq!(m.tasks_started, r.tasks_executed);
+        assert_eq!(m.comm_bytes(), r.comm_bytes);
+        assert_eq!(m.fetches, r.fetches);
+        assert_eq!(
+            SimDuration(m.object_latency_ps).as_secs_f64(),
+            r.object_latency_s
+        );
+        assert_eq!(
+            SimDuration(m.task_latency_ps).as_secs_f64(),
+            r.task_latency_s
+        );
+        // Per-processor breakdowns reconstructed from spans match the
+        // processor clock's own accounting bit-for-bit.
+        for (p, b3) in r.per_proc_busy.iter().enumerate() {
+            let pt = &m.per_proc[p];
+            assert_eq!(SimDuration(pt.app_ps).as_secs_f64(), b3.0, "app proc {p}");
+            assert_eq!(SimDuration(pt.comm_ps).as_secs_f64(), b3.1, "comm proc {p}");
+            assert_eq!(SimDuration(pt.mgmt_ps).as_secs_f64(), b3.2, "mgmt proc {p}");
+        }
     }
 
     #[test]

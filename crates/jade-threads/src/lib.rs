@@ -39,10 +39,19 @@
 
 #![forbid(unsafe_code)]
 
-use jade_core::{JadeRuntime, ObjectId, Store, Synchronizer, TaskCtx, TaskDef, TaskId};
-use parking_lot::{Condvar, Mutex};
+use jade_core::{
+    Event, EventKind, EventSink, JadeRuntime, Locality, ObjectId, Store, Synchronizer, TaskCtx,
+    TaskDef, TaskId,
+};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, ignoring poisoning (a panicking task already propagates
+/// its panic through `finish`; the shared state stays structurally valid).
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Statistics from the most recent [`ThreadRuntime::finish`] batch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +72,13 @@ pub struct ThreadRuntime {
     pending: Vec<(TaskId, TaskDef)>,
     next_id: u32,
     last_stats: BatchStats,
+    /// Record structured events for subsequent batches.
+    trace_events: bool,
+    /// Events accumulated by finished batches (drained by `take_events`).
+    events: Vec<Event>,
+    /// Logical clock stamped on events; real wall times would make the
+    /// stream nondeterministic, so events carry a sequence number instead.
+    event_clock: u64,
 }
 
 struct Shared {
@@ -77,7 +93,17 @@ struct Shared {
     sync: Synchronizer,
     live: usize,
     stats: BatchStats,
+    events: EventSink,
+    clock: u64,
     panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Shared {
+    fn tick(&mut self) -> u64 {
+        let t = self.clock;
+        self.clock += 1;
+        t
+    }
 }
 
 impl ThreadRuntime {
@@ -90,6 +116,9 @@ impl ThreadRuntime {
             pending: Vec::new(),
             next_id: 0,
             last_stats: BatchStats::default(),
+            trace_events: false,
+            events: Vec::new(),
+            event_clock: 0,
         }
     }
 
@@ -101,6 +130,19 @@ impl ThreadRuntime {
     /// Statistics from the most recently finished batch.
     pub fn last_stats(&self) -> BatchStats {
         self.last_stats
+    }
+
+    /// Record structured lifecycle events ([`jade_core::events`]) for every
+    /// subsequent batch. Events carry a logical sequence number as their
+    /// time, so with one worker the stream is fully deterministic.
+    pub fn enable_events(&mut self) {
+        self.trace_events = true;
+    }
+
+    /// Drain the events recorded since the last call (or since
+    /// [`enable_events`](Self::enable_events)).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
     }
 
     fn target_worker(&self, def: &TaskDef) -> usize {
@@ -150,6 +192,12 @@ impl JadeRuntime for ThreadRuntime {
             sync: std::mem::take(&mut self.sync),
             live: n,
             stats: BatchStats::default(),
+            events: if self.trace_events {
+                EventSink::recording()
+            } else {
+                EventSink::default()
+            },
+            clock: self.event_clock,
             panic: None,
         };
         // Register in serial program order; queue the initially-enabled.
@@ -157,7 +205,10 @@ impl JadeRuntime for ThreadRuntime {
         for (id, def) in batch {
             let local = id.index() - base;
             let target = self.target_worker(&def);
-            let enabled = shared.sync.add_task(id, &def.spec);
+            let t = shared.tick();
+            let enabled = shared
+                .sync
+                .add_task_traced(id, &def.spec, &mut shared.events, t, 0);
             shared.ids.push(id);
             shared.targets.push(target);
             shared.bodies.push(Some(def));
@@ -176,9 +227,11 @@ impl JadeRuntime for ThreadRuntime {
                 scope.spawn(move || worker_loop(w, workers, base, store, shared, cv));
             }
         });
-        let mut sh = shared.into_inner();
+        let mut sh = shared.into_inner().unwrap_or_else(|e| e.into_inner());
         self.sync = std::mem::take(&mut sh.sync);
         self.last_stats = sh.stats;
+        self.event_clock = sh.clock;
+        self.events.extend(sh.events.take());
         if let Some(p) = sh.panic.take() {
             resume_unwind(p);
         }
@@ -194,7 +247,7 @@ fn worker_loop(
     shared: &Mutex<Shared>,
     cv: &Condvar,
 ) {
-    let mut guard = shared.lock();
+    let mut guard = lock(shared);
     loop {
         if guard.live == 0 || guard.panic.is_some() {
             cv.notify_all();
@@ -212,7 +265,7 @@ fn worker_loop(
             }
         }
         let Some((local, stolen)) = picked else {
-            cv.wait(&mut guard);
+            guard = cv.wait(guard).unwrap_or_else(|e| e.into_inner());
             continue;
         };
         let def = guard.bodies[local].take().expect("task queued twice");
@@ -223,19 +276,36 @@ fn worker_loop(
         } else if guard.targets[local] == w {
             guard.stats.locality_hits += 1;
         }
+        {
+            // A task's own queue only ever holds tasks targeted at it, so a
+            // non-stolen pick is by construction a locality hit.
+            let sh = &mut *guard;
+            let t = sh.tick();
+            let locality = if stolen {
+                Locality::Miss
+            } else {
+                Locality::Hit
+            };
+            sh.events
+                .emit_task(t, w, EventKind::TaskDispatched { stolen, locality }, id);
+            sh.events.emit_task(t, w, EventKind::TaskStarted, id);
+        }
         drop(guard);
 
         let result = catch_unwind(AssertUnwindSafe(|| {
             // Mid-task releases (Jade's pipelining statements) feed straight
             // back into the synchronizer so successors start immediately.
             let hook = |obj: ObjectId| {
-                let mut g = shared.lock();
+                let mut g = lock(shared);
+                let sh = &mut *g;
+                let t = sh.tick();
                 let mut newly = Vec::new();
-                g.sync.release(id, obj, &mut newly);
-                for t in newly {
-                    let local = t.index() - base;
-                    let target = g.targets[local];
-                    g.queues[target].push_back(local);
+                sh.sync
+                    .release_traced(id, obj, &mut newly, &mut sh.events, t, w);
+                for n in newly {
+                    let local = n.index() - base;
+                    let target = sh.targets[local];
+                    sh.queues[target].push_back(local);
                 }
                 cv.notify_all();
             };
@@ -243,17 +313,20 @@ fn worker_loop(
             (def.body)(&ctx);
         }));
 
-        guard = shared.lock();
+        guard = lock(shared);
         match result {
             Ok(()) => {
+                let sh = &mut *guard;
+                let t = sh.tick();
                 let mut newly = Vec::new();
-                guard.sync.complete(id, &mut newly);
-                for t in newly {
-                    let local = t.index() - base;
-                    let target = guard.targets[local];
-                    guard.queues[target].push_back(local);
+                sh.sync
+                    .complete_traced(id, &mut newly, &mut sh.events, t, w);
+                for n in newly {
+                    let local = n.index() - base;
+                    let target = sh.targets[local];
+                    sh.queues[target].push_back(local);
                 }
-                guard.live -= 1;
+                sh.live -= 1;
                 cv.notify_all();
             }
             Err(p) => {
@@ -295,7 +368,9 @@ mod tests {
     #[test]
     fn parallel_tasks_all_run() {
         let mut rt = ThreadRuntime::new(8);
-        let outs: Vec<_> = (0..100).map(|i| rt.create(&format!("o{i}"), 8, 0usize)).collect();
+        let outs: Vec<_> = (0..100)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0usize))
+            .collect();
         for (i, &o) in outs.iter().enumerate() {
             rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
                 *ctx.wr(o) = i * i;
@@ -330,7 +405,9 @@ mod tests {
         let workers = 4;
         let mut rt = ThreadRuntime::new(workers);
         let shared = rt.create("shared", 8, 7u64);
-        let outs: Vec<_> = (0..workers).map(|i| rt.create(&format!("o{i}"), 8, 0u64)).collect();
+        let outs: Vec<_> = (0..workers)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+            .collect();
         let barrier = Arc::new(std::sync::Barrier::new(workers));
         for &o in &outs {
             let barrier = Arc::clone(&barrier);
@@ -349,7 +426,9 @@ mod tests {
     #[test]
     fn reduction_after_parallel_phase() {
         let mut rt = ThreadRuntime::new(4);
-        let parts: Vec<_> = (0..16).map(|i| rt.create(&format!("p{i}"), 8, 0u64)).collect();
+        let parts: Vec<_> = (0..16)
+            .map(|i| rt.create(&format!("p{i}"), 8, 0u64))
+            .collect();
         let total = rt.create("total", 8, 0u64);
         for (i, &p) in parts.iter().enumerate() {
             rt.submit(TaskBuilder::new("part").wr(p).body(move |ctx| {
@@ -374,7 +453,11 @@ mod tests {
         let x = rt.create("x", 8, 0u64);
         rt.submit(TaskBuilder::new("a").wr(x).body(move |ctx| *ctx.wr(x) += 1));
         rt.finish();
-        rt.submit(TaskBuilder::new("b").wr(x).body(move |ctx| *ctx.wr(x) += 10));
+        rt.submit(
+            TaskBuilder::new("b")
+                .wr(x)
+                .body(move |ctx| *ctx.wr(x) += 10),
+        );
         rt.finish();
         assert_eq!(*rt.store().read(x), 11);
     }
@@ -419,7 +502,11 @@ mod tests {
     fn task_panic_propagates() {
         let mut rt = ThreadRuntime::new(2);
         let x = rt.create("x", 8, 0u64);
-        rt.submit(TaskBuilder::new("boom").wr(x).body(|_| panic!("task exploded")));
+        rt.submit(
+            TaskBuilder::new("boom")
+                .wr(x)
+                .body(|_| panic!("task exploded")),
+        );
         let r = catch_unwind(AssertUnwindSafe(|| rt.finish()));
         assert!(r.is_err(), "panic must propagate to finish()");
     }
@@ -440,7 +527,9 @@ mod tests {
     fn heavy_contention_stress() {
         // Many small tasks over few objects; exercises enable/steal paths.
         let mut rt = ThreadRuntime::new(8);
-        let counters: Vec<_> = (0..4).map(|i| rt.create(&format!("c{i}"), 8, 0u64)).collect();
+        let counters: Vec<_> = (0..4)
+            .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+            .collect();
         for i in 0..400 {
             let c = counters[i % 4];
             rt.submit(TaskBuilder::new("inc").rd_wr(c).body(move |ctx| {
@@ -464,15 +553,20 @@ mod tests {
         let stage2 = rt.create("stage2", 8, 0u64);
         let consumed = Arc::new(AtomicUsize::new(0));
         let c2 = Arc::clone(&consumed);
-        rt.submit(TaskBuilder::new("producer").wr(stage1).wr(stage2).body(move |ctx| {
-            *ctx.wr(stage1) = 41;
-            ctx.release(stage1);
-            // Wait until the consumer has observed stage 1.
-            while c2.load(Ordering::SeqCst) == 0 {
-                std::thread::yield_now();
-            }
-            *ctx.wr(stage2) = 2;
-        }));
+        rt.submit(
+            TaskBuilder::new("producer")
+                .wr(stage1)
+                .wr(stage2)
+                .body(move |ctx| {
+                    *ctx.wr(stage1) = 41;
+                    ctx.release(stage1);
+                    // Wait until the consumer has observed stage 1.
+                    while c2.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                    }
+                    *ctx.wr(stage2) = 2;
+                }),
+        );
         let c3 = Arc::clone(&consumed);
         rt.submit(TaskBuilder::new("consumer").rd(stage1).body(move |ctx| {
             let v = *ctx.rd(stage1);
@@ -496,10 +590,69 @@ mod tests {
     }
 
     #[test]
+    fn events_reconstruct_batch_stats() {
+        let mut rt = ThreadRuntime::new(4);
+        rt.enable_events();
+        let counters: Vec<_> = (0..4)
+            .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+            .collect();
+        for i in 0..200 {
+            let c = counters[i % 4];
+            rt.submit(TaskBuilder::new("inc").rd_wr(c).body(move |ctx| {
+                *ctx.wr(c) += 1;
+            }));
+        }
+        rt.finish();
+        let stats = rt.last_stats();
+        let events = rt.take_events();
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = jade_core::Metrics::from_events(&events, rt.workers());
+        assert_eq!(m.tasks_created, 200);
+        assert_eq!(m.tasks_started, stats.executed);
+        assert_eq!(m.steals as usize, stats.steals);
+        assert_eq!(m.locality_hits, stats.locality_hits);
+        // A second take returns nothing until another batch runs.
+        assert!(rt.take_events().is_empty());
+    }
+
+    #[test]
+    fn events_record_mid_task_releases() {
+        let mut rt = ThreadRuntime::new(2);
+        rt.enable_events();
+        let a = rt.create("a", 8, 0u64);
+        let b = rt.create("b", 8, 0u64);
+        rt.submit(TaskBuilder::new("producer").wr(a).wr(b).body(move |ctx| {
+            *ctx.wr(a) = 1;
+            ctx.release(a);
+            *ctx.wr(b) = 2;
+        }));
+        rt.submit(TaskBuilder::new("consumer").rd(a).body(move |ctx| {
+            let _ = *ctx.rd(a);
+        }));
+        rt.finish();
+        let events = rt.take_events();
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = jade_core::Metrics::from_events(&events, rt.workers());
+        assert_eq!(m.releases, 1);
+        assert_eq!(m.tasks_completed, 2);
+    }
+
+    #[test]
+    fn events_disabled_by_default() {
+        let mut rt = ThreadRuntime::new(2);
+        let x = rt.create("x", 8, 0u64);
+        rt.submit(TaskBuilder::new("a").wr(x).body(move |ctx| *ctx.wr(x) += 1));
+        rt.finish();
+        assert!(rt.take_events().is_empty());
+    }
+
+    #[test]
     fn single_worker_degenerates_to_serial() {
         let mut rt = ThreadRuntime::new(1);
         let order = Arc::new(AtomicUsize::new(0));
-        let outs: Vec<_> = (0..10).map(|i| rt.create(&format!("o{i}"), 8, 0usize)).collect();
+        let outs: Vec<_> = (0..10)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0usize))
+            .collect();
         for &o in &outs {
             let order = Arc::clone(&order);
             rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {

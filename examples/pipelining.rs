@@ -22,8 +22,12 @@ fn stage_work(input: u64) -> u64 {
 
 fn run(release_early: bool, workers: usize) -> std::time::Duration {
     let mut rt = ThreadRuntime::new(workers);
-    let bufs: Vec<_> = (0..ITEMS).map(|i| rt.create(&format!("buf{i}"), 8, i as u64)).collect();
-    let outs: Vec<_> = (0..ITEMS).map(|i| rt.create(&format!("out{i}"), 8, 0u64)).collect();
+    let bufs: Vec<_> = (0..ITEMS)
+        .map(|i| rt.create(&format!("buf{i}"), 8, i as u64))
+        .collect();
+    let outs: Vec<_> = (0..ITEMS)
+        .map(|i| rt.create(&format!("out{i}"), 8, 0u64))
+        .collect();
     let shared = rt.create("stage-state", 8, 0u64);
 
     for (&buf, &out) in bufs.iter().zip(&outs) {
@@ -53,7 +57,9 @@ fn run(release_early: bool, workers: usize) -> std::time::Duration {
 }
 
 fn main() {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(ITEMS);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(ITEMS);
     let held = run(false, workers);
     let released = run(true, workers);
     println!("{ITEMS} pipeline items, {STAGE_MS} ms of work each, {workers} workers");

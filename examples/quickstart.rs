@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use jade::core::{chrome, Metrics};
 use jade::{JadeRuntime, TaskBuilder, ThreadRuntime};
 
 fn main() {
@@ -14,12 +15,16 @@ fn main() {
     let mut rt = ThreadRuntime::default();
     println!("running on {} workers", rt.workers());
 
+    // Record structured lifecycle events (DESIGN.md §10) for the batch.
+    rt.enable_events();
+
     // Shared objects: the "single mutable shared memory" of Jade. The
     // second argument is the communication size used by the machine models;
     // the thread backend ignores it.
     let input = rt.create("input", 8 * 1_000, (0..1_000u64).collect::<Vec<_>>());
-    let partial: Vec<_> =
-        (0..8).map(|i| rt.create(&format!("partial[{i}]"), 8, 0u64)).collect();
+    let partial: Vec<_> = (0..8)
+        .map(|i| rt.create(&format!("partial[{i}]"), 8, 0u64))
+        .collect();
     let total = rt.create("total", 8, 0u64);
 
     // Parallel phase: eight tasks read the (replicated) input and write
@@ -58,5 +63,24 @@ fn main() {
     println!(
         "executed {} tasks ({} on their locality target, {} stolen)",
         s.executed, s.locality_hits, s.steals
+    );
+
+    // The same numbers reconstruct from the structured event stream alone,
+    // and the stream exports to Chrome's trace viewer (chrome://tracing or
+    // ui.perfetto.dev). The machine simulators record the identical schema
+    // via `jade::dash::run_traced` / `jade::ipsc::run_traced`, or
+    // `repro --trace-out FILE` for a full application.
+    let events = rt.take_events();
+    let m = Metrics::from_events(&events, rt.workers());
+    assert_eq!(m.tasks_started, s.executed);
+    assert_eq!(m.steals as usize, s.steals);
+    let mut json = Vec::new();
+    chrome::write_chrome_trace(&mut json, &events).unwrap();
+    let path = std::env::temp_dir().join("jade-quickstart-trace.json");
+    std::fs::write(&path, &json).unwrap();
+    println!(
+        "recorded {} events; Chrome trace written to {}",
+        events.len(),
+        path.display()
     );
 }

@@ -35,8 +35,10 @@ fn main() {
     // Cross-check against the plain serial implementation.
     let (ref_out, _) = string_app::reference(&cfg);
     let rel = (out.rms_misfit - ref_out.rms_misfit).abs() / ref_out.rms_misfit.max(1e-30);
-    println!("final RMS travel-time misfit: {:.6e} s (serial reference: {:.6e}, rel diff {rel:.2e})",
-        out.rms_misfit, ref_out.rms_misfit);
+    println!(
+        "final RMS travel-time misfit: {:.6e} s (serial reference: {:.6e}, rel diff {rel:.2e})",
+        out.rms_misfit, ref_out.rms_misfit
+    );
     println!("parallel wall time: {wall:?}");
     assert!(rel < 1e-9, "parallel result must match the serial program");
     println!("parallel result matches the serial program ✓");

@@ -15,12 +15,20 @@ fn main() {
     let iterations = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
 
     println!("Water: {molecules} molecules, {iterations} iterations");
-    println!("{:>6} | {:>12} {:>12} | {:>12} {:>12}", "procs", "DASH (s)", "speedup", "iPSC (s)", "speedup");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>12} {:>12}",
+        "procs", "DASH (s)", "speedup", "iPSC (s)", "speedup"
+    );
 
     let mut dash1 = 0.0;
     let mut ipsc1 = 0.0;
     for procs in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = WaterConfig { molecules, iterations, procs, seed: 1995 };
+        let cfg = WaterConfig {
+            molecules,
+            iterations,
+            procs,
+            seed: 1995,
+        };
         let (trace, _) = water::run_trace(&cfg);
         // Calibrate against the paper's measured serial times.
         let d = dash::run(

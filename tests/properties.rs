@@ -5,8 +5,8 @@
 use jade::core::{AccessSpec, Synchronizer, TaskBuilder, TaskId, TraceBuilder};
 use jade::dash::{self, DashConfig};
 use jade::ipsc::{self, IpscConfig};
-use jade::{LocalityMode, ThreadRuntime};
 use jade::JadeRuntime;
+use jade::{LocalityMode, ThreadRuntime};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -17,10 +17,7 @@ fn program_strategy(
     max_objects: usize,
 ) -> impl Strategy<Value = Vec<Vec<(u8, bool)>>> {
     prop::collection::vec(
-        prop::collection::vec(
-            ((0..max_objects as u8), any::<bool>()),
-            0..5,
-        ),
+        prop::collection::vec(((0..max_objects as u8), any::<bool>()), 0..5),
         1..max_tasks,
     )
 }
@@ -60,7 +57,7 @@ proptest! {
         while !enabled.is_empty() || !running.is_empty() {
             // Randomly either start an enabled task or finish a running one.
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let start = !enabled.is_empty() && (running.is_empty() || rng % 2 == 0);
+            let start = !enabled.is_empty() && (running.is_empty() || rng.is_multiple_of(2));
             if start {
                 rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let idx = (rng >> 33) as usize % enabled.len();

@@ -9,10 +9,26 @@ use jade::{LocalityMode, Trace};
 
 fn traces(procs: usize) -> Vec<(&'static str, Trace, bool)> {
     vec![
-        ("water", water::run_trace(&water::WaterConfig::small(procs)).0, false),
-        ("string", string_app::run_trace(&string_app::StringConfig::small(procs)).0, false),
-        ("ocean", ocean::run_trace(&ocean::OceanConfig::small(procs)).0, true),
-        ("cholesky", cholesky::run_trace(&cholesky::CholeskyConfig::small(procs)).0, true),
+        (
+            "water",
+            water::run_trace(&water::WaterConfig::small(procs)).0,
+            false,
+        ),
+        (
+            "string",
+            string_app::run_trace(&string_app::StringConfig::small(procs)).0,
+            false,
+        ),
+        (
+            "ocean",
+            ocean::run_trace(&ocean::OceanConfig::small(procs)).0,
+            true,
+        ),
+        (
+            "cholesky",
+            cholesky::run_trace(&cholesky::CholeskyConfig::small(procs)).0,
+            true,
+        ),
     ]
 }
 
@@ -31,8 +47,10 @@ fn every_app_runs_on_dash_at_every_level() {
                     "{name} procs={procs} {mode}: every task must execute"
                 );
                 assert!(r.exec_time_s > 0.0);
-                assert!(r.exec_time_s >= r.task_time_s / procs as f64 * 0.99,
-                    "{name}: makespan can't beat perfect speedup");
+                assert!(
+                    r.exec_time_s >= r.task_time_s / procs as f64 * 0.99,
+                    "{name}: makespan can't beat perfect speedup"
+                );
                 assert!((0.0..=100.0).contains(&r.locality_pct));
             }
         }
@@ -48,7 +66,11 @@ fn every_app_runs_on_ipsc_at_every_level() {
                     continue;
                 }
                 let r = ipsc::run(&trace, &IpscConfig::paper(procs, mode, 1e-6));
-                assert_eq!(r.tasks_executed, trace.task_count(), "{name} procs={procs} {mode}");
+                assert_eq!(
+                    r.tasks_executed,
+                    trace.task_count(),
+                    "{name} procs={procs} {mode}"
+                );
                 assert!(r.exec_time_s > 0.0);
                 assert!((0.0..=100.0).contains(&r.locality_pct));
                 if procs == 1 {
@@ -62,7 +84,10 @@ fn every_app_runs_on_ipsc_at_every_level() {
 #[test]
 fn dash_placement_gives_full_locality() {
     let trace = ocean::run_trace(&ocean::OceanConfig::small(5)).0;
-    let r = dash::run(&trace, &DashConfig::paper(5, LocalityMode::TaskPlacement, 1e-6));
+    let r = dash::run(
+        &trace,
+        &DashConfig::paper(5, LocalityMode::TaskPlacement, 1e-6),
+    );
     assert_eq!(r.locality_pct, 100.0);
     assert_eq!(r.steals, 0);
 }
@@ -70,11 +95,23 @@ fn dash_placement_gives_full_locality() {
 #[test]
 fn more_processors_do_not_lose_tasks() {
     // More processors than tasks: degenerate but must complete.
-    let trace = water::run_trace(&water::WaterConfig { molecules: 32, iterations: 1, procs: 2, seed: 3 }).0;
+    let trace = water::run_trace(&water::WaterConfig {
+        molecules: 32,
+        iterations: 1,
+        procs: 2,
+        seed: 3,
+    })
+    .0;
     for procs in [4usize, 16, 32] {
-        let d = dash::run(&trace, &DashConfig::paper(procs, LocalityMode::Locality, 1e-6));
+        let d = dash::run(
+            &trace,
+            &DashConfig::paper(procs, LocalityMode::Locality, 1e-6),
+        );
         assert_eq!(d.tasks_executed, trace.task_count());
-        let i = ipsc::run(&trace, &IpscConfig::paper(procs, LocalityMode::Locality, 1e-6));
+        let i = ipsc::run(
+            &trace,
+            &IpscConfig::paper(procs, LocalityMode::Locality, 1e-6),
+        );
         assert_eq!(i.tasks_executed, trace.task_count());
     }
 }
@@ -128,7 +165,10 @@ fn broadcast_volume_accounted() {
     // Water's position object becomes broadcast after the first phases.
     let trace = water::run_trace(&water::WaterConfig::small(8)).0;
     let r = ipsc::run(&trace, &IpscConfig::paper(8, LocalityMode::Locality, 1e-6));
-    assert!(r.broadcasts > 0, "adaptive broadcast should engage for Water");
+    assert!(
+        r.broadcasts > 0,
+        "adaptive broadcast should engage for Water"
+    );
     let mut off = IpscConfig::paper(8, LocalityMode::Locality, 1e-6);
     off.adaptive_broadcast = false;
     let r2 = ipsc::run(&trace, &off);
