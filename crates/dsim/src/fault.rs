@@ -1,0 +1,449 @@
+//! Seeded, deterministic fault injection for the simulated machines.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* — per-message drop /
+//! duplication / delay / reorder probabilities, transient processor
+//! stalls, fail-stop processor death, and (for the threaded backend)
+//! task-body panics. A [`FaultInjector`] turns a plan plus a seed into a
+//! reproducible stream of fault decisions: the same plan and seed always
+//! produce the same faults at the same points in the event stream, so a
+//! faulty run is exactly as replayable as a fault-free one.
+//!
+//! Two decision styles are offered:
+//!
+//! * **Sequential** ([`FaultInjector::message_fate`], [`FaultInjector::stall`])
+//!   for the discrete-event simulators, whose event loops visit decision
+//!   points in a deterministic order.
+//! * **Keyed** ([`FaultPlan::task_fails`]) for `jade-threads`, where OS
+//!   scheduling makes the *order* of decision points nondeterministic:
+//!   the decision is a pure hash of `(seed, task, attempt)`, so which
+//!   tasks panic is independent of thread interleaving.
+//!
+//! Probabilities are plain `f64`s in `[0, 1]`; durations are virtual
+//! [`SimDuration`]s. Plans parse from a compact spec string (see
+//! [`FaultPlan::parse`]), the format used by `repro --faults`.
+
+use crate::time::SimDuration;
+
+/// Default extra-latency window when `delay=`/`reorder=` give no duration
+/// (500 µs — a few network round trips on the simulated machines).
+const DEFAULT_WINDOW_S: f64 = 0.0005;
+
+/// Declarative description of the faults to inject into a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a data message is lost in transit.
+    pub drop_p: f64,
+    /// Probability that a delivered message arrives twice.
+    pub dup_p: f64,
+    /// Probability that a delivered message is delayed by up to [`Self::delay`].
+    pub delay_p: f64,
+    /// Maximum extra latency added by a delay fault.
+    pub delay: SimDuration,
+    /// Probability that a message is reordered (extra latency up to
+    /// [`Self::reorder_window`], enough to overtake later sends).
+    pub reorder_p: f64,
+    /// Latency window used for reorder faults.
+    pub reorder_window: SimDuration,
+    /// Probability that a processor stalls before starting a task.
+    pub stall_p: f64,
+    /// Duration of one transient stall.
+    pub stall: SimDuration,
+    /// Fail-stop: this processor dies at [`Self::fail_at`] and never recovers.
+    pub fail_proc: Option<usize>,
+    /// Virtual time (offset from start) of the fail-stop event.
+    pub fail_at: SimDuration,
+    /// Probability that a task body panics on a given attempt
+    /// (`jade-threads` only; keyed, see [`Self::task_fails`]).
+    pub panic_p: f64,
+    /// Seed for the fault decision stream.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero injector overhead.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay: SimDuration::ZERO,
+            reorder_p: 0.0,
+            reorder_window: SimDuration::ZERO,
+            stall_p: 0.0,
+            stall: SimDuration::ZERO,
+            fail_proc: None,
+            fail_at: SimDuration::ZERO,
+            panic_p: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Does this plan inject anything at all? Fault-free runs take no
+    /// injector draws, so their event streams are byte-identical to runs
+    /// on a build without fault injection.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.dup_p > 0.0
+            || self.delay_p > 0.0
+            || self.reorder_p > 0.0
+            || self.stall_p > 0.0
+            || self.fail_proc.is_some()
+            || self.panic_p > 0.0
+    }
+
+    /// Replace the seed (used by `--fault-seed`).
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Check that every probability is in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop_p),
+            ("dup", self.dup_p),
+            ("delay", self.delay_p),
+            ("reorder", self.reorder_p),
+            ("stall", self.stall_p),
+            ("panic", self.panic_p),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("fault plan: {name} probability {p} not in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the compact spec string used by `repro --faults`.
+    ///
+    /// Comma-separated `key=value` entries:
+    ///
+    /// ```text
+    /// drop=P           lose each data message with probability P
+    /// dup=P            duplicate each delivered message with probability P
+    /// delay=P[:SECS]   delay messages with probability P, up to SECS extra
+    /// reorder=P[:SECS] reorder messages (extra latency window SECS)
+    /// stall=P[:SECS]   stall a processor for SECS before a task start
+    /// fail=PROC[@SECS] processor PROC fail-stops at virtual time SECS
+    /// panic=P          task bodies panic with probability P (threads)
+    /// seed=N           decision-stream seed
+    /// ```
+    ///
+    /// Example: `drop=0.05,dup=0.02,stall=0.01:0.005,fail=3@0.5,seed=42`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',').filter(|s| !s.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}`: expected key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                v.parse::<f64>()
+                    .map_err(|_| format!("fault spec `{part}`: bad probability `{v}`"))
+            };
+            let prob_dur = |v: &str, default_s: f64| -> Result<(f64, SimDuration), String> {
+                let (p, s) = match v.split_once(':') {
+                    Some((p, s)) => (
+                        prob(p)?,
+                        s.parse::<f64>()
+                            .map_err(|_| format!("fault spec `{part}`: bad duration `{s}`"))?,
+                    ),
+                    None => (prob(v)?, default_s),
+                };
+                if !(s.is_finite() && s >= 0.0) {
+                    return Err(format!("fault spec `{part}`: negative duration"));
+                }
+                Ok((p, SimDuration::from_secs_f64(s)))
+            };
+            match key {
+                "drop" => plan.drop_p = prob(val)?,
+                "dup" => plan.dup_p = prob(val)?,
+                "delay" => (plan.delay_p, plan.delay) = prob_dur(val, DEFAULT_WINDOW_S)?,
+                "reorder" => {
+                    (plan.reorder_p, plan.reorder_window) = prob_dur(val, DEFAULT_WINDOW_S)?
+                }
+                "stall" => (plan.stall_p, plan.stall) = prob_dur(val, DEFAULT_WINDOW_S)?,
+                "panic" => plan.panic_p = prob(val)?,
+                "seed" => {
+                    plan.seed = val
+                        .parse::<u64>()
+                        .map_err(|_| format!("fault spec `{part}`: bad seed `{val}`"))?
+                }
+                "fail" => {
+                    let (proc, at_s) = match val.split_once('@') {
+                        Some((p, s)) => (
+                            p.parse::<usize>()
+                                .map_err(|_| format!("fault spec `{part}`: bad proc `{p}`"))?,
+                            s.parse::<f64>()
+                                .map_err(|_| format!("fault spec `{part}`: bad time `{s}`"))?,
+                        ),
+                        None => (
+                            val.parse::<usize>()
+                                .map_err(|_| format!("fault spec `{part}`: bad proc `{val}`"))?,
+                            0.0,
+                        ),
+                    };
+                    if !(at_s.is_finite() && at_s >= 0.0) {
+                        return Err(format!("fault spec `{part}`: negative fail time"));
+                    }
+                    plan.fail_proc = Some(proc);
+                    plan.fail_at = SimDuration::from_secs_f64(at_s);
+                }
+                other => return Err(format!("fault spec: unknown key `{other}`")),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Keyed panic decision for the threaded backend: a pure hash of
+    /// `(seed, task, attempt)`, independent of thread interleaving. Each
+    /// retry re-rolls (different `attempt`), so with `panic_p < 1` a task
+    /// eventually succeeds.
+    pub fn task_fails(&self, task: u64, attempt: u32) -> bool {
+        if self.panic_p <= 0.0 {
+            return false;
+        }
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(task.wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add((attempt as u64) << 17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        unit_f64(z) < self.panic_p
+    }
+}
+
+/// The fate the injector assigned to one message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MessageFate {
+    /// Extra latency of each delivered copy. Empty means the message was
+    /// dropped; more than one entry means it was duplicated.
+    pub copies: Vec<SimDuration>,
+}
+
+impl MessageFate {
+    /// The fault-free fate: one copy, no extra latency.
+    pub fn delivered() -> MessageFate {
+        MessageFate {
+            copies: vec![SimDuration::ZERO],
+        }
+    }
+
+    pub fn dropped(&self) -> bool {
+        self.copies.is_empty()
+    }
+}
+
+/// Stateful decision stream for one run: a [`FaultPlan`] plus a SplitMix64
+/// generator seeded from it. Counters record what was actually injected so
+/// simulators can cross-check their native tallies against the event stream.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    /// Messages dropped so far.
+    pub drops: u64,
+    /// Messages duplicated so far.
+    pub dups: u64,
+    /// Messages delayed or reordered so far.
+    pub delays: u64,
+    /// Stalls injected so far.
+    pub stalls: u64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            // Non-zero mix so seed 0 still produces a useful stream.
+            state: plan.seed ^ 0x5851_F42D_4C95_7F2D,
+            drops: 0,
+            dups: 0,
+            delays: 0,
+            stalls: 0,
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether any message/stall faults are configured. Inactive injectors
+    /// take no draws, keeping fault-free streams bit-identical.
+    pub fn active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele et al.): tiny, seedable, good enough for
+        // Bernoulli draws, and dependency-free.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    fn extra_delay(&mut self) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        if self.plan.delay_p > 0.0 && self.next_f64() < self.plan.delay_p {
+            self.delays += 1;
+            extra += scale(self.plan.delay, self.next_f64());
+        }
+        if self.plan.reorder_p > 0.0 && self.next_f64() < self.plan.reorder_p {
+            self.delays += 1;
+            extra += scale(self.plan.reorder_window, self.next_f64());
+        }
+        extra
+    }
+
+    /// Decide the fate of one data message: dropped, delivered once
+    /// (possibly late), or delivered twice.
+    pub fn message_fate(&mut self) -> MessageFate {
+        if !self.active() {
+            return MessageFate::delivered();
+        }
+        if self.plan.drop_p > 0.0 && self.next_f64() < self.plan.drop_p {
+            self.drops += 1;
+            return MessageFate { copies: Vec::new() };
+        }
+        let mut copies = vec![self.extra_delay()];
+        if self.plan.dup_p > 0.0 && self.next_f64() < self.plan.dup_p {
+            self.dups += 1;
+            copies.push(self.extra_delay());
+        }
+        MessageFate { copies }
+    }
+
+    /// Decide whether a processor stalls at this decision point, and for
+    /// how long.
+    pub fn stall(&mut self) -> Option<SimDuration> {
+        if self.plan.stall_p > 0.0 && self.next_f64() < self.plan.stall_p {
+            self.stalls += 1;
+            Some(self.plan.stall)
+        } else {
+            None
+        }
+    }
+}
+
+/// Map a `u64` to `[0, 1)` using the top 53 bits.
+fn unit_f64(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Scale a duration by a fraction in `[0, 1)` (picosecond-exact).
+fn scale(d: SimDuration, frac: f64) -> SimDuration {
+    SimDuration((d.0 as f64 * frac) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.message_fate(), MessageFate::delivered());
+        assert_eq!(inj.stall(), None);
+        assert_eq!(inj.drops + inj.dups + inj.delays + inj.stalls, 0);
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan =
+            FaultPlan::parse("drop=0.05,dup=0.02,delay=0.1:0.001,reorder=0.05,stall=0.01:0.005,fail=3@0.5,panic=0.1,seed=42")
+                .unwrap();
+        assert_eq!(plan.drop_p, 0.05);
+        assert_eq!(plan.dup_p, 0.02);
+        assert_eq!(plan.delay_p, 0.1);
+        assert_eq!(plan.delay, SimDuration::from_secs_f64(0.001));
+        assert_eq!(plan.reorder_p, 0.05);
+        assert_eq!(
+            plan.reorder_window,
+            SimDuration::from_secs_f64(DEFAULT_WINDOW_S)
+        );
+        assert_eq!(plan.stall_p, 0.01);
+        assert_eq!(plan.stall, SimDuration::from_secs_f64(0.005));
+        assert_eq!(plan.fail_proc, Some(3));
+        assert_eq!(plan.fail_at, SimDuration::from_secs_f64(0.5));
+        assert_eq!(plan.panic_p, 0.1);
+        assert_eq!(plan.seed, 42);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=x").is_err());
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("wat=1").is_err());
+        assert!(FaultPlan::parse("fail=a").is_err());
+        assert!(FaultPlan::parse("delay=0.1:-1").is_err());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let plan = FaultPlan::parse("drop=0.2,dup=0.1,delay=0.3,seed=7").unwrap();
+        let run = |mut inj: FaultInjector| -> Vec<MessageFate> {
+            (0..200).map(|_| inj.message_fate()).collect()
+        };
+        let a = run(FaultInjector::new(plan));
+        let b = run(FaultInjector::new(plan));
+        assert_eq!(a, b);
+        let c = run(FaultInjector::new(plan.with_seed(8)));
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn fate_frequencies_track_probabilities() {
+        let plan = FaultPlan::parse("drop=0.2,dup=0.1,seed=1").unwrap();
+        let mut inj = FaultInjector::new(plan);
+        let n = 10_000;
+        for _ in 0..n {
+            inj.message_fate();
+        }
+        let drop_rate = inj.drops as f64 / n as f64;
+        assert!((drop_rate - 0.2).abs() < 0.02, "drop rate {drop_rate}");
+        // dup is drawn only for non-dropped messages.
+        let dup_rate = inj.dups as f64 / (n - inj.drops) as f64;
+        assert!((dup_rate - 0.1).abs() < 0.02, "dup rate {dup_rate}");
+    }
+
+    #[test]
+    fn keyed_task_failure_is_pure() {
+        let plan = FaultPlan::parse("panic=0.3,seed=11").unwrap();
+        let fails: Vec<bool> = (0..64).map(|t| plan.task_fails(t, 0)).collect();
+        assert!(fails.iter().any(|&f| f), "some task should fail");
+        assert!(fails.iter().any(|&f| !f), "some task should succeed");
+        for t in 0..64u64 {
+            assert_eq!(plan.task_fails(t, 0), fails[t as usize]);
+        }
+        // Retries re-roll: a failing task must eventually pass.
+        for t in 0..64u64 {
+            assert!((0..64).any(|a| !plan.task_fails(t, a)));
+        }
+    }
+
+    #[test]
+    fn stalls_use_plan_duration() {
+        let plan = FaultPlan::parse("stall=1.0:0.002,seed=3").unwrap();
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.stall(), Some(SimDuration::from_secs_f64(0.002)));
+        assert_eq!(inj.stalls, 1);
+    }
+}

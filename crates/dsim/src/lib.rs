@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 
 mod calendar;
+mod fault;
 mod machine;
 mod proc;
 mod stats;
 mod time;
 
 pub use calendar::Calendar;
+pub use fault::{FaultInjector, FaultPlan, MessageFate};
 pub use machine::{hypercube_dimension, DashHit, DashSpec, IpscSpec, ProcId};
 pub use proc::{ProcClock, ProcUsage, TimeKind};
 pub use stats::{percent, ratio, Accum};

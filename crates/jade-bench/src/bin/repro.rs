@@ -19,19 +19,24 @@
 //! `--quick` substitutes reduced workloads (for smoke runs); the default is
 //! the paper-scale data sets.
 
+use dsim::FaultPlan;
 use jade_bench::experiments as ex;
 use jade_bench::{App, Harness, TraceBackend};
 use jade_core::LocalityMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--trace-out FILE] <experiment>...\n\
+        "usage: repro [--quick] [--trace-out FILE] [--faults SPEC] [--fault-seed N] <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
-         utilization\n\
+         utilization, fault-sweep\n\
          --trace-out FILE  also write a Chrome trace_event JSON of a\n\
                            representative run (Ocean, 8 procs, iPSC/860);\n\
-                           open it in chrome://tracing or ui.perfetto.dev"
+                           open it in chrome://tracing or ui.perfetto.dev\n\
+         --faults SPEC     inject faults and run the fault sweep; SPEC is\n\
+                           e.g. drop=0.05,dup=0.02,delay=0.1:0.001,stall=0.01:0.005,\n\
+                           fail=3@0.5,panic=0.1 (see DESIGN.md section 11)\n\
+         --fault-seed N    seed for the fault decision stream (default 0)"
     );
     std::process::exit(2);
 }
@@ -39,6 +44,8 @@ fn usage() -> ! {
 fn main() {
     let mut quick = false;
     let mut trace_out: Option<String> = None;
+    let mut faults: Option<FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,19 +56,41 @@ fn main() {
                 Some(path) => trace_out = Some(path),
                 None => usage(),
             },
+            "--faults" => match args.next().map(|s| FaultPlan::parse(&s)) {
+                Some(Ok(plan)) => faults = Some(plan),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                None => usage(),
+            },
+            "--fault-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => fault_seed = Some(n),
+                None => usage(),
+            },
             "-h" | "--help" => usage(),
             other => wanted.push(other.to_string()),
         }
     }
+    // `--faults` with no explicit experiment runs the fault sweep.
+    if faults.is_some() && wanted.is_empty() {
+        wanted.push("fault-sweep".to_string());
+    }
     if wanted.is_empty() && trace_out.is_none() {
         usage();
+    }
+    let mut plan = faults.unwrap_or_else(|| {
+        FaultPlan::parse("drop=0.05,dup=0.02").expect("default fault plan parses")
+    });
+    if let Some(seed) = fault_seed {
+        plan = plan.with_seed(seed);
     }
     let mut h = Harness::new(quick);
     if quick {
         println!("[quick mode: reduced workloads — shapes hold, absolute numbers shrink]");
     }
     for w in wanted.clone() {
-        run_one(&mut h, &w);
+        run_one(&mut h, &w, plan);
     }
     if let Some(path) = trace_out {
         let json = h.chrome_trace(App::Ocean, 8, LocalityMode::Locality, TraceBackend::Ipsc);
@@ -75,7 +104,7 @@ fn main() {
     }
 }
 
-fn run_one(h: &mut Harness, what: &str) {
+fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan) {
     let exec_apps = [App::Water, App::StringApp, App::Ocean, App::Cholesky];
     match what {
         "all" => {
@@ -91,21 +120,21 @@ fn run_one(h: &mut Harness, what: &str) {
                 "ablations",
                 "heterogeneous",
             ] {
-                run_one(h, t);
+                run_one(h, t, plan);
             }
         }
         "tables" => {
             for t in 2..=5 {
-                run_one(h, &format!("table{t}"));
+                run_one(h, &format!("table{t}"), plan);
             }
             for t in 7..=14 {
-                run_one(h, &format!("table{t}"));
+                run_one(h, &format!("table{t}"), plan);
             }
         }
         "figures" => {
             for f in 2..=21 {
                 if f != 1 {
-                    run_one(h, &format!("fig{f}"));
+                    run_one(h, &format!("fig{f}"), plan);
                 }
             }
         }
@@ -152,6 +181,12 @@ fn run_one(h: &mut Harness, what: &str) {
         "utilization" => {
             for app in [App::Water, App::Ocean, App::Cholesky] {
                 ex::utilization(h, app, 8);
+            }
+        }
+        "fault-sweep" => {
+            if let Err(why) = ex::fault_sweep(h, plan) {
+                eprintln!("fault sweep FAILED: {why}");
+                std::process::exit(1);
             }
         }
         other => {

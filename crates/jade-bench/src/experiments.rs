@@ -6,6 +6,7 @@
 use crate::apps::App;
 use crate::harness::{header, row, Harness, PROCS};
 use crate::paper_data;
+use dsim::FaultPlan;
 use jade_core::LocalityMode;
 
 fn print_table(title: &str, rows: &[(String, Vec<f64>)], paper: Option<&paper_data::ExecTable>) {
@@ -625,6 +626,136 @@ pub fn heterogeneous(h: &mut Harness) {
          each phase waits for the slowest machine's one task",
         wh.exec_time_s, wu.exec_time_s
     );
+}
+
+/// Fault sweep: run one application per backend under the given fault plan
+/// and check the headline robustness invariant — the faulty run produces
+/// bit-identical application results to the fault-free run, differing only
+/// in timing and retry/re-execution counters. Returns `Err` on any
+/// divergence (the `repro` binary exits non-zero on it, so CI can gate on
+/// this).
+pub fn fault_sweep(h: &mut Harness, plan: FaultPlan) -> Result<(), String> {
+    println!("\nFault sweep (seed {}):", plan.seed);
+    println!(
+        "  plan: drop={} dup={} delay={} reorder={} stall={} fail={:?} panic={}",
+        plan.drop_p,
+        plan.dup_p,
+        plan.delay_p,
+        plan.reorder_p,
+        plan.stall_p,
+        plan.fail_proc,
+        plan.panic_p
+    );
+
+    // iPSC/860: the full message-loss/recovery protocol.
+    {
+        let app = App::Water;
+        let procs = 8;
+        let trace = h.trace(app, procs);
+        let spo = app.ipsc_sec_per_op(&trace);
+        let clean_cfg = jade_ipsc::IpscConfig::paper(procs, LocalityMode::Locality, spo);
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.faults = plan;
+        let clean = jade_ipsc::try_run(&trace, &clean_cfg)
+            .map_err(|e| format!("ipsc fault-free run failed: {e}"))?;
+        let faulty = jade_ipsc::try_run(&trace, &faulty_cfg)
+            .map_err(|e| format!("ipsc faulty run failed: {e}"))?;
+        println!(
+            "  iPSC/860  {} x{procs}: {:.2}s -> {:.2}s | dropped {} retried {} \
+             discarded {} stalls {} re-executed {}",
+            app.name(),
+            clean.exec_time_s,
+            faulty.exec_time_s,
+            faulty.msgs_dropped,
+            faulty.msgs_retried,
+            faulty.msgs_discarded,
+            faulty.stalls,
+            faulty.tasks_reexecuted
+        );
+        if faulty.final_versions != clean.final_versions {
+            return Err(format!(
+                "ipsc: final object versions diverged under faults ({} objects differ)",
+                faulty
+                    .final_versions
+                    .iter()
+                    .zip(&clean.final_versions)
+                    .filter(|(a, b)| a != b)
+                    .count()
+            ));
+        }
+        let completed = faulty.tasks_executed as u64 - faulty.tasks_reexecuted;
+        if completed != clean.tasks_executed as u64 {
+            return Err(format!(
+                "ipsc: {completed} tasks completed under faults vs {} fault-free",
+                clean.tasks_executed
+            ));
+        }
+    }
+
+    // DASH: shared memory has no messages to lose; the sweep maps the
+    // plan's drop rate onto transient stalls when no stall component was
+    // given, so the scheduler's graceful degradation is still exercised.
+    {
+        let app = App::Ocean;
+        let procs = 8;
+        let mut dash_plan = plan;
+        if dash_plan.stall_p == 0.0 && dash_plan.drop_p > 0.0 {
+            dash_plan.stall_p = dash_plan.drop_p;
+            dash_plan.stall = dsim::SimDuration::from_secs_f64(0.002);
+        }
+        let clean = h.dash(app, procs, LocalityMode::Locality);
+        let faulty = h.dash_with(app, procs, LocalityMode::Locality, |c| c.faults = dash_plan);
+        println!(
+            "  DASH      {} x{procs}: {:.2}s -> {:.2}s | stalls {} ({:.3}s)",
+            app.name(),
+            clean.exec_time_s,
+            faulty.exec_time_s,
+            faulty.stalls,
+            faulty.stall_time_s
+        );
+        if faulty.tasks_executed != clean.tasks_executed {
+            return Err(format!(
+                "dash: {} tasks executed under stalls vs {} fault-free",
+                faulty.tasks_executed, clean.tasks_executed
+            ));
+        }
+    }
+
+    // jade-threads: real parallel execution with injected worker crashes.
+    // Message loss has no analog on threads either, so the drop rate maps
+    // onto the per-attempt crash probability when no panic rate was given.
+    {
+        let workers = 4;
+        let panic_p = if plan.panic_p > 0.0 {
+            plan.panic_p
+        } else {
+            plan.drop_p
+        };
+        let wcfg = jade_apps::water::WaterConfig::small(workers);
+        let mut clean_rt = jade_threads::ThreadRuntime::new(workers);
+        let clean = jade_apps::water::run_on(&mut clean_rt, &wcfg);
+        let mut faulty_rt = jade_threads::ThreadRuntime::new(workers);
+        faulty_rt.inject_faults(FaultPlan {
+            panic_p,
+            seed: plan.seed,
+            ..FaultPlan::none()
+        });
+        let faulty = jade_apps::water::run_on(&mut faulty_rt, &wcfg);
+        let stats = faulty_rt.last_stats();
+        println!(
+            "  threads   Water x{workers} (crash p={panic_p}): {} attempts, {} recoveries",
+            stats.executed, stats.recoveries
+        );
+        if faulty != clean {
+            return Err(format!(
+                "threads: Water output diverged under injected crashes \
+                 ({faulty:?} vs {clean:?})"
+            ));
+        }
+    }
+
+    println!("  fault sweep passed: results bit-identical to fault-free runs");
+    Ok(())
 }
 
 #[cfg(test)]

@@ -36,7 +36,13 @@ fn args_json(e: &Event) -> String {
         EventKind::ObjectRequest { bytes }
         | EventKind::EagerPush { bytes }
         | EventKind::MsgSend { bytes }
-        | EventKind::MsgRecv { bytes } => parts.push(format!("\"bytes\":{bytes}")),
+        | EventKind::MsgRecv { bytes }
+        | EventKind::MsgDropped { bytes }
+        | EventKind::MsgRetried { bytes }
+        | EventKind::MsgDiscarded { bytes } => parts.push(format!("\"bytes\":{bytes}")),
+        EventKind::ProcStalled { dur_ps } => {
+            parts.push(format!("\"stall_us\":{}", micros(dur_ps)));
+        }
         EventKind::ObjectFetch { bytes, latency_ps } => {
             parts.push(format!("\"bytes\":{bytes}"));
             parts.push(format!("\"latency_us\":{}", micros(latency_ps)));

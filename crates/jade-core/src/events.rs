@@ -118,6 +118,25 @@ pub enum EventKind {
     /// `dur_ps` starting at `time_ps`. Per-processor spans never overlap
     /// and tile the makespan (see [`check_conservation`]).
     Span { component: Component, dur_ps: u64 },
+    /// Fault injection: a data message of `bytes` was lost in transit.
+    /// Emitted at the sender.
+    MsgDropped { bytes: u64 },
+    /// Recovery: a fetch request was re-sent after an ack timeout. The
+    /// resend itself also emits a fresh `ObjectRequest`; this event only
+    /// marks the retry decision.
+    MsgRetried { bytes: u64 },
+    /// Idempotent delivery: a duplicate or stale message arrived and was
+    /// discarded instead of applied.
+    MsgDiscarded { bytes: u64 },
+    /// Fault injection: `proc` suffered a transient stall of `dur_ps`
+    /// before starting a task (the stall also appears as a `Comm` span).
+    ProcStalled { dur_ps: u64 },
+    /// `proc` fail-stopped (simulators) or a worker's task body panicked
+    /// (`jade-threads`).
+    WorkerFailed,
+    /// A task orphaned by a failure was handed back to the scheduler for
+    /// re-execution; a fresh dispatched → started → completed leg follows.
+    TaskReExecuted,
 }
 
 impl EventKind {
@@ -140,6 +159,12 @@ impl EventKind {
             EventKind::PhaseStart { .. } => "phase_start",
             EventKind::PhaseEnd { .. } => "phase_end",
             EventKind::Span { .. } => "span",
+            EventKind::MsgDropped { .. } => "msg_dropped",
+            EventKind::MsgRetried { .. } => "msg_retried",
+            EventKind::MsgDiscarded { .. } => "msg_discarded",
+            EventKind::ProcStalled { .. } => "proc_stalled",
+            EventKind::WorkerFailed => "worker_failed",
+            EventKind::TaskReExecuted => "task_reexecuted",
         }
     }
 }
@@ -322,6 +347,24 @@ pub struct Metrics {
     /// execution, so this equals `total().app_ps` there).
     pub task_span_ps: u64,
     pub phases: Vec<PhaseTimes>,
+    /// Data messages lost in transit (fault injection).
+    pub msgs_dropped: u64,
+    /// Payload bytes of dropped messages.
+    pub dropped_bytes: u64,
+    /// Fetch requests re-sent after an ack timeout.
+    pub msgs_retried: u64,
+    /// Duplicate/stale deliveries discarded by idempotent delivery.
+    pub msgs_discarded: u64,
+    /// Payload bytes of discarded deliveries.
+    pub discarded_bytes: u64,
+    /// Transient processor stalls injected.
+    pub stalls: u64,
+    /// Total stalled time (also present in the `Comm` span breakdown).
+    pub stall_ps: u64,
+    /// Fail-stop processors / panicked worker attempts.
+    pub workers_failed: u64,
+    /// Tasks re-dispatched after a failure.
+    pub tasks_reexecuted: u64,
 }
 
 impl Metrics {
@@ -421,6 +464,21 @@ impl Metrics {
                         m.task_span_ps += dur_ps;
                     }
                 }
+                EventKind::MsgDropped { bytes } => {
+                    m.msgs_dropped += 1;
+                    m.dropped_bytes += bytes;
+                }
+                EventKind::MsgRetried { .. } => m.msgs_retried += 1,
+                EventKind::MsgDiscarded { bytes } => {
+                    m.msgs_discarded += 1;
+                    m.discarded_bytes += bytes;
+                }
+                EventKind::ProcStalled { dur_ps } => {
+                    m.stalls += 1;
+                    m.stall_ps += dur_ps;
+                }
+                EventKind::WorkerFailed => m.workers_failed += 1,
+                EventKind::TaskReExecuted => m.tasks_reexecuted += 1,
             }
         }
         for (_, first, last) in windows {
@@ -488,6 +546,13 @@ impl Metrics {
 /// created → enabled → \[dispatched →\] started → completed chain, in that
 /// order both by stream position and by timestamp. Tasks created but not
 /// yet complete (partial streams) fail; pass only complete runs.
+///
+/// Faulty runs are covered too: a [`EventKind::TaskReExecuted`] event
+/// rewinds a task's chain to the *enabled* stage, licensing one extra
+/// dispatched → started leg. Even under re-execution every task must have
+/// exactly one created, one enabled, and one completed event — a task that
+/// completes twice (double execution applied) or never completes fails the
+/// check.
 pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
     #[derive(Default, Clone)]
     struct Chain {
@@ -496,6 +561,7 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
         dispatched: usize,
         started: usize,
         completed: usize,
+        reexecuted: usize,
         stage: u8,
         last_time: u64,
     }
@@ -507,6 +573,7 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
             EventKind::TaskDispatched { .. } => 3,
             EventKind::TaskStarted => 4,
             EventKind::TaskCompleted => 5,
+            EventKind::TaskReExecuted => 0, // special-cased below
             _ => continue,
         };
         let id = e
@@ -516,6 +583,26 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
             chains.resize(id.index() + 1, Chain::default());
         }
         let c = &mut chains[id.index()];
+        if e.time_ps < c.last_time {
+            return Err(format!(
+                "{id:?}: {} timestamp regressed at #{pos}",
+                e.kind.name(),
+            ));
+        }
+        if stage == 0 {
+            // Re-execution rewinds the chain to "enabled": the task must
+            // already be past enabling and must not have completed.
+            if c.stage < 2 {
+                return Err(format!("{id:?}: re-executed before enabled at #{pos}"));
+            }
+            if c.completed > 0 {
+                return Err(format!("{id:?}: re-executed after completion at #{pos}"));
+            }
+            c.reexecuted += 1;
+            c.stage = 2;
+            c.last_time = e.time_ps;
+            continue;
+        }
         match stage {
             1 => c.created += 1,
             2 => c.enabled += 1,
@@ -531,25 +618,28 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
                 c.stage
             ));
         }
-        if e.time_ps < c.last_time {
-            return Err(format!(
-                "{id:?}: {} timestamp regressed at #{pos}",
-                e.kind.name()
-            ));
-        }
         c.stage = stage;
         c.last_time = e.time_ps;
     }
     for (i, c) in chains.iter().enumerate() {
         let id = TaskId(i as u32);
-        if c.created != 1 || c.enabled != 1 || c.started != 1 || c.completed != 1 {
+        if c.created != 1 || c.enabled != 1 || c.completed != 1 {
             return Err(format!(
-                "{id:?}: chain counts created={} enabled={} started={} completed={} (want 1 each)",
-                c.created, c.enabled, c.started, c.completed
+                "{id:?}: chain counts created={} enabled={} completed={} (want 1 each)",
+                c.created, c.enabled, c.completed
             ));
         }
-        if c.dispatched > 1 {
-            return Err(format!("{id:?}: dispatched {} times", c.dispatched));
+        if c.started < 1 || c.started > 1 + c.reexecuted {
+            return Err(format!(
+                "{id:?}: started {} times across {} re-executions",
+                c.started, c.reexecuted
+            ));
+        }
+        if c.dispatched > 1 + c.reexecuted {
+            return Err(format!(
+                "{id:?}: dispatched {} times across {} re-executions",
+                c.dispatched, c.reexecuted
+            ));
         }
     }
     Ok(())
@@ -752,6 +842,42 @@ mod tests {
             task_ev(0, 0, EventKind::TaskCreated, 0),
             task_ev(0, 0, EventKind::TaskEnabled, 0),
             task_ev(3, 0, EventKind::TaskCompleted, 0),
+        ];
+        assert!(check_lifecycle(&events).is_err());
+    }
+
+    #[test]
+    fn lifecycle_accepts_reexecution_leg() {
+        let dispatch = EventKind::TaskDispatched {
+            stolen: false,
+            locality: Locality::Untracked,
+        };
+        let events = vec![
+            task_ev(0, 0, EventKind::TaskCreated, 0),
+            task_ev(0, 0, EventKind::TaskEnabled, 0),
+            task_ev(1, 2, dispatch, 0),
+            task_ev(2, 2, EventKind::TaskStarted, 0),
+            // Processor 2 dies mid-task; the scheduler re-dispatches.
+            task_ev(5, 0, EventKind::TaskReExecuted, 0),
+            task_ev(6, 1, dispatch, 0),
+            task_ev(7, 1, EventKind::TaskStarted, 0),
+            task_ev(9, 1, EventKind::TaskCompleted, 0),
+        ];
+        check_lifecycle(&events).unwrap();
+        let m = Metrics::from_events(&events, 3);
+        assert_eq!(m.tasks_reexecuted, 1);
+        assert_eq!(m.tasks_started, 2);
+        assert_eq!(m.tasks_completed, 1);
+    }
+
+    #[test]
+    fn lifecycle_rejects_double_completion_after_reexecution() {
+        let events = vec![
+            task_ev(0, 0, EventKind::TaskCreated, 0),
+            task_ev(0, 0, EventKind::TaskEnabled, 0),
+            task_ev(2, 2, EventKind::TaskStarted, 0),
+            task_ev(3, 2, EventKind::TaskCompleted, 0),
+            task_ev(5, 0, EventKind::TaskReExecuted, 0),
         ];
         assert!(check_lifecycle(&events).is_err());
     }

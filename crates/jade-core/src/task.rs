@@ -28,8 +28,12 @@ use crate::store::{ReadGuard, Store, WriteGuard};
 use std::cell::Cell;
 
 /// The closure type of a task body. Bodies receive a [`TaskCtx`] that grants
-/// access to exactly the objects the task declared.
-pub type TaskBody = Box<dyn for<'a> FnOnce(&TaskCtx<'a>) + Send>;
+/// access to exactly the objects the task declared. Bodies are `Fn`, not
+/// `FnOnce`: a recovering runtime may re-execute a task whose first attempt
+/// died with its worker, so bodies must be re-callable (all task-visible
+/// state lives in the store and is reached through the context, so app
+/// bodies satisfy this naturally).
+pub type TaskBody = Box<dyn for<'a> Fn(&TaskCtx<'a>) + Send>;
 
 /// A fully-specified task ready for submission to a runtime.
 pub struct TaskDef {
@@ -108,7 +112,7 @@ impl TaskBuilder {
     }
 
     /// Attach the body, producing a submittable [`TaskDef`].
-    pub fn body(self, f: impl for<'a> FnOnce(&TaskCtx<'a>) + Send + 'static) -> TaskDef {
+    pub fn body(self, f: impl for<'a> Fn(&TaskCtx<'a>) + Send + 'static) -> TaskDef {
         TaskDef {
             label: self.label,
             spec: self.spec,

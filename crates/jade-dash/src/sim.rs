@@ -13,7 +13,9 @@
 use crate::costs::DashCosts;
 use crate::memsim::MemSim;
 use crate::scheduler::{DashScheduler, LocalityMode};
-use dsim::{Calendar, DashSpec, ProcClock, ProcId, SimDuration, SimTime, TimeKind};
+use dsim::{
+    Calendar, DashSpec, FaultInjector, FaultPlan, ProcClock, ProcId, SimDuration, SimTime, TimeKind,
+};
 use jade_core::{
     Component, Event, EventKind, EventSink, Locality, Metrics, Synchronizer, TaskId, Trace,
 };
@@ -39,6 +41,13 @@ pub struct DashConfig {
     /// it, equal-length tasks complete in lock step and the load balancer
     /// never sees an imbalance — unlike the paper's machines.
     pub jitter_frac: f64,
+    /// Fault injection plan. DASH is a cache-coherent shared-memory machine:
+    /// there are no messages to lose and the threads share fate with the
+    /// kernel, so only the *transient stall* component of the plan applies
+    /// (modeling OS jitter, page faults, contention spikes). The locality
+    /// scheduler degrades gracefully — stalled processors simply fall
+    /// behind and their queued tasks get stolen.
+    pub faults: FaultPlan,
 }
 
 impl DashConfig {
@@ -52,6 +61,7 @@ impl DashConfig {
             model_comm: true,
             replication: true,
             jitter_frac: 0.08,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -82,6 +92,10 @@ pub struct DashRunResult {
     pub comm_time_s: f64,
     /// Bytes moved between clusters.
     pub bytes_moved: u64,
+    /// Transient processor stalls injected (fault injection).
+    pub stalls: u64,
+    /// Total injected stall time.
+    pub stall_time_s: f64,
     /// Per-processor busy time, split as (app, comm, mgmt) seconds.
     pub per_proc_busy: Vec<(f64, f64, f64)>,
 }
@@ -121,6 +135,10 @@ struct Sim<'a> {
     /// counters are aggregated from it by [`Metrics::from_events`], not
     /// kept as ad-hoc tallies.
     events: EventSink,
+    /// Fault decision stream (transient stalls only on this machine).
+    inj: FaultInjector,
+    /// Native stall tally, cross-checked against the event stream.
+    n_stalls: u64,
 }
 
 /// Simulate `trace` on the configured DASH machine.
@@ -133,6 +151,9 @@ pub fn run(trace: &Trace, cfg: &DashConfig) -> DashRunResult {
 pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>) {
     let procs = cfg.machine.procs;
     assert!(procs >= 1, "need at least one processor");
+    if let Err(why) = cfg.faults.validate() {
+        panic!("invalid fault plan: {why}");
+    }
     let target = trace
         .tasks
         .iter()
@@ -159,6 +180,8 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
         retry_pending: vec![false; procs],
         lcg: 0x9E3779B97F4A7C15,
         events: EventSink::recording(),
+        inj: FaultInjector::new(cfg.faults),
+        n_stalls: 0,
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
     while let Some((t, ev)) = sim.cal.pop() {
@@ -191,6 +214,10 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
         sim.mem.as_ref().map_or(0, |mm| mm.bytes_moved),
         "event fetch bytes disagree with memory model"
     );
+    debug_assert_eq!(
+        m.stalls, sim.n_stalls,
+        "event stalls disagree with injector"
+    );
     debug_assert!(
         jade_core::check_conservation(&events, procs, sim.pc.horizon().0).is_ok(),
         "busy spans do not tile the makespan"
@@ -208,6 +235,8 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
         main_mgmt_s: SimDuration(m.per_proc[0].mgmt_ps).as_secs_f64(),
         comm_time_s: SimDuration(total.comm_ps).as_secs_f64(),
         bytes_moved: m.fetch_bytes,
+        stalls: m.stalls,
+        stall_time_s: SimDuration(m.stall_ps).as_secs_f64(),
         per_proc_busy: (0..procs)
             .map(|p| {
                 let u = sim.pc.usage(p);
@@ -378,6 +407,19 @@ impl Sim<'_> {
 
     fn start_task(&mut self, p: ProcId, id: TaskId, t: SimTime) {
         debug_assert!(self.running[p].is_none(), "dispatch to busy processor");
+        let mut t = t;
+        // Injected transient stall: the processor loses time to OS jitter
+        // (a page fault, an interrupt storm) before the task starts. The
+        // task still runs to completion — a stall only shifts its span,
+        // and the work-stealing scheduler absorbs the imbalance.
+        if let Some(d) = self.inj.stall() {
+            self.n_stalls += 1;
+            self.events
+                .emit(t.0, p, EventKind::ProcStalled { dur_ps: d.0 });
+            let end = self.pc.occupy(p, t, d, TimeKind::Comm);
+            self.events.span(end.0 - d.0, p, Component::Comm, d.0, None);
+            t = end;
+        }
         self.running[p] = Some(id);
         let rec = &self.trace.tasks[id.index()];
         if rec.serial_phase {
@@ -714,5 +756,70 @@ mod tests {
         assert_eq!(m.tasks_started, r.tasks_executed);
         assert_eq!(m.tasks_created, trace.tasks.len());
         assert_eq!(m.fetch_bytes, r.bytes_moved);
+    }
+
+    // ---- fault injection ----
+
+    #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        let trace = parallel_trace(20, 4, 0.2);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.faults = FaultPlan::none().with_seed(7);
+        let seeded = run(&trace, &c);
+        assert_eq!(clean.exec_time_s, seeded.exec_time_s);
+        assert_eq!(seeded.stalls, 0);
+    }
+
+    #[test]
+    fn stalls_slow_the_run_but_everything_completes() {
+        let trace = parallel_trace(24, 4, 0.2);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.faults = FaultPlan::parse("stall=1.0:0.05,seed=3").unwrap();
+        let (r, events) = run_traced(&trace, &c);
+        assert_eq!(r.tasks_executed, clean.tasks_executed);
+        assert_eq!(r.stalls, 24, "every task start stalls at p=1");
+        assert!(r.stall_time_s > 1.0, "24 stalls of 50 ms");
+        assert!(r.exec_time_s > clean.exec_time_s);
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = Metrics::from_events(&events, 4);
+        jade_core::check_conservation(&events, 4, m.makespan_ps).unwrap();
+    }
+
+    #[test]
+    fn stealing_absorbs_stall_imbalance() {
+        // All tasks homed on processor 1, long stalls: the locality
+        // scheduler's queues back up behind the stalls and the other
+        // processors steal the overflow — graceful degradation, not
+        // serialization behind the stalled owner.
+        let mut b = TraceBuilder::new();
+        let objs: Vec<_> = (0..32)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(1)))
+            .collect();
+        for &o in &objs {
+            b.task(spec(&[], &[o]), 0.5);
+        }
+        let trace = b.build();
+        let mut c = cfg(8, LocalityMode::Locality);
+        c.faults = FaultPlan::parse("stall=0.5:0.2,seed=11").unwrap();
+        let r = run(&trace, &c);
+        assert_eq!(r.tasks_executed, 32);
+        assert!(r.steals > 0, "stalled owner's queue should be stolen from");
+        // 32 × 0.5 s serial is 16 s; stealing keeps it well under that even
+        // with the injected stalls on top.
+        assert!(r.exec_time_s < 12.0, "{}", r.exec_time_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_panics() {
+        let trace = parallel_trace(4, 2, 0.1);
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.faults = FaultPlan {
+            stall_p: -0.5,
+            ..FaultPlan::none()
+        };
+        run(&trace, &c);
     }
 }

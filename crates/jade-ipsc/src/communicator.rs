@@ -14,13 +14,40 @@
 //!   processor has accessed the same version of an object, all succeeding
 //!   versions of that object are broadcast on production (Section 3.4.2).
 //!
+//! Delivery is **idempotent and version-checked**: [`Communicator::deliver`]
+//! applies a payload only if it carries the current version to a live
+//! processor, so duplicated, delayed, or reordered messages (fault
+//! injection) are discarded rather than applied. Point-to-point payload
+//! bytes are therefore accounted at *acceptance*, while broadcast and eager
+//! bytes are accounted at the *send* (the root pays for the tree whether or
+//! not an individual copy is lost); under a fault-free run the two
+//! conventions coincide with counting every transfer exactly once.
+//!
 //! This module is pure bookkeeping; the event-level costs (request/reply
-//! messages, broadcast trees) live in the simulator (`crate::sim`).
+//! messages, broadcast trees, retry timers) live in the simulator
+//! (`crate::sim`).
 
 use dsim::ProcId;
 use jade_core::{ObjectId, Trace};
 
 const NO_VERSION: u64 = u64::MAX;
+
+/// Per-object byte attribution, split by transfer mechanism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObjectTraffic {
+    /// Accepted point-to-point fetch payload bytes.
+    pub fetch_bytes: u64,
+    /// Broadcast payload bytes (`size × receivers` per broadcast).
+    pub broadcast_bytes: u64,
+    /// Eager producer-to-consumer push bytes.
+    pub eager_bytes: u64,
+}
+
+impl ObjectTraffic {
+    pub fn total(&self) -> u64 {
+        self.fetch_bytes + self.broadcast_bytes + self.eager_bytes
+    }
+}
 
 /// Per-object ownership, versioning, replication and broadcast state.
 pub struct Communicator {
@@ -38,9 +65,16 @@ pub struct Communicator {
     accessed: Vec<Vec<bool>>,
     broadcast_mode: Vec<bool>,
     adaptive_broadcast: bool,
-    /// Bytes of shared-object payload transferred (replies + broadcasts).
+    /// `alive[p]` = processor participates in the protocol. Fail-stopped
+    /// processors are excluded from the broadcast trigger, the consumer
+    /// sets, and delivery.
+    alive: Vec<bool>,
+    /// Per-object byte attribution (fetch/broadcast/eager).
+    traffic: Vec<ObjectTraffic>,
+    /// Bytes of shared-object payload transferred (accepted replies +
+    /// broadcasts + eager pushes).
     pub bytes_transferred: u64,
-    /// Number of point-to-point object transfers.
+    /// Number of accepted point-to-point object transfers.
     pub object_sends: u64,
     /// Number of broadcast operations performed.
     pub broadcasts: u64,
@@ -55,21 +89,21 @@ impl Communicator {
         let n = trace.objects.len();
         let mut have = vec![vec![NO_VERSION; n]; procs];
         let mut owner = Vec::with_capacity(n);
-        let mut accessed = vec![vec![false; procs]; n];
         for (i, ob) in trace.objects.iter().enumerate() {
             let home = ob.home.unwrap_or(jade_core::MAIN_PROC).min(procs - 1);
             owner.push(home);
             have[home][i] = 0;
         }
-        let _ = &mut accessed; // all-false: no version consumed yet
         Communicator {
             procs,
             version: vec![0; n],
             owner,
             have,
-            accessed,
+            accessed: vec![vec![false; procs]; n], // nothing consumed yet
             broadcast_mode: vec![false; n],
             adaptive_broadcast,
+            alive: vec![true; procs],
+            traffic: vec![ObjectTraffic::default(); n],
             bytes_transferred: 0,
             object_sends: 0,
             broadcasts: 0,
@@ -87,19 +121,30 @@ impl Communicator {
         self.version[o.index()]
     }
 
+    /// All current object versions: the communicator's view of the final
+    /// application state. Two runs computed the same results iff their
+    /// version vectors (and the per-task completion set) agree.
+    pub fn final_versions(&self) -> Vec<u64> {
+        self.version.clone()
+    }
+
+    /// Is the processor still participating in the protocol?
+    pub fn is_alive(&self, p: ProcId) -> bool {
+        self.alive[p]
+    }
+
     /// Does processor `p` need to fetch `o` before running a task that
     /// accesses it?
     pub fn needs_fetch(&self, p: ProcId, o: ObjectId) -> bool {
         self.have[p][o.index()] != self.version[o.index()]
     }
 
-    /// Record that `requester` asked the owner for the current version
-    /// (this is what the owner observes for the broadcast trigger), and
-    /// account for the reply's payload.
-    pub fn record_request(&mut self, requester: ProcId, o: ObjectId, bytes: usize) {
+    /// Record that `requester` asked the owner for the current version —
+    /// this is what the owner observes for the broadcast trigger. Payload
+    /// bytes are accounted when the reply is *accepted* ([`Self::deliver`]),
+    /// not here: a dropped reply moves no object.
+    pub fn record_request(&mut self, requester: ProcId, o: ObjectId) {
         self.accessed[o.index()][requester] = true;
-        self.bytes_transferred += bytes as u64;
-        self.object_sends += 1;
     }
 
     /// Record a locally-satisfied declared access: the processor already
@@ -109,18 +154,33 @@ impl Communicator {
         self.accessed[o.index()][p] = true;
     }
 
-    /// Record delivery of the current version to `p` (reply arrival). A
-    /// stale in-flight delivery of `expected_version` is ignored.
-    pub fn deliver(&mut self, p: ProcId, o: ObjectId, expected_version: u64) {
-        if self.version[o.index()] == expected_version {
-            self.have[p][o.index()] = expected_version;
+    /// Deliver a point-to-point fetch reply of `expected_version` to `p`.
+    /// Applied — replica installed, `bytes` accounted — only if `p` is
+    /// alive and the payload is still the current version; stale deliveries
+    /// return `false` and change nothing. Re-delivery of the current
+    /// version is idempotent on the replica state but each accepted reply
+    /// accounts its payload (the owner sent a full reply per request); the
+    /// simulator filters out *duplicated* copies of a single request before
+    /// calling this, using its per-task pending set.
+    pub fn deliver(&mut self, p: ProcId, o: ObjectId, expected_version: u64, bytes: u64) -> bool {
+        let i = o.index();
+        if !self.alive[p] || self.version[i] != expected_version {
+            return false;
         }
+        self.have[p][i] = expected_version;
+        self.bytes_transferred += bytes;
+        self.traffic[i].fetch_bytes += bytes;
+        self.object_sends += 1;
+        true
     }
 
-    /// Has the current version been accessed by every processor? (The
+    /// Has the current version been accessed by every live processor? (The
     /// adaptive-broadcast trigger condition.)
     pub fn widely_accessed(&self, o: ObjectId) -> bool {
-        self.accessed[o.index()].iter().all(|&a| a)
+        self.accessed[o.index()]
+            .iter()
+            .enumerate()
+            .all(|(p, &a)| a || !self.alive[p])
     }
 
     /// Is the object in broadcast mode?
@@ -146,35 +206,69 @@ impl Communicator {
         self.broadcast_mode[i]
     }
 
-    /// Account a broadcast of `o` (the simulator schedules the deliveries).
-    pub fn record_broadcast(&mut self, _o: ObjectId, bytes: usize) {
-        let receivers = self.procs.saturating_sub(1) as u64;
-        self.bytes_transferred += bytes as u64 * receivers;
+    /// Account a broadcast of `o` delivered to `receivers` processors (the
+    /// simulator schedules the deliveries and decides, per receiver, whether
+    /// the copy survives the network).
+    pub fn record_broadcast(&mut self, o: ObjectId, bytes: usize, receivers: usize) {
+        let payload = bytes as u64 * receivers as u64;
+        self.bytes_transferred += payload;
+        self.traffic[o.index()].broadcast_bytes += payload;
         self.broadcasts += 1;
     }
 
-    /// Record delivery of a broadcast copy of version `v` to `p`.
-    pub fn deliver_broadcast(&mut self, p: ProcId, o: ObjectId, v: u64) {
-        if self.version[o.index()] == v {
-            self.have[p][o.index()] = v;
+    /// Deliver a pushed copy (broadcast or eager update) of version `v` to
+    /// `p`. Bytes were accounted at the send; this only installs the
+    /// replica. Returns `false` for stale/duplicate/dead-target copies.
+    pub fn deliver_pushed(&mut self, p: ProcId, o: ObjectId, v: u64) -> bool {
+        let i = o.index();
+        if !self.alive[p] || self.version[i] != v || self.have[p][i] == v {
+            return false;
         }
+        self.have[p][i] = v;
+        true
     }
 
-    /// Processors that consumed the *current* version (candidates for the
-    /// eager update protocol of paper Section 6: push each new version to
-    /// the previous version's consumers).
+    /// Live processors that consumed the *current* version (candidates for
+    /// the eager update protocol of paper Section 6: push each new version
+    /// to the previous version's consumers).
     pub fn consumers(&self, o: ObjectId) -> Vec<ProcId> {
         self.accessed[o.index()]
             .iter()
             .enumerate()
-            .filter_map(|(p, &a)| a.then_some(p))
+            .filter_map(|(p, &a)| (a && self.alive[p]).then_some(p))
             .collect()
     }
 
-    /// Account one eager producer-to-consumer object push.
-    pub fn record_eager(&mut self, bytes: usize) {
+    /// Account one eager producer-to-consumer push of `o`.
+    pub fn record_eager(&mut self, o: ObjectId, bytes: usize) {
         self.bytes_transferred += bytes as u64;
+        self.traffic[o.index()].eager_bytes += bytes as u64;
         self.eager_sends += 1;
+    }
+
+    /// Per-object byte attribution.
+    pub fn object_traffic(&self, o: ObjectId) -> ObjectTraffic {
+        self.traffic[o.index()]
+    }
+
+    /// Processor `p` fail-stopped. Its replicas and trigger evidence are
+    /// gone; objects it owned move to a live holder of the current version,
+    /// or — when the dead processor held the only copy — are restored at
+    /// the main processor (the runtime's recovery copy; see DESIGN.md §11,
+    /// checkpointing the restore cost is a roadmap item).
+    pub fn fail_proc(&mut self, p: ProcId) {
+        self.alive[p] = false;
+        for i in 0..self.version.len() {
+            self.have[p][i] = NO_VERSION;
+            self.accessed[i][p] = false;
+            if self.owner[i] == p {
+                let v = self.version[i];
+                let holder = (0..self.procs).find(|&q| self.alive[q] && self.have[q][i] == v);
+                let new_owner = holder.unwrap_or(jade_core::MAIN_PROC);
+                self.owner[i] = new_owner;
+                self.have[new_owner][i] = v;
+            }
+        }
     }
 }
 
@@ -202,27 +296,44 @@ mod tests {
         assert!(!c.needs_fetch(0, o(0)));
         assert!(c.needs_fetch(0, o(1)));
         assert!(c.needs_fetch(2, o(0)));
+        assert!(c.is_alive(3));
     }
 
     #[test]
     fn fetch_and_replicate() {
         let mut c = Communicator::new(&trace2(), 4, true);
-        c.record_request(2, o(0), 1000);
-        c.deliver(2, o(0), 0);
+        c.record_request(2, o(0));
+        assert!(c.deliver(2, o(0), 0, 1000));
         assert!(!c.needs_fetch(2, o(0)));
         assert_eq!(c.bytes_transferred, 1000);
         assert_eq!(c.object_sends, 1);
+        assert_eq!(c.object_traffic(o(0)).fetch_bytes, 1000);
         // Replication: processor 3 can fetch the same version too.
-        c.record_request(3, o(0), 1000);
-        c.deliver(3, o(0), 0);
+        c.record_request(3, o(0));
+        assert!(c.deliver(3, o(0), 0, 1000));
         assert!(!c.needs_fetch(3, o(0)));
+    }
+
+    #[test]
+    fn redelivery_is_idempotent_on_state() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        c.record_request(2, o(0));
+        assert!(c.deliver(2, o(0), 0, 1000));
+        // A second accepted reply (two tasks on one processor fetching the
+        // same object) re-installs the same replica and accounts its own
+        // payload; duplicated copies of a *single* request never reach the
+        // communicator (the simulator's pending set filters them).
+        assert!(c.deliver(2, o(0), 0, 1000));
+        assert!(!c.needs_fetch(2, o(0)));
+        assert_eq!(c.bytes_transferred, 2000);
+        assert_eq!(c.object_sends, 2);
     }
 
     #[test]
     fn write_bumps_version_and_invalidates() {
         let mut c = Communicator::new(&trace2(), 4, true);
-        c.record_request(2, o(0), 1000);
-        c.deliver(2, o(0), 0);
+        c.record_request(2, o(0));
+        assert!(c.deliver(2, o(0), 0, 1000));
         let bcast = c.on_write_complete(2, o(0));
         assert!(!bcast, "not widely accessed yet");
         assert_eq!(c.owner(o(0)), 2);
@@ -234,11 +345,12 @@ mod tests {
     #[test]
     fn stale_delivery_ignored() {
         let mut c = Communicator::new(&trace2(), 4, true);
-        c.record_request(2, o(0), 1000);
+        c.record_request(2, o(0));
         // Version bumps while the reply is in flight.
         c.on_write_complete(3, o(0));
-        c.deliver(2, o(0), 0);
+        assert!(!c.deliver(2, o(0), 0, 1000));
         assert!(c.needs_fetch(2, o(0)), "stale copy must not satisfy");
+        assert_eq!(c.bytes_transferred, 0, "stale payload not accounted");
     }
 
     #[test]
@@ -246,8 +358,8 @@ mod tests {
         let mut c = Communicator::new(&trace2(), 3, true);
         // Processors 1 and 2 request the version owned by 0; a task on the
         // owner also declares an access.
-        c.record_request(1, o(0), 1000);
-        c.record_request(2, o(0), 1000);
+        c.record_request(1, o(0));
+        c.record_request(2, o(0));
         assert!(!c.widely_accessed(o(0)), "producing is not consuming");
         c.note_access(0, o(0));
         assert!(c.widely_accessed(o(0)));
@@ -262,7 +374,7 @@ mod tests {
     #[test]
     fn no_broadcast_when_disabled() {
         let mut c = Communicator::new(&trace2(), 2, false);
-        c.record_request(1, o(0), 8);
+        c.record_request(1, o(0));
         c.note_access(0, o(0));
         assert!(c.widely_accessed(o(0)));
         assert!(!c.on_write_complete(0, o(0)));
@@ -272,8 +384,8 @@ mod tests {
     #[test]
     fn partial_access_does_not_trigger() {
         let mut c = Communicator::new(&trace2(), 4, true);
-        c.record_request(1, o(0), 8);
-        c.record_request(2, o(0), 8);
+        c.record_request(1, o(0));
+        c.record_request(2, o(0));
         // Processor 3 never accessed it.
         assert!(!c.widely_accessed(o(0)));
         assert!(!c.on_write_complete(0, o(0)));
@@ -283,18 +395,23 @@ mod tests {
     fn broadcast_delivery_and_accounting() {
         let mut c = Communicator::new(&trace2(), 4, true);
         for p in 1..4 {
-            c.record_request(p, o(0), 1000);
+            c.record_request(p, o(0));
+            assert!(c.deliver(p, o(0), 0, 1000));
         }
         c.note_access(0, o(0));
         assert!(c.on_write_complete(0, o(0)));
-        c.record_broadcast(o(0), 1000);
+        c.record_broadcast(o(0), 1000, 3);
         assert_eq!(c.bytes_transferred, 3000 + 3000);
         assert_eq!(c.broadcasts, 1);
-        c.deliver_broadcast(2, o(0), 1);
+        // Broadcast bytes attributed to the object that was broadcast.
+        assert_eq!(c.object_traffic(o(0)).broadcast_bytes, 3000);
+        assert_eq!(c.object_traffic(o(0)).fetch_bytes, 3000);
+        assert_eq!(c.object_traffic(o(1)), ObjectTraffic::default());
+        assert!(c.deliver_pushed(2, o(0), 1));
         assert!(!c.needs_fetch(2, o(0)));
         // Stale broadcast delivery ignored.
         c.on_write_complete(0, o(0));
-        c.deliver_broadcast(3, o(0), 1);
+        assert!(!c.deliver_pushed(3, o(0), 1));
         assert!(c.needs_fetch(3, o(0)));
     }
 
@@ -310,5 +427,43 @@ mod tests {
         c.note_access(0, o(0));
         assert!(c.widely_accessed(o(0)));
         assert!(c.on_write_complete(0, o(0)));
+    }
+
+    #[test]
+    fn fail_stop_reassigns_ownership_to_live_replica() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        // Processor 2 writes `a`; processor 3 fetches the new version.
+        c.on_write_complete(2, o(0));
+        c.record_request(3, o(0));
+        assert!(c.deliver(3, o(0), 1, 1000));
+        c.fail_proc(2);
+        assert!(!c.is_alive(2));
+        assert_eq!(c.owner(o(0)), 3, "live replica holder takes over");
+        assert_eq!(c.version(o(0)), 1, "no version lost");
+        assert!(!c.needs_fetch(3, o(0)));
+        // Deliveries to the dead processor are refused.
+        assert!(!c.deliver(2, o(0), 1, 1000));
+        assert!(!c.deliver_pushed(2, o(0), 1));
+    }
+
+    #[test]
+    fn fail_stop_restores_sole_copy_at_main() {
+        let mut c = Communicator::new(&trace2(), 4, true);
+        // Processor 2 writes `a` and dies before anyone fetched it.
+        c.on_write_complete(2, o(0));
+        c.fail_proc(2);
+        assert_eq!(c.owner(o(0)), 0, "recovery copy lives at main");
+        assert!(!c.needs_fetch(0, o(0)));
+        assert_eq!(c.version(o(0)), 1);
+    }
+
+    #[test]
+    fn dead_processors_do_not_block_broadcast_trigger() {
+        let mut c = Communicator::new(&trace2(), 3, true);
+        c.fail_proc(2);
+        c.record_request(1, o(0));
+        c.note_access(0, o(0));
+        assert!(c.widely_accessed(o(0)), "only live processors count");
+        assert_eq!(c.consumers(o(0)), vec![0, 1]);
     }
 }

@@ -35,11 +35,13 @@
 
 mod communicator;
 mod costs;
+mod error;
 mod scheduler;
 mod sim;
 
-pub use communicator::Communicator;
+pub use communicator::{Communicator, ObjectTraffic};
 pub use costs::IpscCosts;
+pub use error::IpscError;
 pub use jade_core::LocalityMode;
 pub use scheduler::{Decision, IpscScheduler};
-pub use sim::{run, run_traced, IpscConfig, IpscRunResult};
+pub use sim::{run, run_traced, try_run, try_run_traced, IpscConfig, IpscRunResult};

@@ -36,6 +36,8 @@ pub struct IpscScheduler {
     pool: VecDeque<TaskId>,
     /// Honor target-processor preference (false at the No-Locality level).
     prefer_target: bool,
+    /// Fail-stopped processors: never assigned to, never pulled for.
+    dead: Vec<bool>,
     /// Deterministic LCG for the "arbitrary least-loaded processor" choice,
     /// modeling the arbitrariness of the real scheduler's pick.
     lcg: u64,
@@ -51,6 +53,7 @@ impl IpscScheduler {
             target_tasks,
             pool: VecDeque::new(),
             prefer_target,
+            dead: vec![false; procs],
             lcg: 0x2545F4914F6CDD1D,
             pooled_total: 0,
         }
@@ -64,9 +67,21 @@ impl IpscScheduler {
         self.pool.len()
     }
 
+    /// Minimum load over live processors; `None` when every processor is
+    /// dead (cannot happen in a simulation — the main processor never
+    /// fail-stops — but the scheduler stays total anyway).
+    fn min_live_load(&self) -> Option<usize> {
+        (0..self.loads.len())
+            .filter(|&q| !self.dead[q])
+            .map(|q| self.loads[q])
+            .min()
+    }
+
     /// Decide where an enabled task goes. `target` is the owner of the
     /// task's locality object at this moment; `placement` is an explicit
-    /// programmer placement (honored unconditionally when present).
+    /// programmer placement (honored unconditionally when present and
+    /// live; a placement on a dead processor falls back to load-based
+    /// assignment).
     pub fn on_enabled(
         &mut self,
         task: TaskId,
@@ -74,22 +89,28 @@ impl IpscScheduler {
         placement: Option<ProcId>,
     ) -> Decision {
         if let Some(p) = placement {
-            self.loads[p] += 1;
-            return Decision::Assign(p);
+            if !self.dead[p] {
+                self.loads[p] += 1;
+                return Decision::Assign(p);
+            }
         }
-        let min_load = *self.loads.iter().min().expect("at least one processor");
+        let Some(min_load) = self.min_live_load() else {
+            self.pool.push_back(task);
+            self.pooled_total += 1;
+            return Decision::Pool;
+        };
         if min_load >= self.target_tasks {
             self.pool.push_back(task);
             self.pooled_total += 1;
             return Decision::Pool;
         }
-        let p = if self.prefer_target && self.loads[target] == min_load {
+        let p = if self.prefer_target && !self.dead[target] && self.loads[target] == min_load {
             target
         } else {
             // "Arbitrary" least-loaded processor: a deterministic LCG pick
             // avoids accidental affinity from always favoring low indices.
             let candidates: Vec<usize> = (0..self.loads.len())
-                .filter(|&q| self.loads[q] == min_load)
+                .filter(|&q| !self.dead[q] && self.loads[q] == min_load)
                 .collect();
             self.lcg = self
                 .lcg
@@ -103,17 +124,30 @@ impl IpscScheduler {
 
     /// A processor finished a task: drop its load. Call before enabling the
     /// task's successors, so they see the freed processor as least-loaded
-    /// (the completion processing removes the task first).
+    /// (the completion processing removes the task first). Completion
+    /// notifications from a processor that has since fail-stopped are
+    /// ignored — its load book was zeroed by [`Self::fail`].
     pub fn finish(&mut self, p: ProcId) {
+        if self.dead[p] {
+            return;
+        }
         assert!(self.loads[p] > 0, "finish on processor with zero load");
         self.loads[p] -= 1;
     }
 
-    /// Pull a pooled task for `p` if it is below the target count,
+    /// Processor `p` fail-stopped: zero its load book and stop assigning to
+    /// it. The simulator re-dispatches the orphaned tasks itself (it knows
+    /// which ones were in flight).
+    pub fn fail(&mut self, p: ProcId) {
+        self.dead[p] = true;
+        self.loads[p] = 0;
+    }
+
+    /// Pull a pooled task for `p` if it is live and below the target count,
     /// preferring tasks targeted at it. `target_of` computes the *current*
     /// target processor of a pooled task (object ownership is dynamic).
     pub fn try_pull(&mut self, p: ProcId, target_of: impl Fn(TaskId) -> ProcId) -> Option<TaskId> {
-        if self.loads[p] >= self.target_tasks || self.pool.is_empty() {
+        if self.dead[p] || self.loads[p] >= self.target_tasks || self.pool.is_empty() {
             return None;
         }
         let idx = if self.prefer_target {
@@ -124,7 +158,7 @@ impl IpscScheduler {
         } else {
             0
         };
-        let task = self.pool.remove(idx).expect("index in range");
+        let task = self.pool.remove(idx)?;
         self.loads[p] += 1;
         Some(task)
     }

@@ -14,16 +14,52 @@
 //! Senders are occupied for the full message time (NX/2-style synchronous
 //! sends — this is why serially distributing a widely-read object delays the
 //! main processor, Section 5.3, and what adaptive broadcast fixes).
+//!
+//! # Fault tolerance
+//!
+//! The *data plane* — object request/reply traffic, broadcast copies and
+//! eager pushes — runs over an unreliable network when a
+//! [`FaultPlan`](dsim::FaultPlan) is configured: messages can be dropped,
+//! duplicated, delayed or reordered, processors can stall transiently, and
+//! one non-main processor can fail-stop. The runtime survives via
+//!
+//! * an **ack/timeout/retry** protocol on fetches: every request arms a
+//!   timer with exponential backoff; if the reply has not arrived when the
+//!   timer fires, the request is re-sent (`MsgRetried`);
+//! * **version-checked idempotent delivery**: duplicated, stale or
+//!   no-longer-wanted payloads are discarded (`MsgDiscarded`), never
+//!   applied, so replays cannot corrupt object state;
+//! * **re-dispatch on fail-stop**: tasks whose processor dies before their
+//!   results were applied are rewound (`TaskReExecuted`) and pushed through
+//!   the scheduler again; objects owned by the dead processor move to a
+//!   live replica holder (or a recovery copy at main).
+//!
+//! Control messages (ASSIGN/NOTIFY) use a reliable transport, mirroring
+//! NX/2's guaranteed delivery; the paper's runtime likewise assumes
+//! reliable system messages. Because the synchronizer's queue-based
+//! dependence analysis never lets a writer retire a version that an
+//! in-flight reader still holds access to, a run under *any* fault plan
+//! produces bit-identical application results (final object versions, task
+//! completions) to the fault-free run — only timing and the retry counters
+//! differ.
 
 use crate::communicator::Communicator;
 use crate::costs::IpscCosts;
+use crate::error::IpscError;
 use crate::scheduler::{Decision, IpscScheduler};
-use dsim::{Calendar, IpscSpec, ProcClock, ProcId, SimDuration, SimTime, TimeKind};
+use dsim::{
+    Calendar, FaultInjector, FaultPlan, IpscSpec, ProcClock, ProcId, SimDuration, SimTime, TimeKind,
+};
 use jade_core::{
     Component, Event, EventKind, EventSink, Locality, LocalityMode, Metrics, ObjectId,
     Synchronizer, TaskId, Trace,
 };
 use std::collections::VecDeque;
+
+/// Retry budget per fetched object. With the fault-plan drop probabilities
+/// the acceptance harness allows (≤ 0.2 per leg), the chance of exhausting
+/// this is below 2⁻⁵⁰ per fetch; hitting it indicates a broken plan.
+const MAX_FETCH_ATTEMPTS: u32 = 24;
 
 /// Event-layer component for a [`TimeKind`] of processor occupancy.
 fn comp(kind: TimeKind) -> Component {
@@ -72,6 +108,10 @@ pub struct IpscConfig {
     /// Ethernet) instead of a hypercube: all object transfers serialize on
     /// one wire.
     pub shared_medium: bool,
+    /// Fault injection plan (default: no faults). An inactive plan takes
+    /// zero injector draws, so fault-free runs are bit-identical to runs
+    /// on a build without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl IpscConfig {
@@ -90,6 +130,7 @@ impl IpscConfig {
             jitter_frac: 0.08,
             speed_factors: None,
             shared_medium: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -114,6 +155,7 @@ impl IpscConfig {
             jitter_frac: 0.08,
             speed_factors: Some(speeds),
             shared_medium: true,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -154,6 +196,22 @@ pub struct IpscRunResult {
     pub mean_parallel_phase_s: f64,
     /// Per-processor busy time, split as (app, comm, mgmt) seconds.
     pub per_proc_busy: Vec<(f64, f64, f64)>,
+    /// Data messages lost in transit (fault injection).
+    pub msgs_dropped: u64,
+    /// Fetch requests re-sent after an ack timeout.
+    pub msgs_retried: u64,
+    /// Duplicate/stale deliveries discarded by idempotent delivery.
+    pub msgs_discarded: u64,
+    /// Transient processor stalls injected.
+    pub stalls: u64,
+    /// Processors that fail-stopped during the run.
+    pub workers_failed: u64,
+    /// Tasks re-dispatched after a fail-stop.
+    pub tasks_reexecuted: u64,
+    /// Final version of every shared object — the application result as the
+    /// communicator sees it. Two runs computed the same thing iff these
+    /// (and `tasks_executed`) agree; fault-parity checks compare them.
+    pub final_versions: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -195,15 +253,36 @@ enum Ev {
         proc: ProcId,
         task: TaskId,
     },
+    /// Ack timer for one fetch attempt: if the reply is still pending when
+    /// this fires, the request is re-sent with exponential backoff.
+    FetchTimeout {
+        proc: ProcId,
+        task: TaskId,
+        obj: ObjectId,
+        attempt: u32,
+    },
+    /// Injected fail-stop of a processor.
+    ProcFail {
+        proc: ProcId,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
 struct TState {
     assigned_to: ProcId,
-    outstanding: usize,
+    /// Objects still being fetched, with the current attempt number. A
+    /// reply is accepted only while its object is pending; the attempt
+    /// gates stale ack timers.
+    pending: Vec<(ObjectId, u32)>,
     ready: bool,
     /// Remaining objects to request (serial-fetch mode only).
     fetch_queue: VecDeque<ObjectId>,
+    /// Passed through `send_assignment` at least once (re-dispatch state).
+    dispatched: bool,
+    /// The task's body finished and its writes were applied; it must never
+    /// be re-executed, even if its processor dies before the completion
+    /// notification lands.
+    finished_local: bool,
 }
 
 struct PState {
@@ -240,19 +319,67 @@ struct Sim<'a> {
     events: EventSink,
     /// Phases whose `PhaseStart` has been emitted.
     phase_started: Vec<bool>,
+    /// Fault decision stream for this run.
+    inj: FaultInjector,
+    /// Message faults are possible, so fetches arm ack timers. False for
+    /// fail-stop-only or stall-only plans: no timer events, no retries.
+    lossy: bool,
+    /// Fail-stopped processors.
+    dead: Vec<bool>,
+    /// Unrecoverable protocol failure; aborts the event loop.
+    fatal: Option<IpscError>,
+    // Native fault tallies, cross-checked against the event stream.
+    n_dropped: u64,
+    n_retried: u64,
+    n_discarded: u64,
+    n_stalls: u64,
+    n_reexec: u64,
 }
 
 /// Simulate `trace` on the configured iPSC/860.
+///
+/// Panics on an [`IpscError`] (malformed fault plan, stalled protocol);
+/// use [`try_run`] to handle failures as values.
 pub fn run(trace: &Trace, cfg: &IpscConfig) -> IpscRunResult {
     run_traced(trace, cfg).0
 }
 
 /// Like [`run`], but also returns the structured event stream of the run.
-/// The result itself is computed from the events (via
-/// [`Metrics::from_events`]), so the two views cannot diverge.
 pub fn run_traced(trace: &Trace, cfg: &IpscConfig) -> (IpscRunResult, Vec<Event>) {
+    try_run_traced(trace, cfg).unwrap_or_else(|e| panic!("ipsc simulation failed: {e}"))
+}
+
+/// Fallible variant of [`run`].
+pub fn try_run(trace: &Trace, cfg: &IpscConfig) -> Result<IpscRunResult, IpscError> {
+    Ok(try_run_traced(trace, cfg)?.0)
+}
+
+/// Fallible variant of [`run_traced`]. The result is computed from the
+/// events (via [`Metrics::from_events`]), so the two views cannot diverge.
+pub fn try_run_traced(
+    trace: &Trace,
+    cfg: &IpscConfig,
+) -> Result<(IpscRunResult, Vec<Event>), IpscError> {
     let procs = cfg.machine.procs;
-    assert!(procs >= 1, "need at least one processor");
+    if procs < 1 {
+        return Err(IpscError::NoProcessors);
+    }
+    cfg.faults.validate().map_err(IpscError::InvalidFaultPlan)?;
+    if let Some(fp) = cfg.faults.fail_proc {
+        if fp == jade_core::MAIN_PROC {
+            return Err(IpscError::InvalidFaultPlan(
+                "the main processor cannot fail-stop (it holds the scheduler \
+                 and the recovery copies)"
+                    .into(),
+            ));
+        }
+        if fp >= procs {
+            return Err(IpscError::InvalidFaultPlan(format!(
+                "fail-stop processor {fp} out of range (machine has {procs})"
+            )));
+        }
+    }
+    let plan = cfg.faults;
     let nphases = trace.phases.max(1) as usize;
     let mut sim = Sim {
         trace,
@@ -277,20 +404,35 @@ pub fn run_traced(trace: &Trace, cfg: &IpscConfig) -> (IpscRunResult, Vec<Event>
         wire: cfg.shared_medium.then(|| ProcClock::new(1)),
         events: EventSink::recording(),
         phase_started: vec![false; nphases],
+        inj: FaultInjector::new(plan),
+        lossy: plan.drop_p > 0.0 || plan.dup_p > 0.0 || plan.delay_p > 0.0 || plan.reorder_p > 0.0,
+        dead: vec![false; procs],
+        fatal: None,
+        n_dropped: 0,
+        n_retried: 0,
+        n_discarded: 0,
+        n_stalls: 0,
+        n_reexec: 0,
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
+    if let Some(fp) = plan.fail_proc {
+        sim.cal
+            .schedule(SimTime::ZERO + plan.fail_at, Ev::ProcFail { proc: fp });
+    }
     while let Some((t, ev)) = sim.cal.pop() {
         sim.handle(t, ev);
+        if sim.fatal.is_some() {
+            break;
+        }
     }
-    assert!(
-        sim.main_done,
-        "simulation stalled: main thread never finished"
-    );
-    assert!(
-        sim.sync.all_complete(),
-        "simulation stalled: {} tasks never completed",
-        sim.sync.live_tasks()
-    );
+    if let Some(e) = sim.fatal {
+        return Err(e);
+    }
+    if !sim.main_done || !sim.sync.all_complete() {
+        return Err(IpscError::Stalled {
+            live_tasks: sim.sync.live_tasks(),
+        });
+    }
     let events = sim.events.into_events();
     let m = Metrics::from_events(&events, procs);
     // The event stream must reproduce the machine model's own books.
@@ -298,6 +440,15 @@ pub fn run_traced(trace: &Trace, cfg: &IpscConfig) -> (IpscRunResult, Vec<Event>
     debug_assert_eq!(m.fetches, sim.comm.object_sends);
     debug_assert_eq!(m.broadcasts, sim.comm.broadcasts);
     debug_assert_eq!(m.pooled, sim.sched.pooled_total);
+    debug_assert_eq!(m.msgs_dropped, sim.n_dropped);
+    debug_assert_eq!(m.msgs_retried, sim.n_retried);
+    debug_assert_eq!(m.msgs_discarded, sim.n_discarded);
+    debug_assert_eq!(m.stalls, sim.n_stalls);
+    debug_assert_eq!(m.tasks_reexecuted, sim.n_reexec);
+    debug_assert_eq!(
+        m.workers_failed,
+        sim.dead.iter().filter(|&&d| d).count() as u64
+    );
     debug_assert_eq!(
         jade_core::check_conservation(&events, procs, sim.pc.horizon().0).err(),
         None
@@ -342,8 +493,15 @@ pub fn run_traced(trace: &Trace, cfg: &IpscConfig) -> (IpscRunResult, Vec<Event>
                 )
             })
             .collect(),
+        msgs_dropped: m.msgs_dropped,
+        msgs_retried: m.msgs_retried,
+        msgs_discarded: m.msgs_discarded,
+        stalls: m.stalls,
+        workers_failed: m.workers_failed,
+        tasks_reexecuted: m.tasks_reexecuted,
+        final_versions: sim.comm.final_versions(),
     };
-    (result, events)
+    Ok((result, events))
 }
 
 /// Deterministic mean-zero multiplicative jitter for task `id`.
@@ -357,7 +515,12 @@ impl Sim<'_> {
     fn handle(&mut self, t: SimTime, ev: Ev) {
         match ev {
             Ev::MainStep => self.main_step(t),
-            Ev::AssignArrive { proc, task } => self.on_assign_arrive(proc, task, t),
+            Ev::AssignArrive { proc, task } => {
+                if self.dead[proc] {
+                    return; // assignment in flight to a dead processor
+                }
+                self.on_assign_arrive(proc, task, t);
+            }
             Ev::RequestArrive {
                 obj,
                 requester,
@@ -372,14 +535,13 @@ impl Sim<'_> {
                 requested_at,
             } => self.on_object_arrive(proc, obj, version, task, requested_at, t),
             Ev::BroadcastArrive { proc, obj, version } => {
-                self.handler_op(proc, t, self.cfg.costs.object_recv(), TimeKind::Comm);
-                self.comm.deliver_broadcast(proc, obj, version);
+                self.on_pushed_arrive(proc, obj, version, t)
             }
-            Ev::EagerArrive { proc, obj, version } => {
-                self.handler_op(proc, t, self.cfg.costs.object_recv(), TimeKind::Comm);
-                self.comm.deliver(proc, obj, version);
-            }
+            Ev::EagerArrive { proc, obj, version } => self.on_pushed_arrive(proc, obj, version, t),
             Ev::Finish { proc, task } => {
+                if self.dead[proc] {
+                    return; // the processor died mid-task; the task was orphaned
+                }
                 // Interrupt handlers that preempted this task pushed its
                 // completion back; settle the debt before finishing. The
                 // settled interval tiles onto the processor's timeline
@@ -400,6 +562,13 @@ impl Sim<'_> {
                 }
             }
             Ev::NotifyArrive { proc, task } => self.on_notify(proc, task, t),
+            Ev::FetchTimeout {
+                proc,
+                task,
+                obj,
+                attempt,
+            } => self.on_fetch_timeout(proc, task, obj, attempt, t),
+            Ev::ProcFail { proc } => self.on_proc_fail(proc, t),
         }
     }
 
@@ -548,6 +717,7 @@ impl Sim<'_> {
             id,
         );
         self.tstate[id.index()].assigned_to = p;
+        self.tstate[id.index()].dispatched = true;
         if p == 0 {
             self.cal.schedule(t, Ev::AssignArrive { proc: 0, task: id });
         } else {
@@ -605,38 +775,17 @@ impl Sim<'_> {
             self.tstate[id.index()].ready = true;
             return;
         }
-        let ts = &mut self.tstate[id.index()];
-        ts.outstanding = needed.len();
         if self.cfg.concurrent_fetches {
             // Request sends serialize on the processor; the transfers
             // themselves proceed in parallel at the owners.
+            self.tstate[id.index()].pending = needed.iter().map(|&o| (o, 0)).collect();
             let mut t_cur = t;
-            for o in needed.iter().copied() {
-                t_cur = self.handler_op(p, t_cur, self.cfg.costs.request_send(), TimeKind::Comm);
-                let owner = self.comm.owner(o);
-                self.events.emit_obj(
-                    t_cur.0,
-                    p,
-                    EventKind::ObjectRequest {
-                        bytes: self.cfg.costs.request_bytes as u64,
-                    },
-                    Some(id),
-                    o,
-                );
-                let arrive = t_cur + self.msg(self.cfg.costs.request_bytes, p, owner);
-                self.cal.schedule(
-                    arrive,
-                    Ev::RequestArrive {
-                        obj: o,
-                        requester: p,
-                        task: id,
-                        sent_at: t_cur,
-                    },
-                );
+            for o in needed {
+                t_cur = self.send_fetch_request(p, id, o, 0, t_cur);
             }
         } else {
             // Serial-fetch ablation: one request at a time.
-            ts.fetch_queue = needed.into();
+            self.tstate[id.index()].fetch_queue = needed.into();
             self.send_next_fetch(p, id, t);
         }
     }
@@ -645,6 +794,22 @@ impl Sim<'_> {
         let Some(o) = self.tstate[id.index()].fetch_queue.pop_front() else {
             return;
         };
+        self.tstate[id.index()].pending.push((o, 0));
+        self.send_fetch_request(p, id, o, 0, t);
+    }
+
+    /// Send (or re-send) the request for one object of a task's fetch set,
+    /// apply the network fault fate to the request message, and — when
+    /// message faults are possible — arm the ack timer for this attempt.
+    /// Returns the time the request send completed on `p`.
+    fn send_fetch_request(
+        &mut self,
+        p: ProcId,
+        id: TaskId,
+        o: ObjectId,
+        attempt: u32,
+        t: SimTime,
+    ) -> SimTime {
         let sent = self.handler_op(p, t, self.cfg.costs.request_send(), TimeKind::Comm);
         self.events.emit_obj(
             sent.0,
@@ -656,16 +821,95 @@ impl Sim<'_> {
             o,
         );
         let owner = self.comm.owner(o);
-        let arrive = sent + self.msg(self.cfg.costs.request_bytes, p, owner);
-        self.cal.schedule(
-            arrive,
-            Ev::RequestArrive {
-                obj: o,
-                requester: p,
+        let base = sent + self.msg(self.cfg.costs.request_bytes, p, owner);
+        let fate = self.inj.message_fate();
+        if fate.dropped() {
+            self.n_dropped += 1;
+            self.events.emit_obj(
+                sent.0,
+                p,
+                EventKind::MsgDropped {
+                    bytes: self.cfg.costs.request_bytes as u64,
+                },
+                Some(id),
+                o,
+            );
+        } else {
+            for extra in fate.copies {
+                self.cal.schedule(
+                    base + extra,
+                    Ev::RequestArrive {
+                        obj: o,
+                        requester: p,
+                        task: id,
+                        sent_at: sent,
+                    },
+                );
+            }
+        }
+        if self.lossy {
+            let timeout = self.retry_timeout(o, p, owner, attempt);
+            self.cal.schedule(
+                sent + timeout,
+                Ev::FetchTimeout {
+                    proc: p,
+                    task: id,
+                    obj: o,
+                    attempt,
+                },
+            );
+        }
+        sent
+    }
+
+    /// Ack timeout for fetch `attempt`: a generous multiple of the
+    /// request+reply round trip (so legitimate replies never race the
+    /// timer under fault-plan latencies), doubling per attempt.
+    fn retry_timeout(&self, o: ObjectId, p: ProcId, owner: ProcId, attempt: u32) -> SimDuration {
+        let rtt = self.msg(self.cfg.costs.request_bytes, p, owner)
+            + self.msg(self.trace.object_size(o), owner, p);
+        let slack = self.inj.plan().delay + self.inj.plan().reorder_window;
+        (rtt.mul_u64(4) + slack.mul_u64(2)).mul_u64(1 << attempt.min(10))
+    }
+
+    fn on_fetch_timeout(&mut self, p: ProcId, id: TaskId, o: ObjectId, attempt: u32, t: SimTime) {
+        if self.dead[p] {
+            return;
+        }
+        let ts = &self.tstate[id.index()];
+        // Stale timer: the reply arrived, the task moved processors after a
+        // fail-stop, or a newer attempt is already in flight.
+        if ts.assigned_to != p || ts.finished_local {
+            return;
+        }
+        let Some(slot) = ts
+            .pending
+            .iter()
+            .position(|&(po, pa)| po == o && pa == attempt)
+        else {
+            return;
+        };
+        let next = attempt + 1;
+        if next >= MAX_FETCH_ATTEMPTS {
+            self.fatal = Some(IpscError::RetriesExhausted {
                 task: id,
-                sent_at: sent,
+                object: o,
+                attempts: next,
+            });
+            return;
+        }
+        self.tstate[id.index()].pending[slot].1 = next;
+        self.n_retried += 1;
+        self.events.emit_obj(
+            t.0,
+            p,
+            EventKind::MsgRetried {
+                bytes: self.cfg.costs.request_bytes as u64,
             },
+            Some(id),
+            o,
         );
+        self.send_fetch_request(p, id, o, next, t);
     }
 
     fn on_request_arrive(
@@ -676,9 +920,12 @@ impl Sim<'_> {
         sent_at: SimTime,
         t: SimTime,
     ) {
+        // The owner is recomputed at arrival: if the original owner
+        // fail-stopped while the request was in flight, the live holder of
+        // the recovery copy answers instead.
         let owner = self.comm.owner(obj);
         let bytes = self.trace.object_size(obj);
-        self.comm.record_request(requester, obj, bytes);
+        self.comm.record_request(requester, obj);
         // The owner's processor is occupied for the full reply send: object
         // distribution delays the owner's computation (Section 5.3).
         let dur = self.msg(bytes, owner, requester);
@@ -688,16 +935,32 @@ impl Sim<'_> {
             send_end = wire.occupy(0, t, dur, TimeKind::Comm).max(send_end);
         }
         let version = self.comm.version(obj);
-        self.cal.schedule(
-            send_end,
-            Ev::ObjectArrive {
-                proc: requester,
+        let fate = self.inj.message_fate();
+        if fate.dropped() {
+            self.n_dropped += 1;
+            self.events.emit_obj(
+                send_end.0,
+                owner,
+                EventKind::MsgDropped {
+                    bytes: bytes as u64,
+                },
+                Some(task),
                 obj,
-                version,
-                task,
-                requested_at: sent_at,
-            },
-        );
+            );
+        } else {
+            for extra in fate.copies {
+                self.cal.schedule(
+                    send_end + extra,
+                    Ev::ObjectArrive {
+                        proc: requester,
+                        obj,
+                        version,
+                        task,
+                        requested_at: sent_at,
+                    },
+                );
+            }
+        }
     }
 
     fn on_object_arrive(
@@ -709,25 +972,63 @@ impl Sim<'_> {
         requested_at: SimTime,
         t: SimTime,
     ) {
+        if self.dead[p] {
+            return;
+        }
+        let bytes = self.trace.object_size(obj) as u64;
+        // Receiving costs handler time whether or not the payload is kept:
+        // a duplicate still interrupts the processor.
+        let t1 = self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
+        let ts = &self.tstate[task.index()];
+        let wanted = ts.assigned_to == p
+            && !ts.finished_local
+            && ts.pending.iter().any(|&(po, _)| po == obj);
+        if !wanted || !self.comm.deliver(p, obj, version, bytes) {
+            // Duplicate of an already-satisfied fetch, a reply overtaken by
+            // a re-dispatch, or a stale version: discard, never apply.
+            self.n_discarded += 1;
+            self.events
+                .emit_obj(t.0, p, EventKind::MsgDiscarded { bytes }, Some(task), obj);
+            return;
+        }
         self.events.emit_obj(
             t.0,
             p,
             EventKind::ObjectFetch {
-                bytes: self.trace.object_size(obj) as u64,
+                bytes,
                 latency_ps: t.since(requested_at).0,
             },
             Some(task),
             obj,
         );
-        let t1 = self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
-        self.comm.deliver(p, obj, version);
         let ts = &mut self.tstate[task.index()];
-        ts.outstanding -= 1;
-        if ts.outstanding == 0 && ts.fetch_queue.is_empty() {
+        ts.pending.retain(|&(po, _)| po != obj);
+        if ts.pending.is_empty() && ts.fetch_queue.is_empty() {
             ts.ready = true;
             self.try_execute(p, t1);
         } else if !self.cfg.concurrent_fetches {
             self.send_next_fetch(p, task, t1);
+        }
+    }
+
+    /// A pushed copy (broadcast or eager update) arrived at `p`.
+    fn on_pushed_arrive(&mut self, p: ProcId, obj: ObjectId, version: u64, t: SimTime) {
+        if self.dead[p] {
+            return;
+        }
+        self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
+        if !self.comm.deliver_pushed(p, obj, version) {
+            // Stale (a newer version exists) or duplicate (already held).
+            self.n_discarded += 1;
+            self.events.emit_obj(
+                t.0,
+                p,
+                EventKind::MsgDiscarded {
+                    bytes: self.trace.object_size(obj) as u64,
+                },
+                None,
+                obj,
+            );
         }
     }
 
@@ -760,6 +1061,15 @@ impl Sim<'_> {
     }
 
     fn start_task(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        let mut t = t;
+        // Injected transient stall: the processor is busy (a page of swap,
+        // a GC pause, a cosmic-ray ECC scrub) before the task starts.
+        if let Some(d) = self.inj.stall() {
+            self.n_stalls += 1;
+            self.events
+                .emit(t.0, p, EventKind::ProcStalled { dur_ps: d.0 });
+            t = self.occupy_ev(p, t, d, TimeKind::Comm, None);
+        }
         self.pstate[p].executing = Some(id);
         let rec = &self.trace.tasks[id.index()];
         if rec.serial_phase {
@@ -793,6 +1103,10 @@ impl Sim<'_> {
     }
 
     fn on_finish(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        // From here on the task's writes are applied to the shared-object
+        // layer; it must never be re-executed, even if `p` dies before the
+        // completion notification reaches the scheduler.
+        self.tstate[id.index()].finished_local = true;
         let rec = &self.trace.tasks[id.index()];
         let mut t_cur = self.occupy_ev(p, t, self.cfg.costs.complete(), TimeKind::Mgmt, Some(id));
         // New versions of written objects; broadcast when in broadcast mode.
@@ -815,7 +1129,7 @@ impl Sim<'_> {
                 // degrades performance. Modeled as a fraction of the wire
                 // time plus the message latency.
                 let bytes = self.trace.object_size(o);
-                self.comm.record_broadcast(o, bytes);
+                self.comm.record_broadcast(o, bytes, 0);
                 self.events.emit_obj(
                     t_cur.0,
                     p,
@@ -834,13 +1148,19 @@ impl Sim<'_> {
             }
             if bcast && !self.cfg.work_free && self.pc.procs() > 1 {
                 let bytes = self.trace.object_size(o);
-                self.comm.record_broadcast(o, bytes);
+                // Dead processors are out of the tree; the root still pays
+                // for every live receiver whether or not the network then
+                // loses an individual copy.
+                let targets: Vec<ProcId> = (0..self.pc.procs())
+                    .filter(|&q| q != p && !self.dead[q])
+                    .collect();
+                self.comm.record_broadcast(o, bytes, targets.len());
                 self.events.emit_obj(
                     t_cur.0,
                     p,
                     EventKind::ObjectBroadcast {
                         bytes: bytes as u64,
-                        receivers: (self.pc.procs() - 1) as u32,
+                        receivers: targets.len() as u32,
                     },
                     Some(id),
                     o,
@@ -849,10 +1169,24 @@ impl Sim<'_> {
                 let done = self.occupy_ev(p, t_cur, root_busy, TimeKind::Comm, None);
                 let arrival = t_cur + self.cfg.machine.broadcast_time(bytes);
                 let version = self.comm.version(o);
-                for q in 0..self.pc.procs() {
-                    if q != p {
+                for q in targets {
+                    let fate = self.inj.message_fate();
+                    if fate.dropped() {
+                        self.n_dropped += 1;
+                        self.events.emit_obj(
+                            t_cur.0,
+                            p,
+                            EventKind::MsgDropped {
+                                bytes: bytes as u64,
+                            },
+                            Some(id),
+                            o,
+                        );
+                        continue;
+                    }
+                    for extra in fate.copies {
                         self.cal.schedule(
-                            arrival.max(done),
+                            arrival.max(done) + extra,
                             Ev::BroadcastArrive {
                                 proc: q,
                                 obj: o,
@@ -872,7 +1206,7 @@ impl Sim<'_> {
                     if q == p {
                         continue;
                     }
-                    self.comm.record_eager(bytes);
+                    self.comm.record_eager(o, bytes);
                     self.events.emit_obj(
                         t_cur.0,
                         p,
@@ -884,14 +1218,30 @@ impl Sim<'_> {
                     );
                     let dur = self.msg(bytes, p, q);
                     t_cur = self.occupy_ev(p, t_cur, dur, TimeKind::Comm, None);
-                    self.cal.schedule(
-                        t_cur,
-                        Ev::EagerArrive {
-                            proc: q,
-                            obj: o,
-                            version,
-                        },
-                    );
+                    let fate = self.inj.message_fate();
+                    if fate.dropped() {
+                        self.n_dropped += 1;
+                        self.events.emit_obj(
+                            t_cur.0,
+                            p,
+                            EventKind::MsgDropped {
+                                bytes: bytes as u64,
+                            },
+                            Some(id),
+                            o,
+                        );
+                        continue;
+                    }
+                    for extra in fate.copies {
+                        self.cal.schedule(
+                            t_cur + extra,
+                            Ev::EagerArrive {
+                                proc: q,
+                                obj: o,
+                                version,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -968,6 +1318,44 @@ impl Sim<'_> {
             self.send_assignment(p, next, end);
         }
     }
+
+    /// Injected fail-stop: `p` stops participating. Its replicas and owned
+    /// objects are recovered by the communicator; tasks dispatched to it
+    /// whose results were not yet applied are rewound and re-dispatched.
+    fn on_proc_fail(&mut self, p: ProcId, t: SimTime) {
+        if self.dead[p] {
+            return;
+        }
+        self.dead[p] = true;
+        self.events.emit(t.0, p, EventKind::WorkerFailed);
+        self.comm.fail_proc(p);
+        self.sched.fail(p);
+        self.debt_comm[p] = SimDuration::ZERO;
+        self.debt_mgmt[p] = SimDuration::ZERO;
+        self.pstate[p].queue.clear();
+        self.pstate[p].executing = None;
+        let orphans: Vec<TaskId> = self
+            .trace
+            .tasks
+            .iter()
+            .filter(|rec| {
+                let ts = &self.tstate[rec.id.index()];
+                ts.dispatched && ts.assigned_to == p && !ts.finished_local
+            })
+            .map(|rec| rec.id)
+            .collect();
+        for id in orphans {
+            let ts = &mut self.tstate[id.index()];
+            ts.dispatched = false;
+            ts.ready = false;
+            ts.pending.clear();
+            ts.fetch_queue.clear();
+            self.n_reexec += 1;
+            self.events
+                .emit_task(t.0, jade_core::MAIN_PROC, EventKind::TaskReExecuted, id);
+            self.schedule_enabled(id, t);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -997,9 +1385,35 @@ mod tests {
         b.build()
     }
 
+    /// A trace with real communication: every task on a non-main processor
+    /// reads a hot object homed at main.
+    fn commy_trace(procs: usize, rounds: usize) -> jade_core::Trace {
+        let mut b = TraceBuilder::new();
+        let hot = b.object("hot", 100_000, Some(0));
+        let outs: Vec<_> = (0..procs)
+            .map(|i| b.object(&format!("o{i}"), 64, Some(i)))
+            .collect();
+        b.task_full(spec(&[], &[hot]), 0.05, None, true);
+        b.next_phase();
+        for _ in 0..rounds {
+            for &o in &outs {
+                let mut s = AccessSpec::new();
+                s.wr(o).rd(hot);
+                b.task(s, 0.3);
+            }
+        }
+        b.build()
+    }
+
     fn cfg(procs: usize, mode: LocalityMode) -> IpscConfig {
         let mut c = IpscConfig::paper(procs, mode, 1.0);
         c.jitter_frac = 0.0; // exact timing assertions below
+        c
+    }
+
+    fn faulty_cfg(procs: usize, spec: &str) -> IpscConfig {
+        let mut c = cfg(procs, LocalityMode::Locality);
+        c.faults = FaultPlan::parse(spec).unwrap();
         c
     }
 
@@ -1345,21 +1759,7 @@ mod tests {
         // Mixed serial + parallel trace with real communication: the event
         // stream alone must reproduce the run result and tile the timeline.
         let procs = 4;
-        let mut b = TraceBuilder::new();
-        let hot = b.object("hot", 100_000, Some(0));
-        let outs: Vec<_> = (0..procs)
-            .map(|i| b.object(&format!("o{i}"), 64, Some(i)))
-            .collect();
-        b.task_full(spec(&[], &[hot]), 0.05, None, true);
-        b.next_phase();
-        for _ in 0..3 {
-            for &o in &outs {
-                let mut s = AccessSpec::new();
-                s.wr(o).rd(hot);
-                b.task(s, 0.3);
-            }
-        }
-        let trace = b.build();
+        let trace = commy_trace(procs, 3);
         let (r, events) = run_traced(&trace, &cfg(procs, LocalityMode::Locality));
         jade_core::check_lifecycle(&events).unwrap();
         let m = jade_core::Metrics::from_events(&events, procs);
@@ -1398,5 +1798,136 @@ mod tests {
         let trace = b.build();
         let r = run(&trace, &cfg(4, LocalityMode::Locality));
         assert!(r.exec_time_s >= 5.0, "{}", r.exec_time_s);
+    }
+
+    // ---- fault injection ----
+
+    #[test]
+    fn inactive_plan_with_seed_is_bit_identical() {
+        // A plan with all probabilities zero takes no injector draws: the
+        // event stream is identical to the default config's, whatever the
+        // seed says.
+        let trace = commy_trace(4, 2);
+        let (_, clean) = run_traced(&trace, &cfg(4, LocalityMode::Locality));
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.faults = FaultPlan::none().with_seed(99);
+        let (_, seeded) = run_traced(&trace, &c);
+        assert_eq!(clean, seeded);
+    }
+
+    #[test]
+    fn lossy_run_matches_fault_free_results() {
+        let trace = commy_trace(4, 5);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let (faulty, events) = run_traced(
+            &trace,
+            &faulty_cfg(4, "drop=0.2,dup=0.1,delay=0.2:0.001,reorder=0.1,seed=42"),
+        );
+        assert!(faulty.msgs_dropped > 0, "plan injected nothing");
+        assert!(faulty.msgs_retried > 0, "drops should force retries");
+        assert_eq!(faulty.tasks_executed, clean.tasks_executed);
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        assert!(
+            faulty.exec_time_s >= clean.exec_time_s,
+            "faults cannot speed a run up"
+        );
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic() {
+        let trace = commy_trace(4, 3);
+        let c = faulty_cfg(4, "drop=0.1,dup=0.05,seed=7");
+        let (a, ea) = run_traced(&trace, &c);
+        let (b, eb) = run_traced(&trace, &c);
+        assert_eq!(a.exec_time_s, b.exec_time_s);
+        assert_eq!(a.msgs_dropped, b.msgs_dropped);
+        assert_eq!(ea, eb, "same plan + seed => same event stream");
+        // A different seed drops different messages.
+        let (c2, _) = run_traced(&trace, &faulty_cfg(4, "drop=0.1,dup=0.05,seed=8"));
+        assert_eq!(c2.final_versions, a.final_versions, "results still agree");
+    }
+
+    #[test]
+    fn fail_stop_reexecutes_orphans() {
+        // Long tasks on 4 procs; processor 2 dies mid-run. Its in-flight
+        // tasks are re-dispatched and the results match the clean run.
+        let trace = parallel_trace(12, 4, 1.0);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let (faulty, events) = run_traced(&trace, &faulty_cfg(4, "fail=2@0.5"));
+        assert_eq!(faulty.workers_failed, 1);
+        assert!(faulty.tasks_reexecuted >= 1, "proc 2 was mid-task at 0.5 s");
+        assert_eq!(faulty.tasks_executed as u64, 12 + faulty.tasks_reexecuted);
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn fail_stop_recovers_owned_objects() {
+        // Proc 2 writes its object, dies; a later reader must still get the
+        // new version (from the recovery copy at main).
+        let mut b = TraceBuilder::new();
+        let x = b.object("x", 4_000, Some(2));
+        let out = b.object("out", 8, Some(1));
+        b.task(spec(&[], &[x]), 0.2); // writer on proc 2
+        let mut s = AccessSpec::new();
+        s.wr(out).rd(x);
+        b.task(s, 0.2); // reader on proc 1, serialized after the writer
+        let trace = b.build();
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let faulty = run(&trace, &faulty_cfg(4, "fail=2@0.3"));
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        assert_eq!(faulty.tasks_executed as u64, 2 + faulty.tasks_reexecuted);
+    }
+
+    #[test]
+    fn stalls_are_injected_and_slow_the_run() {
+        let trace = parallel_trace(10, 2, 0.1);
+        let clean = run(&trace, &cfg(2, LocalityMode::Locality));
+        let faulty = run(&trace, &faulty_cfg(2, "stall=1.0:0.01,seed=5"));
+        assert_eq!(faulty.stalls, 10, "every task start stalls at p=1");
+        assert!(faulty.exec_time_s > clean.exec_time_s);
+        assert_eq!(faulty.tasks_executed, clean.tasks_executed);
+    }
+
+    #[test]
+    fn combined_plan_with_failure_still_matches() {
+        let trace = commy_trace(4, 4);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let (faulty, events) = run_traced(
+            &trace,
+            &faulty_cfg(4, "drop=0.15,dup=0.05,stall=0.2:0.002,fail=3@0.8,seed=13"),
+        );
+        assert_eq!(faulty.workers_failed, 1);
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        assert_eq!(
+            faulty.tasks_executed as u64,
+            trace.tasks.len() as u64 + faulty.tasks_reexecuted
+        );
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        let trace = parallel_trace(4, 2, 0.1);
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.faults = FaultPlan::parse("fail=0").unwrap();
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
+        c.faults = FaultPlan::parse("fail=5").unwrap();
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
+        c.faults = FaultPlan {
+            drop_p: 1.5,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
     }
 }

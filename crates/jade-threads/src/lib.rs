@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dsim::FaultPlan;
 use jade_core::{
     Event, EventKind, EventSink, JadeRuntime, Locality, ObjectId, Store, Synchronizer, TaskCtx,
     TaskDef, TaskId,
@@ -46,6 +47,16 @@ use jade_core::{
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Retry budget for injected worker failures. Each attempt re-rolls the
+/// keyed fault hash, so with `panic_p < 1` a task clears this budget with
+/// overwhelming probability; exhausting it propagates the failure.
+const MAX_TASK_ATTEMPTS: u32 = 16;
+
+/// Quiet panic payload for an injected worker failure: unwinds through
+/// `resume_unwind` so the default panic hook prints nothing — the crash is
+/// simulated, not a bug worth a backtrace.
+struct InjectedFailure;
 
 /// Lock a mutex, ignoring poisoning (a panicking task already propagates
 /// its panic through `finish`; the shared state stays structurally valid).
@@ -56,12 +67,16 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 /// Statistics from the most recent [`ThreadRuntime::finish`] batch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
-    /// Tasks executed in the batch.
+    /// Task execution attempts in the batch (re-executions after injected
+    /// failures included, matching the event stream's started count).
     pub executed: usize,
     /// Tasks executed by the worker owning their locality object.
     pub locality_hits: usize,
     /// Tasks taken from another worker's queue.
     pub steals: usize,
+    /// Tasks re-executed after an injected worker failure (fault
+    /// injection; see [`ThreadRuntime::inject_faults`]).
+    pub recoveries: usize,
 }
 
 /// A parallel Jade runtime executing on `workers` OS threads.
@@ -79,6 +94,9 @@ pub struct ThreadRuntime {
     /// Logical clock stamped on events; real wall times would make the
     /// stream nondeterministic, so events carry a sequence number instead.
     event_clock: u64,
+    /// Injected-fault plan; `None` (the default) disables fault injection
+    /// and recovery entirely.
+    faults: Option<FaultPlan>,
 }
 
 struct Shared {
@@ -96,6 +114,10 @@ struct Shared {
     events: EventSink,
     clock: u64,
     panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Injected-fault plan for this batch (`None` = no injection).
+    faults: Option<FaultPlan>,
+    /// Execution attempts per batch-local task (keys the fault hash).
+    attempts: Vec<u32>,
 }
 
 impl Shared {
@@ -119,6 +141,7 @@ impl ThreadRuntime {
             trace_events: false,
             events: Vec::new(),
             event_clock: 0,
+            faults: None,
         }
     }
 
@@ -143,6 +166,29 @@ impl ThreadRuntime {
     /// [`enable_events`](Self::enable_events)).
     pub fn take_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Enable deterministic fault injection for subsequent batches: each
+    /// task attempt fails with probability `plan.panic_p` (a pure hash of
+    /// the plan seed, task id and attempt number, independent of thread
+    /// interleaving). An injected failure simulates the worker crashing
+    /// *before* the task body runs: the unwind is caught, the task is
+    /// quarantined off the failed worker and re-queued on the next one
+    /// (`WorkerFailed` + `TaskReExecuted` events,
+    /// [`BatchStats::recoveries`]). Because the body never started, the
+    /// re-execution is exact — batch results are bit-identical to a
+    /// fault-free run. Genuine application panics still propagate through
+    /// [`ThreadRuntime::finish`]: a body that dies halfway may have
+    /// partially mutated its objects, so retrying it would be unsound.
+    ///
+    /// # Panics
+    ///
+    /// If the plan is malformed (probability outside `[0, 1]`).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        if let Err(why) = plan.validate() {
+            panic!("invalid fault plan: {why}");
+        }
+        self.faults = Some(plan);
     }
 
     fn target_worker(&self, def: &TaskDef) -> usize {
@@ -199,6 +245,8 @@ impl JadeRuntime for ThreadRuntime {
             },
             clock: self.event_clock,
             panic: None,
+            faults: self.faults,
+            attempts: vec![0; n],
         };
         // Register in serial program order; queue the initially-enabled.
         let base = batch[0].0.index();
@@ -270,6 +318,11 @@ fn worker_loop(
         };
         let def = guard.bodies[local].take().expect("task queued twice");
         let id = guard.ids[local];
+        let attempt = guard.attempts[local];
+        let injected = guard
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.task_fails(id.0 as u64, attempt));
         guard.stats.executed += 1;
         if stolen {
             guard.stats.steals += 1;
@@ -277,14 +330,15 @@ fn worker_loop(
             guard.stats.locality_hits += 1;
         }
         {
-            // A task's own queue only ever holds tasks targeted at it, so a
-            // non-stolen pick is by construction a locality hit.
+            // A task's own queue normally only holds tasks targeted at it —
+            // but a recovered task is re-queued on the *next* worker, so the
+            // locality of a non-stolen pick still has to be checked.
             let sh = &mut *guard;
             let t = sh.tick();
-            let locality = if stolen {
-                Locality::Miss
-            } else {
+            let locality = if !stolen && sh.targets[local] == w {
                 Locality::Hit
+            } else {
+                Locality::Miss
             };
             sh.events
                 .emit_task(t, w, EventKind::TaskDispatched { stolen, locality }, id);
@@ -292,7 +346,16 @@ fn worker_loop(
         }
         drop(guard);
 
+        // The task body stays outside the closure (`TaskBody` is `Fn`), so
+        // a caught unwind leaves `def` intact for re-execution.
         let result = catch_unwind(AssertUnwindSafe(|| {
+            if injected {
+                // Simulated worker crash before the body runs: unwind
+                // quietly (no panic hook) — this is an injected fault, not
+                // a bug worth a backtrace. Crashing *before* any body
+                // effect is what makes the re-execution exact.
+                resume_unwind(Box::new(InjectedFailure));
+            }
             // Mid-task releases (Jade's pipelining statements) feed straight
             // back into the synchronizer so successors start immediately.
             let hook = |obj: ObjectId| {
@@ -329,8 +392,26 @@ fn worker_loop(
                 sh.live -= 1;
                 cv.notify_all();
             }
+            Err(_) if injected && attempt + 1 < MAX_TASK_ATTEMPTS => {
+                // Recovery: quarantine the task off this (logically crashed)
+                // worker and hand it to the next one; the bumped attempt
+                // number re-rolls the fault hash. The execution/start
+                // tallies above deliberately count the failed attempt — they
+                // match the event stream's `tasks_started`.
+                let sh = &mut *guard;
+                sh.attempts[local] = attempt + 1;
+                sh.stats.recoveries += 1;
+                let t = sh.tick();
+                sh.events.emit(t, w, EventKind::WorkerFailed);
+                let t = sh.tick();
+                sh.events.emit_task(t, w, EventKind::TaskReExecuted, id);
+                sh.bodies[local] = Some(def);
+                sh.queues[(w + 1) % workers].push_back(local);
+                cv.notify_all();
+            }
             Err(p) => {
-                // First panic wins; wake everyone so the pool drains.
+                // Genuine application panic (or an exhausted retry budget):
+                // first panic wins; wake everyone so the pool drains.
                 if guard.panic.is_none() {
                     guard.panic = Some(p);
                 }
@@ -644,6 +725,108 @@ mod tests {
         rt.submit(TaskBuilder::new("a").wr(x).body(move |ctx| *ctx.wr(x) += 1));
         rt.finish();
         assert!(rt.take_events().is_empty());
+    }
+
+    #[test]
+    fn injected_failures_recover_with_identical_results() {
+        // panic_p = 0.3: plenty of injected crashes over 100 tasks, each
+        // recovered by re-execution on the next worker. Results must be
+        // bit-identical to the fault-free run.
+        let mut rt = ThreadRuntime::new(4);
+        rt.enable_events();
+        rt.inject_faults(FaultPlan {
+            panic_p: 0.3,
+            seed: 42,
+            ..FaultPlan::none()
+        });
+        let outs: Vec<_> = (0..100)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0usize))
+            .collect();
+        for (i, &o) in outs.iter().enumerate() {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = i * i;
+            }));
+        }
+        rt.finish();
+        for (i, &o) in outs.iter().enumerate() {
+            assert_eq!(*rt.store().read(o), i * i);
+        }
+        let stats = rt.last_stats();
+        assert!(stats.recoveries > 0, "p=0.3 over 100 tasks must inject");
+        assert_eq!(stats.executed, 100 + stats.recoveries);
+        let events = rt.take_events();
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = jade_core::Metrics::from_events(&events, rt.workers());
+        assert_eq!(m.tasks_reexecuted as usize, stats.recoveries);
+        assert_eq!(m.workers_failed as usize, stats.recoveries);
+        assert_eq!(m.tasks_started, stats.executed);
+    }
+
+    #[test]
+    fn recovery_preserves_dependence_order() {
+        // A write-write chain under heavy injection: recovery must not let
+        // a successor run before its (re-executed) predecessor completes.
+        let mut rt = ThreadRuntime::new(4);
+        rt.inject_faults(FaultPlan {
+            panic_p: 0.4,
+            seed: 7,
+            ..FaultPlan::none()
+        });
+        let v = rt.create("v", 0, Vec::<u32>::new());
+        for i in 0..50u32 {
+            rt.submit(TaskBuilder::new("push").wr(v).body(move |ctx| {
+                ctx.wr(v).push(i);
+            }));
+        }
+        rt.finish();
+        assert_eq!(*rt.store().read(v), (0..50).collect::<Vec<_>>());
+        assert!(rt.last_stats().recoveries > 0);
+    }
+
+    #[test]
+    fn genuine_panic_propagates_even_with_recovery() {
+        // Recovery only covers injected failures: a real application panic
+        // may have left partial writes, so it must still surface.
+        let mut rt = ThreadRuntime::new(2);
+        rt.inject_faults(FaultPlan {
+            panic_p: 0.0,
+            seed: 1,
+            ..FaultPlan::none()
+        });
+        let x = rt.create("x", 8, 0u64);
+        rt.submit(
+            TaskBuilder::new("boom")
+                .wr(x)
+                .body(|_| panic!("task exploded")),
+        );
+        let r = catch_unwind(AssertUnwindSafe(|| rt.finish()));
+        assert!(r.is_err(), "application panic must propagate");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_propagates() {
+        // panic_p = 1.0 fails every attempt; after the retry budget the
+        // failure surfaces instead of looping forever.
+        let mut rt = ThreadRuntime::new(2);
+        rt.inject_faults(FaultPlan {
+            panic_p: 1.0,
+            seed: 3,
+            ..FaultPlan::none()
+        });
+        let x = rt.create("x", 8, 0u64);
+        rt.submit(TaskBuilder::new("w").wr(x).body(move |ctx| *ctx.wr(x) = 1));
+        let r = catch_unwind(AssertUnwindSafe(|| rt.finish()));
+        assert!(r.is_err(), "unwinnable plan must not hang");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_rejected() {
+        let mut rt = ThreadRuntime::new(2);
+        rt.inject_faults(FaultPlan {
+            panic_p: 2.0,
+            ..FaultPlan::none()
+        });
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Property tests for the fault-injection layer: any random program under
+//! any fault plan inside the supported envelope (drop ≤ 0.2, dup ≤ 0.1,
+//! delays/reorders, an optional fail-stop of a non-main processor,
+//! transient stalls, injected worker crashes) must complete on both machine
+//! simulators and on the thread backend with application results
+//! bit-identical to the fault-free run, a well-formed event stream, and
+//! native fault counters that match the event-derived metrics exactly.
+
+use jade::core::{check_conservation, check_lifecycle, AccessSpec, Metrics, Trace, TraceBuilder};
+use jade::dash::{self, DashConfig};
+use jade::dsim::{FaultPlan, SimDuration};
+use jade::ipsc::{self, IpscConfig};
+use jade::{JadeRuntime, LocalityMode, TaskBuilder, ThreadRuntime};
+use proptest::prelude::*;
+
+/// A random program: for each task, a set of (object, is_write) accesses.
+fn program_strategy(
+    max_tasks: usize,
+    max_objects: usize,
+) -> impl Strategy<Value = Vec<Vec<(u8, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec(((0..max_objects as u8), any::<bool>()), 0..5),
+        1..max_tasks,
+    )
+}
+
+/// Materialize a random program as a trace with objects big enough that the
+/// iPSC simulator sends real messages (and so exercises the fault paths).
+fn build_trace(prog: &[Vec<(u8, bool)>], procs: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let objs: Vec<_> = (0..5)
+        .map(|i| b.object(&format!("o{i}"), 50_000, Some(i % procs)))
+        .collect();
+    for accesses in prog {
+        let mut s = AccessSpec::new();
+        for &(o, w) in accesses {
+            if w {
+                s.wr(objs[(o % 5) as usize]);
+            } else {
+                s.rd(objs[(o % 5) as usize]);
+            }
+        }
+        b.task(s, 0.005);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The iPSC simulator under a random lossy plan (optionally with a
+    /// fail-stop) completes every program, computes the same final object
+    /// versions as the fault-free run, executes each task exactly once plus
+    /// re-executions, and keeps its event stream well-formed with counters
+    /// matching the native tallies.
+    #[test]
+    fn ipsc_survives_any_fault_plan(
+        prog in program_strategy(20, 5),
+        procs in 2usize..9,
+        drop in 0u32..21,
+        dup in 0u32..11,
+        delay in 0u32..26,
+        fail in any::<bool>(),
+        fail_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let trace = build_trace(&prog, procs);
+        let base = IpscConfig::paper(procs, LocalityMode::Locality, 1.0);
+        let clean = ipsc::try_run(&trace, &base).expect("fault-free run completes");
+        let mut plan = FaultPlan {
+            drop_p: drop as f64 / 100.0,
+            dup_p: dup as f64 / 100.0,
+            delay_p: delay as f64 / 100.0,
+            delay: SimDuration::from_secs_f64(0.0015),
+            reorder_p: delay as f64 / 200.0,
+            reorder_window: SimDuration::from_secs_f64(0.003),
+            seed,
+            ..FaultPlan::none()
+        };
+        if fail {
+            plan.fail_proc = Some(1 + (fail_pick as usize) % (procs - 1));
+            plan.fail_at = SimDuration::from_secs_f64(clean.exec_time_s * 0.5);
+        }
+        let mut cfg = base.clone();
+        cfg.faults = plan;
+        let (faulty, events) =
+            ipsc::try_run_traced(&trace, &cfg).expect("faulty run completes");
+
+        // Results are bit-identical to the fault-free run; re-executions
+        // are the only extra work.
+        prop_assert_eq!(&faulty.final_versions, &clean.final_versions);
+        // `tasks_reexecuted` counts re-dispatches; an orphan that had not
+        // yet *started* on the dead processor starts only once, so the
+        // started-count is bounded by, not equal to, clean + re-dispatches.
+        prop_assert!(faulty.tasks_executed >= clean.tasks_executed);
+        prop_assert!(
+            faulty.tasks_executed as u64 <= clean.tasks_executed as u64 + faulty.tasks_reexecuted
+        );
+        if !fail {
+            prop_assert_eq!(faulty.workers_failed, 0);
+            prop_assert_eq!(faulty.tasks_reexecuted, 0);
+        }
+
+        // The event stream stays well-formed and agrees with the native
+        // counters exactly.
+        check_lifecycle(&events).expect("lifecycle holds under faults");
+        let m = Metrics::from_events(&events, procs);
+        check_conservation(&events, procs, m.makespan_ps)
+            .expect("spans tile the makespan under faults");
+        prop_assert_eq!(m.msgs_dropped, faulty.msgs_dropped);
+        prop_assert_eq!(m.msgs_retried, faulty.msgs_retried);
+        prop_assert_eq!(m.msgs_discarded, faulty.msgs_discarded);
+        prop_assert_eq!(m.workers_failed, faulty.workers_failed);
+        prop_assert_eq!(m.tasks_reexecuted, faulty.tasks_reexecuted);
+
+        // Same seed, same plan: the faulty run is deterministic.
+        let again = ipsc::try_run(&trace, &cfg).expect("repeat run completes");
+        prop_assert_eq!(again.exec_time_s, faulty.exec_time_s);
+        prop_assert_eq!(again.msgs_dropped, faulty.msgs_dropped);
+        prop_assert_eq!(again.msgs_retried, faulty.msgs_retried);
+    }
+
+    /// The DASH simulator under random transient stalls completes every
+    /// program deterministically with a well-formed event stream.
+    #[test]
+    fn dash_survives_transient_stalls(
+        prog in program_strategy(20, 5),
+        procs in 1usize..9,
+        stall_pct in 1u32..101,
+        stall_us in 1u32..5001,
+        seed in any::<u64>(),
+    ) {
+        let trace = build_trace(&prog, procs);
+        let base = DashConfig::paper(procs, LocalityMode::Locality, 1.0);
+        let clean = dash::run(&trace, &base);
+        let mut cfg = base.clone();
+        cfg.faults = FaultPlan {
+            stall_p: stall_pct as f64 / 100.0,
+            stall: SimDuration::from_secs_f64(stall_us as f64 * 1e-6),
+            seed,
+            ..FaultPlan::none()
+        };
+        let (faulty, events) = dash::run_traced(&trace, &cfg);
+        prop_assert_eq!(faulty.tasks_executed, trace.task_count());
+        prop_assert_eq!(faulty.tasks_executed, clean.tasks_executed);
+        check_lifecycle(&events).expect("lifecycle holds under stalls");
+        let m = Metrics::from_events(&events, procs);
+        check_conservation(&events, procs, m.makespan_ps)
+            .expect("spans tile the makespan under stalls");
+        prop_assert_eq!(m.stalls, faulty.stalls);
+        let again = dash::run(&trace, &cfg);
+        prop_assert_eq!(again.exec_time_s, faulty.exec_time_s);
+        prop_assert_eq!(again.stalls, faulty.stalls);
+    }
+
+    /// The thread backend under injected worker crashes re-executes the
+    /// failed tasks and produces per-object write logs identical to the
+    /// fault-free run — conflicting writes still land in program order.
+    #[test]
+    fn threads_recover_with_identical_results(
+        prog in program_strategy(20, 4),
+        workers in 1usize..5,
+        panic_pct in 0u32..41,
+        seed in any::<u64>(),
+    ) {
+        let run = |faults: Option<FaultPlan>| {
+            let mut rt = ThreadRuntime::new(workers);
+            if let Some(plan) = faults {
+                rt.inject_faults(plan);
+            }
+            let objs: Vec<_> = (0..4)
+                .map(|i| rt.create(&format!("o{i}"), 8, Vec::<u32>::new()))
+                .collect();
+            for (i, accesses) in prog.iter().enumerate() {
+                let mut tb = TaskBuilder::new("p");
+                let mut writes = Vec::new();
+                let mut seen = [false; 4];
+                for &(o, w) in accesses {
+                    let o = (o % 4) as usize;
+                    if seen[o] {
+                        continue;
+                    }
+                    seen[o] = true;
+                    if w {
+                        tb = tb.rd_wr(objs[o]);
+                        writes.push(objs[o]);
+                    } else {
+                        tb = tb.rd(objs[o]);
+                    }
+                }
+                rt.submit(tb.body(move |ctx| {
+                    for &h in &writes {
+                        ctx.wr(h).push(i as u32);
+                    }
+                }));
+            }
+            rt.finish();
+            let stats = rt.last_stats();
+            let logs: Vec<Vec<u32>> = objs.iter().map(|&h| rt.store().read(h).clone()).collect();
+            (logs, stats)
+        };
+        let (clean_logs, clean_stats) = run(None);
+        let plan = FaultPlan {
+            panic_p: panic_pct as f64 / 100.0,
+            seed,
+            ..FaultPlan::none()
+        };
+        let (logs, stats) = run(Some(plan));
+        prop_assert_eq!(logs, clean_logs, "results must be bit-identical to fault-free");
+        prop_assert_eq!(stats.executed, clean_stats.executed + stats.recoveries);
+    }
+}
