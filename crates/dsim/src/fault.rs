@@ -57,6 +57,12 @@ pub struct FaultPlan {
     pub panic_p: f64,
     /// Seed for the fault decision stream.
     pub seed: u64,
+    /// Checkpoint interval for the recovery layer: the runtime snapshots
+    /// its state every `checkpoint` of virtual time (`jade-threads` maps
+    /// the same value to a task-count interval, see that crate). `None`
+    /// disables checkpointing; fail-stop recovery then falls back to the
+    /// full charged-restore path.
+    pub checkpoint: Option<SimDuration>,
 }
 
 impl Default for FaultPlan {
@@ -81,6 +87,7 @@ impl FaultPlan {
             fail_at: SimDuration::ZERO,
             panic_p: 0.0,
             seed: 0,
+            checkpoint: None,
         }
     }
 
@@ -103,7 +110,14 @@ impl FaultPlan {
         self
     }
 
-    /// Check that every probability is in `[0, 1]`.
+    /// Replace the checkpoint interval (used by `--checkpoint-interval`).
+    pub fn with_checkpoint(mut self, interval: SimDuration) -> FaultPlan {
+        self.checkpoint = Some(interval);
+        self
+    }
+
+    /// Check that every probability is in `[0, 1]` and the checkpoint
+    /// interval, if any, is positive.
     pub fn validate(&self) -> Result<(), String> {
         for (name, p) in [
             ("drop", self.drop_p),
@@ -115,6 +129,11 @@ impl FaultPlan {
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(format!("fault plan: {name} probability {p} not in [0, 1]"));
+            }
+        }
+        if let Some(interval) = self.checkpoint {
+            if interval == SimDuration::ZERO {
+                return Err("fault plan: checkpoint interval must be > 0".to_string());
             }
         }
         Ok(())
@@ -133,6 +152,7 @@ impl FaultPlan {
     /// fail=PROC[@SECS] processor PROC fail-stops at virtual time SECS
     /// panic=P          task bodies panic with probability P (threads)
     /// seed=N           decision-stream seed
+    /// ckpt=SECS        checkpoint the runtime every SECS of virtual time
     /// ```
     ///
     /// Example: `drop=0.05,dup=0.02,stall=0.01:0.005,fail=3@0.5,seed=42`.
@@ -169,6 +189,15 @@ impl FaultPlan {
                 }
                 "stall" => (plan.stall_p, plan.stall) = prob_dur(val, DEFAULT_WINDOW_S)?,
                 "panic" => plan.panic_p = prob(val)?,
+                "ckpt" | "checkpoint" => {
+                    let s = val
+                        .parse::<f64>()
+                        .map_err(|_| format!("fault spec `{part}`: bad interval `{val}`"))?;
+                    if !(s.is_finite() && s > 0.0) {
+                        return Err(format!("fault spec `{part}`: interval must be > 0"));
+                    }
+                    plan.checkpoint = Some(SimDuration::from_secs_f64(s));
+                }
                 "seed" => {
                     plan.seed = val
                         .parse::<u64>()
@@ -394,6 +423,24 @@ mod tests {
         assert!(FaultPlan::parse("wat=1").is_err());
         assert!(FaultPlan::parse("fail=a").is_err());
         assert!(FaultPlan::parse("delay=0.1:-1").is_err());
+        assert!(FaultPlan::parse("ckpt=0").is_err());
+        assert!(FaultPlan::parse("ckpt=-1").is_err());
+        assert!(FaultPlan::parse("ckpt=x").is_err());
+    }
+
+    #[test]
+    fn checkpoint_interval_parses_but_is_not_a_fault() {
+        let plan = FaultPlan::parse("ckpt=0.25").unwrap();
+        assert_eq!(plan.checkpoint, Some(SimDuration::from_secs_f64(0.25)));
+        // Checkpointing alone injects nothing: the injector must take no
+        // draws, keeping the event stream identical to a fault-free build.
+        assert!(!plan.is_active());
+        let plan2 = FaultPlan::parse("checkpoint=0.25,fail=1@0.1").unwrap();
+        assert_eq!(plan2.checkpoint, plan.checkpoint);
+        assert!(plan2.is_active());
+        let via_builder = FaultPlan::none().with_checkpoint(SimDuration::from_secs_f64(0.25));
+        assert_eq!(via_builder.checkpoint, plan.checkpoint);
+        assert!(via_builder.validate().is_ok());
     }
 
     #[test]

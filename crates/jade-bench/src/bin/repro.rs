@@ -26,17 +26,23 @@ use jade_core::LocalityMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--trace-out FILE] [--faults SPEC] [--fault-seed N] <experiment>...\n\
+        "usage: repro [--quick] [--trace-out FILE] [--faults SPEC] [--fault-seed N]\n\
+         \x20            [--checkpoint-interval N]... <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
-         utilization, fault-sweep\n\
+         utilization, fault-sweep, checkpoint-sweep\n\
          --trace-out FILE  also write a Chrome trace_event JSON of a\n\
                            representative run (Ocean, 8 procs, iPSC/860);\n\
                            open it in chrome://tracing or ui.perfetto.dev\n\
          --faults SPEC     inject faults and run the fault sweep; SPEC is\n\
                            e.g. drop=0.05,dup=0.02,delay=0.1:0.001,stall=0.01:0.005,\n\
-                           fail=3@0.5,panic=0.1 (see DESIGN.md section 11)\n\
-         --fault-seed N    seed for the fault decision stream (default 0)"
+                           fail=3@0.5,panic=0.1,ckpt=0.5 (see DESIGN.md sections 11-12)\n\
+         --fault-seed N    seed for the fault decision stream (default 0)\n\
+         --checkpoint-interval N\n\
+                           checkpoint interval for the checkpoint sweep, in\n\
+                           simulated seconds (iPSC) / completed tasks (threads);\n\
+                           repeatable — each value adds a sweep point\n\
+                           (default points: 0.5 and 2.0)"
     );
     std::process::exit(2);
 }
@@ -46,6 +52,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut ckpt_intervals: Vec<f64> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,13 +75,25 @@ fn main() {
                 Some(n) => fault_seed = Some(n),
                 None => usage(),
             },
+            "--checkpoint-interval" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(n) if n.is_finite() && n > 0.0 => ckpt_intervals.push(n),
+                _ => usage(),
+            },
             "-h" | "--help" => usage(),
             other => wanted.push(other.to_string()),
         }
     }
-    // `--faults` with no explicit experiment runs the fault sweep.
-    if faults.is_some() && wanted.is_empty() {
-        wanted.push("fault-sweep".to_string());
+    // `--faults` with no explicit experiment runs the fault sweep;
+    // `--checkpoint-interval` alone runs the checkpoint sweep.
+    if wanted.is_empty() {
+        if !ckpt_intervals.is_empty() {
+            wanted.push("checkpoint-sweep".to_string());
+        } else if faults.is_some() {
+            wanted.push("fault-sweep".to_string());
+        }
+    }
+    if ckpt_intervals.is_empty() {
+        ckpt_intervals = vec![0.5, 2.0];
     }
     if wanted.is_empty() && trace_out.is_none() {
         usage();
@@ -90,7 +109,7 @@ fn main() {
         println!("[quick mode: reduced workloads — shapes hold, absolute numbers shrink]");
     }
     for w in wanted.clone() {
-        run_one(&mut h, &w, plan);
+        run_one(&mut h, &w, plan, &ckpt_intervals);
     }
     if let Some(path) = trace_out {
         let json = h.chrome_trace(App::Ocean, 8, LocalityMode::Locality, TraceBackend::Ipsc);
@@ -104,7 +123,7 @@ fn main() {
     }
 }
 
-fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan) {
+fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan, ckpt_intervals: &[f64]) {
     let exec_apps = [App::Water, App::StringApp, App::Ocean, App::Cholesky];
     match what {
         "all" => {
@@ -120,21 +139,21 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan) {
                 "ablations",
                 "heterogeneous",
             ] {
-                run_one(h, t, plan);
+                run_one(h, t, plan, ckpt_intervals);
             }
         }
         "tables" => {
             for t in 2..=5 {
-                run_one(h, &format!("table{t}"), plan);
+                run_one(h, &format!("table{t}"), plan, ckpt_intervals);
             }
             for t in 7..=14 {
-                run_one(h, &format!("table{t}"), plan);
+                run_one(h, &format!("table{t}"), plan, ckpt_intervals);
             }
         }
         "figures" => {
             for f in 2..=21 {
                 if f != 1 {
-                    run_one(h, &format!("fig{f}"), plan);
+                    run_one(h, &format!("fig{f}"), plan, ckpt_intervals);
                 }
             }
         }
@@ -186,6 +205,12 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan) {
         "fault-sweep" => {
             if let Err(why) = ex::fault_sweep(h, plan) {
                 eprintln!("fault sweep FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+        "checkpoint-sweep" => {
+            if let Err(why) = ex::checkpoint_sweep(h, plan, ckpt_intervals) {
+                eprintln!("checkpoint sweep FAILED: {why}");
                 std::process::exit(1);
             }
         }

@@ -758,6 +758,149 @@ pub fn fault_sweep(h: &mut Harness, plan: FaultPlan) -> Result<(), String> {
     Ok(())
 }
 
+/// Checkpoint sweep: cross the fault plan with checkpoint intervals and
+/// check the tentpole invariant — any fail-stop plan at any checkpoint
+/// interval produces results bit-identical to the fault-free run, and
+/// checkpoints never cause more re-execution than the checkpoint-free
+/// recovery path. Prints one row per interval with the capture/restore
+/// economics. Returns `Err` on any divergence (the `repro` binary exits
+/// non-zero, so CI gates on this).
+pub fn checkpoint_sweep(h: &mut Harness, plan: FaultPlan, intervals: &[f64]) -> Result<(), String> {
+    println!("\nCheckpoint sweep (seed {}):", plan.seed);
+
+    // iPSC/860: sim-time checkpoint intervals against a fail-stop.
+    {
+        let app = App::Water;
+        let procs = 8;
+        let trace = h.trace(app, procs);
+        let spo = app.ipsc_sec_per_op(&trace);
+        let clean_cfg = jade_ipsc::IpscConfig::paper(procs, LocalityMode::Locality, spo);
+        let clean = jade_ipsc::try_run(&trace, &clean_cfg)
+            .map_err(|e| format!("ipsc fault-free run failed: {e}"))?;
+        let mut base_plan = plan;
+        base_plan.checkpoint = None;
+        if base_plan.fail_proc.is_none() {
+            // The sweep is about fail-stop recovery: without one in the
+            // plan, inject a mid-run failure of the last processor.
+            base_plan.fail_proc = Some(procs - 1);
+            base_plan.fail_at = dsim::SimDuration::from_secs_f64(0.4 * clean.exec_time_s);
+            println!(
+                "  (plan has no fail-stop: adding fail={}@{:.2} so recovery is exercised)",
+                procs - 1,
+                0.4 * clean.exec_time_s
+            );
+        }
+        println!(
+            "  iPSC/860 {} x{procs} (clean {:.2}s):\n  {:>8} {:>6} {:>12} {:>12} {:>9} {:>7} {:>9}",
+            app.name(),
+            clean.exec_time_s,
+            "ckpt(s)",
+            "taken",
+            "ckpt bytes",
+            "restore B",
+            "ckpt-hit",
+            "re-exec",
+            "exec(s)"
+        );
+        let mut base_cfg = clean_cfg.clone();
+        base_cfg.faults = base_plan;
+        let base = jade_ipsc::try_run(&trace, &base_cfg)
+            .map_err(|e| format!("ipsc checkpoint-free faulty run failed: {e}"))?;
+        let report = |label: &str, r: &jade_ipsc::IpscRunResult| {
+            println!(
+                "  {label:>8} {:>6} {:>12} {:>12} {:>9} {:>7} {:>9.2}",
+                r.checkpoints,
+                r.checkpoint_bytes,
+                r.restore_bytes,
+                r.checkpoint_restores,
+                r.tasks_reexecuted,
+                r.exec_time_s
+            );
+        };
+        report("none", &base);
+        if base.final_versions != clean.final_versions {
+            return Err("ipsc: results diverged before any checkpointing".into());
+        }
+        for &iv in intervals {
+            let mut cfg = clean_cfg.clone();
+            cfg.faults = base_plan.with_checkpoint(dsim::SimDuration::from_secs_f64(iv));
+            let r = jade_ipsc::try_run(&trace, &cfg)
+                .map_err(|e| format!("ipsc run with ckpt={iv} failed: {e}"))?;
+            report(&format!("{iv}"), &r);
+            if r.final_versions != clean.final_versions {
+                return Err(format!(
+                    "ipsc: final object versions diverged at checkpoint interval {iv}"
+                ));
+            }
+            let completed = r.tasks_executed as u64 - r.tasks_reexecuted;
+            if completed != clean.tasks_executed as u64 {
+                return Err(format!(
+                    "ipsc: {completed} tasks completed at ckpt={iv} vs {} fault-free",
+                    clean.tasks_executed
+                ));
+            }
+            if r.tasks_reexecuted > base.tasks_reexecuted {
+                return Err(format!(
+                    "ipsc: ckpt={iv} re-executed {} tasks vs {} without checkpoints",
+                    r.tasks_reexecuted, base.tasks_reexecuted
+                ));
+            }
+        }
+    }
+
+    // jade-threads: the same intervals map to completed-task counts.
+    {
+        let workers = 4;
+        let panic_p = if plan.panic_p > 0.0 {
+            plan.panic_p
+        } else {
+            0.2
+        };
+        let wcfg = jade_apps::water::WaterConfig::small(workers);
+        let mut clean_rt = jade_threads::ThreadRuntime::new(workers);
+        let clean = jade_apps::water::run_on(&mut clean_rt, &wcfg);
+        let crash_plan = FaultPlan {
+            panic_p,
+            seed: plan.seed,
+            ..FaultPlan::none()
+        };
+        let mut base_rt = jade_threads::ThreadRuntime::new(workers);
+        base_rt.inject_faults(crash_plan);
+        let base_out = jade_apps::water::run_on(&mut base_rt, &wcfg);
+        let base = base_rt.last_stats();
+        if base_out != clean {
+            return Err("threads: results diverged before any checkpointing".into());
+        }
+        for &iv in intervals {
+            let every = (iv.round() as usize).max(1);
+            let mut rt = jade_threads::ThreadRuntime::new(workers);
+            rt.inject_faults(crash_plan);
+            rt.checkpoint_every(every);
+            let out = jade_apps::water::run_on(&mut rt, &wcfg);
+            let s = rt.last_stats();
+            println!(
+                "  threads  Water x{workers} ckpt every {every} tasks: {} checkpoints, \
+                 {} recoveries ({} from checkpoint)",
+                s.checkpoints, s.recoveries, s.checkpoint_restores
+            );
+            if out != clean {
+                return Err(format!(
+                    "threads: Water output diverged at checkpoint interval {every}"
+                ));
+            }
+            if s.recoveries > base.recoveries {
+                return Err(format!(
+                    "threads: ckpt every {every} recovered {} tasks vs {} without",
+                    s.recoveries, base.recoveries
+                ));
+            }
+        }
+    }
+
+    println!("  checkpoint sweep passed: bit-identical results, re-execution bounded");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,7 +39,10 @@ fn args_json(e: &Event) -> String {
         | EventKind::MsgRecv { bytes }
         | EventKind::MsgDropped { bytes }
         | EventKind::MsgRetried { bytes }
-        | EventKind::MsgDiscarded { bytes } => parts.push(format!("\"bytes\":{bytes}")),
+        | EventKind::MsgDiscarded { bytes }
+        | EventKind::CheckpointTaken { bytes }
+        | EventKind::CheckpointRestored { bytes }
+        | EventKind::ObjectRestored { bytes } => parts.push(format!("\"bytes\":{bytes}")),
         EventKind::ProcStalled { dur_ps } => {
             parts.push(format!("\"stall_us\":{}", micros(dur_ps)));
         }

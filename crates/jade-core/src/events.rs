@@ -137,6 +137,18 @@ pub enum EventKind {
     /// A task orphaned by a failure was handed back to the scheduler for
     /// re-execution; a fresh dispatched → started → completed leg follows.
     TaskReExecuted,
+    /// The runtime captured a checkpoint of `bytes` (synchronizer state,
+    /// ownership/replica tables, and object payloads dirtied since the
+    /// previous checkpoint). The capture cost appears as ordinary spans.
+    CheckpointTaken { bytes: u64 },
+    /// Fail-stop recovery read `bytes` back from the most recent
+    /// checkpoint. Only valid after a `CheckpointTaken` (see
+    /// [`check_lifecycle`]).
+    CheckpointRestored { bytes: u64 },
+    /// Fail-stop recovery re-materialized a sole-copy object (whose only
+    /// replica died with its owner) at the surviving owner, transferring
+    /// `bytes` — the charged replacement for the old free-restore path.
+    ObjectRestored { bytes: u64 },
 }
 
 impl EventKind {
@@ -165,6 +177,9 @@ impl EventKind {
             EventKind::ProcStalled { .. } => "proc_stalled",
             EventKind::WorkerFailed => "worker_failed",
             EventKind::TaskReExecuted => "task_reexecuted",
+            EventKind::CheckpointTaken { .. } => "checkpoint_taken",
+            EventKind::CheckpointRestored { .. } => "checkpoint_restored",
+            EventKind::ObjectRestored { .. } => "object_restored",
         }
     }
 }
@@ -365,6 +380,18 @@ pub struct Metrics {
     pub workers_failed: u64,
     /// Tasks re-dispatched after a failure.
     pub tasks_reexecuted: u64,
+    /// Checkpoints captured.
+    pub checkpoints: u64,
+    /// Total checkpoint payload captured (tables + dirty object bytes).
+    pub checkpoint_bytes: u64,
+    /// Fail-stop recoveries that restored from a checkpoint.
+    pub checkpoint_restores: u64,
+    /// Bytes read back from checkpoints during recovery.
+    pub checkpoint_restored_bytes: u64,
+    /// Sole-copy objects re-materialized after their owner fail-stopped.
+    pub object_restores: u64,
+    /// Payload bytes of those restores (part of [`Self::comm_bytes`]).
+    pub restore_bytes: u64,
 }
 
 impl Metrics {
@@ -479,6 +506,18 @@ impl Metrics {
                 }
                 EventKind::WorkerFailed => m.workers_failed += 1,
                 EventKind::TaskReExecuted => m.tasks_reexecuted += 1,
+                EventKind::CheckpointTaken { bytes } => {
+                    m.checkpoints += 1;
+                    m.checkpoint_bytes += bytes;
+                }
+                EventKind::CheckpointRestored { bytes } => {
+                    m.checkpoint_restores += 1;
+                    m.checkpoint_restored_bytes += bytes;
+                }
+                EventKind::ObjectRestored { bytes } => {
+                    m.object_restores += 1;
+                    m.restore_bytes += bytes;
+                }
             }
         }
         for (_, first, last) in windows {
@@ -508,9 +547,10 @@ impl Metrics {
         t
     }
 
-    /// Total communicated bytes: fetches + broadcasts + eager pushes.
+    /// Total communicated bytes: fetches + broadcasts + eager pushes +
+    /// fail-stop object restores.
     pub fn comm_bytes(&self) -> u64 {
-        self.fetch_bytes + self.broadcast_bytes + self.eager_bytes
+        self.fetch_bytes + self.broadcast_bytes + self.eager_bytes + self.restore_bytes
     }
 
     /// Task locality percentage over tracked dispatches (0 when none were
@@ -549,10 +589,19 @@ impl Metrics {
 ///
 /// Faulty runs are covered too: a [`EventKind::TaskReExecuted`] event
 /// rewinds a task's chain to the *enabled* stage, licensing one extra
-/// dispatched → started leg. Even under re-execution every task must have
+/// dispatched → started leg. The rewind may also carry a timestamp earlier
+/// than the events it cancels (a start optimistically charged into the
+/// future on a processor that then died before that instant); monotonicity
+/// is required within each leg, not across the rewind. Even under
+/// re-execution every task must have
 /// exactly one created, one enabled, and one completed event — a task that
 /// completes twice (double execution applied) or never completes fails the
 /// check.
+///
+/// Checkpoint events carry no task but obey their own ordering rule: a
+/// [`EventKind::CheckpointRestored`] may only appear after at least one
+/// [`EventKind::CheckpointTaken`] — a runtime cannot restore state it never
+/// captured.
 pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
     #[derive(Default, Clone)]
     struct Chain {
@@ -566,6 +615,7 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
         last_time: u64,
     }
     let mut chains: Vec<Chain> = Vec::new();
+    let mut checkpoints_taken = 0u64;
     for (pos, e) in events.iter().enumerate() {
         let stage = match e.kind {
             EventKind::TaskCreated => 1,
@@ -574,6 +624,18 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
             EventKind::TaskStarted => 4,
             EventKind::TaskCompleted => 5,
             EventKind::TaskReExecuted => 0, // special-cased below
+            EventKind::CheckpointTaken { .. } => {
+                checkpoints_taken += 1;
+                continue;
+            }
+            EventKind::CheckpointRestored { .. } => {
+                if checkpoints_taken == 0 {
+                    return Err(format!(
+                        "checkpoint restored at #{pos} before any checkpoint was taken"
+                    ));
+                }
+                continue;
+            }
             _ => continue,
         };
         let id = e
@@ -583,15 +645,14 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
             chains.resize(id.index() + 1, Chain::default());
         }
         let c = &mut chains[id.index()];
-        if e.time_ps < c.last_time {
-            return Err(format!(
-                "{id:?}: {} timestamp regressed at #{pos}",
-                e.kind.name(),
-            ));
-        }
         if stage == 0 {
-            // Re-execution rewinds the chain to "enabled": the task must
-            // already be past enabling and must not have completed.
+            // Re-execution rewinds the chain to "enabled" — and may rewind
+            // the clock. Simulators charge costs by advancing local time
+            // cursors, so a dispatch or start can be recorded at an instant
+            // slightly in the future; a processor death before that instant
+            // cancels those speculative events, and the re-execution carries
+            // the (earlier) failure time. Each dispatched → started →
+            // completed leg must still be monotone on its own.
             if c.stage < 2 {
                 return Err(format!("{id:?}: re-executed before enabled at #{pos}"));
             }
@@ -602,6 +663,12 @@ pub fn check_lifecycle(events: &[Event]) -> Result<(), String> {
             c.stage = 2;
             c.last_time = e.time_ps;
             continue;
+        }
+        if e.time_ps < c.last_time {
+            return Err(format!(
+                "{id:?}: {} timestamp regressed at #{pos}",
+                e.kind.name(),
+            ));
         }
         match stage {
             1 => c.created += 1,
@@ -880,6 +947,50 @@ mod tests {
             task_ev(5, 0, EventKind::TaskReExecuted, 0),
         ];
         assert!(check_lifecycle(&events).is_err());
+    }
+
+    #[test]
+    fn checkpoint_metrics_and_comm_bytes() {
+        let ev = |kind| Event {
+            time_ps: 0,
+            proc: 0,
+            kind,
+            task: None,
+            object: None,
+        };
+        let events = vec![
+            ev(EventKind::CheckpointTaken { bytes: 100 }),
+            ev(EventKind::CheckpointTaken { bytes: 40 }),
+            ev(EventKind::CheckpointRestored { bytes: 60 }),
+            ev(EventKind::ObjectRestored { bytes: 512 }),
+        ];
+        let m = Metrics::from_events(&events, 1);
+        assert_eq!(m.checkpoints, 2);
+        assert_eq!(m.checkpoint_bytes, 140);
+        assert_eq!(m.checkpoint_restores, 1);
+        assert_eq!(m.checkpoint_restored_bytes, 60);
+        assert_eq!(m.object_restores, 1);
+        assert_eq!(m.restore_bytes, 512);
+        // Restored object payloads are real transfers: part of comm_bytes.
+        assert_eq!(m.comm_bytes(), 512);
+    }
+
+    #[test]
+    fn lifecycle_requires_checkpoint_before_restore() {
+        let ev = |kind| Event {
+            time_ps: 0,
+            proc: 0,
+            kind,
+            task: None,
+            object: None,
+        };
+        let bad = vec![ev(EventKind::CheckpointRestored { bytes: 10 })];
+        assert!(check_lifecycle(&bad).is_err());
+        let good = vec![
+            ev(EventKind::CheckpointTaken { bytes: 10 }),
+            ev(EventKind::CheckpointRestored { bytes: 10 }),
+        ];
+        assert!(check_lifecycle(&good).is_ok());
     }
 
     #[test]

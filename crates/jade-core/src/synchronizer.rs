@@ -271,6 +271,241 @@ impl Synchronizer {
     pub fn queue_len(&self, o: ObjectId) -> usize {
         self.queues.get(o.index()).map_or(0, |q| q.len())
     }
+
+    /// Capture the synchronizer's full dynamic state — queue contents and
+    /// per-task grant/completion flags — for the checkpoint/restart layer.
+    pub fn snapshot(&self) -> SyncSnapshot {
+        SyncSnapshot {
+            replication: self.replication,
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| SnapTask {
+                    objects: t.objects.clone(),
+                    ungranted: t.ungranted as u32,
+                    completed: t.completed,
+                })
+                .collect(),
+            queues: self
+                .queues
+                .iter()
+                .map(|q| q.iter().map(|e| (e.task, e.mode, e.granted)).collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuild a synchronizer from a [`snapshot`](Self::snapshot). The
+    /// result behaves identically to the original at capture time: the same
+    /// completions enable the same successors in the same order.
+    pub fn from_snapshot(snap: &SyncSnapshot) -> Synchronizer {
+        Synchronizer {
+            queues: snap
+                .queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|&(task, mode, granted)| QEntry {
+                            task,
+                            mode,
+                            granted,
+                        })
+                        .collect()
+                })
+                .collect(),
+            tasks: snap
+                .tasks
+                .iter()
+                .map(|t| TaskState {
+                    objects: t.objects.clone(),
+                    ungranted: t.ungranted as usize,
+                    completed: t.completed,
+                })
+                .collect(),
+            replication: snap.replication,
+            live_tasks: snap.live_tasks(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct SnapTask {
+    objects: Vec<ObjectId>,
+    ungranted: u32,
+    completed: bool,
+}
+
+/// A serializable snapshot of [`Synchronizer`] state: the payload of the
+/// synchronizer section of a runtime checkpoint.
+///
+/// The binary format (all integers little-endian) is:
+///
+/// ```text
+/// "JSNP" u16:version=1 u8:replication
+/// u32:ntasks  ( u8:completed u32:ungranted u32:nobjs u32:obj... )*
+/// u32:nqueues ( u32:len ( u32:task u8:mode u8:granted )* )*
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncSnapshot {
+    replication: bool,
+    tasks: Vec<SnapTask>,
+    queues: Vec<Vec<(TaskId, AccessMode, bool)>>,
+}
+
+const SNAP_MAGIC: &[u8; 4] = b"JSNP";
+const SNAP_VERSION: u16 = 1;
+
+impl SyncSnapshot {
+    /// Number of tasks registered at capture time.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of registered but not yet completed tasks at capture time.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.completed).count()
+    }
+
+    /// Had `id` completed (committed) by capture time? Tasks registered
+    /// after the snapshot report `false`.
+    pub fn completed(&self, id: TaskId) -> bool {
+        self.tasks.get(id.index()).is_some_and(|t| t.completed)
+    }
+
+    /// Exact size of [`to_bytes`](Self::to_bytes) output, used to charge
+    /// checkpoint costs without materializing the encoding.
+    pub fn encoded_len(&self) -> usize {
+        let task_bytes: usize = self.tasks.iter().map(|t| 9 + 4 * t.objects.len()).sum();
+        let queue_bytes: usize = self.queues.iter().map(|q| 4 + 6 * q.len()).sum();
+        4 + 2 + 1 + 4 + task_bytes + 4 + queue_bytes
+    }
+
+    /// Encode to the binary checkpoint format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        out.push(self.replication as u8);
+        out.extend_from_slice(&(self.tasks.len() as u32).to_le_bytes());
+        for t in &self.tasks {
+            out.push(t.completed as u8);
+            out.extend_from_slice(&t.ungranted.to_le_bytes());
+            out.extend_from_slice(&(t.objects.len() as u32).to_le_bytes());
+            for o in &t.objects {
+                out.extend_from_slice(&o.0.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.queues.len() as u32).to_le_bytes());
+        for q in &self.queues {
+            out.extend_from_slice(&(q.len() as u32).to_le_bytes());
+            for &(task, mode, granted) in q {
+                out.extend_from_slice(&task.0.to_le_bytes());
+                out.push(match mode {
+                    AccessMode::Read => 0,
+                    AccessMode::Write => 1,
+                    AccessMode::ReadWrite => 2,
+                });
+                out.push(granted as u8);
+            }
+        }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Decode a snapshot previously produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SyncSnapshot, String> {
+        let mut r = SnapReader { bytes, pos: 0 };
+        if r.take(4)? != SNAP_MAGIC {
+            return Err("sync snapshot: bad magic".to_string());
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().unwrap());
+        if version != SNAP_VERSION {
+            return Err(format!("sync snapshot: unsupported version {version}"));
+        }
+        let replication = r.flag()?;
+        let ntasks = r.len32()?;
+        let mut tasks = Vec::with_capacity(ntasks);
+        for _ in 0..ntasks {
+            let completed = r.flag()?;
+            let ungranted = r.u32()?;
+            let nobjs = r.len32()?;
+            let mut objects = Vec::with_capacity(nobjs);
+            for _ in 0..nobjs {
+                objects.push(ObjectId(r.u32()?));
+            }
+            tasks.push(SnapTask {
+                objects,
+                ungranted,
+                completed,
+            });
+        }
+        let nqueues = r.len32()?;
+        let mut queues = Vec::with_capacity(nqueues);
+        for _ in 0..nqueues {
+            let len = r.len32()?;
+            let mut q = Vec::with_capacity(len);
+            for _ in 0..len {
+                let task = TaskId(r.u32()?);
+                let mode = match r.byte()? {
+                    0 => AccessMode::Read,
+                    1 => AccessMode::Write,
+                    2 => AccessMode::ReadWrite,
+                    m => return Err(format!("sync snapshot: bad access mode {m}")),
+                };
+                let granted = r.flag()?;
+                q.push((task, mode, granted));
+            }
+            queues.push(q);
+        }
+        if r.pos != bytes.len() {
+            return Err("sync snapshot: trailing bytes".to_string());
+        }
+        Ok(SyncSnapshot {
+            replication,
+            tasks,
+            queues,
+        })
+    }
+}
+
+struct SnapReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| "sync snapshot: truncated".to_string())?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn flag(&mut self) -> Result<bool, String> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("sync snapshot: bad flag byte {b}")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn len32(&mut self) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        // A length prefix can never promise more entries than bytes left;
+        // rejecting early keeps hostile input from causing huge allocations.
+        if n > self.bytes.len() - self.pos {
+            return Err("sync snapshot: truncated".to_string());
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -474,6 +709,51 @@ mod tests {
         let mut e = Vec::new();
         sync.complete(TaskId(0), &mut e);
         sync.complete(TaskId(0), &mut e);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bytes() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[], &[0]));
+        sync.add_task(TaskId(1), &spec(&[0], &[1]));
+        sync.add_task(TaskId(2), &spec(&[0, 1], &[]));
+        let mut e = Vec::new();
+        sync.complete(TaskId(0), &mut e);
+        let snap = sync.snapshot();
+        assert_eq!(snap.task_count(), 3);
+        assert_eq!(snap.live_tasks(), 2);
+        assert!(snap.completed(TaskId(0)));
+        assert!(!snap.completed(TaskId(1)));
+        assert!(!snap.completed(TaskId(99)), "unknown task is not committed");
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.encoded_len());
+        let decoded = SyncSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        // The restored synchronizer continues exactly like the original.
+        let mut restored = Synchronizer::from_snapshot(&decoded);
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        sync.complete(TaskId(1), &mut ea);
+        restored.complete(TaskId(1), &mut eb);
+        assert_eq!(ea, eb);
+        assert_eq!(ea, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[0], &[1]));
+        let bytes = sync.snapshot().to_bytes();
+        assert!(SyncSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(SyncSnapshot::from_bytes(b"XXXX").is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Z';
+        assert!(SyncSnapshot::from_bytes(&bad_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SyncSnapshot::from_bytes(&trailing).is_err());
+        let mut bad_version = bytes;
+        bad_version[4] = 0xFF;
+        assert!(SyncSnapshot::from_bytes(&bad_version).is_err());
     }
 
     #[test]

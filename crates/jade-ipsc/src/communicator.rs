@@ -41,11 +41,14 @@ pub struct ObjectTraffic {
     pub broadcast_bytes: u64,
     /// Eager producer-to-consumer push bytes.
     pub eager_bytes: u64,
+    /// Fail-stop recovery bytes: sole copies re-materialized at a surviving
+    /// processor after their owner died.
+    pub restore_bytes: u64,
 }
 
 impl ObjectTraffic {
     pub fn total(&self) -> u64 {
-        self.fetch_bytes + self.broadcast_bytes + self.eager_bytes
+        self.fetch_bytes + self.broadcast_bytes + self.eager_bytes + self.restore_bytes
     }
 }
 
@@ -65,6 +68,16 @@ pub struct Communicator {
     accessed: Vec<Vec<bool>>,
     broadcast_mode: Vec<bool>,
     adaptive_broadcast: bool,
+    /// Consecutive retired versions of each object that were widely
+    /// accessed — the accumulated consumer evidence for the broadcast
+    /// trigger. Reset by a narrowly-accessed version and by owner death.
+    evidence: Vec<u32>,
+    /// Configured data-message loss rate (from the fault plan). Under loss
+    /// each broadcast multiplies the retransmission surface by its receiver
+    /// count, so the §3.4.2 break-even needs proportionally more evidence
+    /// before flipping an object into broadcast mode; see
+    /// [`Self::evidence_needed`].
+    drop_p: f64,
     /// `alive[p]` = processor participates in the protocol. Fail-stopped
     /// processors are excluded from the broadcast trigger, the consumer
     /// sets, and delivery.
@@ -80,12 +93,16 @@ pub struct Communicator {
     pub broadcasts: u64,
     /// Number of eager producer-to-consumer pushes (update protocol).
     pub eager_sends: u64,
+    /// Number of sole-copy objects re-materialized after owner death.
+    pub object_restores: u64,
 }
 
 impl Communicator {
     /// Initial state: each object's only copy lives at its home processor
-    /// (the processor that allocated/initialized it); version 0.
-    pub fn new(trace: &Trace, procs: usize, adaptive_broadcast: bool) -> Communicator {
+    /// (the processor that allocated/initialized it); version 0. `drop_p`
+    /// is the fault plan's data-message loss rate (0 when fault-free),
+    /// folded into the adaptive-broadcast break-even.
+    pub fn new(trace: &Trace, procs: usize, adaptive_broadcast: bool, drop_p: f64) -> Communicator {
         let n = trace.objects.len();
         let mut have = vec![vec![NO_VERSION; n]; procs];
         let mut owner = Vec::with_capacity(n);
@@ -102,12 +119,15 @@ impl Communicator {
             accessed: vec![vec![false; procs]; n], // nothing consumed yet
             broadcast_mode: vec![false; n],
             adaptive_broadcast,
+            evidence: vec![0; n],
+            drop_p,
             alive: vec![true; procs],
             traffic: vec![ObjectTraffic::default(); n],
             bytes_transferred: 0,
             object_sends: 0,
             broadcasts: 0,
             eager_sends: 0,
+            object_restores: 0,
         }
     }
 
@@ -188,13 +208,33 @@ impl Communicator {
         self.broadcast_mode[o.index()]
     }
 
+    /// How many consecutive widely-accessed versions an object must retire
+    /// before flipping into broadcast mode. Loss-free this is 1 — the
+    /// paper's §3.4.2 trigger exactly. Under a configured drop rate each
+    /// broadcast expects `drop_p × receivers` lost copies, each repaired by
+    /// a retransmitted point-to-point fetch, so the break-even demands that
+    /// much extra evidence that the all-consumer pattern is persistent.
+    pub fn evidence_needed(&self) -> u32 {
+        let receivers = self.alive.iter().filter(|&&a| a).count().saturating_sub(1);
+        1 + (self.drop_p * receivers as f64).ceil() as u32
+    }
+
     /// A writer task on `p` completed, producing a new version of `o`.
     /// Returns `true` if the new version should be broadcast.
     pub fn on_write_complete(&mut self, p: ProcId, o: ObjectId) -> bool {
         let i = o.index();
-        // Evaluate the trigger on the version being retired.
-        if self.adaptive_broadcast && self.widely_accessed(o) {
-            self.broadcast_mode[i] = true;
+        // Evaluate the trigger on the version being retired: a widely
+        // accessed version accumulates evidence, a narrowly accessed one
+        // resets it.
+        if self.adaptive_broadcast {
+            if self.widely_accessed(o) {
+                self.evidence[i] += 1;
+                if self.evidence[i] >= self.evidence_needed() {
+                    self.broadcast_mode[i] = true;
+                }
+            } else {
+                self.evidence[i] = 0;
+            }
         }
         self.version[i] += 1;
         self.owner[i] = p;
@@ -251,24 +291,106 @@ impl Communicator {
         self.traffic[o.index()]
     }
 
+    /// Capture the communicator's ownership/replica/broadcast tables and
+    /// object versions for a checkpoint.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            procs: self.procs,
+            version: self.version.clone(),
+            owner: self.owner.clone(),
+            have: self.have.clone(),
+            accessed: self.accessed.clone(),
+            broadcast_mode: self.broadcast_mode.clone(),
+            evidence: self.evidence.clone(),
+        }
+    }
+
+    /// Account one sole-copy restore of `o` (called by the simulator after
+    /// [`Self::fail_proc`] reported the object, once the restore transfer
+    /// has been charged through the machine cost model).
+    pub fn record_restore(&mut self, o: ObjectId, bytes: u64) {
+        self.bytes_transferred += bytes;
+        self.traffic[o.index()].restore_bytes += bytes;
+        self.object_restores += 1;
+    }
+
     /// Processor `p` fail-stopped. Its replicas and trigger evidence are
     /// gone; objects it owned move to a live holder of the current version,
-    /// or — when the dead processor held the only copy — are restored at
-    /// the main processor (the runtime's recovery copy; see DESIGN.md §11,
-    /// checkpointing the restore cost is a roadmap item).
-    pub fn fail_proc(&mut self, p: ProcId) {
+    /// or — when the dead processor held the only copy — are re-materialized
+    /// at the main processor (the runtime's recovery copy). For every object
+    /// the dead processor owned, the accumulated broadcast-trigger evidence
+    /// and `broadcast_mode` reset: the evidence was the dead owner's
+    /// observations of a consumer set that no longer exists, and the new
+    /// owner must re-earn the §3.4.2 break-even before broadcasting.
+    ///
+    /// Returns the objects whose **only** copy died with `p`. The caller
+    /// must charge each restore transfer through the machine cost model and
+    /// account it with [`Self::record_restore`] — this method only moves
+    /// the metadata.
+    pub fn fail_proc(&mut self, p: ProcId) -> Vec<ObjectId> {
         self.alive[p] = false;
+        let mut restored = Vec::new();
         for i in 0..self.version.len() {
             self.have[p][i] = NO_VERSION;
             self.accessed[i][p] = false;
             if self.owner[i] == p {
+                self.accessed[i].iter_mut().for_each(|a| *a = false);
+                self.evidence[i] = 0;
+                self.broadcast_mode[i] = false;
                 let v = self.version[i];
                 let holder = (0..self.procs).find(|&q| self.alive[q] && self.have[q][i] == v);
-                let new_owner = holder.unwrap_or(jade_core::MAIN_PROC);
+                let new_owner = match holder {
+                    Some(q) => q,
+                    None => {
+                        restored.push(ObjectId(i as u32));
+                        jade_core::MAIN_PROC
+                    }
+                };
                 self.owner[i] = new_owner;
                 self.have[new_owner][i] = v;
             }
         }
+        restored
+    }
+}
+
+/// A checkpoint's view of the communicator: the ownership/replica/
+/// broadcast-mode tables and per-object versions at capture time. Fail-stop
+/// recovery consults it to decide which lost sole copies the checkpoint
+/// covers (object version unchanged since capture — the payload is in the
+/// checkpoint) versus which need the expensive recovery-copy transfer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommSnapshot {
+    procs: usize,
+    version: Vec<u64>,
+    owner: Vec<ProcId>,
+    have: Vec<Vec<u64>>,
+    accessed: Vec<Vec<bool>>,
+    broadcast_mode: Vec<bool>,
+    evidence: Vec<u32>,
+}
+
+impl CommSnapshot {
+    /// Version of `o` captured in this checkpoint.
+    pub fn version(&self, o: ObjectId) -> u64 {
+        self.version[o.index()]
+    }
+
+    /// Does this checkpoint hold the payload for version `v` of `o`?
+    pub fn covers(&self, o: ObjectId, v: u64) -> bool {
+        self.version
+            .get(o.index())
+            .is_some_and(|&captured| captured == v)
+    }
+
+    /// Encoded size of the metadata tables (payload bytes are accounted
+    /// separately, per dirty object, when the checkpoint is taken): per
+    /// object a version (8), an owner (4), a mode flag (1), an evidence
+    /// counter (4), and per processor a held-version entry (8) plus an
+    /// accessed bit (1).
+    pub fn table_bytes(&self) -> u64 {
+        let n = self.version.len() as u64;
+        n * (17 + 9 * self.procs as u64)
     }
 }
 
@@ -290,7 +412,7 @@ mod tests {
 
     #[test]
     fn initial_state() {
-        let c = Communicator::new(&trace2(), 4, true);
+        let c = Communicator::new(&trace2(), 4, true, 0.0);
         assert_eq!(c.owner(o(0)), 0);
         assert_eq!(c.owner(o(1)), 1);
         assert!(!c.needs_fetch(0, o(0)));
@@ -301,7 +423,7 @@ mod tests {
 
     #[test]
     fn fetch_and_replicate() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         c.record_request(2, o(0));
         assert!(c.deliver(2, o(0), 0, 1000));
         assert!(!c.needs_fetch(2, o(0)));
@@ -316,7 +438,7 @@ mod tests {
 
     #[test]
     fn redelivery_is_idempotent_on_state() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         c.record_request(2, o(0));
         assert!(c.deliver(2, o(0), 0, 1000));
         // A second accepted reply (two tasks on one processor fetching the
@@ -331,7 +453,7 @@ mod tests {
 
     #[test]
     fn write_bumps_version_and_invalidates() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         c.record_request(2, o(0));
         assert!(c.deliver(2, o(0), 0, 1000));
         let bcast = c.on_write_complete(2, o(0));
@@ -344,7 +466,7 @@ mod tests {
 
     #[test]
     fn stale_delivery_ignored() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         c.record_request(2, o(0));
         // Version bumps while the reply is in flight.
         c.on_write_complete(3, o(0));
@@ -355,7 +477,7 @@ mod tests {
 
     #[test]
     fn broadcast_triggers_after_all_access() {
-        let mut c = Communicator::new(&trace2(), 3, true);
+        let mut c = Communicator::new(&trace2(), 3, true, 0.0);
         // Processors 1 and 2 request the version owned by 0; a task on the
         // owner also declares an access.
         c.record_request(1, o(0));
@@ -373,7 +495,7 @@ mod tests {
 
     #[test]
     fn no_broadcast_when_disabled() {
-        let mut c = Communicator::new(&trace2(), 2, false);
+        let mut c = Communicator::new(&trace2(), 2, false, 0.0);
         c.record_request(1, o(0));
         c.note_access(0, o(0));
         assert!(c.widely_accessed(o(0)));
@@ -383,7 +505,7 @@ mod tests {
 
     #[test]
     fn partial_access_does_not_trigger() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         c.record_request(1, o(0));
         c.record_request(2, o(0));
         // Processor 3 never accessed it.
@@ -393,7 +515,7 @@ mod tests {
 
     #[test]
     fn broadcast_delivery_and_accounting() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         for p in 1..4 {
             c.record_request(p, o(0));
             assert!(c.deliver(p, o(0), 0, 1000));
@@ -422,7 +544,7 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.object("x", 100, Some(0));
         let t = b.build();
-        let mut c = Communicator::new(&t, 1, true);
+        let mut c = Communicator::new(&t, 1, true, 0.0);
         assert!(!c.widely_accessed(o(0)), "nothing consumed yet");
         c.note_access(0, o(0));
         assert!(c.widely_accessed(o(0)));
@@ -431,12 +553,16 @@ mod tests {
 
     #[test]
     fn fail_stop_reassigns_ownership_to_live_replica() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         // Processor 2 writes `a`; processor 3 fetches the new version.
         c.on_write_complete(2, o(0));
         c.record_request(3, o(0));
         assert!(c.deliver(3, o(0), 1, 1000));
-        c.fail_proc(2);
+        let restored = c.fail_proc(2);
+        assert!(
+            restored.is_empty(),
+            "a live replica means nothing to restore"
+        );
         assert!(!c.is_alive(2));
         assert_eq!(c.owner(o(0)), 3, "live replica holder takes over");
         assert_eq!(c.version(o(0)), 1, "no version lost");
@@ -448,22 +574,129 @@ mod tests {
 
     #[test]
     fn fail_stop_restores_sole_copy_at_main() {
-        let mut c = Communicator::new(&trace2(), 4, true);
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
         // Processor 2 writes `a` and dies before anyone fetched it.
         c.on_write_complete(2, o(0));
-        c.fail_proc(2);
+        let restored = c.fail_proc(2);
+        assert_eq!(restored, vec![o(0)], "the sole copy must be reported");
         assert_eq!(c.owner(o(0)), 0, "recovery copy lives at main");
         assert!(!c.needs_fetch(0, o(0)));
         assert_eq!(c.version(o(0)), 1);
+        // The caller charges the transfer and attributes the bytes.
+        c.record_restore(o(0), 1000);
+        assert_eq!(c.bytes_transferred, 1000);
+        assert_eq!(c.object_restores, 1);
+        let t = c.object_traffic(o(0));
+        assert_eq!(t.restore_bytes, 1000);
+        assert_eq!(t.total(), 1000, "restore bytes keep total() conserved");
     }
 
     #[test]
     fn dead_processors_do_not_block_broadcast_trigger() {
-        let mut c = Communicator::new(&trace2(), 3, true);
-        c.fail_proc(2);
+        let mut c = Communicator::new(&trace2(), 3, true, 0.0);
+        let restored = c.fail_proc(2);
+        assert!(restored.is_empty(), "proc 2 owned nothing");
         c.record_request(1, o(0));
         c.note_access(0, o(0));
         assert!(c.widely_accessed(o(0)), "only live processors count");
         assert_eq!(c.consumers(o(0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn owner_death_resets_broadcast_mode_and_evidence() {
+        let mut c = Communicator::new(&trace2(), 3, true, 0.0);
+        // Flip object `a` into broadcast mode with owner 2.
+        c.on_write_complete(2, o(0));
+        c.record_request(0, o(0));
+        c.record_request(1, o(0));
+        c.note_access(2, o(0));
+        assert!(c.on_write_complete(2, o(0)), "trigger fires");
+        assert!(c.in_broadcast_mode(o(0)));
+        // The owner dies holding the sole copy: mode and evidence reset —
+        // the dead owner's observations described a consumer set that no
+        // longer exists.
+        let restored = c.fail_proc(2);
+        assert_eq!(restored, vec![o(0)]);
+        assert!(!c.in_broadcast_mode(o(0)));
+        assert!(!c.widely_accessed(o(0)), "consumer evidence cleared");
+        assert!(
+            !c.consumers(o(0)).contains(&2),
+            "no broadcast to a dead consumer set"
+        );
+        // The new owner must re-earn the trigger from scratch.
+        assert!(!c.on_write_complete(0, o(0)));
+        c.record_request(1, o(0));
+        c.note_access(0, o(0));
+        assert!(c.on_write_complete(0, o(0)), "re-earned over live set");
+    }
+
+    #[test]
+    fn drop_rate_demands_more_evidence_before_broadcast() {
+        // With 4 live processors (3 receivers) and drop=0.4, the break-even
+        // needs 1 + ceil(1.2) = 3 consecutive widely-accessed versions.
+        let mut c = Communicator::new(&trace2(), 4, true, 0.4);
+        assert_eq!(c.evidence_needed(), 3);
+        let consume_all = |c: &mut Communicator| {
+            for p in 1..4 {
+                c.record_request(p, o(0));
+            }
+            c.note_access(0, o(0));
+        };
+        consume_all(&mut c);
+        assert!(!c.on_write_complete(0, o(0)), "evidence 1 of 3");
+        consume_all(&mut c);
+        assert!(!c.on_write_complete(0, o(0)), "evidence 2 of 3");
+        consume_all(&mut c);
+        assert!(c.on_write_complete(0, o(0)), "evidence 3 of 3: flips");
+        assert!(c.in_broadcast_mode(o(0)));
+        // Loss-free the same machine flips on the first widely-accessed
+        // version — the unchanged §3.4.2 behavior.
+        let mut lossless = Communicator::new(&trace2(), 4, true, 0.0);
+        assert_eq!(lossless.evidence_needed(), 1);
+        consume_all(&mut lossless);
+        assert!(lossless.on_write_complete(0, o(0)));
+    }
+
+    #[test]
+    fn narrow_version_resets_accumulated_evidence() {
+        let mut c = Communicator::new(&trace2(), 4, true, 0.4);
+        assert_eq!(c.evidence_needed(), 3);
+        for _ in 0..2 {
+            for p in 1..4 {
+                c.record_request(p, o(0));
+            }
+            c.note_access(0, o(0));
+            assert!(!c.on_write_complete(0, o(0)));
+        }
+        // A narrowly-consumed version breaks the streak...
+        c.record_request(1, o(0));
+        assert!(!c.on_write_complete(0, o(0)));
+        // ...so two more widely-accessed versions still do not flip.
+        for _ in 0..2 {
+            for p in 1..4 {
+                c.record_request(p, o(0));
+            }
+            c.note_access(0, o(0));
+            assert!(!c.on_write_complete(0, o(0)));
+        }
+    }
+
+    #[test]
+    fn snapshot_captures_versions_and_coverage() {
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
+        c.on_write_complete(2, o(0));
+        let snap = c.snapshot();
+        assert_eq!(snap.version(o(0)), 1);
+        assert!(snap.covers(o(0), 1));
+        assert!(!snap.covers(o(0), 2));
+        assert!(!snap.covers(ObjectId(99), 0), "unknown object not covered");
+        assert_eq!(snap.table_bytes(), 2 * (17 + 9 * 4));
+        // A later write leaves the snapshot stale for that object.
+        c.on_write_complete(3, o(0));
+        assert!(!snap.covers(o(0), c.version(o(0))));
+        assert!(
+            snap.covers(o(1), c.version(o(1))),
+            "untouched object still covered"
+        );
     }
 }

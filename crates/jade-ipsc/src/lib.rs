@@ -39,7 +39,7 @@ mod error;
 mod scheduler;
 mod sim;
 
-pub use communicator::{Communicator, ObjectTraffic};
+pub use communicator::{CommSnapshot, Communicator, ObjectTraffic};
 pub use costs::IpscCosts;
 pub use error::IpscError;
 pub use jade_core::LocalityMode;

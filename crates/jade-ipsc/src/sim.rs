@@ -32,7 +32,17 @@
 //! * **re-dispatch on fail-stop**: tasks whose processor dies before their
 //!   results were applied are rewound (`TaskReExecuted`) and pushed through
 //!   the scheduler again; objects owned by the dead processor move to a
-//!   live replica holder (or a recovery copy at main).
+//!   live replica holder (or a recovery copy at main). Re-materializing a
+//!   sole copy is *charged*: main pays the recovery transfer through the
+//!   machine cost model and the bytes are attributed (`ObjectRestored`);
+//! * **checkpoint/restart**: with `ckpt=<secs>` in the plan the runtime
+//!   periodically captures the synchronizer state, the communicator's
+//!   ownership/replica tables, and the payloads of objects dirtied since
+//!   the previous capture at the main processor (`CheckpointTaken`). A
+//!   later fail-stop restores lost sole copies the checkpoint covers with
+//!   a cheap local read from the checkpoint store (`CheckpointRestored`)
+//!   instead of the full recovery transfer, and tasks committed at the
+//!   checkpoint are never re-dispatched.
 //!
 //! Control messages (ASSIGN/NOTIFY) use a reliable transport, mirroring
 //! NX/2's guaranteed delivery; the paper's runtime likewise assumes
@@ -43,7 +53,7 @@
 //! completions) to the fault-free run — only timing and the retry counters
 //! differ.
 
-use crate::communicator::Communicator;
+use crate::communicator::{CommSnapshot, Communicator};
 use crate::costs::IpscCosts;
 use crate::error::IpscError;
 use crate::scheduler::{Decision, IpscScheduler};
@@ -52,7 +62,7 @@ use dsim::{
 };
 use jade_core::{
     Component, Event, EventKind, EventSink, Locality, LocalityMode, Metrics, ObjectId,
-    Synchronizer, TaskId, Trace,
+    SyncSnapshot, Synchronizer, TaskId, Trace,
 };
 use std::collections::VecDeque;
 
@@ -208,6 +218,17 @@ pub struct IpscRunResult {
     pub workers_failed: u64,
     /// Tasks re-dispatched after a fail-stop.
     pub tasks_reexecuted: u64,
+    /// Checkpoints captured (`FaultPlan::checkpoint` interval).
+    pub checkpoints: u64,
+    /// Total checkpoint payload: metadata tables, synchronizer state, and
+    /// dirty object bytes shipped to the main processor.
+    pub checkpoint_bytes: u64,
+    /// Fail-stop sole-copy restores satisfied from the last checkpoint.
+    pub checkpoint_restores: u64,
+    /// Sole-copy objects re-materialized at main after a fail-stop.
+    pub objects_restored: u64,
+    /// Payload bytes of those restores (included in `comm_bytes`).
+    pub restore_bytes: u64,
     /// Final version of every shared object — the application result as the
     /// communicator sees it. Two runs computed the same thing iff these
     /// (and `tasks_executed`) agree; fault-parity checks compare them.
@@ -265,6 +286,9 @@ enum Ev {
     ProcFail {
         proc: ProcId,
     },
+    /// Periodic checkpoint capture (`FaultPlan::checkpoint`). Reschedules
+    /// itself until the program completes.
+    CheckpointTick,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -289,6 +313,15 @@ struct PState {
     /// Assigned tasks that have arrived, FIFO.
     queue: VecDeque<TaskId>,
     executing: Option<TaskId>,
+}
+
+/// One captured checkpoint: the communicator tables and the synchronizer
+/// state at capture time. The payload store at main is cumulative across
+/// checkpoints, so coverage is judged against the latest capture's version
+/// vector alone.
+struct Checkpoint {
+    comm: CommSnapshot,
+    sync: SyncSnapshot,
 }
 
 struct Sim<'a> {
@@ -334,6 +367,12 @@ struct Sim<'a> {
     n_discarded: u64,
     n_stalls: u64,
     n_reexec: u64,
+    n_checkpoints: u64,
+    n_ckpt_bytes: u64,
+    n_ckpt_restores: u64,
+    n_restore_bytes: u64,
+    /// Latest captured checkpoint; fail-stop recovery consults it.
+    last_ckpt: Option<Checkpoint>,
 }
 
 /// Simulate `trace` on the configured iPSC/860.
@@ -388,7 +427,7 @@ pub fn try_run_traced(
         pc: ProcClock::new(procs),
         sync: Synchronizer::new(cfg.replication),
         sched: IpscScheduler::new(procs, cfg.target_tasks, cfg.mode.uses_locality()),
-        comm: Communicator::new(trace, procs, cfg.adaptive_broadcast),
+        comm: Communicator::new(trace, procs, cfg.adaptive_broadcast, cfg.faults.drop_p),
         tstate: vec![TState::default(); trace.tasks.len()],
         pstate: (0..procs)
             .map(|_| PState {
@@ -413,11 +452,19 @@ pub fn try_run_traced(
         n_discarded: 0,
         n_stalls: 0,
         n_reexec: 0,
+        n_checkpoints: 0,
+        n_ckpt_bytes: 0,
+        n_ckpt_restores: 0,
+        n_restore_bytes: 0,
+        last_ckpt: None,
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
     if let Some(fp) = plan.fail_proc {
         sim.cal
             .schedule(SimTime::ZERO + plan.fail_at, Ev::ProcFail { proc: fp });
+    }
+    if let Some(iv) = plan.checkpoint {
+        sim.cal.schedule(SimTime::ZERO + iv, Ev::CheckpointTick);
     }
     while let Some((t, ev)) = sim.cal.pop() {
         sim.handle(t, ev);
@@ -445,6 +492,11 @@ pub fn try_run_traced(
     debug_assert_eq!(m.msgs_discarded, sim.n_discarded);
     debug_assert_eq!(m.stalls, sim.n_stalls);
     debug_assert_eq!(m.tasks_reexecuted, sim.n_reexec);
+    debug_assert_eq!(m.checkpoints, sim.n_checkpoints);
+    debug_assert_eq!(m.checkpoint_bytes, sim.n_ckpt_bytes);
+    debug_assert_eq!(m.checkpoint_restores, sim.n_ckpt_restores);
+    debug_assert_eq!(m.object_restores, sim.comm.object_restores);
+    debug_assert_eq!(m.restore_bytes, sim.n_restore_bytes);
     debug_assert_eq!(
         m.workers_failed,
         sim.dead.iter().filter(|&&d| d).count() as u64
@@ -499,6 +551,11 @@ pub fn try_run_traced(
         stalls: m.stalls,
         workers_failed: m.workers_failed,
         tasks_reexecuted: m.tasks_reexecuted,
+        checkpoints: m.checkpoints,
+        checkpoint_bytes: m.checkpoint_bytes,
+        checkpoint_restores: m.checkpoint_restores,
+        objects_restored: m.object_restores,
+        restore_bytes: m.restore_bytes,
         final_versions: sim.comm.final_versions(),
     };
     Ok((result, events))
@@ -569,6 +626,7 @@ impl Sim<'_> {
                 attempt,
             } => self.on_fetch_timeout(proc, task, obj, attempt, t),
             Ev::ProcFail { proc } => self.on_proc_fail(proc, t),
+            Ev::CheckpointTick => self.on_checkpoint_tick(t),
         }
     }
 
@@ -1319,28 +1377,137 @@ impl Sim<'_> {
         }
     }
 
+    /// Periodic checkpoint capture. Every live worker ships its slice of
+    /// the replica table to the main processor, owners ship the payloads of
+    /// objects dirtied since the previous capture (and not already held at
+    /// main), and main serializes the synchronizer state into the
+    /// checkpoint store. The captured *state* is atomic — the tables are
+    /// snapshotted at the tick — but the capture *cost* lands on the
+    /// processor timelines through the machine cost model like any other
+    /// protocol work.
+    fn on_checkpoint_tick(&mut self, t: SimTime) {
+        if self.main_done && self.sync.all_complete() {
+            return; // program over: end the tick chain
+        }
+        let snap = self.comm.snapshot();
+        let ssnap = self.sync.snapshot();
+        let mut bytes = snap.table_bytes() + ssnap.encoded_len() as u64;
+        let nobjs = self.trace.objects.len();
+        // Workers ship their replica-table slices: per object a held
+        // version (8 bytes) and an accessed bit (1 byte).
+        for p in 1..self.pc.procs() {
+            if self.dead[p] {
+                continue;
+            }
+            let dur = self.msg(nobjs * 9, p, 0);
+            self.handler_op(p, t, dur, TimeKind::Comm);
+            self.handler_op(0, t, self.cfg.costs.recv_handler(), TimeKind::Mgmt);
+        }
+        // Owners ship payloads of objects whose version moved since the
+        // last checkpoint; main's checkpoint store is cumulative, so a
+        // clean object is already covered by an earlier capture, and a
+        // copy main holds live needs no transfer.
+        for i in 0..nobjs {
+            let o = ObjectId(i as u32);
+            let clean = self
+                .last_ckpt
+                .as_ref()
+                .is_some_and(|c| c.comm.version(o) == snap.version(o));
+            if clean || !self.comm.needs_fetch(0, o) {
+                continue;
+            }
+            let owner = self.comm.owner(o);
+            let size = self.trace.object_size(o);
+            bytes += size as u64;
+            let dur = self.msg(size, owner, 0);
+            self.handler_op(owner, t, dur, TimeKind::Comm);
+            self.handler_op(0, t, self.cfg.costs.object_recv(), TimeKind::Mgmt);
+        }
+        // Main serializes the synchronizer snapshot to stable storage.
+        let ser = SimDuration::from_secs_f64(
+            self.cfg.machine.message_latency_s
+                + ssnap.encoded_len() as f64 / self.cfg.machine.link_bandwidth,
+        );
+        let end = self.handler_op(0, t, ser, TimeKind::Mgmt);
+        self.n_checkpoints += 1;
+        self.n_ckpt_bytes += bytes;
+        self.events
+            .emit(end.0, 0, EventKind::CheckpointTaken { bytes });
+        self.last_ckpt = Some(Checkpoint {
+            comm: snap,
+            sync: ssnap,
+        });
+        let iv = self
+            .cfg
+            .faults
+            .checkpoint
+            .expect("tick without an interval");
+        self.cal.schedule(t + iv, Ev::CheckpointTick);
+    }
+
     /// Injected fail-stop: `p` stops participating. Its replicas and owned
     /// objects are recovered by the communicator; tasks dispatched to it
     /// whose results were not yet applied are rewound and re-dispatched.
+    ///
+    /// Sole copies that died with `p` are re-materialized at main and
+    /// **charged**: a checkpoint covering the current version supplies the
+    /// payload with a cheap local read from the checkpoint store, anything
+    /// else pays the full recovery transfer (the path that used to be
+    /// modeled as free). Tasks already committed at the last checkpoint are
+    /// never re-dispatched.
     fn on_proc_fail(&mut self, p: ProcId, t: SimTime) {
         if self.dead[p] {
             return;
         }
         self.dead[p] = true;
         self.events.emit(t.0, p, EventKind::WorkerFailed);
-        self.comm.fail_proc(p);
+        let lost = self.comm.fail_proc(p);
         self.sched.fail(p);
         self.debt_comm[p] = SimDuration::ZERO;
         self.debt_mgmt[p] = SimDuration::ZERO;
         self.pstate[p].queue.clear();
         self.pstate[p].executing = None;
+        let mut t_cur = t;
+        for o in lost {
+            let size = self.trace.object_size(o);
+            let bytes = size as u64;
+            let covered = self
+                .last_ckpt
+                .as_ref()
+                .is_some_and(|c| c.comm.covers(o, self.comm.version(o)));
+            let dur = if covered {
+                // Local read from main's checkpoint store: buffering only
+                // (same wire-time fraction as local broadcast buffering).
+                SimDuration::from_secs_f64(0.2 * size as f64 / self.cfg.machine.link_bandwidth)
+            } else {
+                // Full recovery-copy transfer into main's memory.
+                SimDuration::from_secs_f64(
+                    self.cfg.machine.message_latency_s
+                        + size as f64 / self.cfg.machine.link_bandwidth,
+                )
+            };
+            t_cur = self.handler_op(0, t_cur, dur, TimeKind::Comm);
+            self.comm.record_restore(o, bytes);
+            self.n_restore_bytes += bytes;
+            if covered {
+                self.n_ckpt_restores += 1;
+                self.events
+                    .emit(t_cur.0, 0, EventKind::CheckpointRestored { bytes });
+            }
+            self.events
+                .emit_obj(t_cur.0, 0, EventKind::ObjectRestored { bytes }, None, o);
+        }
         let orphans: Vec<TaskId> = self
             .trace
             .tasks
             .iter()
             .filter(|rec| {
                 let ts = &self.tstate[rec.id.index()];
-                ts.dispatched && ts.assigned_to == p && !ts.finished_local
+                let committed = self
+                    .last_ckpt
+                    .as_ref()
+                    .is_some_and(|c| c.sync.completed(rec.id));
+                ts.dispatched && ts.assigned_to == p && !ts.finished_local && !committed
             })
             .map(|rec| rec.id)
             .collect();
@@ -1352,8 +1519,8 @@ impl Sim<'_> {
             ts.fetch_queue.clear();
             self.n_reexec += 1;
             self.events
-                .emit_task(t.0, jade_core::MAIN_PROC, EventKind::TaskReExecuted, id);
-            self.schedule_enabled(id, t);
+                .emit_task(t_cur.0, jade_core::MAIN_PROC, EventKind::TaskReExecuted, id);
+            self.schedule_enabled(id, t_cur);
         }
     }
 }
@@ -1905,6 +2072,119 @@ mod tests {
             trace.tasks.len() as u64 + faulty.tasks_reexecuted
         );
         jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    // ---- checkpoint/restart ----
+
+    /// Writer on proc 2 produces the sole copy of a large object; proc 2
+    /// dies before anyone else holds it.
+    fn sole_copy_trace() -> jade_core::Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.object("x", 400_000, Some(2));
+        let out = b.object("out", 8, Some(1));
+        b.task(spec(&[], &[x]), 0.2);
+        let mut s = AccessSpec::new();
+        s.wr(out).rd(x);
+        b.task(s, 0.2);
+        b.build()
+    }
+
+    #[test]
+    fn fail_stop_restore_is_charged_and_attributed() {
+        // The old recovery path re-materialized sole copies for free; a
+        // restore must now cost main time and show up in the byte books.
+        let trace = sole_copy_trace();
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let (faulty, events) = run_traced(&trace, &faulty_cfg(4, "fail=2@0.3"));
+        assert_eq!(faulty.objects_restored, 1, "x's only copy died with 2");
+        assert_eq!(faulty.restore_bytes, 400_000);
+        assert_eq!(faulty.checkpoint_restores, 0, "no checkpoint configured");
+        assert!(
+            faulty.comm_bytes >= clean.comm_bytes + 400_000,
+            "restore bytes missing from comm books: {} vs {}",
+            faulty.comm_bytes,
+            clean.comm_bytes
+        );
+        assert!(
+            faulty.main_busy_s > clean.main_busy_s,
+            "restore transfer must occupy main: {} vs {}",
+            faulty.main_busy_s,
+            clean.main_busy_s
+        );
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_covers_sole_copy_restore() {
+        // A checkpoint captured after the write holds x's current payload:
+        // recovery reads it from the checkpoint store instead of paying
+        // the full recovery transfer.
+        let trace = sole_copy_trace();
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let (r, events) = run_traced(&trace, &faulty_cfg(4, "fail=2@0.3,ckpt=0.25"));
+        assert!(r.checkpoints >= 1);
+        assert!(r.checkpoint_bytes > 400_000, "dirty payload not captured");
+        assert_eq!(r.objects_restored, 1);
+        assert_eq!(
+            r.checkpoint_restores, 1,
+            "restore should hit the checkpoint"
+        );
+        assert_eq!(r.final_versions, clean.final_versions);
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_only_plan_completes_and_matches_results() {
+        // Ticks keep firing through the run, each capture is charged, and
+        // the tick chain terminates with the program.
+        let trace = commy_trace(4, 3);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let (r, events) = run_traced(&trace, &faulty_cfg(4, "ckpt=0.05"));
+        assert!(r.checkpoints >= 2, "got {} checkpoints", r.checkpoints);
+        assert!(r.checkpoint_bytes > 0);
+        assert_eq!(r.tasks_reexecuted, 0);
+        assert_eq!(r.objects_restored, 0);
+        assert_eq!(r.final_versions, clean.final_versions);
+        assert_eq!(r.tasks_executed, clean.tasks_executed);
+        assert!(
+            r.exec_time_s >= clean.exec_time_s,
+            "checkpoint capture cannot be free"
+        );
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_intervals_preserve_results_and_bound_reexecution() {
+        // The headline invariant: any fail-stop plan crossed with any
+        // checkpoint interval produces bit-identical application results,
+        // and checkpoints never cause extra re-execution.
+        let trace = parallel_trace(12, 4, 1.0);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let base = run(&trace, &faulty_cfg(4, "fail=2@0.5"));
+        for iv in ["0.1", "0.45", "2.0"] {
+            let (r, events) = run_traced(&trace, &faulty_cfg(4, &format!("fail=2@0.5,ckpt={iv}")));
+            assert_eq!(r.final_versions, clean.final_versions, "ckpt={iv}");
+            assert!(
+                r.tasks_reexecuted <= base.tasks_reexecuted,
+                "ckpt={iv}: {} re-executed vs {} without checkpoints",
+                r.tasks_reexecuted,
+                base.tasks_reexecuted
+            );
+            jade_core::check_lifecycle(&events).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpointed_lossy_run_is_deterministic() {
+        let trace = commy_trace(4, 3);
+        let c = faulty_cfg(4, "drop=0.1,dup=0.05,seed=7,ckpt=0.2");
+        let (a, ea) = run_traced(&trace, &c);
+        let (b, eb) = run_traced(&trace, &c);
+        assert_eq!(a.exec_time_s, b.exec_time_s);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.checkpoint_bytes, b.checkpoint_bytes);
+        assert_eq!(ea, eb, "same plan + seed => same event stream");
     }
 
     #[test]

@@ -41,8 +41,8 @@
 
 pub use dsim::FaultPlan;
 use jade_core::{
-    Event, EventKind, EventSink, JadeRuntime, Locality, ObjectId, Store, Synchronizer, TaskCtx,
-    TaskDef, TaskId,
+    Event, EventKind, EventSink, JadeRuntime, Locality, ObjectId, Store, SyncSnapshot,
+    Synchronizer, TaskCtx, TaskDef, TaskId,
 };
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -77,6 +77,11 @@ pub struct BatchStats {
     /// Tasks re-executed after an injected worker failure (fault
     /// injection; see [`ThreadRuntime::inject_faults`]).
     pub recoveries: usize,
+    /// Synchronizer checkpoints captured during the batch
+    /// (see [`ThreadRuntime::checkpoint_every`]).
+    pub checkpoints: usize,
+    /// Recoveries that consulted a captured checkpoint.
+    pub checkpoint_restores: usize,
 }
 
 /// A parallel Jade runtime executing on `workers` OS threads.
@@ -97,6 +102,8 @@ pub struct ThreadRuntime {
     /// Injected-fault plan; `None` (the default) disables fault injection
     /// and recovery entirely.
     faults: Option<FaultPlan>,
+    /// Checkpoint interval in completed tasks; `None` disables capture.
+    ckpt_every: Option<usize>,
 }
 
 struct Shared {
@@ -118,6 +125,12 @@ struct Shared {
     faults: Option<FaultPlan>,
     /// Execution attempts per batch-local task (keys the fault hash).
     attempts: Vec<u32>,
+    /// Checkpoint interval in completed tasks (`None` = no capture).
+    ckpt_every: Option<usize>,
+    /// Completions since the last checkpoint.
+    since_ckpt: usize,
+    /// Latest captured synchronizer checkpoint; recovery consults it.
+    last_ckpt: Option<SyncSnapshot>,
 }
 
 impl Shared {
@@ -142,6 +155,7 @@ impl ThreadRuntime {
             events: Vec::new(),
             event_clock: 0,
             faults: None,
+            ckpt_every: None,
         }
     }
 
@@ -188,7 +202,28 @@ impl ThreadRuntime {
         if let Err(why) = plan.validate() {
             panic!("invalid fault plan: {why}");
         }
+        // The simulators interpret `ckpt=` as simulated seconds; this
+        // backend has no simulated clock, so the numeric value maps to a
+        // completed-task interval instead.
+        if let Some(iv) = plan.checkpoint {
+            self.checkpoint_every((iv.as_secs_f64().round() as usize).max(1));
+        }
         self.faults = Some(plan);
+    }
+
+    /// Capture a synchronizer checkpoint every `every` completed tasks in
+    /// subsequent batches (`CheckpointTaken` events,
+    /// [`BatchStats::checkpoints`]). An injected-failure recovery that runs
+    /// while a checkpoint exists consults it — the crashed task must not be
+    /// committed in the captured state — and counts as a
+    /// `CheckpointRestored`.
+    ///
+    /// # Panics
+    ///
+    /// If `every` is zero.
+    pub fn checkpoint_every(&mut self, every: usize) {
+        assert!(every > 0, "checkpoint interval must be at least one task");
+        self.ckpt_every = Some(every);
     }
 
     fn target_worker(&self, def: &TaskDef) -> usize {
@@ -247,6 +282,9 @@ impl JadeRuntime for ThreadRuntime {
             panic: None,
             faults: self.faults,
             attempts: vec![0; n],
+            ckpt_every: self.ckpt_every,
+            since_ckpt: 0,
+            last_ckpt: None,
         };
         // Register in serial program order; queue the initially-enabled.
         let base = batch[0].0.index();
@@ -390,6 +428,22 @@ fn worker_loop(
                     sh.queues[target].push_back(local);
                 }
                 sh.live -= 1;
+                sh.since_ckpt += 1;
+                // Interval checkpoint: capture the synchronizer state every
+                // N completions (nothing left to protect once the batch is
+                // drained). The count is interleaving-independent — it only
+                // depends on how many tasks completed.
+                if let Some(every) = sh.ckpt_every {
+                    if sh.since_ckpt >= every && sh.live > 0 {
+                        sh.since_ckpt = 0;
+                        let snap = sh.sync.snapshot();
+                        let bytes = snap.encoded_len() as u64;
+                        let t = sh.tick();
+                        sh.events.emit(t, w, EventKind::CheckpointTaken { bytes });
+                        sh.stats.checkpoints += 1;
+                        sh.last_ckpt = Some(snap);
+                    }
+                }
                 cv.notify_all();
             }
             Err(_) if injected && attempt + 1 < MAX_TASK_ATTEMPTS => {
@@ -403,6 +457,21 @@ fn worker_loop(
                 sh.stats.recoveries += 1;
                 let t = sh.tick();
                 sh.events.emit(t, w, EventKind::WorkerFailed);
+                // With a checkpoint on file, recovery restores the crashed
+                // task's scheduling state from it: the capture must agree
+                // that the task had not committed (a committed task is
+                // never re-executed).
+                if let Some(snap) = &sh.last_ckpt {
+                    debug_assert!(
+                        !snap.completed(id),
+                        "checkpoint marks crashed task {id:?} committed"
+                    );
+                    let bytes = snap.encoded_len() as u64;
+                    sh.stats.checkpoint_restores += 1;
+                    let t = sh.tick();
+                    sh.events
+                        .emit(t, w, EventKind::CheckpointRestored { bytes });
+                }
                 let t = sh.tick();
                 sh.events.emit_task(t, w, EventKind::TaskReExecuted, id);
                 sh.bodies[local] = Some(def);
@@ -827,6 +896,96 @@ mod tests {
             panic_p: 2.0,
             ..FaultPlan::none()
         });
+    }
+
+    #[test]
+    fn checkpoint_interval_captures_and_preserves_results() {
+        let mut rt = ThreadRuntime::new(4);
+        rt.enable_events();
+        rt.checkpoint_every(10);
+        let outs: Vec<_> = (0..100)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0usize))
+            .collect();
+        for (i, &o) in outs.iter().enumerate() {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = i + 1;
+            }));
+        }
+        rt.finish();
+        for (i, &o) in outs.iter().enumerate() {
+            assert_eq!(*rt.store().read(o), i + 1);
+        }
+        let stats = rt.last_stats();
+        // 100 completions / 10, minus the capture skipped on the final one.
+        assert_eq!(stats.checkpoints, 9);
+        let events = rt.take_events();
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = jade_core::Metrics::from_events(&events, rt.workers());
+        assert_eq!(m.checkpoints as usize, stats.checkpoints);
+        assert!(m.checkpoint_bytes > 0, "captures must report their size");
+    }
+
+    #[test]
+    fn checkpointed_recovery_restores_and_stays_bit_identical() {
+        // Faults + checkpoints together: recoveries that happen after the
+        // first capture consult it, and results stay bit-identical.
+        let mut rt = ThreadRuntime::new(4);
+        rt.enable_events();
+        rt.inject_faults(FaultPlan {
+            panic_p: 0.3,
+            seed: 42,
+            ..FaultPlan::none()
+        });
+        rt.checkpoint_every(5);
+        let outs: Vec<_> = (0..100)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0usize))
+            .collect();
+        for (i, &o) in outs.iter().enumerate() {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = i * i;
+            }));
+        }
+        rt.finish();
+        for (i, &o) in outs.iter().enumerate() {
+            assert_eq!(*rt.store().read(o), i * i);
+        }
+        let stats = rt.last_stats();
+        assert!(stats.recoveries > 0, "p=0.3 over 100 tasks must inject");
+        assert!(stats.checkpoints > 0);
+        assert!(
+            stats.checkpoint_restores <= stats.recoveries,
+            "only recoveries can restore"
+        );
+        let events = rt.take_events();
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = jade_core::Metrics::from_events(&events, rt.workers());
+        assert_eq!(m.checkpoints as usize, stats.checkpoints);
+        assert_eq!(m.checkpoint_restores as usize, stats.checkpoint_restores);
+        assert_eq!(m.tasks_reexecuted as usize, stats.recoveries);
+    }
+
+    #[test]
+    fn fault_plan_checkpoint_maps_to_task_count() {
+        // `ckpt=3` on the threads backend means "every 3 completed tasks".
+        let mut rt = ThreadRuntime::new(2);
+        rt.inject_faults(FaultPlan::parse("ckpt=3").unwrap());
+        let outs: Vec<_> = (0..10)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0usize))
+            .collect();
+        for &o in &outs {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = 1;
+            }));
+        }
+        rt.finish();
+        assert_eq!(rt.last_stats().checkpoints, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn zero_checkpoint_interval_rejected() {
+        let mut rt = ThreadRuntime::new(2);
+        rt.checkpoint_every(0);
     }
 
     #[test]

@@ -5,8 +5,17 @@
 //! simulators and on the thread backend with application results
 //! bit-identical to the fault-free run, a well-formed event stream, and
 //! native fault counters that match the event-derived metrics exactly.
+//!
+//! The checkpoint/restart layer rides the same harness: any checkpoint
+//! interval combined with a fail-stop must leave results bit-identical,
+//! the synchronizer snapshot must round-trip through its binary codec on
+//! random DAGs, and owner death must reset the adaptive-broadcast trigger
+//! so no broadcast ever targets a dead consumer set.
 
-use jade::core::{check_conservation, check_lifecycle, AccessSpec, Metrics, Trace, TraceBuilder};
+use jade::core::{
+    check_conservation, check_lifecycle, AccessSpec, Metrics, ObjectId, SyncSnapshot, Synchronizer,
+    TaskId, Trace, TraceBuilder,
+};
 use jade::dash::{self, DashConfig};
 use jade::dsim::{FaultPlan, SimDuration};
 use jade::ipsc::{self, IpscConfig};
@@ -208,5 +217,228 @@ proptest! {
         let (logs, stats) = run(Some(plan));
         prop_assert_eq!(logs, clean_logs, "results must be bit-identical to fault-free");
         prop_assert_eq!(stats.executed, clean_stats.executed + stats.recoveries);
+    }
+
+    /// Owner death resets the adaptive-broadcast trigger: the object drops
+    /// out of broadcast mode, the dead processor leaves the consumer set,
+    /// the sole copy re-homes to main at the same version with its restore
+    /// attributed, and the new owner must re-earn the full §3.4.2
+    /// (drop-rate-adjusted) break-even before broadcasting again.
+    #[test]
+    fn broadcast_mode_resets_when_owner_dies(
+        procs in 3usize..9,
+        drop in 0u32..21,
+        dead_pick in any::<u64>(),
+        extra_rounds in 0usize..3,
+    ) {
+        let mut b = TraceBuilder::new();
+        let o = b.object("x", 50_000, Some(0));
+        let mut s = AccessSpec::new();
+        s.wr(o);
+        b.task(s, 0.001);
+        let trace = b.build();
+
+        let dead = 1 + (dead_pick as usize) % (procs - 1);
+        let mut comm = ipsc::Communicator::new(&trace, procs, true, drop as f64 / 100.0);
+        // Each round every live processor consumes the current version,
+        // then `dead` writes the next one. The object must flip into
+        // broadcast mode after exactly `evidence_needed()` such rounds.
+        let needed = comm.evidence_needed() as usize;
+        for round in 1..=needed {
+            for p in 0..procs {
+                comm.note_access(p, o);
+            }
+            let bcast = comm.on_write_complete(dead, o);
+            prop_assert_eq!(bcast, round == needed, "break-even at round {}", round);
+        }
+        prop_assert!(comm.in_broadcast_mode(o));
+        for _ in 0..extra_rounds {
+            for p in 0..procs {
+                comm.note_access(p, o);
+            }
+            prop_assert!(comm.on_write_complete(dead, o), "mode is sticky");
+        }
+
+        // `dead` wrote last and nobody fetched since: it holds the sole copy.
+        let v = comm.version(o);
+        let lost = comm.fail_proc(dead);
+        prop_assert_eq!(&lost, &vec![o], "sole copy reported lost");
+        prop_assert!(!comm.in_broadcast_mode(o), "owner death exits broadcast mode");
+        prop_assert!(!comm.is_alive(dead));
+        prop_assert!(
+            !comm.consumers(o).contains(&dead),
+            "no broadcast to a dead consumer set"
+        );
+        prop_assert_eq!(comm.owner(o), 0, "sole copy re-homed to main");
+        prop_assert_eq!(comm.version(o), v, "restore preserves the version");
+        prop_assert!(!comm.needs_fetch(0, o));
+
+        // The restore transfer is attributed to the object.
+        comm.record_restore(o, 50_000);
+        let tr = comm.object_traffic(o);
+        prop_assert_eq!(tr.restore_bytes, 50_000);
+        prop_assert!(tr.total() >= tr.restore_bytes, "total() conserves restores");
+
+        // The new owner re-earns the break-even from zero evidence, against
+        // the shrunken live set.
+        let needed2 = comm.evidence_needed() as usize;
+        for round in 1..=needed2 {
+            for p in 0..procs {
+                if comm.is_alive(p) {
+                    comm.note_access(p, o);
+                }
+            }
+            let bcast = comm.on_write_complete(0, o);
+            prop_assert_eq!(bcast, round == needed2, "re-earned at round {}", round);
+        }
+    }
+
+    /// The synchronizer snapshot round-trips through its binary codec on
+    /// random DAGs, and a synchronizer rebuilt from the decoded snapshot
+    /// behaves identically to the original: the same completions enable the
+    /// same successors in the same order, all the way to quiescence.
+    #[test]
+    fn sync_snapshot_round_trips_on_random_dags(
+        prog in program_strategy(25, 5),
+        replication in any::<bool>(),
+        prefix_pct in 0u32..101,
+        pick in any::<u64>(),
+    ) {
+        let specs: Vec<AccessSpec> = prog
+            .iter()
+            .map(|accesses| {
+                let mut s = AccessSpec::new();
+                for &(o, w) in accesses {
+                    if w {
+                        s.wr(ObjectId((o % 5) as u32));
+                    } else {
+                        s.rd(ObjectId((o % 5) as u32));
+                    }
+                }
+                s
+            })
+            .collect();
+
+        let mut sync = Synchronizer::new(replication);
+        let mut frontier: Vec<TaskId> = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            if sync.add_task(TaskId(i as u32), s) {
+                frontier.push(TaskId(i as u32));
+            }
+        }
+
+        // Complete a pseudo-random prefix, picking arbitrary enabled tasks.
+        let target = specs.len() * prefix_pct as usize / 100;
+        let mut done: Vec<TaskId> = Vec::new();
+        let mut rng = pick;
+        while done.len() < target && !frontier.is_empty() {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = frontier.swap_remove((rng >> 33) as usize % frontier.len());
+            sync.complete(t, &mut frontier);
+            done.push(t);
+        }
+
+        // snapshot → bytes → snapshot is exact, and the accessors agree
+        // with the history that produced it.
+        let snap = sync.snapshot();
+        let bytes = snap.to_bytes();
+        prop_assert_eq!(bytes.len(), snap.encoded_len(), "encoded_len is exact");
+        let decoded = SyncSnapshot::from_bytes(&bytes).expect("snapshot decodes");
+        prop_assert_eq!(&decoded, &snap);
+        prop_assert_eq!(decoded.task_count(), specs.len());
+        prop_assert_eq!(decoded.live_tasks(), specs.len() - done.len());
+        for &t in &done {
+            prop_assert!(decoded.completed(t), "completed task is committed");
+        }
+        for &t in &frontier {
+            prop_assert!(!decoded.completed(t), "pending task is not committed");
+        }
+
+        // Drain the original and the restored synchronizer side by side
+        // with the same deterministic policy; they must enable identical
+        // successor sets at every step.
+        let mut restored = Synchronizer::from_snapshot(&decoded);
+        let mut fa = frontier.clone();
+        let mut fb = frontier;
+        while !fa.is_empty() {
+            fa.sort();
+            fb.sort();
+            prop_assert_eq!(&fa, &fb, "frontiers diverged");
+            let t = fa.remove(0);
+            fb.remove(0);
+            let (mut na, mut nb) = (Vec::new(), Vec::new());
+            sync.complete(t, &mut na);
+            restored.complete(t, &mut nb);
+            prop_assert_eq!(&na, &nb, "enable order diverged at {:?}", t);
+            fa.extend(na);
+            fb.extend(nb);
+        }
+        prop_assert!(sync.all_complete());
+        prop_assert!(restored.all_complete());
+    }
+
+    /// Any checkpoint interval combined with a mid-run fail-stop leaves the
+    /// iPSC results bit-identical to the fault-free run, keeps the event
+    /// stream well-formed (every restore after a capture), and reports
+    /// checkpoint metrics that match the native tallies exactly and
+    /// deterministically.
+    #[test]
+    fn checkpointed_ipsc_matches_fault_free(
+        prog in program_strategy(20, 5),
+        procs in 2usize..9,
+        ckpt_pct in 5u32..80,
+        fail_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let trace = build_trace(&prog, procs);
+        let base = IpscConfig::paper(procs, LocalityMode::Locality, 1.0);
+        let clean = ipsc::try_run(&trace, &base).expect("fault-free run completes");
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        plan.fail_proc = Some(1 + (fail_pick as usize) % (procs - 1));
+        plan.fail_at = SimDuration::from_secs_f64(clean.exec_time_s * 0.5);
+        plan.checkpoint = Some(SimDuration::from_secs_f64(
+            (clean.exec_time_s * ckpt_pct as f64 / 100.0).max(1e-6),
+        ));
+        let mut cfg = base.clone();
+        cfg.faults = plan;
+        let (ck, events) =
+            ipsc::try_run_traced(&trace, &cfg).expect("checkpointed run completes");
+
+        prop_assert_eq!(&ck.final_versions, &clean.final_versions);
+        prop_assert!(ck.tasks_executed >= clean.tasks_executed);
+        prop_assert!(
+            ck.tasks_executed as u64 <= clean.tasks_executed as u64 + ck.tasks_reexecuted
+        );
+        // An interval shorter than the fail time guarantees at least one
+        // capture before the failure (the pre-failure prefix replays the
+        // fault-free schedule, so the run is still live at the tick).
+        if ckpt_pct <= 45 {
+            prop_assert!(ck.checkpoints >= 1, "expected a capture before the failure");
+        }
+        prop_assert!(ck.checkpoint_restores <= ck.objects_restored);
+
+        check_lifecycle(&events).expect("lifecycle holds with checkpoints");
+        let m = Metrics::from_events(&events, procs);
+        check_conservation(&events, procs, m.makespan_ps)
+            .expect("spans tile the makespan with checkpoints");
+        prop_assert_eq!(m.checkpoints, ck.checkpoints);
+        prop_assert_eq!(m.checkpoint_bytes, ck.checkpoint_bytes);
+        prop_assert_eq!(m.checkpoint_restores, ck.checkpoint_restores);
+        prop_assert_eq!(m.object_restores, ck.objects_restored);
+        prop_assert_eq!(m.restore_bytes, ck.restore_bytes);
+        prop_assert_eq!(m.workers_failed, ck.workers_failed);
+        prop_assert_eq!(m.tasks_reexecuted, ck.tasks_reexecuted);
+
+        // Same plan, same interval: the checkpointed run is deterministic.
+        let again = ipsc::try_run(&trace, &cfg).expect("repeat run completes");
+        prop_assert_eq!(again.exec_time_s, ck.exec_time_s);
+        prop_assert_eq!(again.checkpoints, ck.checkpoints);
+        prop_assert_eq!(again.checkpoint_bytes, ck.checkpoint_bytes);
+        prop_assert_eq!(again.restore_bytes, ck.restore_bytes);
     }
 }
