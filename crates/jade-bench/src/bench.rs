@@ -1,0 +1,568 @@
+//! Wall-clock benchmark runner (`repro bench`).
+//!
+//! Everything else in this crate measures *simulated* seconds on the 1995
+//! machines. This module measures *host* seconds with [`Instant`], so perf
+//! work on the runtime itself has a regression gate:
+//!
+//! * **thread backend** — all four applications plus a scheduler-stress
+//!   microbenchmark, across 1/2/4/8 workers, in both [`SchedMode::Sharded`]
+//!   (the per-worker-deque scheduler) and [`SchedMode::GlobalLock`] (the
+//!   seed single-lock scheduler) for A/B → `BENCH_threads.json`;
+//! * **simulators** — host cost of simulating each application on DASH and
+//!   the iPSC/860 at 1/2/4/8 procs → `BENCH_sim.json`.
+//!
+//! Methodology: one warmup run, then `reps` timed runs, aggregated by
+//! trimmed mean (min and max dropped when `reps >= 3`). Before any timing,
+//! an untimed verification pass checks the two scheduler modes produce
+//! bit-identical application outputs and matching deterministic event
+//! counters (and, at one worker, *identical event streams*). JSON is
+//! written to `BENCH_*.tmp` then renamed, so interrupted runs never leave a
+//! truncated committed file.
+
+use crate::apps::App;
+use jade_apps::{cholesky, ocean, string_app, water};
+use jade_core::{JadeRuntime, TaskBuilder};
+use jade_threads::{SchedMode, ThreadRuntime};
+use std::time::Instant;
+
+/// Worker / processor counts every benchmark sweeps.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed configuration's aggregated result.
+struct BenchResult {
+    backend: &'static str,
+    app: String,
+    workers: usize,
+    mode: Option<SchedMode>,
+    tasks: usize,
+    secs: f64,
+    reps_secs: Vec<f64>,
+    /// Simulated execution time (simulator benchmarks only).
+    sim_exec_s: Option<f64>,
+}
+
+impl BenchResult {
+    fn tasks_per_sec(&self) -> f64 {
+        self.tasks as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// Application outputs across the four apps, comparable for bit-identity.
+#[derive(PartialEq)]
+enum Output {
+    Water(water::WaterOutput),
+    StringApp(string_app::StringOutput),
+    Ocean(ocean::OceanOutput),
+    Cholesky(cholesky::CholeskyOutput),
+    /// The scheduler-stress microbenchmark's counter values.
+    Stress(Vec<u64>),
+}
+
+/// The scheduler-stress microbenchmark: `tasks` overhead-dominated tasks
+/// over 16 counters. Task bodies are a single increment, so the measured
+/// time is almost entirely scheduler hot path (enable, dispatch, pick,
+/// steal, complete) — the configuration where lock sharding matters most.
+const STRESS_OBJECTS: usize = 16;
+
+fn run_stress(rt: &mut ThreadRuntime, tasks: usize) -> Output {
+    let counters: Vec<_> = (0..STRESS_OBJECTS)
+        .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+        .collect();
+    for i in 0..tasks {
+        let c = counters[i % STRESS_OBJECTS];
+        rt.submit(TaskBuilder::new("inc").rd_wr(c).body(move |ctx| {
+            *ctx.wr(c) += 1;
+        }));
+    }
+    rt.finish();
+    Output::Stress(counters.iter().map(|&c| *rt.store().read(c)).collect())
+}
+
+/// Run one workload on a fresh runtime; returns its output for the
+/// bit-identity checks.
+fn run_workload(
+    app: Option<App>,
+    rt: &mut ThreadRuntime,
+    quick: bool,
+    stress_tasks: usize,
+) -> Output {
+    let procs = rt.workers();
+    match app {
+        Some(App::Water) => {
+            let cfg = if quick {
+                water::WaterConfig {
+                    molecules: 256,
+                    iterations: 3,
+                    procs,
+                    seed: 1995,
+                }
+            } else {
+                water::WaterConfig::paper(procs)
+            };
+            Output::Water(water::run_on(rt, &cfg))
+        }
+        Some(App::StringApp) => {
+            let cfg = if quick {
+                string_app::StringConfig {
+                    nx: 48,
+                    nz: 96,
+                    src_spacing: 8,
+                    rcv_spacing: 8,
+                    iterations: 3,
+                    procs,
+                }
+            } else {
+                string_app::StringConfig::paper(procs)
+            };
+            Output::StringApp(string_app::run_on(rt, &cfg))
+        }
+        Some(App::Ocean) => {
+            let cfg = if quick {
+                ocean::OceanConfig {
+                    n: 96,
+                    iterations: 60,
+                    procs,
+                }
+            } else {
+                ocean::OceanConfig::paper(procs)
+            };
+            Output::Ocean(ocean::run_on(rt, &cfg))
+        }
+        Some(App::Cholesky) => {
+            let cfg = if quick {
+                cholesky::CholeskyConfig {
+                    grid: 16,
+                    subassemblies: 2,
+                    iface: 16,
+                    panel_width: 4,
+                    procs,
+                }
+            } else {
+                cholesky::CholeskyConfig::paper(procs)
+            };
+            Output::Cholesky(cholesky::run_on(rt, &cfg))
+        }
+        None => run_stress(rt, stress_tasks),
+    }
+}
+
+fn workload_name(app: Option<App>) -> &'static str {
+    match app {
+        Some(a) => a.name(),
+        None => "SchedStress",
+    }
+}
+
+/// Trimmed mean: drop the min and max once `reps >= 3`, average the rest.
+fn trimmed_mean(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let core = if v.len() >= 3 {
+        &v[1..v.len() - 1]
+    } else {
+        &v[..]
+    };
+    core.iter().sum::<f64>() / core.len() as f64
+}
+
+fn mode_name(mode: SchedMode) -> &'static str {
+    match mode {
+        SchedMode::Sharded => "Sharded",
+        SchedMode::GlobalLock => "GlobalLock",
+    }
+}
+
+/// Verification pass (untimed): for every workload × worker count, the
+/// sharded scheduler and the seed `GlobalLock` scheduler must produce
+/// bit-identical application outputs and matching deterministic event
+/// counters; at one worker the complete event streams must be identical.
+fn verify_modes(quick: bool, stress_tasks: usize, workloads: &[Option<App>]) -> Result<(), String> {
+    for &app in workloads {
+        let name = workload_name(app);
+        for &workers in &WORKER_COUNTS {
+            let run = |mode: SchedMode| {
+                let mut rt = ThreadRuntime::with_mode(workers, mode);
+                rt.enable_events();
+                let out = run_workload(app, &mut rt, quick, stress_tasks);
+                let events = rt.take_events();
+                (out, events)
+            };
+            let (oa, ea) = run(SchedMode::Sharded);
+            let (ob, eb) = run(SchedMode::GlobalLock);
+            if oa != ob {
+                return Err(format!(
+                    "{name} @ {workers} workers: sharded output differs from GlobalLock"
+                ));
+            }
+            jade_core::check_lifecycle(&ea)
+                .map_err(|e| format!("{name} @ {workers} sharded: {e}"))?;
+            jade_core::check_lifecycle(&eb)
+                .map_err(|e| format!("{name} @ {workers} global: {e}"))?;
+            let ma = jade_core::Metrics::from_events(&ea, workers);
+            let mb = jade_core::Metrics::from_events(&eb, workers);
+            // Steal/locality splits legitimately differ between schedulers;
+            // every interleaving-independent counter must agree.
+            let det = |m: &jade_core::Metrics| {
+                (
+                    m.tasks_created,
+                    m.tasks_enabled,
+                    m.tasks_dispatched,
+                    m.tasks_started,
+                    m.tasks_completed,
+                    m.releases,
+                )
+            };
+            if det(&ma) != det(&mb) {
+                return Err(format!(
+                    "{name} @ {workers} workers: deterministic event counters diverge \
+                     (sharded {:?} vs global {:?})",
+                    det(&ma),
+                    det(&mb)
+                ));
+            }
+            if workers == 1 {
+                // Single worker: both schedulers are deterministic FIFO
+                // executors — the streams must match event for event.
+                debug_assert_eq!(
+                    ea, eb,
+                    "{name}: one-worker event streams diverged between modes"
+                );
+                if ea != eb {
+                    return Err(format!("{name}: one-worker event streams diverge"));
+                }
+            }
+        }
+        println!("  verified {name}: modes agree at {WORKER_COUNTS:?} workers");
+    }
+    Ok(())
+}
+
+/// Count the tasks a workload submits (timing denominator), cheaply via a
+/// serial trace for the apps and directly for the microbenchmark.
+fn task_count(app: Option<App>, procs: usize, quick: bool, stress_tasks: usize) -> usize {
+    match app {
+        Some(a) => a.trace(procs, quick).task_count(),
+        None => stress_tasks,
+    }
+}
+
+fn time_threads(
+    app: Option<App>,
+    workers: usize,
+    mode: SchedMode,
+    quick: bool,
+    stress_tasks: usize,
+    warmup: usize,
+    reps: usize,
+) -> BenchResult {
+    let mut reps_secs = Vec::with_capacity(reps);
+    let mut reference: Option<Output> = None;
+    for i in 0..warmup + reps {
+        let mut rt = ThreadRuntime::with_mode(workers, mode);
+        let t0 = Instant::now();
+        let out = run_workload(app, &mut rt, quick, stress_tasks);
+        let dt = t0.elapsed().as_secs_f64();
+        if i >= warmup {
+            reps_secs.push(dt);
+        }
+        // Bit-identity across repetitions (and hence across schedulers,
+        // verified against GlobalLock in `verify_modes`).
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => debug_assert!(*r == out, "nondeterministic benchmark output"),
+        }
+    }
+    BenchResult {
+        backend: "threads",
+        app: workload_name(app).to_string(),
+        workers,
+        mode: Some(mode),
+        tasks: task_count(app, workers, quick, stress_tasks),
+        secs: trimmed_mean(&reps_secs),
+        reps_secs,
+        sim_exec_s: None,
+    }
+}
+
+fn time_sim(app: App, procs: usize, quick: bool, warmup: usize, reps: usize) -> Vec<BenchResult> {
+    let trace = app.trace(procs, quick);
+    let tasks = trace.task_count();
+    let mut out = Vec::new();
+    for backend in ["dash", "ipsc"] {
+        let mut reps_secs = Vec::with_capacity(reps);
+        let mut sim_exec_s = 0.0;
+        for i in 0..warmup + reps {
+            let t0 = Instant::now();
+            sim_exec_s = match backend {
+                "dash" => {
+                    let spo = app.dash_sec_per_op(&trace);
+                    let cfg =
+                        jade_dash::DashConfig::paper(procs, jade_core::LocalityMode::Locality, spo);
+                    jade_dash::run(&trace, &cfg).exec_time_s
+                }
+                _ => {
+                    let spo = app.ipsc_sec_per_op(&trace);
+                    let cfg =
+                        jade_ipsc::IpscConfig::paper(procs, jade_core::LocalityMode::Locality, spo);
+                    jade_ipsc::run(&trace, &cfg).exec_time_s
+                }
+            };
+            let dt = t0.elapsed().as_secs_f64();
+            if i >= warmup {
+                reps_secs.push(dt);
+            }
+        }
+        out.push(BenchResult {
+            backend: if backend == "dash" { "dash" } else { "ipsc" },
+            app: app.name().to_string(),
+            workers: procs,
+            mode: None,
+            tasks,
+            secs: trimmed_mean(&reps_secs),
+            reps_secs,
+            sim_exec_s: Some(sim_exec_s),
+        });
+    }
+    out
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"jade-bench/v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"host\": {{ \"cpus\": {cpus} }},\n"));
+    s.push_str(&format!("  \"warmup\": {warmup},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str("  \"stat\": \"trimmed_mean\",\n");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let reps_list = r
+            .reps_secs
+            .iter()
+            .map(|&x| json_f(x))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    {{ \"backend\": \"{}\", \"app\": \"{}\", \"workers\": {}, ",
+            r.backend, r.app, r.workers
+        ));
+        if let Some(m) = r.mode {
+            s.push_str(&format!("\"mode\": \"{}\", ", mode_name(m)));
+        }
+        s.push_str(&format!(
+            "\"tasks\": {}, \"secs\": {}, \"tasks_per_sec\": {}, \"reps_secs\": [{}]",
+            r.tasks,
+            json_f(r.secs),
+            json_f(r.tasks_per_sec()),
+            reps_list
+        ));
+        if let Some(sim) = r.sim_exec_s {
+            s.push_str(&format!(", \"sim_exec_s\": {}", json_f(sim)));
+        }
+        s.push_str(" }");
+        if i + 1 < results.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    // A/B speedups per (app, workers): sharded vs GlobalLock tasks/sec.
+    let mut comps = Vec::new();
+    for r in results {
+        if r.mode != Some(SchedMode::Sharded) {
+            continue;
+        }
+        if let Some(g) = results.iter().find(|o| {
+            o.mode == Some(SchedMode::GlobalLock) && o.app == r.app && o.workers == r.workers
+        }) {
+            comps.push(format!(
+                "    {{ \"app\": \"{}\", \"workers\": {}, \"sharded_tasks_per_sec\": {}, \
+                 \"global_lock_tasks_per_sec\": {}, \"speedup\": {} }}",
+                r.app,
+                r.workers,
+                json_f(r.tasks_per_sec()),
+                json_f(g.tasks_per_sec()),
+                json_f(r.tasks_per_sec() / g.tasks_per_sec().max(1e-12))
+            ));
+        }
+    }
+    s.push_str("  \"comparisons\": [\n");
+    s.push_str(&comps.join(",\n"));
+    if !comps.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write atomically-ish: dump to `<path>.tmp`, then rename over `path`
+/// (`BENCH_*.tmp` is gitignored, so an interrupted run leaves no debris).
+fn write_json(path: &str, body: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, body).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} -> {path}: {e}"))
+}
+
+/// Run the full wall-clock benchmark suite. `quick` shrinks both the
+/// workloads and the repetition count (CI smoke); the default is the
+/// paper-scale data sets.
+pub fn run(quick: bool) -> Result<(), String> {
+    let warmup = 1;
+    let reps = if quick { 3 } else { 5 };
+    let stress_tasks = if quick { 2000 } else { 20_000 };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workloads: [Option<App>; 5] = [
+        Some(App::Water),
+        Some(App::StringApp),
+        Some(App::Ocean),
+        Some(App::Cholesky),
+        None, // SchedStress
+    ];
+
+    println!("== repro bench: verification pass (untimed) ==");
+    verify_modes(quick, stress_tasks, &workloads)?;
+
+    println!("== repro bench: thread backend ({warmup} warmup + {reps} reps, trimmed mean) ==");
+    let mut thread_results = Vec::new();
+    for &app in &workloads {
+        for &workers in &WORKER_COUNTS {
+            for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+                let r = time_threads(app, workers, mode, quick, stress_tasks, warmup, reps);
+                println!(
+                    "  {:>14} w={} {:<10} {:>10.1} tasks/s ({:.4}s, {} tasks)",
+                    r.app,
+                    r.workers,
+                    mode_name(mode),
+                    r.tasks_per_sec(),
+                    r.secs,
+                    r.tasks
+                );
+                thread_results.push(r);
+            }
+        }
+    }
+    write_json(
+        "BENCH_threads.json",
+        &render_json(quick, warmup, reps, &thread_results),
+    )?;
+    println!("wrote BENCH_threads.json");
+
+    println!("== repro bench: simulator host cost ==");
+    let mut sim_results = Vec::new();
+    for app in App::ALL {
+        for &procs in &WORKER_COUNTS {
+            for r in time_sim(app, procs, quick, warmup, reps) {
+                println!(
+                    "  {:>14} p={} {:<5} host {:.4}s for {} tasks (sim {:.2}s)",
+                    r.app,
+                    r.workers,
+                    r.backend,
+                    r.secs,
+                    r.tasks,
+                    r.sim_exec_s.unwrap_or(0.0)
+                );
+                sim_results.push(r);
+            }
+        }
+    }
+    write_json(
+        "BENCH_sim.json",
+        &render_json(quick, warmup, reps, &sim_results),
+    )?;
+    println!("wrote BENCH_sim.json");
+
+    // Sanity floor (not a flaky threshold): with real parallelism
+    // available, 8 sharded workers must not be slower than 1 on Water.
+    let tps = |workers: usize| {
+        thread_results
+            .iter()
+            .find(|r| {
+                r.app == "Water" && r.workers == workers && r.mode == Some(SchedMode::Sharded)
+            })
+            .map(|r| r.tasks_per_sec())
+            .unwrap_or(0.0)
+    };
+    if cpus >= 2 {
+        let (t1, t8) = (tps(1), tps(8));
+        if t8 < t1 {
+            return Err(format!(
+                "sanity floor violated: Water sharded 8-worker throughput \
+                 {t8:.1} tasks/s < 1-worker {t1:.1} tasks/s on a {cpus}-cpu host"
+            ));
+        }
+        println!(
+            "sanity floor ok: Water sharded 8w {:.1} >= 1w {:.1} tasks/s",
+            tps(8),
+            tps(1)
+        );
+    } else {
+        println!(
+            "sanity floor skipped: host has {cpus} cpu(s); \
+             worker threads cannot run in parallel here"
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        assert_eq!(trimmed_mean(&[1.0, 100.0, 2.0, 3.0, 0.0]), 2.0);
+        assert_eq!(trimmed_mean(&[5.0, 1.0]), 3.0);
+        assert_eq!(trimmed_mean(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn stress_workload_is_deterministic_across_modes() {
+        let mut a = ThreadRuntime::with_mode(4, SchedMode::Sharded);
+        let mut b = ThreadRuntime::with_mode(4, SchedMode::GlobalLock);
+        let oa = run_stress(&mut a, 400);
+        let ob = run_stress(&mut b, 400);
+        assert!(oa == ob);
+    }
+
+    #[test]
+    fn json_render_is_balanced_and_tagged() {
+        let r = BenchResult {
+            backend: "threads",
+            app: "Water".to_string(),
+            workers: 2,
+            mode: Some(SchedMode::Sharded),
+            tasks: 10,
+            secs: 0.5,
+            reps_secs: vec![0.4, 0.5, 0.6],
+            sim_exec_s: None,
+        };
+        let g = BenchResult {
+            backend: "threads",
+            app: "Water".to_string(),
+            workers: 2,
+            mode: Some(SchedMode::GlobalLock),
+            tasks: 10,
+            secs: 1.0,
+            reps_secs: vec![1.0, 1.0, 1.0],
+            sim_exec_s: None,
+        };
+        let s = render_json(true, 1, 3, &[r, g]);
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "balanced braces:\n{s}"
+        );
+        assert!(s.contains("\"schema\": \"jade-bench/v1\""));
+        assert!(s.contains("\"speedup\": 2.000000"));
+    }
+}

@@ -30,7 +30,10 @@ fn usage() -> ! {
          \x20            [--checkpoint-interval N]... <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
-         utilization, fault-sweep, checkpoint-sweep\n\
+         utilization, fault-sweep, checkpoint-sweep, bench\n\
+         bench: wall-clock (host Instant) benchmark of the thread backend\n\
+                (Sharded vs GlobalLock, 1/2/4/8 workers) and the simulators;\n\
+                writes BENCH_threads.json + BENCH_sim.json at the repo root\n\
          --trace-out FILE  also write a Chrome trace_event JSON of a\n\
                            representative run (Ocean, 8 procs, iPSC/860);\n\
                            open it in chrome://tracing or ui.perfetto.dev\n\
@@ -200,6 +203,12 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan, ckpt_intervals: &
         "utilization" => {
             for app in [App::Water, App::Ocean, App::Cholesky] {
                 ex::utilization(h, app, 8);
+            }
+        }
+        "bench" => {
+            if let Err(why) = jade_bench::bench::run(h.quick) {
+                eprintln!("bench FAILED: {why}");
+                std::process::exit(1);
             }
         }
         "fault-sweep" => {

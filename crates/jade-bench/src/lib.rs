@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod apps;
+pub mod bench;
 pub mod experiments;
 pub mod harness;
 pub mod paper_data;

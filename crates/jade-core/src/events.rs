@@ -293,6 +293,110 @@ impl EventSink {
     }
 }
 
+/// Statically-dispatched event destination.
+///
+/// [`EventSink`] branches on its discriminant at every emission; that is
+/// cheap but not free, and in the thread backend the branch sits inside a
+/// critical section. Code generic over `Sink` monomorphizes instead:
+/// instantiated with [`NullSink`] every emission body is empty and the
+/// optimizer deletes the surrounding bookkeeping (clock ticks, event
+/// buffers) outright — the untraced hot path carries **zero** event cost,
+/// statically. Instantiated with [`EventSink`] it behaves exactly like the
+/// dynamic enum, so simulators that flip tracing at runtime keep working.
+pub trait Sink {
+    /// `false` promises every event is discarded, letting callers skip
+    /// even the *construction* of event data (timestamps, lookups) behind
+    /// an `if S::ACTIVE` that folds away at compile time.
+    const ACTIVE: bool;
+
+    /// Record one event. [`NullSink`]'s implementation is empty.
+    fn push(&mut self, ev: Event);
+
+    /// Emit an event with no task/object attribution.
+    #[inline]
+    fn emit(&mut self, time_ps: u64, proc: ProcId, kind: EventKind) {
+        if Self::ACTIVE {
+            self.push(Event {
+                time_ps,
+                proc,
+                kind,
+                task: None,
+                object: None,
+            });
+        }
+    }
+
+    /// Emit a task-attributed event.
+    #[inline]
+    fn emit_task(&mut self, time_ps: u64, proc: ProcId, kind: EventKind, task: TaskId) {
+        if Self::ACTIVE {
+            self.push(Event {
+                time_ps,
+                proc,
+                kind,
+                task: Some(task),
+                object: None,
+            });
+        }
+    }
+
+    /// Emit an object-attributed event (optionally tied to a task).
+    #[inline]
+    fn emit_obj(
+        &mut self,
+        time_ps: u64,
+        proc: ProcId,
+        kind: EventKind,
+        task: Option<TaskId>,
+        object: ObjectId,
+    ) {
+        if Self::ACTIVE {
+            self.push(Event {
+                time_ps,
+                proc,
+                kind,
+                task,
+                object: Some(object),
+            });
+        }
+    }
+
+    /// Consume the sink, returning whatever it recorded ([`NullSink`]
+    /// recorded nothing).
+    fn into_events(self) -> Vec<Event>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
+}
+
+impl Sink for EventSink {
+    const ACTIVE: bool = true;
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        EventSink::push(self, ev);
+    }
+
+    fn into_events(self) -> Vec<Event> {
+        EventSink::into_events(self)
+    }
+}
+
+/// The statically-disabled event sink: a zero-sized type whose emissions
+/// compile to nothing (see [`Sink`]). This is what the thread backend's
+/// untraced mode instantiates its worker loop with.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ACTIVE: bool = false;
+
+    #[inline]
+    fn push(&mut self, _ev: Event) {}
+}
+
 /// Per-processor busy time, split by component (picoseconds).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProcTimes {

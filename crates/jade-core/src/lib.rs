@@ -52,7 +52,7 @@ mod trace;
 pub use access::{AccessDecl, AccessMode, AccessSpec};
 pub use events::{
     check_conservation, check_lifecycle, Component, Event, EventKind, EventSink, Locality, Metrics,
-    ProcTimes,
+    NullSink, ProcTimes, Sink,
 };
 pub use ids::{Handle, LocalityMode, ObjectId, ProcId, TaskId, MAIN_PROC};
 pub use runtime::JadeRuntime;

@@ -1,8 +1,8 @@
 //! The queue-based synchronizer: Jade's dynamic dependence analysis.
 //!
-//! For every shared object the synchronizer keeps a FIFO queue of declared
-//! accesses in serial program (task creation) order. An access is *granted*
-//! when it could legally begin:
+//! For every shared object the synchronizer tracks declared accesses in
+//! serial program (task creation) order. An access is *granted* when it
+//! could legally begin:
 //!
 //! * a **read** is granted when no write precedes it in the queue (so a run
 //!   of reads at the head executes concurrently — this is what makes the
@@ -14,36 +14,81 @@
 //! conflicting tasks execute in serial program order, non-conflicting tasks
 //! run concurrently.
 //!
+//! # Representation
+//!
+//! The conceptual per-object queue is `[granted entries..][waiting..]` —
+//! the granted prefix is always either a run of reads or a single writer.
+//! Earlier versions stored the whole queue and rescanned it on every
+//! completion, making a pileup of N readers cost O(N²). The current
+//! representation keeps only the **aggregate** of the granted prefix
+//! (`granted_reads` counter + `granted_writer` flag) plus a queue of the
+//! *waiting* entries: granted entries leave the queue eagerly, so queue
+//! length stays O(outstanding ungranted accesses), completion of a granted
+//! access is an O(1) counter update, and a re-grant touches exactly the
+//! entries it enables. Per-task declaration lists are interned in one slab
+//! (`decls`) instead of a `Vec<ObjectId>` per task, so registering a task
+//! performs no per-task allocation beyond amortized slab growth.
+//!
 //! The synchronizer is deliberately pure — no clocks, no processors — so the
 //! same component drives the DASH simulator, the iPSC simulator and the real
 //! `jade-threads` executor, and so its invariants are easy to property-test.
 
 use crate::access::{AccessMode, AccessSpec};
-use crate::events::{EventKind, EventSink};
+use crate::events::{EventKind, Sink};
 use crate::ids::{ObjectId, ProcId, TaskId};
 use std::collections::VecDeque;
 
-#[derive(Clone, Debug)]
-struct QEntry {
-    task: TaskId,
+/// One declared access, interned in the synchronizer-wide `decls` slab.
+/// A task's declarations occupy a contiguous run of slots.
+#[derive(Clone, Copy, Debug)]
+struct DeclSlot {
+    object: ObjectId,
     mode: AccessMode,
+    /// The access is currently part of its object's granted prefix.
     granted: bool,
+    /// The access was given up (mid-task `release`, or task completion).
+    released: bool,
 }
 
-#[derive(Clone, Debug)]
+/// A not-yet-granted access parked in an object's waiting queue.
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    task: TaskId,
+    /// Index of the access in the `decls` slab.
+    decl: u32,
+    mode: AccessMode,
+}
+
+/// Aggregate state of one object's access queue: the granted prefix is
+/// summarized (it is always all-reads or one writer), only ungranted
+/// entries are materialized.
+#[derive(Clone, Debug, Default)]
+struct ObjQueue {
+    /// Reads currently granted on this object.
+    granted_reads: u32,
+    /// A write (or read-write) is currently granted.
+    granted_writer: bool,
+    /// Ungranted accesses, in serial program order.
+    waiting: VecDeque<Waiter>,
+}
+
+#[derive(Clone, Copy, Debug)]
 struct TaskState {
-    /// Declared objects (so completion knows which queues to clean).
-    objects: Vec<ObjectId>,
+    /// First slot of this task's declarations in the `decls` slab.
+    decls_start: u32,
+    decls_len: u32,
     /// Number of declared accesses not yet granted.
-    ungranted: usize,
+    ungranted: u32,
     completed: bool,
 }
 
 /// Dynamic dependence analysis over declared access specifications.
 #[derive(Clone, Debug)]
 pub struct Synchronizer {
-    queues: Vec<VecDeque<QEntry>>,
+    queues: Vec<ObjQueue>,
     tasks: Vec<TaskState>,
+    /// Slab of every task's declared accesses (see [`TaskState`]).
+    decls: Vec<DeclSlot>,
     /// With replication disabled (`false`), reads serialize like writes —
     /// the Section 5.1 thought experiment: "eliminating replication would
     /// serialize all of the applications".
@@ -63,14 +108,15 @@ impl Synchronizer {
         Synchronizer {
             queues: Vec::new(),
             tasks: Vec::new(),
+            decls: Vec::new(),
             replication,
             live_tasks: 0,
         }
     }
 
-    fn queue_mut(&mut self, o: ObjectId) -> &mut VecDeque<QEntry> {
+    fn queue_mut(&mut self, o: ObjectId) -> &mut ObjQueue {
         if o.index() >= self.queues.len() {
-            self.queues.resize_with(o.index() + 1, VecDeque::new);
+            self.queues.resize_with(o.index() + 1, ObjQueue::default);
         }
         &mut self.queues[o.index()]
     }
@@ -84,33 +130,49 @@ impl Synchronizer {
             self.tasks.len(),
             "tasks must be registered in serial program order"
         );
-        let mut ungranted = 0;
-        let mut objects = Vec::with_capacity(spec.len());
+        let start = self.decls.len() as u32;
+        let mut ungranted = 0u32;
         for d in spec.decls() {
-            objects.push(d.object);
+            let decl = self.decls.len() as u32;
             let replication = self.replication;
             let q = self.queue_mut(d.object);
-            // The new entry goes to the tail; it is granted iff a reader
-            // with no writer ahead (all earlier entries are then granted
-            // reads), or the queue is empty.
-            let granted = if q.is_empty() {
-                true
-            } else if d.mode == AccessMode::Read && replication {
-                q.iter().all(|e| e.mode == AccessMode::Read)
+            // The new access goes behind everything already in the queue.
+            // It is granted iff nothing is waiting ahead of it and it is
+            // compatible with the granted prefix: a read joins a run of
+            // granted reads (under replication), anything joins an idle
+            // object. An empty waiting queue plus no granted writer means
+            // the whole (conceptual) queue is a run of granted reads.
+            let granted = q.waiting.is_empty()
+                && !q.granted_writer
+                && if d.mode == AccessMode::Read {
+                    replication || q.granted_reads == 0
+                } else {
+                    q.granted_reads == 0
+                };
+            if granted {
+                if d.mode == AccessMode::Read {
+                    q.granted_reads += 1;
+                } else {
+                    q.granted_writer = true;
+                }
             } else {
-                false
-            };
-            if !granted {
                 ungranted += 1;
+                q.waiting.push_back(Waiter {
+                    task: id,
+                    decl,
+                    mode: d.mode,
+                });
             }
-            q.push_back(QEntry {
-                task: id,
+            self.decls.push(DeclSlot {
+                object: d.object,
                 mode: d.mode,
                 granted,
+                released: false,
             });
         }
         self.tasks.push(TaskState {
-            objects,
+            decls_start: start,
+            decls_len: self.decls.len() as u32 - start,
             ungranted,
             completed: false,
         });
@@ -124,9 +186,11 @@ impl Synchronizer {
         !t.completed && t.ungranted == 0
     }
 
-    /// Mark `id` complete, releasing its queue entries. Newly enabled tasks
-    /// are appended to `newly_enabled` (in task-id order per object queue,
-    /// which is deterministic).
+    /// Mark `id` complete, releasing its remaining granted accesses. Newly
+    /// enabled tasks are appended to `newly_enabled` (in serial program
+    /// order per object queue, which is deterministic). Each retired access
+    /// is an O(1) counter update plus the grants it triggers — no queue is
+    /// rescanned.
     pub fn complete(&mut self, id: TaskId, newly_enabled: &mut Vec<TaskId>) {
         let state = &mut self.tasks[id.index()];
         assert!(!state.completed, "task {id:?} completed twice");
@@ -136,9 +200,15 @@ impl Synchronizer {
         );
         state.completed = true;
         self.live_tasks -= 1;
-        let objects = std::mem::take(&mut self.tasks[id.index()].objects);
-        for o in objects {
-            self.remove_from_queue(id, o, newly_enabled);
+        let (start, len) = (state.decls_start as usize, state.decls_len as usize);
+        for k in start..start + len {
+            if self.decls[k].released {
+                continue;
+            }
+            debug_assert!(self.decls[k].granted, "completing an ungranted access");
+            self.decls[k].released = true;
+            let (object, mode) = (self.decls[k].object, self.decls[k].mode);
+            self.retire(object, mode, newly_enabled);
         }
     }
 
@@ -150,45 +220,65 @@ impl Synchronizer {
     ///
     /// Panics if the task never declared (or already released) the object.
     pub fn release(&mut self, id: TaskId, object: ObjectId, newly_enabled: &mut Vec<TaskId>) {
-        let state = &mut self.tasks[id.index()];
+        let state = &self.tasks[id.index()];
         assert!(!state.completed, "release after completion of {id:?}");
-        let pos = state
-            .objects
-            .iter()
-            .position(|&o| o == object)
+        let (start, len) = (state.decls_start as usize, state.decls_len as usize);
+        let k = (start..start + len)
+            .find(|&k| self.decls[k].object == object && !self.decls[k].released)
             .unwrap_or_else(|| panic!("{id:?} releasing undeclared/released {object:?}"));
-        state.objects.swap_remove(pos);
-        self.remove_from_queue(id, object, newly_enabled);
+        debug_assert!(self.decls[k].granted, "releasing an ungranted access");
+        self.decls[k].released = true;
+        let mode = self.decls[k].mode;
+        self.retire(object, mode, newly_enabled);
     }
 
-    /// Remove `id`'s entry from `object`'s queue and re-grant from the head.
-    fn remove_from_queue(&mut self, id: TaskId, o: ObjectId, newly_enabled: &mut Vec<TaskId>) {
-        let replication = self.replication;
+    /// A granted access on `o` went away (completion or mid-task release):
+    /// update the aggregate, and if the granted prefix emptied, grant the
+    /// longest legal run from the head of the waiting queue.
+    fn retire(&mut self, o: ObjectId, mode: AccessMode, newly_enabled: &mut Vec<TaskId>) {
         let q = &mut self.queues[o.index()];
-        let pos = q
-            .iter()
-            .position(|e| e.task == id)
-            .expect("task not in object queue");
-        debug_assert!(q[pos].granted, "removing an ungranted access");
-        q.remove(pos);
-        for i in 0..q.len() {
-            let is_read = q[i].mode == AccessMode::Read;
-            if i == 0 || (is_read && replication) {
-                if !q[i].granted && (i == 0 || q.iter().take(i).all(|e| e.mode == AccessMode::Read))
-                {
-                    q[i].granted = true;
-                    let t = q[i].task;
-                    let ts = &mut self.tasks[t.index()];
-                    ts.ungranted -= 1;
-                    if ts.ungranted == 0 {
-                        newly_enabled.push(t);
-                    }
-                }
-                if !(is_read && replication) {
-                    break;
-                }
-            } else {
+        if mode == AccessMode::Read {
+            debug_assert!(q.granted_reads > 0, "granted-read underflow on {o:?}");
+            q.granted_reads -= 1;
+        } else {
+            debug_assert!(q.granted_writer, "granted-writer underflow on {o:?}");
+            q.granted_writer = false;
+        }
+        if q.granted_reads == 0 && !q.granted_writer {
+            self.grant_head_run(o, newly_enabled);
+        }
+    }
+
+    /// Grant from the head of `o`'s waiting queue: a single writer, or
+    /// (under replication) the maximal run of reads up to the next writer.
+    /// Granted entries leave the queue eagerly — the queue never holds a
+    /// granted entry, so no later operation rescans them.
+    fn grant_head_run(&mut self, o: ObjectId, newly_enabled: &mut Vec<TaskId>) {
+        loop {
+            let replication = self.replication;
+            let q = &mut self.queues[o.index()];
+            let Some(&Waiter { task, decl, mode }) = q.waiting.front() else {
                 break;
+            };
+            let legal = if mode == AccessMode::Read {
+                !q.granted_writer && (replication || q.granted_reads == 0)
+            } else {
+                !q.granted_writer && q.granted_reads == 0
+            };
+            if !legal {
+                break;
+            }
+            q.waiting.pop_front();
+            if mode == AccessMode::Read {
+                q.granted_reads += 1;
+            } else {
+                q.granted_writer = true;
+            }
+            self.decls[decl as usize].granted = true;
+            let ts = &mut self.tasks[task.index()];
+            ts.ungranted -= 1;
+            if ts.ungranted == 0 {
+                newly_enabled.push(task);
             }
         }
     }
@@ -197,12 +287,12 @@ impl Synchronizer {
     /// `TaskCreated`, and `TaskEnabled` if the task is immediately
     /// runnable. The synchronizer has no clock of its own, so the caller
     /// supplies the instant (`time_ps`) and the processor doing the
-    /// registration.
-    pub fn add_task_traced(
+    /// registration. Generic over the sink so untraced callers pay nothing.
+    pub fn add_task_traced<S: Sink>(
         &mut self,
         id: TaskId,
         spec: &AccessSpec,
-        events: &mut EventSink,
+        events: &mut S,
         time_ps: u64,
         proc: ProcId,
     ) -> bool {
@@ -217,11 +307,11 @@ impl Synchronizer {
     /// [`complete`](Self::complete) plus event emission: records
     /// `TaskCompleted` for `id` and `TaskEnabled` for every task its
     /// completion unblocks.
-    pub fn complete_traced(
+    pub fn complete_traced<S: Sink>(
         &mut self,
         id: TaskId,
         newly_enabled: &mut Vec<TaskId>,
-        events: &mut EventSink,
+        events: &mut S,
         time_ps: u64,
         proc: ProcId,
     ) {
@@ -235,12 +325,12 @@ impl Synchronizer {
 
     /// [`release`](Self::release) plus event emission: records
     /// `AccessReleased` and `TaskEnabled` for every unblocked successor.
-    pub fn release_traced(
+    pub fn release_traced<S: Sink>(
         &mut self,
         id: TaskId,
         object: ObjectId,
         newly_enabled: &mut Vec<TaskId>,
-        events: &mut EventSink,
+        events: &mut S,
         time_ps: u64,
         proc: ProcId,
     ) {
@@ -267,30 +357,62 @@ impl Synchronizer {
         self.live_tasks == 0
     }
 
-    /// Queue length for one object (diagnostics/tests).
+    /// Conceptual queue length for one object — granted prefix plus
+    /// waiting entries (diagnostics/tests).
     pub fn queue_len(&self, o: ObjectId) -> usize {
-        self.queues.get(o.index()).map_or(0, |q| q.len())
+        self.queues.get(o.index()).map_or(0, |q| {
+            q.granted_reads as usize + q.granted_writer as usize + q.waiting.len()
+        })
+    }
+
+    /// Number of *materialized* (ungranted) entries in one object's queue.
+    /// Granted accesses are aggregated into counters, so this is the only
+    /// part any operation could ever walk — tests use it to pin down the
+    /// O(outstanding) bound.
+    pub fn waiting_len(&self, o: ObjectId) -> usize {
+        self.queues.get(o.index()).map_or(0, |q| q.waiting.len())
     }
 
     /// Capture the synchronizer's full dynamic state — queue contents and
     /// per-task grant/completion flags — for the checkpoint/restart layer.
+    ///
+    /// The snapshot materializes the conceptual queues (granted prefix in
+    /// task-id order, then waiting entries in program order) so the binary
+    /// format is unchanged from the scan-based representation.
     pub fn snapshot(&self) -> SyncSnapshot {
+        let mut queues: Vec<Vec<(TaskId, AccessMode, bool)>> = self
+            .queues
+            .iter()
+            .map(|q| Vec::with_capacity(q.granted_reads as usize + q.waiting.len()))
+            .collect();
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for (i, t) in self.tasks.iter().enumerate() {
+            let (start, len) = (t.decls_start as usize, t.decls_len as usize);
+            let mut objects = Vec::new();
+            for d in &self.decls[start..start + len] {
+                if d.released {
+                    continue;
+                }
+                objects.push(d.object);
+                if d.granted {
+                    queues[d.object.index()].push((TaskId(i as u32), d.mode, true));
+                }
+            }
+            tasks.push(SnapTask {
+                objects,
+                ungranted: t.ungranted,
+                completed: t.completed,
+            });
+        }
+        for (q, snap_q) in self.queues.iter().zip(queues.iter_mut()) {
+            for w in &q.waiting {
+                snap_q.push((w.task, w.mode, false));
+            }
+        }
         SyncSnapshot {
             replication: self.replication,
-            tasks: self
-                .tasks
-                .iter()
-                .map(|t| SnapTask {
-                    objects: t.objects.clone(),
-                    ungranted: t.ungranted as u32,
-                    completed: t.completed,
-                })
-                .collect(),
-            queues: self
-                .queues
-                .iter()
-                .map(|q| q.iter().map(|e| (e.task, e.mode, e.granted)).collect())
-                .collect(),
+            tasks,
+            queues,
         }
     }
 
@@ -298,32 +420,60 @@ impl Synchronizer {
     /// result behaves identically to the original at capture time: the same
     /// completions enable the same successors in the same order.
     pub fn from_snapshot(snap: &SyncSnapshot) -> Synchronizer {
-        Synchronizer {
-            queues: snap
-                .queues
-                .iter()
-                .map(|q| {
-                    q.iter()
-                        .map(|&(task, mode, granted)| QEntry {
-                            task,
-                            mode,
-                            granted,
-                        })
-                        .collect()
-                })
-                .collect(),
-            tasks: snap
-                .tasks
-                .iter()
-                .map(|t| TaskState {
-                    objects: t.objects.clone(),
-                    ungranted: t.ungranted as usize,
-                    completed: t.completed,
-                })
-                .collect(),
-            replication: snap.replication,
-            live_tasks: snap.live_tasks(),
+        let mut sync = Synchronizer::new(snap.replication);
+        sync.queues
+            .resize_with(snap.queues.len(), ObjQueue::default);
+        for t in &snap.tasks {
+            let start = sync.decls.len() as u32;
+            for &o in &t.objects {
+                // Mode and grant state are filled in from the queue
+                // section below; every unreleased declaration has exactly
+                // one queue entry.
+                sync.decls.push(DeclSlot {
+                    object: o,
+                    mode: AccessMode::Read,
+                    granted: false,
+                    released: false,
+                });
+            }
+            sync.tasks.push(TaskState {
+                decls_start: start,
+                decls_len: t.objects.len() as u32,
+                ungranted: t.ungranted,
+                completed: t.completed,
+            });
+            if !t.completed {
+                sync.live_tasks += 1;
+            }
         }
+        for (oi, qsnap) in snap.queues.iter().enumerate() {
+            let o = ObjectId(oi as u32);
+            for &(task, mode, granted) in qsnap {
+                let ts = sync.tasks[task.index()];
+                let range = ts.decls_start as usize..(ts.decls_start + ts.decls_len) as usize;
+                let k = range
+                    .clone()
+                    .find(|&k| sync.decls[k].object == o)
+                    .expect("snapshot queue entry for undeclared object");
+                sync.decls[k].mode = mode;
+                sync.decls[k].granted = granted;
+                let q = &mut sync.queues[oi];
+                if granted {
+                    if mode == AccessMode::Read {
+                        q.granted_reads += 1;
+                    } else {
+                        q.granted_writer = true;
+                    }
+                } else {
+                    q.waiting.push_back(Waiter {
+                        task,
+                        decl: k as u32,
+                        mode,
+                    });
+                }
+            }
+        }
+        sync
     }
 }
 
@@ -772,5 +922,76 @@ mod tests {
         }
         assert_eq!(order, (0..50).map(TaskId).collect::<Vec<_>>());
         assert!(sync.all_complete());
+    }
+
+    #[test]
+    fn granted_read_pileup_completes_in_constant_time_each() {
+        // Satellite regression test: 10k concurrent readers granted on one
+        // object. The waiting queue must stay EMPTY throughout — each
+        // completion is a pure counter decrement with nothing to rescan
+        // (the old full-queue representation walked all 10k entries per
+        // completion, going quadratic).
+        let n = 10_000u32;
+        let mut sync = Synchronizer::default();
+        for i in 0..n {
+            assert!(sync.add_task(TaskId(i), &spec(&[0], &[])));
+        }
+        assert_eq!(sync.queue_len(o(0)), n as usize);
+        assert_eq!(sync.waiting_len(o(0)), 0, "granted reads are aggregated");
+        // Trailing writer: the only materialized entry.
+        assert!(!sync.add_task(TaskId(n), &spec(&[], &[0])));
+        assert_eq!(sync.waiting_len(o(0)), 1);
+        let mut e = Vec::new();
+        for i in 0..n {
+            sync.complete(TaskId(i), &mut e);
+            assert_eq!(sync.waiting_len(o(0)), usize::from(i != n - 1));
+        }
+        assert_eq!(e, vec![TaskId(n)], "writer enables after the last read");
+        sync.complete(TaskId(n), &mut e);
+        assert!(sync.all_complete());
+    }
+
+    #[test]
+    fn waiting_read_pileup_drains_eagerly_on_grant() {
+        // The mirror case: 10k readers parked behind one writer. The grant
+        // batch fired by the writer's completion moves all of them out of
+        // the queue at once — afterwards every read completion is O(1).
+        let n = 10_000u32;
+        let mut sync = Synchronizer::default();
+        assert!(sync.add_task(TaskId(0), &spec(&[], &[0])));
+        for i in 1..=n {
+            assert!(!sync.add_task(TaskId(i), &spec(&[0], &[])));
+        }
+        assert_eq!(sync.waiting_len(o(0)), n as usize);
+        let mut e = Vec::new();
+        sync.complete(TaskId(0), &mut e);
+        assert_eq!(e.len(), n as usize, "one grant batch enables all readers");
+        assert_eq!(sync.waiting_len(o(0)), 0, "granted entries left the queue");
+        for i in 1..=n {
+            let mut e = Vec::new();
+            sync.complete(TaskId(i), &mut e);
+            assert!(e.is_empty());
+        }
+        assert!(sync.all_complete());
+    }
+
+    #[test]
+    fn null_sink_traced_paths_match_untraced() {
+        use crate::events::NullSink;
+        let mut a = Synchronizer::default();
+        let mut b = Synchronizer::default();
+        let mut sink = NullSink;
+        assert_eq!(
+            a.add_task(TaskId(0), &spec(&[], &[0])),
+            b.add_task_traced(TaskId(0), &spec(&[], &[0]), &mut sink, 0, 0)
+        );
+        assert_eq!(
+            a.add_task(TaskId(1), &spec(&[0], &[])),
+            b.add_task_traced(TaskId(1), &spec(&[0], &[]), &mut sink, 1, 0)
+        );
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        a.complete(TaskId(0), &mut ea);
+        b.complete_traced(TaskId(0), &mut eb, &mut sink, 2, 0);
+        assert_eq!(ea, eb);
     }
 }

@@ -11,9 +11,14 @@
 //! * the **same program text** runs here and on the simulators — apps are
 //!   generic over [`jade_core::JadeRuntime`];
 //! * the queue-based [`jade_core::Synchronizer`] decides when tasks may run;
-//! * per-worker task queues with the paper's **locality heuristic** (tasks
-//!   queued at the worker owning their locality object) and **stealing**
-//!   from the back of other workers' queues;
+//! * the default [`SchedMode::Sharded`] scheduler mirrors the paper's
+//!   *distributed* shared-memory scheduler (§4.1): per-worker deques with a
+//!   dynamic **locality heuristic** (each enabled task goes to the worker
+//!   that most recently wrote one of its objects, falling back to the
+//!   object's declared home) and **randomized stealing** from the back of
+//!   other workers' deques. Only synchronizer transitions take a global
+//!   lock; dispatch is per-worker. The seed single-lock scheduler is kept
+//!   as [`SchedMode::GlobalLock`] for A/B benchmarking;
 //! * every object access is runtime-checked against the declared access
 //!   specification, and per-object `RwLock`s verify the synchronizer's
 //!   exclusion guarantee mechanically: a data race would panic, not corrupt.
@@ -41,11 +46,12 @@
 
 pub use dsim::FaultPlan;
 use jade_core::{
-    Event, EventKind, EventSink, JadeRuntime, Locality, ObjectId, Store, SyncSnapshot,
-    Synchronizer, TaskCtx, TaskDef, TaskId,
+    Event, EventKind, EventSink, JadeRuntime, Locality, NullSink, ObjectId, Sink, Store,
+    SyncSnapshot, Synchronizer, TaskCtx, TaskDef, TaskId,
 };
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Retry budget for injected worker failures. Each attempt re-rolls the
@@ -64,13 +70,26 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Which scheduler [`ThreadRuntime::finish`] runs the batch on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Per-worker deques, dynamic write-owner locality, randomized
+    /// stealing; the global lock covers only synchronizer transitions.
+    #[default]
+    Sharded,
+    /// The original single `Mutex<Shared>` scheduler: every pick, steal and
+    /// completion serializes on one lock. Kept as the A/B baseline for
+    /// `repro bench` and the differential determinism tests.
+    GlobalLock,
+}
+
 /// Statistics from the most recent [`ThreadRuntime::finish`] batch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Task execution attempts in the batch (re-executions after injected
     /// failures included, matching the event stream's started count).
     pub executed: usize,
-    /// Tasks executed by the worker owning their locality object.
+    /// Tasks executed by the worker the locality heuristic targeted.
     pub locality_hits: usize,
     /// Tasks taken from another worker's queue.
     pub steals: usize,
@@ -84,6 +103,82 @@ pub struct BatchStats {
     pub checkpoint_restores: usize,
 }
 
+impl BatchStats {
+    fn absorb(&mut self, other: &BatchStats) {
+        self.executed += other.executed;
+        self.locality_hits += other.locality_hits;
+        self.steals += other.steals;
+        self.recoveries += other.recoveries;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_restores += other.checkpoint_restores;
+    }
+}
+
+/// Small deterministic xorshift64 generator for steal-victim selection —
+/// no global RNG, no syscalls, seeded per worker so runs are reproducible
+/// modulo thread interleaving.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The paper's object→owner table, sharded at the finest possible grain:
+/// one atomic slot per object, so concurrent writers never contend on a
+/// lock. Each slot packs `stamp << 16 | worker`; a global monotone stamp
+/// orders writes, so a task's locality target is the worker that performed
+/// the *most recent* write to any of its declared objects. The table
+/// persists across batches — phase `i+1` tasks land where phase `i` wrote
+/// their data.
+#[derive(Debug, Default)]
+struct OwnerTable {
+    slots: Vec<AtomicU64>,
+    stamp: AtomicU64,
+}
+
+impl OwnerTable {
+    /// Grow to cover `n` objects (called between batches, never racing
+    /// workers).
+    fn ensure(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(AtomicU64::new(0));
+        }
+    }
+
+    /// Record that worker `w` wrote `o`. Relaxed is enough: the table is a
+    /// heuristic — a stale read changes *where* a task runs, never whether
+    /// it runs correctly.
+    fn record(&self, o: ObjectId, w: usize) {
+        if let Some(slot) = self.slots.get(o.index()) {
+            let stamp = self.stamp.fetch_add(1, Ordering::Relaxed) + 1;
+            slot.store((stamp << 16) | (w as u64 & 0xFFFF), Ordering::Relaxed);
+        }
+    }
+
+    /// The worker owning the most recently written of `spec`'s objects,
+    /// if any of them has ever been written by a task.
+    fn latest_writer(&self, spec: &jade_core::AccessSpec) -> Option<usize> {
+        let mut best = 0u64;
+        for d in spec.decls() {
+            if let Some(slot) = self.slots.get(d.object.index()) {
+                best = best.max(slot.load(Ordering::Relaxed));
+            }
+        }
+        (best != 0).then_some((best & 0xFFFF) as usize)
+    }
+}
+
 /// A parallel Jade runtime executing on `workers` OS threads.
 pub struct ThreadRuntime {
     store: Store,
@@ -92,6 +187,7 @@ pub struct ThreadRuntime {
     pending: Vec<(TaskId, TaskDef)>,
     next_id: u32,
     last_stats: BatchStats,
+    mode: SchedMode,
     /// Record structured events for subsequent batches.
     trace_events: bool,
     /// Events accumulated by finished batches (drained by `take_events`).
@@ -104,41 +200,8 @@ pub struct ThreadRuntime {
     faults: Option<FaultPlan>,
     /// Checkpoint interval in completed tasks; `None` disables capture.
     ckpt_every: Option<usize>,
-}
-
-struct Shared {
-    /// Per-worker FIFO queues of runnable batch-local task indices.
-    queues: Vec<VecDeque<usize>>,
-    /// Task bodies, taken by the executing worker.
-    bodies: Vec<Option<TaskDef>>,
-    /// Map batch-local index -> global TaskId.
-    ids: Vec<TaskId>,
-    /// Target worker per task (locality heuristic).
-    targets: Vec<usize>,
-    sync: Synchronizer,
-    live: usize,
-    stats: BatchStats,
-    events: EventSink,
-    clock: u64,
-    panic: Option<Box<dyn std::any::Any + Send>>,
-    /// Injected-fault plan for this batch (`None` = no injection).
-    faults: Option<FaultPlan>,
-    /// Execution attempts per batch-local task (keys the fault hash).
-    attempts: Vec<u32>,
-    /// Checkpoint interval in completed tasks (`None` = no capture).
-    ckpt_every: Option<usize>,
-    /// Completions since the last checkpoint.
-    since_ckpt: usize,
-    /// Latest captured synchronizer checkpoint; recovery consults it.
-    last_ckpt: Option<SyncSnapshot>,
-}
-
-impl Shared {
-    fn tick(&mut self) -> u64 {
-        let t = self.clock;
-        self.clock += 1;
-        t
-    }
+    /// Dynamic locality: which worker last wrote each object.
+    owners: OwnerTable,
 }
 
 impl ThreadRuntime {
@@ -151,17 +214,36 @@ impl ThreadRuntime {
             pending: Vec::new(),
             next_id: 0,
             last_stats: BatchStats::default(),
+            mode: SchedMode::default(),
             trace_events: false,
             events: Vec::new(),
             event_clock: 0,
             faults: None,
             ckpt_every: None,
+            owners: OwnerTable::default(),
         }
+    }
+
+    /// Create a runtime with an explicit scheduler mode.
+    pub fn with_mode(workers: usize, mode: SchedMode) -> ThreadRuntime {
+        let mut rt = ThreadRuntime::new(workers);
+        rt.mode = mode;
+        rt
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The scheduler subsequent batches will run on.
+    pub fn sched_mode(&self) -> SchedMode {
+        self.mode
+    }
+
+    /// Select the scheduler for subsequent batches (A/B comparisons).
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.mode = mode;
     }
 
     /// Statistics from the most recently finished batch.
@@ -226,6 +308,10 @@ impl ThreadRuntime {
         self.ckpt_every = Some(every);
     }
 
+    /// Static placement: explicit placement, else the locality object's
+    /// declared home (the `GlobalLock` scheduler's whole heuristic; the
+    /// sharded scheduler's fallback when no declared object has a recorded
+    /// writer yet).
     fn target_worker(&self, def: &TaskDef) -> usize {
         let home = |o: ObjectId| self.store.home(o).unwrap_or(jade_core::MAIN_PROC);
         def.placement
@@ -264,6 +350,514 @@ impl JadeRuntime for ThreadRuntime {
             return;
         }
         let batch = std::mem::take(&mut self.pending);
+        match (self.mode, self.trace_events) {
+            // The sink type is chosen statically: untraced sharded batches
+            // monomorphize every emission (and the locks guarding only
+            // emissions) away entirely.
+            (SchedMode::Sharded, false) => self.run_sharded(batch, NullSink),
+            (SchedMode::Sharded, true) => self.run_sharded(batch, EventSink::recording()),
+            (SchedMode::GlobalLock, _) => self.run_global(batch),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scheduler (default)
+// ---------------------------------------------------------------------------
+
+/// One worker's deque of runnable batch-local task indices. The owner pops
+/// the front (FIFO preserves serial program order for its own work);
+/// thieves pop the back. `len` is a hint maintained under the lock so
+/// pickers can skip empty queues without touching the mutex.
+#[derive(Default)]
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<usize>>,
+    len: AtomicUsize,
+}
+
+/// Everything serialized by the one remaining global lock: the
+/// synchronizer, the event sink and its logical clock, and checkpoint
+/// state. Scheduling state (queues, bodies, attempts) lives outside.
+struct SyncState<S> {
+    sync: Synchronizer,
+    events: S,
+    clock: u64,
+    since_ckpt: usize,
+    last_ckpt: Option<SyncSnapshot>,
+    checkpoints: usize,
+}
+
+impl<S> SyncState<S> {
+    fn tick(&mut self) -> u64 {
+        let t = self.clock;
+        self.clock += 1;
+        t
+    }
+}
+
+struct Sharded<'a, S> {
+    queues: Box<[WorkerQueue]>,
+    /// Task bodies, taken by the executing worker. A task index lives in
+    /// exactly one deque at a time, so each mutex is uncontended — it
+    /// exists to move `TaskDef`s between threads without `unsafe`.
+    bodies: Box<[Mutex<Option<TaskDef>>]>,
+    /// Map batch-local index -> global TaskId.
+    ids: Vec<TaskId>,
+    /// Execution attempts per batch-local task (keys the fault hash).
+    attempts: Box<[AtomicU32]>,
+    /// Worker the locality heuristic targeted at enable time.
+    targets: Box<[AtomicUsize]>,
+    state: Mutex<SyncState<S>>,
+    /// Registered-but-not-completed tasks; 0 means the batch is drained.
+    live: AtomicUsize,
+    /// Bumped on every push; parked workers re-check it before sleeping,
+    /// which closes the push/park race (see `park`).
+    epoch: AtomicU64,
+    /// Workers currently inside `park`; pushers skip the wakeup lock
+    /// entirely while this is zero (the common case).
+    sleepers: AtomicUsize,
+    idle: Mutex<()>,
+    cv: Condvar,
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    faults: Option<FaultPlan>,
+    ckpt_every: Option<usize>,
+    owners: &'a OwnerTable,
+    store: &'a Store,
+    base: usize,
+    workers: usize,
+}
+
+impl<'a, S: Sink> Sharded<'a, S> {
+    /// Locality heuristic at enable time: explicit placement, else the
+    /// worker owning the task's most-recently-written object, else the
+    /// locality object's declared home.
+    fn target_of(&self, def: &TaskDef) -> usize {
+        if let Some(p) = def.placement {
+            return p % self.workers;
+        }
+        if let Some(w) = self.owners.latest_writer(&def.spec) {
+            return w % self.workers;
+        }
+        let home = |o: ObjectId| self.store.home(o).unwrap_or(jade_core::MAIN_PROC);
+        def.spec
+            .locality_object()
+            .map(home)
+            .unwrap_or(jade_core::MAIN_PROC)
+            % self.workers
+    }
+
+    /// Append `local` to `target`'s deque and wake sleepers if any.
+    fn push_to(&self, target: usize, local: usize) {
+        let q = &self.queues[target];
+        {
+            let mut jobs = lock(&q.jobs);
+            jobs.push_back(local);
+            q.len.store(jobs.len(), Ordering::Release);
+        }
+        // SeqCst orders this bump against parkers' sleeper registration:
+        // either the parker re-checks and sees the new epoch, or we see
+        // `sleepers > 0` and notify under the idle lock.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(lock(&self.idle));
+            self.cv.notify_all();
+        }
+    }
+
+    /// Route a newly enabled task through the locality heuristic and queue
+    /// it there.
+    fn dispatch(&self, local: usize) {
+        let target = {
+            let guard = lock(&self.bodies[local]);
+            let def = guard.as_ref().expect("dispatching a running task");
+            self.target_of(def)
+        };
+        self.targets[local].store(target, Ordering::Relaxed);
+        self.push_to(target, local);
+    }
+
+    /// Pop own front, else steal from the back of a random victim.
+    fn try_pick(&self, w: usize, rng: &mut XorShift64) -> Option<(usize, bool)> {
+        let own = &self.queues[w];
+        if own.len.load(Ordering::Acquire) > 0 {
+            let mut jobs = lock(&own.jobs);
+            if let Some(local) = jobs.pop_front() {
+                own.len.store(jobs.len(), Ordering::Release);
+                return Some((local, false));
+            }
+        }
+        // Randomized steal: random starting victim, then sweep everyone so
+        // no queue is ever structurally unreachable.
+        let start = rng.next() as usize % self.workers;
+        for k in 0..self.workers {
+            let v = (start + k) % self.workers;
+            if v == w {
+                continue;
+            }
+            let q = &self.queues[v];
+            if q.len.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let mut jobs = lock(&q.jobs);
+            if let Some(local) = jobs.pop_back() {
+                q.len.store(jobs.len(), Ordering::Release);
+                return Some((local, true));
+            }
+        }
+        None
+    }
+
+    /// Sleep until new work might exist. `epoch` was read *before* the
+    /// caller's failed scan: if any push happened since, the re-check under
+    /// the idle lock sees the bump and returns immediately; otherwise the
+    /// pusher is guaranteed to observe `sleepers > 0` and notify.
+    fn park(&self, epoch: u64) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let g = lock(&self.idle);
+        if self.epoch.load(Ordering::SeqCst) == epoch
+            && self.live.load(Ordering::SeqCst) != 0
+            && !self.panicked.load(Ordering::SeqCst)
+        {
+            drop(self.cv.wait(g).unwrap_or_else(|e| e.into_inner()));
+        } else {
+            drop(g);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn wake_all(&self) {
+        drop(lock(&self.idle));
+        self.cv.notify_all();
+    }
+
+    fn record_panic(&self, p: Box<dyn std::any::Any + Send>) {
+        let mut slot = lock(&self.panic);
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+        drop(slot);
+        self.panicked.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Run one picked task. Returns `false` if the worker must exit (a
+    /// genuine panic was recorded).
+    fn execute(
+        &self,
+        w: usize,
+        local: usize,
+        stolen: bool,
+        stats: &mut BatchStats,
+        scratch: &mut Vec<TaskId>,
+    ) -> bool {
+        let def = lock(&self.bodies[local]).take().expect("task queued twice");
+        let id = self.ids[local];
+        let attempt = self.attempts[local].load(Ordering::Relaxed);
+        let injected = self
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.task_fails(id.0 as u64, attempt));
+        stats.executed += 1;
+        // A worker's own queue normally only holds tasks targeted at it —
+        // but a recovered task is re-queued on the *next* worker, so the
+        // locality of a non-stolen pick still has to be checked.
+        let hit = !stolen && self.targets[local].load(Ordering::Relaxed) == w;
+        if stolen {
+            stats.steals += 1;
+        } else if hit {
+            stats.locality_hits += 1;
+        }
+        if S::ACTIVE {
+            let mut st = lock(&self.state);
+            let t = st.tick();
+            let locality = if hit { Locality::Hit } else { Locality::Miss };
+            st.events
+                .emit_task(t, w, EventKind::TaskDispatched { stolen, locality }, id);
+            st.events.emit_task(t, w, EventKind::TaskStarted, id);
+        }
+
+        // The task body stays outside the closure (`TaskBody` is `Fn`), so
+        // a caught unwind leaves `def` intact for re-execution.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if injected {
+                // Simulated worker crash before the body runs: unwind
+                // quietly (no panic hook) — this is an injected fault, not
+                // a bug worth a backtrace. Crashing *before* any body
+                // effect is what makes the re-execution exact.
+                resume_unwind(Box::new(InjectedFailure));
+            }
+            // Mid-task releases (Jade's pipelining statements) feed straight
+            // back into the synchronizer so successors start immediately.
+            let hook = |obj: ObjectId| {
+                let newly = {
+                    let mut guard = lock(&self.state);
+                    let t = guard.tick();
+                    let st = &mut *guard;
+                    let mut newly = Vec::new();
+                    st.sync
+                        .release_traced(id, obj, &mut newly, &mut st.events, t, w);
+                    newly
+                };
+                for n in newly {
+                    self.dispatch(n.index() - self.base);
+                }
+            };
+            let ctx = TaskCtx::with_release_hook(self.store, id, def.label, &def.spec, &hook);
+            (def.body)(&ctx);
+        }));
+
+        match result {
+            Ok(()) => {
+                // Publish write ownership *before* successors are enabled,
+                // so the heuristic routes them to this worker.
+                for o in def.spec.written_objects() {
+                    self.owners.record(o, w);
+                }
+                scratch.clear();
+                let drained = {
+                    let mut guard = lock(&self.state);
+                    let t = guard.tick();
+                    let st = &mut *guard;
+                    st.sync.complete_traced(id, scratch, &mut st.events, t, w);
+                    // `live` is decremented under the state lock so the
+                    // checkpoint cadence (capture every N completions while
+                    // tasks remain) counts exactly like the global-lock
+                    // scheduler, independent of interleaving.
+                    let remaining = self.live.fetch_sub(1, Ordering::SeqCst) - 1;
+                    st.since_ckpt += 1;
+                    if let Some(every) = self.ckpt_every {
+                        if st.since_ckpt >= every && remaining > 0 {
+                            st.since_ckpt = 0;
+                            let snap = st.sync.snapshot();
+                            let bytes = snap.encoded_len() as u64;
+                            let t = st.tick();
+                            st.events.emit(t, w, EventKind::CheckpointTaken { bytes });
+                            st.checkpoints += 1;
+                            st.last_ckpt = Some(snap);
+                        }
+                    }
+                    remaining == 0
+                };
+                for n in scratch.iter() {
+                    self.dispatch(n.index() - self.base);
+                }
+                if drained {
+                    self.wake_all();
+                }
+                true
+            }
+            Err(_) if injected && attempt + 1 < MAX_TASK_ATTEMPTS => {
+                // Recovery: quarantine the task off this (logically
+                // crashed) worker and hand it to the next one; the bumped
+                // attempt number re-rolls the fault hash. The execution and
+                // start tallies above deliberately count the failed attempt
+                // — they match the event stream's `tasks_started`.
+                self.attempts[local].store(attempt + 1, Ordering::Relaxed);
+                stats.recoveries += 1;
+                // The state lock is only needed for events and the
+                // checkpoint lookup; untraced, checkpoint-free batches
+                // recover without touching it.
+                let restored = if S::ACTIVE || self.ckpt_every.is_some() {
+                    let mut st = lock(&self.state);
+                    let t = st.tick();
+                    st.events.emit(t, w, EventKind::WorkerFailed);
+                    // With a checkpoint on file, recovery restores the
+                    // crashed task's scheduling state from it: the capture
+                    // must agree that the task had not committed (a
+                    // committed task is never re-executed).
+                    let restored = if let Some(snap) = &st.last_ckpt {
+                        debug_assert!(
+                            !snap.completed(id),
+                            "checkpoint marks crashed task {id:?} committed"
+                        );
+                        let bytes = snap.encoded_len() as u64;
+                        let t = st.tick();
+                        st.events
+                            .emit(t, w, EventKind::CheckpointRestored { bytes });
+                        true
+                    } else {
+                        false
+                    };
+                    let t = st.tick();
+                    st.events.emit_task(t, w, EventKind::TaskReExecuted, id);
+                    restored
+                } else {
+                    false
+                };
+                if restored {
+                    stats.checkpoint_restores += 1;
+                }
+                *lock(&self.bodies[local]) = Some(def);
+                // Original target kept: the re-pick on the next worker
+                // counts as neither hit nor steal, like the seed scheduler.
+                self.push_to((w + 1) % self.workers, local);
+                true
+            }
+            Err(p) => {
+                // Genuine application panic (or an exhausted retry budget):
+                // first panic wins; wake everyone so the pool drains.
+                self.record_panic(p);
+                false
+            }
+        }
+    }
+}
+
+fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>) -> BatchStats {
+    let mut rng = XorShift64::new(w as u64 + 1);
+    let mut stats = BatchStats::default();
+    let mut scratch = Vec::new();
+    loop {
+        if sh.live.load(Ordering::SeqCst) == 0 || sh.panicked.load(Ordering::SeqCst) {
+            sh.wake_all();
+            return stats;
+        }
+        // Epoch read precedes the scan: any push racing the scan either
+        // lands in it or changes the epoch and defeats the park below.
+        let epoch = sh.epoch.load(Ordering::SeqCst);
+        match sh.try_pick(w, &mut rng) {
+            Some((local, stolen)) => {
+                if !sh.execute(w, local, stolen, &mut stats, &mut scratch) {
+                    return stats;
+                }
+            }
+            None => sh.park(epoch),
+        }
+    }
+}
+
+impl ThreadRuntime {
+    fn run_sharded<S: Sink + Send>(&mut self, batch: Vec<(TaskId, TaskDef)>, events: S) {
+        let n = batch.len();
+        let base = batch[0].0.index();
+        self.owners.ensure(self.store.len());
+        let mut state = SyncState {
+            sync: std::mem::take(&mut self.sync),
+            events,
+            clock: self.event_clock,
+            since_ckpt: 0,
+            last_ckpt: None,
+            checkpoints: 0,
+        };
+        let mut ids = Vec::with_capacity(n);
+        let mut bodies = Vec::with_capacity(n);
+        let mut enabled0 = Vec::new();
+        // Register in serial program order; queue the initially-enabled.
+        for (id, def) in batch {
+            let t = state.tick();
+            let enabled = state
+                .sync
+                .add_task_traced(id, &def.spec, &mut state.events, t, 0);
+            ids.push(id);
+            bodies.push(Mutex::new(Some(def)));
+            if enabled {
+                enabled0.push(id.index() - base);
+            }
+        }
+        let workers = self.workers;
+        let sh = Sharded {
+            queues: (0..workers).map(|_| WorkerQueue::default()).collect(),
+            bodies: bodies.into_boxed_slice(),
+            ids,
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            targets: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            state: Mutex::new(state),
+            live: AtomicUsize::new(n),
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            faults: self.faults,
+            ckpt_every: self.ckpt_every,
+            owners: &self.owners,
+            store: &self.store,
+            base,
+            workers,
+        };
+        for local in enabled0 {
+            sh.dispatch(local);
+        }
+        let mut merged = BatchStats::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let sh = &sh;
+                    scope.spawn(move || sharded_worker(w, sh))
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(s) => merged.absorb(&s),
+                    // A panic outside the body's catch_unwind (a runtime
+                    // bug, not an application fault) still surfaces.
+                    Err(p) => sh.record_panic(p),
+                }
+            }
+        });
+        let Sharded {
+            state, live, panic, ..
+        } = sh;
+        let st = state.into_inner().unwrap_or_else(|e| e.into_inner());
+        self.sync = st.sync;
+        self.event_clock = st.clock;
+        self.events.extend(st.events.into_events());
+        merged.checkpoints = st.checkpoints;
+        self.last_stats = merged;
+        if let Some(p) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(p);
+        }
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "worker pool exited with live tasks"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global-lock scheduler (seed baseline, kept for A/B)
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    /// Per-worker FIFO queues of runnable batch-local task indices.
+    queues: Vec<VecDeque<usize>>,
+    /// Task bodies, taken by the executing worker.
+    bodies: Vec<Option<TaskDef>>,
+    /// Map batch-local index -> global TaskId.
+    ids: Vec<TaskId>,
+    /// Target worker per task (static locality heuristic).
+    targets: Vec<usize>,
+    sync: Synchronizer,
+    live: usize,
+    stats: BatchStats,
+    events: EventSink,
+    clock: u64,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Injected-fault plan for this batch (`None` = no injection).
+    faults: Option<FaultPlan>,
+    /// Execution attempts per batch-local task (keys the fault hash).
+    attempts: Vec<u32>,
+    /// Checkpoint interval in completed tasks (`None` = no capture).
+    ckpt_every: Option<usize>,
+    /// Completions since the last checkpoint.
+    since_ckpt: usize,
+    /// Latest captured synchronizer checkpoint; recovery consults it.
+    last_ckpt: Option<SyncSnapshot>,
+}
+
+impl Shared {
+    fn tick(&mut self) -> u64 {
+        let t = self.clock;
+        self.clock += 1;
+        t
+    }
+}
+
+impl ThreadRuntime {
+    fn run_global(&mut self, batch: Vec<(TaskId, TaskDef)>) {
         let n = batch.len();
         let mut shared = Shared {
             queues: vec![VecDeque::new(); self.workers],
@@ -310,7 +904,7 @@ impl JadeRuntime for ThreadRuntime {
             for w in 0..workers {
                 let shared = &shared;
                 let cv = &cv;
-                scope.spawn(move || worker_loop(w, workers, base, store, shared, cv));
+                scope.spawn(move || global_worker_loop(w, workers, base, store, shared, cv));
             }
         });
         let mut sh = shared.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -325,7 +919,7 @@ impl JadeRuntime for ThreadRuntime {
     }
 }
 
-fn worker_loop(
+fn global_worker_loop(
     w: usize,
     workers: usize,
     base: usize,
@@ -639,6 +1233,50 @@ mod tests {
         // Stealing is possible if a worker is slow to start, but every task
         // is either a locality hit or a steal.
         assert_eq!(s.locality_hits + s.steals, workers);
+    }
+
+    #[test]
+    fn owner_table_tracks_latest_writer() {
+        let mut t = OwnerTable::default();
+        t.ensure(3);
+        let mut spec = jade_core::AccessSpec::new();
+        spec.rd(ObjectId(0)).rd(ObjectId(2));
+        assert_eq!(t.latest_writer(&spec), None, "nothing written yet");
+        t.record(ObjectId(0), 3);
+        t.record(ObjectId(2), 1);
+        assert_eq!(
+            t.latest_writer(&spec),
+            Some(1),
+            "object 2 written most recently"
+        );
+        t.record(ObjectId(0), 2);
+        assert_eq!(t.latest_writer(&spec), Some(2), "object 0 overtook it");
+        // Objects beyond the table (created after `ensure`) are ignored.
+        let mut far = jade_core::AccessSpec::new();
+        far.rd(ObjectId(99));
+        assert_eq!(t.latest_writer(&far), None);
+    }
+
+    #[test]
+    fn producer_consumer_batches_follow_the_writer() {
+        // Cross-batch locality: batch 1 writes an object on some worker;
+        // batch 2's reader must be *targeted* at that worker (it is either
+        // a locality hit there, or explicitly counted as a steal).
+        let mut rt = ThreadRuntime::new(4);
+        let x = rt.create("x", 8, 0u64);
+        rt.submit(TaskBuilder::new("produce").wr(x).body(move |ctx| {
+            *ctx.wr(x) = 5;
+        }));
+        rt.finish();
+        let y = rt.create("y", 8, 0u64);
+        rt.submit(TaskBuilder::new("consume").rd(x).wr(y).body(move |ctx| {
+            *ctx.wr(y) = *ctx.rd(x) * 2;
+        }));
+        rt.finish();
+        assert_eq!(*rt.store().read(y), 10);
+        let s = rt.last_stats();
+        assert_eq!(s.executed, 1);
+        assert_eq!(s.locality_hits + s.steals, 1);
     }
 
     #[test]
@@ -1006,5 +1644,110 @@ mod tests {
         for (i, &o) in outs.iter().enumerate() {
             assert_eq!(*rt.store().read(o), i);
         }
+    }
+
+    /// Run the same little mixed workload on a fresh runtime in `mode`,
+    /// returning (store values, stats, events).
+    fn run_reference_workload(
+        mode: SchedMode,
+        workers: usize,
+    ) -> (Vec<u64>, BatchStats, Vec<Event>) {
+        let mut rt = ThreadRuntime::with_mode(workers, mode);
+        rt.enable_events();
+        let outs: Vec<_> = (0..24)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+            .collect();
+        let acc = rt.create("acc", 8, 0u64);
+        for (i, &o) in outs.iter().enumerate() {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = (i as u64 + 1) * 3;
+            }));
+        }
+        for &o in &outs {
+            rt.submit(TaskBuilder::new("fold").rd(o).rd_wr(acc).body(move |ctx| {
+                *ctx.wr(acc) += *ctx.rd(o);
+            }));
+        }
+        rt.finish();
+        let values = outs
+            .iter()
+            .map(|&o| *rt.store().read(o))
+            .chain(std::iter::once(*rt.store().read(acc)))
+            .collect();
+        (values, rt.last_stats(), rt.take_events())
+    }
+
+    #[test]
+    fn sharded_and_global_lock_agree_on_results_and_metrics() {
+        for workers in [1, 2, 4] {
+            let (va, sa, ea) = run_reference_workload(SchedMode::Sharded, workers);
+            let (vb, sb, eb) = run_reference_workload(SchedMode::GlobalLock, workers);
+            assert_eq!(va, vb, "bit-identical results at {workers} workers");
+            assert_eq!(sa.executed, sb.executed);
+            jade_core::check_lifecycle(&ea).unwrap();
+            jade_core::check_lifecycle(&eb).unwrap();
+            let ma = jade_core::Metrics::from_events(&ea, workers);
+            let mb = jade_core::Metrics::from_events(&eb, workers);
+            // Steal/locality counts legitimately differ between schedulers;
+            // every deterministic counter must agree.
+            assert_eq!(ma.tasks_created, mb.tasks_created);
+            assert_eq!(ma.tasks_enabled, mb.tasks_enabled);
+            assert_eq!(ma.tasks_dispatched, mb.tasks_dispatched);
+            assert_eq!(ma.tasks_started, mb.tasks_started);
+            assert_eq!(ma.tasks_completed, mb.tasks_completed);
+            assert_eq!(ma.releases, mb.releases);
+        }
+    }
+
+    #[test]
+    fn one_worker_event_streams_are_identical_across_modes() {
+        // With a single worker both schedulers are deterministic FIFO
+        // executors; their event streams must match event-for-event. This
+        // is the strongest form of the A/B equivalence the bench harness
+        // relies on.
+        let (va, _, ea) = run_reference_workload(SchedMode::Sharded, 1);
+        let (vb, _, eb) = run_reference_workload(SchedMode::GlobalLock, 1);
+        assert_eq!(va, vb);
+        assert_eq!(ea, eb, "event streams diverged at one worker");
+    }
+
+    #[test]
+    fn global_lock_mode_recovers_from_injected_faults() {
+        let mut rt = ThreadRuntime::with_mode(4, SchedMode::GlobalLock);
+        rt.inject_faults(FaultPlan {
+            panic_p: 0.3,
+            seed: 11,
+            ..FaultPlan::none()
+        });
+        let v = rt.create("v", 0, Vec::<u32>::new());
+        for i in 0..40u32 {
+            rt.submit(TaskBuilder::new("push").wr(v).body(move |ctx| {
+                ctx.wr(v).push(i);
+            }));
+        }
+        rt.finish();
+        assert_eq!(*rt.store().read(v), (0..40).collect::<Vec<_>>());
+        assert!(rt.last_stats().recoveries > 0);
+    }
+
+    #[test]
+    fn sharded_survives_thousands_of_tiny_tasks() {
+        // Scheduler stress: overhead-dominated tasks across many wake/park
+        // cycles; exercises the epoch-parking protocol for lost wakeups.
+        let mut rt = ThreadRuntime::new(8);
+        let counters: Vec<_> = (0..16)
+            .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+            .collect();
+        for i in 0..2000 {
+            let c = counters[i % 16];
+            rt.submit(TaskBuilder::new("inc").rd_wr(c).body(move |ctx| {
+                *ctx.wr(c) += 1;
+            }));
+        }
+        rt.finish();
+        for &c in &counters {
+            assert_eq!(*rt.store().read(c), 125);
+        }
+        assert_eq!(rt.last_stats().executed, 2000);
     }
 }

@@ -1,0 +1,170 @@
+//! Differential determinism between the two thread-backend schedulers.
+//!
+//! The sharded work-stealing executor must be *observationally identical*
+//! to the seed single-lock scheduler: for any random task DAG, any worker
+//! count and any injected-fault plan, both modes must produce bit-identical
+//! application results and the same deterministic event counters. Stealing
+//! and locality splits are scheduling accidents and legitimately differ;
+//! everything Jade semantics pins down must not.
+
+use jade::core::Metrics;
+use jade::threads::FaultPlan;
+use jade::{JadeRuntime, SchedMode, TaskBuilder, ThreadRuntime};
+use proptest::prelude::*;
+
+const OBJECTS: usize = 4;
+
+/// A random program: for each task, a set of (object, is_write) accesses.
+fn program_strategy(max_tasks: usize) -> impl Strategy<Value = Vec<Vec<(u8, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec(((0..OBJECTS as u8), any::<bool>()), 0..5),
+        1..max_tasks,
+    )
+}
+
+/// The interleaving-independent slice of the metrics. Steals, locality
+/// hits and checkpoint restores depend on timing; these do not.
+type Counters = (usize, usize, usize, usize, usize, u64, u64, u64, u64);
+
+fn deterministic_counters(m: &Metrics) -> Counters {
+    (
+        m.tasks_created,
+        m.tasks_enabled,
+        m.tasks_dispatched,
+        m.tasks_started,
+        m.tasks_completed,
+        m.releases,
+        m.workers_failed,
+        m.tasks_reexecuted,
+        m.checkpoints,
+    )
+}
+
+/// Run `prog` on a fresh runtime in `mode`; return the final value of every
+/// object (each task appends its id to each object it writes) plus the
+/// deterministic counters.
+fn run_mode(
+    prog: &[Vec<(u8, bool)>],
+    workers: usize,
+    mode: SchedMode,
+    plan: Option<FaultPlan>,
+) -> (Vec<Vec<u32>>, Counters) {
+    let mut rt = ThreadRuntime::with_mode(workers, mode);
+    rt.enable_events();
+    if let Some(p) = plan {
+        rt.inject_faults(p);
+    }
+    let objs: Vec<_> = (0..OBJECTS)
+        .map(|i| rt.create(&format!("o{i}"), 8, Vec::<u32>::new()))
+        .collect();
+    for (i, accesses) in prog.iter().enumerate() {
+        let mut tb = TaskBuilder::new("p");
+        let mut writes = Vec::new();
+        let mut seen = [false; OBJECTS];
+        for &(o, w) in accesses {
+            let o = o as usize % OBJECTS;
+            if seen[o] {
+                continue;
+            }
+            seen[o] = true;
+            if w {
+                tb = tb.rd_wr(objs[o]);
+                writes.push(objs[o]);
+            } else {
+                tb = tb.rd(objs[o]);
+            }
+        }
+        rt.submit(tb.body(move |ctx| {
+            for &h in &writes {
+                ctx.wr(h).push(i as u32);
+            }
+        }));
+    }
+    rt.finish();
+    let results = objs.iter().map(|&h| rt.store().read(h).clone()).collect();
+    let events = rt.take_events();
+    jade::core::check_lifecycle(&events).expect("lifecycle holds");
+    let m = Metrics::from_events(&events, workers);
+    (results, deterministic_counters(&m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free: both schedulers agree on results and counters for every
+    /// worker count.
+    #[test]
+    fn modes_agree_without_faults(prog in program_strategy(40)) {
+        for workers in [1usize, 2, 4, 8] {
+            let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, None);
+            let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, None);
+            prop_assert_eq!(&ra, &rb, "results diverged at {} workers", workers);
+            prop_assert_eq!(ca, cb, "counters diverged at {} workers", workers);
+        }
+    }
+
+    /// Under injected crashes (and checkpointing), recovery keeps both
+    /// schedulers bit-identical: `FaultPlan::task_fails` is a pure hash of
+    /// (seed, task, attempt), so even the re-execution counts must match.
+    #[test]
+    fn modes_agree_under_fault_injection(
+        prog in program_strategy(30),
+        seed in any::<u64>(),
+        wsel in 0usize..4,
+        psel in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 4, 8][wsel];
+        let panic_p = [0.1, 0.3, 0.5][psel];
+        let plan = FaultPlan {
+            panic_p,
+            seed,
+            checkpoint: Some(jade::dsim::SimDuration::from_secs_f64(5.0)),
+            ..FaultPlan::none()
+        };
+        let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, Some(plan));
+        let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, Some(plan));
+        prop_assert_eq!(&ra, &rb, "results diverged: {} workers, p={}", workers, panic_p);
+        prop_assert_eq!(ca, cb, "counters diverged: {} workers, p={}", workers, panic_p);
+    }
+
+    /// One worker erases all scheduling freedom: the two modes must emit
+    /// *identical event streams*, not just identical counters.
+    #[test]
+    fn one_worker_streams_identical(prog in program_strategy(25)) {
+        let run = |mode: SchedMode| {
+            let mut rt = ThreadRuntime::with_mode(1, mode);
+            rt.enable_events();
+            let objs: Vec<_> = (0..OBJECTS)
+                .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+                .collect();
+            for (i, accesses) in prog.iter().enumerate() {
+                let mut tb = TaskBuilder::new("p");
+                let mut writes = Vec::new();
+                let mut seen = [false; OBJECTS];
+                for &(o, w) in accesses {
+                    let o = o as usize % OBJECTS;
+                    if seen[o] {
+                        continue;
+                    }
+                    seen[o] = true;
+                    if w {
+                        tb = tb.rd_wr(objs[o]);
+                        writes.push(objs[o]);
+                    } else {
+                        tb = tb.rd(objs[o]);
+                    }
+                }
+                rt.submit(tb.body(move |ctx| {
+                    for &h in &writes {
+                        *ctx.wr(h) += i as u64;
+                    }
+                }));
+            }
+            rt.finish();
+            rt.take_events()
+        };
+        let ea = run(SchedMode::Sharded);
+        let eb = run(SchedMode::GlobalLock);
+        prop_assert_eq!(ea, eb, "one-worker event streams diverged");
+    }
+}
