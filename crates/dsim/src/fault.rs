@@ -158,13 +158,28 @@ impl FaultPlan {
     /// Example: `drop=0.05,dup=0.02,stall=0.01:0.005,fail=3@0.5,seed=42`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',').filter(|s| !s.is_empty()) {
             let (key, val) = part
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec `{part}`: expected key=value"))?;
             let prob = |v: &str| -> Result<f64, String> {
-                v.parse::<f64>()
-                    .map_err(|_| format!("fault spec `{part}`: bad probability `{v}`"))
+                let p = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("fault spec `{part}`: bad probability `{v}`"))?;
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    return Err(format!(
+                        "fault spec `{part}`: probability `{v}` not in [0, 1]"
+                    ));
+                }
+                Ok(p)
+            };
+            // Checked seconds→SimDuration: negative, non-finite or
+            // overflowing values are parse errors naming the offending
+            // entry, never panics.
+            let dur = |s: f64| -> Result<SimDuration, String> {
+                SimDuration::try_from_secs_f64(s)
+                    .ok_or_else(|| format!("fault spec `{part}`: bad duration `{s}`"))
             };
             let prob_dur = |v: &str, default_s: f64| -> Result<(f64, SimDuration), String> {
                 let (p, s) = match v.split_once(':') {
@@ -175,11 +190,15 @@ impl FaultPlan {
                     ),
                     None => (prob(v)?, default_s),
                 };
-                if !(s.is_finite() && s >= 0.0) {
-                    return Err(format!("fault spec `{part}`: negative duration"));
-                }
-                Ok((p, SimDuration::from_secs_f64(s)))
+                Ok((p, dur(s)?))
             };
+            // `ckpt` and `checkpoint` are aliases for the same key; a spec
+            // naming both (or repeating any key) is ambiguous — one value
+            // would silently win — so reject it by canonical name.
+            let canonical = if key == "checkpoint" { "ckpt" } else { key };
+            if seen.contains(&canonical) {
+                return Err(format!("fault spec: duplicate key `{canonical}`"));
+            }
             match key {
                 "drop" => plan.drop_p = prob(val)?,
                 "dup" => plan.dup_p = prob(val)?,
@@ -193,10 +212,10 @@ impl FaultPlan {
                     let s = val
                         .parse::<f64>()
                         .map_err(|_| format!("fault spec `{part}`: bad interval `{val}`"))?;
-                    if !(s.is_finite() && s > 0.0) {
+                    if s <= 0.0 {
                         return Err(format!("fault spec `{part}`: interval must be > 0"));
                     }
-                    plan.checkpoint = Some(SimDuration::from_secs_f64(s));
+                    plan.checkpoint = Some(dur(s)?);
                 }
                 "seed" => {
                     plan.seed = val
@@ -217,14 +236,13 @@ impl FaultPlan {
                             0.0,
                         ),
                     };
-                    if !(at_s.is_finite() && at_s >= 0.0) {
-                        return Err(format!("fault spec `{part}`: negative fail time"));
-                    }
                     plan.fail_proc = Some(proc);
-                    plan.fail_at = SimDuration::from_secs_f64(at_s);
+                    plan.fail_at = SimDuration::try_from_secs_f64(at_s)
+                        .ok_or_else(|| format!("fault spec `{part}`: bad fail time `{at_s}`"))?;
                 }
                 other => return Err(format!("fault spec: unknown key `{other}`")),
             }
+            seen.push(canonical);
         }
         plan.validate()?;
         Ok(plan)
@@ -426,6 +444,54 @@ mod tests {
         assert!(FaultPlan::parse("ckpt=0").is_err());
         assert!(FaultPlan::parse("ckpt=-1").is_err());
         assert!(FaultPlan::parse("ckpt=x").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_entry() {
+        // Every malformed entry must come back as an error naming the
+        // entry, never a panic — these inputs reach `parse` straight from
+        // the `--faults` command line.
+        for (spec, needle) in [
+            ("ckpt=", "ckpt="),
+            ("ckpt=nan", "ckpt=nan"),
+            ("drop=-0.5", "drop=-0.5"),
+            ("drop=inf", "drop=inf"),
+            ("panic=two", "panic=two"),
+            ("delay=0.1:huge", "delay=0.1:huge"),
+            ("seed=-1", "seed=-1"),
+            ("fail=1@-2", "fail=1@-2"),
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "`{spec}` error `{err}` lacks `{needle}`"
+            );
+        }
+        // Out-of-range magnitudes used to panic inside the picosecond
+        // conversion (`virtual time overflow`); they must error instead.
+        for spec in [
+            "ckpt=1e30",
+            "delay=0.1:1e30",
+            "stall=0.1:1e300",
+            "fail=1@1e30",
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains("fault spec"), "`{spec}`: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        let err = FaultPlan::parse("drop=0.1,drop=0.2").unwrap_err();
+        assert!(err.contains("duplicate key `drop`"), "{err}");
+        // `ckpt` and `checkpoint` alias the same key; naming both is a
+        // duplicate under the canonical name.
+        let err = FaultPlan::parse("ckpt=0.5,checkpoint=1.0").unwrap_err();
+        assert!(err.contains("duplicate key `ckpt`"), "{err}");
+        let err = FaultPlan::parse("seed=1,drop=0.1,seed=2").unwrap_err();
+        assert!(err.contains("duplicate key `seed`"), "{err}");
+        // Distinct keys still compose fine.
+        assert!(FaultPlan::parse("drop=0.1,dup=0.1,seed=3").is_ok());
     }
 
     #[test]

@@ -57,6 +57,17 @@ impl SimDuration {
         SimDuration(secs_to_ps(s))
     }
 
+    /// Fallible conversion for untrusted input (`--faults` specs): `None`
+    /// when `s` is negative, non-finite, or too large to represent in
+    /// picoseconds — where [`from_secs_f64`](Self::from_secs_f64) panics.
+    pub fn try_from_secs_f64(s: f64) -> Option<SimDuration> {
+        if !(s >= 0.0 && s.is_finite()) {
+            return None;
+        }
+        let ps = s * PS_PER_SEC as f64;
+        (ps < u64::MAX as f64).then_some(SimDuration(ps as u64))
+    }
+
     #[inline]
     pub fn from_micros_f64(us: f64) -> SimDuration {
         SimDuration::from_secs_f64(us * 1e-6)

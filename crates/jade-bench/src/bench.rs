@@ -5,28 +5,45 @@
 //! work on the runtime itself has a regression gate:
 //!
 //! * **thread backend** — all four applications plus a scheduler-stress
-//!   microbenchmark, across 1/2/4/8 workers, in both [`SchedMode::Sharded`]
-//!   (the per-worker-deque scheduler) and [`SchedMode::GlobalLock`] (the
-//!   seed single-lock scheduler) for A/B → `BENCH_threads.json`;
+//!   microbenchmark, across worker counts clamped to the host's cpus, in
+//!   both [`SchedMode::Sharded`] (the per-worker-deque scheduler) and
+//!   [`SchedMode::GlobalLock`] (the seed single-lock scheduler), and in
+//!   both batch policies (`batch=1` per-task flushing vs `batch=auto`
+//!   drain-buffer batching) → `BENCH_threads.json`;
 //! * **simulators** — host cost of simulating each application on DASH and
-//!   the iPSC/860 at 1/2/4/8 procs → `BENCH_sim.json`.
+//!   the iPSC/860 at 1/2/4/8 procs → `BENCH_sim.json` (simulated procs run
+//!   on one host thread, so this sweep is never clamped).
 //!
 //! Methodology: one warmup run, then `reps` timed runs, aggregated by
 //! trimmed mean (min and max dropped when `reps >= 3`). Before any timing,
-//! an untimed verification pass checks the two scheduler modes produce
-//! bit-identical application outputs and matching deterministic event
-//! counters (and, at one worker, *identical event streams*). JSON is
-//! written to `BENCH_*.tmp` then renamed, so interrupted runs never leave a
-//! truncated committed file.
+//! an untimed verification pass checks that scheduler modes and batch
+//! policies all produce bit-identical application outputs and matching
+//! deterministic event counters (and, at one worker, *identical event
+//! streams*). JSON is written to `BENCH_*.tmp` then renamed, so
+//! interrupted runs never leave a truncated committed file.
 
 use crate::apps::App;
 use jade_apps::{cholesky, ocean, string_app, water};
 use jade_core::{JadeRuntime, TaskBuilder};
-use jade_threads::{SchedMode, ThreadRuntime};
+use jade_threads::{BatchPolicy, SchedMode, ThreadRuntime};
 use std::time::Instant;
 
-/// Worker / processor counts every benchmark sweeps.
+/// Worker / processor counts the benchmarks sweep before clamping.
 pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The thread-backend worker sweep, clamped to the host's cpus (always
+/// keeping 1). Timing more workers than cpus silently oversubscribes the
+/// host — the extra threads time-slice instead of running in parallel, so
+/// a downstream reader would mistake preemption contention for scaling.
+/// The simulator sweep intentionally does NOT use this: simulated procs
+/// all run on one host thread.
+fn worker_counts(cpus: usize) -> Vec<usize> {
+    WORKER_COUNTS
+        .iter()
+        .copied()
+        .filter(|&w| w == 1 || w <= cpus)
+        .collect()
+}
 
 /// One timed configuration's aggregated result.
 struct BenchResult {
@@ -34,16 +51,28 @@ struct BenchResult {
     app: String,
     workers: usize,
     mode: Option<SchedMode>,
+    /// Drain-buffer policy (thread backend only).
+    batch: Option<BatchPolicy>,
     tasks: usize,
     secs: f64,
     reps_secs: Vec<f64>,
     /// Simulated execution time (simulator benchmarks only).
     sim_exec_s: Option<f64>,
+    /// Synchronizer-lock acquisitions and tasks executed over one run
+    /// (thread backend only) — the lock-amortization figure.
+    sync_locks: Option<(usize, usize)>,
 }
 
 impl BenchResult {
     fn tasks_per_sec(&self) -> f64 {
         self.tasks as f64 / self.secs.max(1e-12)
+    }
+
+    /// Synchronizer-lock acquisitions per executed task; below 1.0 means
+    /// the drain buffer amortized the lock.
+    fn lock_acq_per_task(&self) -> Option<f64> {
+        self.sync_locks
+            .map(|(locks, executed)| locks as f64 / (executed.max(1)) as f64)
     }
 }
 
@@ -172,10 +201,20 @@ fn mode_name(mode: SchedMode) -> &'static str {
     }
 }
 
+/// The JSON tag for a batch policy: `"1"` (flush per task) or `"auto"`.
+fn batch_name(policy: BatchPolicy) -> &'static str {
+    match policy {
+        BatchPolicy::PerTask => "1",
+        BatchPolicy::Auto => "auto",
+    }
+}
+
 /// Verification pass (untimed): for every workload × worker count, the
 /// sharded scheduler and the seed `GlobalLock` scheduler must produce
 /// bit-identical application outputs and matching deterministic event
 /// counters; at one worker the complete event streams must be identical.
+/// Both checks also run across batch policies: batched (`auto`) and
+/// per-task (`1`) flushing must be indistinguishable except in speed.
 fn verify_modes(quick: bool, stress_tasks: usize, workloads: &[Option<App>]) -> Result<(), String> {
     for &app in workloads {
         let name = workload_name(app);
@@ -187,6 +226,21 @@ fn verify_modes(quick: bool, stress_tasks: usize, workloads: &[Option<App>]) -> 
                 let events = rt.take_events();
                 (out, events)
             };
+            // Batched vs per-task flushing, untraced so the drain buffers
+            // genuinely fill: outputs must be bit-identical per mode.
+            for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+                let run_policy = |policy: BatchPolicy| {
+                    let mut rt = ThreadRuntime::with_mode(workers, mode);
+                    rt.set_batch_policy(policy);
+                    run_workload(app, &mut rt, quick, stress_tasks)
+                };
+                if run_policy(BatchPolicy::Auto) != run_policy(BatchPolicy::PerTask) {
+                    return Err(format!(
+                        "{name} @ {workers} workers {}: batched output differs from batch=1",
+                        mode_name(mode)
+                    ));
+                }
+            }
             let (oa, ea) = run(SchedMode::Sharded);
             let (ob, eb) = run(SchedMode::GlobalLock);
             if oa != ob {
@@ -246,25 +300,45 @@ fn task_count(app: Option<App>, procs: usize, quick: bool, stress_tasks: usize) 
     }
 }
 
-fn time_threads(
-    app: Option<App>,
-    workers: usize,
-    mode: SchedMode,
+/// Sweep-invariant timing parameters shared by every thread-backend row.
+struct SweepCfg {
     quick: bool,
     stress_tasks: usize,
     warmup: usize,
     reps: usize,
+}
+
+fn time_threads(
+    app: Option<App>,
+    workers: usize,
+    mode: SchedMode,
+    policy: BatchPolicy,
+    cfg: &SweepCfg,
 ) -> BenchResult {
+    let SweepCfg {
+        quick,
+        stress_tasks,
+        warmup,
+        reps,
+    } = *cfg;
     let mut reps_secs = Vec::with_capacity(reps);
     let mut reference: Option<Output> = None;
+    let mut sync_locks = (0, 0);
     for i in 0..warmup + reps {
         let mut rt = ThreadRuntime::with_mode(workers, mode);
+        rt.set_batch_policy(policy);
         let t0 = Instant::now();
         let out = run_workload(app, &mut rt, quick, stress_tasks);
         let dt = t0.elapsed().as_secs_f64();
         if i >= warmup {
             reps_secs.push(dt);
         }
+        // The lock-amortization figure: acquisitions of the lock guarding
+        // the synchronizer across every batch of the run, per executed
+        // task. Identical across reps up to idle-flush timing; the last
+        // rep's value is reported.
+        let total = rt.total_stats();
+        sync_locks = (total.sync_locks, total.executed);
         // Bit-identity across repetitions (and hence across schedulers,
         // verified against GlobalLock in `verify_modes`).
         match &reference {
@@ -277,10 +351,12 @@ fn time_threads(
         app: workload_name(app).to_string(),
         workers,
         mode: Some(mode),
+        batch: Some(policy),
         tasks: task_count(app, workers, quick, stress_tasks),
         secs: trimmed_mean(&reps_secs),
         reps_secs,
         sim_exec_s: None,
+        sync_locks: Some(sync_locks),
     }
 }
 
@@ -317,10 +393,12 @@ fn time_sim(app: App, procs: usize, quick: bool, warmup: usize, reps: usize) -> 
             app: app.name().to_string(),
             workers: procs,
             mode: None,
+            batch: None,
             tasks,
             secs: trimmed_mean(&reps_secs),
             reps_secs,
             sim_exec_s: Some(sim_exec_s),
+            sync_locks: None,
         });
     }
     out
@@ -338,7 +416,7 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"jade-bench/v1\",\n");
+    s.push_str("  \"schema\": \"jade-bench/v2\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"host\": {{ \"cpus\": {cpus} }},\n"));
     s.push_str(&format!("  \"warmup\": {warmup},\n"));
@@ -359,6 +437,9 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
         if let Some(m) = r.mode {
             s.push_str(&format!("\"mode\": \"{}\", ", mode_name(m)));
         }
+        if let Some(b) = r.batch {
+            s.push_str(&format!("\"batch\": \"{}\", ", batch_name(b)));
+        }
         s.push_str(&format!(
             "\"tasks\": {}, \"secs\": {}, \"tasks_per_sec\": {}, \"reps_secs\": [{}]",
             r.tasks,
@@ -369,6 +450,12 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
         if let Some(sim) = r.sim_exec_s {
             s.push_str(&format!(", \"sim_exec_s\": {}", json_f(sim)));
         }
+        if let (Some((locks, _)), Some(per_task)) = (r.sync_locks, r.lock_acq_per_task()) {
+            s.push_str(&format!(
+                ", \"sync_locks\": {locks}, \"lock_acq_per_task\": {}",
+                json_f(per_task)
+            ));
+        }
         s.push_str(" }");
         if i + 1 < results.len() {
             s.push(',');
@@ -376,17 +463,26 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
         s.push('\n');
     }
     s.push_str("  ],\n");
-    // A/B speedups per (app, workers): sharded vs GlobalLock tasks/sec.
+    // A/B speedups per (app, workers, batch): sharded vs GlobalLock
+    // tasks/sec, compared at equal batch policy.
     let mut comps = Vec::new();
     for r in results {
         if r.mode != Some(SchedMode::Sharded) {
             continue;
         }
         if let Some(g) = results.iter().find(|o| {
-            o.mode == Some(SchedMode::GlobalLock) && o.app == r.app && o.workers == r.workers
+            o.mode == Some(SchedMode::GlobalLock)
+                && o.app == r.app
+                && o.workers == r.workers
+                && o.batch == r.batch
         }) {
+            let batch_tag = r
+                .batch
+                .map(|b| format!("\"batch\": \"{}\", ", batch_name(b)))
+                .unwrap_or_default();
             comps.push(format!(
-                "    {{ \"app\": \"{}\", \"workers\": {}, \"sharded_tasks_per_sec\": {}, \
+                "    {{ \"app\": \"{}\", \"workers\": {}, {batch_tag}\
+                 \"sharded_tasks_per_sec\": {}, \
                  \"global_lock_tasks_per_sec\": {}, \"speedup\": {} }}",
                 r.app,
                 r.workers,
@@ -432,23 +528,65 @@ pub fn run(quick: bool) -> Result<(), String> {
     println!("== repro bench: verification pass (untimed) ==");
     verify_modes(quick, stress_tasks, &workloads)?;
 
+    let counts = worker_counts(cpus);
+    if counts.len() < WORKER_COUNTS.len() {
+        println!(
+            "worker sweep clamped to {counts:?} ({cpus} cpu(s); timing more \
+             workers than cpus would measure oversubscription, not scaling)"
+        );
+    }
     println!("== repro bench: thread backend ({warmup} warmup + {reps} reps, trimmed mean) ==");
+    let cfg = SweepCfg {
+        quick,
+        stress_tasks,
+        warmup,
+        reps,
+    };
     let mut thread_results = Vec::new();
     for &app in &workloads {
-        for &workers in &WORKER_COUNTS {
+        for &workers in &counts {
             for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
-                let r = time_threads(app, workers, mode, quick, stress_tasks, warmup, reps);
-                println!(
-                    "  {:>14} w={} {:<10} {:>10.1} tasks/s ({:.4}s, {} tasks)",
-                    r.app,
-                    r.workers,
-                    mode_name(mode),
-                    r.tasks_per_sec(),
-                    r.secs,
-                    r.tasks
-                );
-                thread_results.push(r);
+                for policy in [BatchPolicy::PerTask, BatchPolicy::Auto] {
+                    let r = time_threads(app, workers, mode, policy, &cfg);
+                    println!(
+                        "  {:>14} w={} {:<10} batch={:<4} {:>10.1} tasks/s \
+                         ({:.4}s, {} tasks, {:.3} locks/task)",
+                        r.app,
+                        r.workers,
+                        mode_name(mode),
+                        batch_name(policy),
+                        r.tasks_per_sec(),
+                        r.secs,
+                        r.tasks,
+                        r.lock_acq_per_task().unwrap_or(f64::NAN)
+                    );
+                    thread_results.push(r);
+                }
             }
+        }
+    }
+    // The tentpole's acceptance gate: on the scheduler-stress workload the
+    // sharded batched configuration must actually amortize — strictly
+    // fewer synchronizer-lock acquisitions than tasks.
+    for r in &thread_results {
+        if r.app == "SchedStress"
+            && r.mode == Some(SchedMode::Sharded)
+            && r.batch == Some(BatchPolicy::Auto)
+        {
+            let per_task = r.lock_acq_per_task().unwrap_or(f64::NAN);
+            // NaN (no lock data) must fail the gate, hence the inverted test.
+            if per_task.partial_cmp(&1.0) != Some(std::cmp::Ordering::Less) {
+                return Err(format!(
+                    "lock amortization failed: SchedStress sharded batch=auto at \
+                     {} workers took {per_task:.3} lock acquisitions per task (>= 1.0)",
+                    r.workers
+                ));
+            }
+            println!(
+                "lock amortization ok: SchedStress sharded batch=auto w={} at \
+                 {per_task:.3} locks/task",
+                r.workers
+            );
         }
     }
     write_json(
@@ -482,29 +620,31 @@ pub fn run(quick: bool) -> Result<(), String> {
     println!("wrote BENCH_sim.json");
 
     // Sanity floor (not a flaky threshold): with real parallelism
-    // available, 8 sharded workers must not be slower than 1 on Water.
+    // available, the widest swept worker count must not be slower than 1
+    // worker on Water. The sweep is clamped to `cpus`, so the comparison
+    // never measures oversubscription.
     let tps = |workers: usize| {
         thread_results
             .iter()
             .find(|r| {
-                r.app == "Water" && r.workers == workers && r.mode == Some(SchedMode::Sharded)
+                r.app == "Water"
+                    && r.workers == workers
+                    && r.mode == Some(SchedMode::Sharded)
+                    && r.batch == Some(BatchPolicy::Auto)
             })
             .map(|r| r.tasks_per_sec())
             .unwrap_or(0.0)
     };
-    if cpus >= 2 {
-        let (t1, t8) = (tps(1), tps(8));
-        if t8 < t1 {
+    let wmax = counts.last().copied().unwrap_or(1);
+    if cpus >= 2 && wmax > 1 {
+        let (t1, tw) = (tps(1), tps(wmax));
+        if tw < t1 {
             return Err(format!(
-                "sanity floor violated: Water sharded 8-worker throughput \
-                 {t8:.1} tasks/s < 1-worker {t1:.1} tasks/s on a {cpus}-cpu host"
+                "sanity floor violated: Water sharded {wmax}-worker throughput \
+                 {tw:.1} tasks/s < 1-worker {t1:.1} tasks/s on a {cpus}-cpu host"
             ));
         }
-        println!(
-            "sanity floor ok: Water sharded 8w {:.1} >= 1w {:.1} tasks/s",
-            tps(8),
-            tps(1)
-        );
+        println!("sanity floor ok: Water sharded {wmax}w {tw:.1} >= 1w {t1:.1} tasks/s");
     } else {
         println!(
             "sanity floor skipped: host has {cpus} cpu(s); \
@@ -541,20 +681,24 @@ mod tests {
             app: "Water".to_string(),
             workers: 2,
             mode: Some(SchedMode::Sharded),
+            batch: Some(BatchPolicy::Auto),
             tasks: 10,
             secs: 0.5,
             reps_secs: vec![0.4, 0.5, 0.6],
             sim_exec_s: None,
+            sync_locks: Some((4, 10)),
         };
         let g = BenchResult {
             backend: "threads",
             app: "Water".to_string(),
             workers: 2,
             mode: Some(SchedMode::GlobalLock),
+            batch: Some(BatchPolicy::Auto),
             tasks: 10,
             secs: 1.0,
             reps_secs: vec![1.0, 1.0, 1.0],
             sim_exec_s: None,
+            sync_locks: Some((12, 10)),
         };
         let s = render_json(true, 1, 3, &[r, g]);
         assert_eq!(
@@ -562,7 +706,30 @@ mod tests {
             s.matches('}').count(),
             "balanced braces:\n{s}"
         );
-        assert!(s.contains("\"schema\": \"jade-bench/v1\""));
+        assert!(s.contains("\"schema\": \"jade-bench/v2\""));
+        assert!(s.contains("\"batch\": \"auto\""));
+        assert!(s.contains("\"sync_locks\": 4"));
+        assert!(s.contains("\"lock_acq_per_task\": 0.400000"));
         assert!(s.contains("\"speedup\": 2.000000"));
+    }
+
+    #[test]
+    fn worker_sweep_clamps_to_host_cpus() {
+        assert_eq!(worker_counts(1), vec![1], "1 always kept");
+        assert_eq!(worker_counts(2), vec![1, 2]);
+        assert_eq!(worker_counts(3), vec![1, 2]);
+        assert_eq!(worker_counts(4), vec![1, 2, 4]);
+        assert_eq!(worker_counts(8), vec![1, 2, 4, 8]);
+        assert_eq!(worker_counts(64), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn batch_policies_agree_on_stress_output() {
+        let run = |policy: BatchPolicy| {
+            let mut rt = ThreadRuntime::with_mode(4, SchedMode::Sharded);
+            rt.set_batch_policy(policy);
+            run_stress(&mut rt, 400)
+        };
+        assert!(run(BatchPolicy::Auto) == run(BatchPolicy::PerTask));
     }
 }

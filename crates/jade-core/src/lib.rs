@@ -57,6 +57,6 @@ pub use events::{
 pub use ids::{Handle, LocalityMode, ObjectId, ProcId, TaskId, MAIN_PROC};
 pub use runtime::JadeRuntime;
 pub use store::{ReadGuard, Store, WriteGuard};
-pub use synchronizer::{SyncSnapshot, Synchronizer};
+pub use synchronizer::{SyncSnapshot, Synchronizer, Transition, TransitionBatch};
 pub use task::{TaskBody, TaskBuilder, TaskCtx, TaskDef};
 pub use trace::{ObjectRecord, TaskRecord, Trace, TraceBuilder, TraceRuntime};

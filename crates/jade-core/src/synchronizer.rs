@@ -50,6 +50,80 @@ struct DeclSlot {
     released: bool,
 }
 
+/// One synchronizer state transition, queueable in a [`TransitionBatch`].
+///
+/// The two ways a task gives up granted accesses: completing (retiring
+/// every remaining declaration) or a mid-task release of one declaration
+/// (Jade's pipelining statements).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// The task finished; retire all of its unreleased declarations.
+    Complete(TaskId),
+    /// Mid-task retirement of the task's declaration on one object.
+    Release(TaskId, ObjectId),
+}
+
+/// A queue of synchronizer transitions applied together by
+/// [`Synchronizer::apply_batch`] under the caller's single lock
+/// acquisition. Executors accumulate locally-finished tasks here (a
+/// per-worker drain buffer) instead of taking the synchronizer lock once
+/// per completion.
+///
+/// Transitions are applied strictly in push order, so the set of newly
+/// enabled tasks — and their order — is exactly what N individual
+/// [`Synchronizer::complete`]/[`Synchronizer::release`] calls in the same
+/// order would produce.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransitionBatch {
+    items: Vec<Transition>,
+}
+
+impl TransitionBatch {
+    pub fn new() -> TransitionBatch {
+        TransitionBatch::default()
+    }
+
+    /// Queue a task completion.
+    pub fn complete(&mut self, id: TaskId) {
+        self.items.push(Transition::Complete(id));
+    }
+
+    /// Queue a mid-task release of `object` by `id`.
+    pub fn release(&mut self, id: TaskId, object: ObjectId) {
+        self.items.push(Transition::Release(id, object));
+    }
+
+    /// Queued transitions, in application order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.items
+    }
+
+    /// Number of queued [`Transition::Complete`] entries.
+    pub fn completions(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|t| matches!(t, Transition::Complete(_)))
+            .count()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Remove and return every queued transition, in order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Transition> {
+        self.items.drain(..)
+    }
+
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
 /// A not-yet-granted access parked in an object's waiting queue.
 #[derive(Clone, Copy, Debug)]
 struct Waiter {
@@ -280,6 +354,69 @@ impl Synchronizer {
             if ts.ungranted == 0 {
                 newly_enabled.push(task);
             }
+        }
+    }
+
+    /// Apply one queued [`Transition`] — dispatch to
+    /// [`complete`](Self::complete) or [`release`](Self::release).
+    pub fn apply(&mut self, tr: Transition, newly_enabled: &mut Vec<TaskId>) {
+        match tr {
+            Transition::Complete(id) => self.complete(id, newly_enabled),
+            Transition::Release(id, object) => self.release(id, object, newly_enabled),
+        }
+    }
+
+    /// [`apply`](Self::apply) plus event emission, matching
+    /// [`complete_traced`](Self::complete_traced) /
+    /// [`release_traced`](Self::release_traced) exactly.
+    pub fn apply_traced<S: Sink>(
+        &mut self,
+        tr: Transition,
+        newly_enabled: &mut Vec<TaskId>,
+        events: &mut S,
+        time_ps: u64,
+        proc: ProcId,
+    ) {
+        match tr {
+            Transition::Complete(id) => {
+                self.complete_traced(id, newly_enabled, events, time_ps, proc)
+            }
+            Transition::Release(id, object) => {
+                self.release_traced(id, object, newly_enabled, events, time_ps, proc)
+            }
+        }
+    }
+
+    /// Drain `batch`, applying every queued transition in push order under
+    /// this one call — the executor holds its synchronizer lock once for
+    /// the whole batch instead of once per completion. Newly enabled tasks
+    /// are appended to `newly_enabled` in deterministic order: exactly the
+    /// concatenation that the same sequence of individual
+    /// [`complete`](Self::complete)/[`release`](Self::release) calls would
+    /// produce.
+    pub fn apply_batch(&mut self, batch: &mut TransitionBatch, newly_enabled: &mut Vec<TaskId>) {
+        for tr in batch.items.drain(..) {
+            self.apply(tr, newly_enabled);
+        }
+    }
+
+    /// [`apply_batch`](Self::apply_batch) plus event emission: each
+    /// transition asks `clock` for its own timestamp and emits the same
+    /// `TaskCompleted`/`AccessReleased` + `TaskEnabled` sequence as the
+    /// equivalent individual `*_traced` calls, so a batched event stream is
+    /// bit-identical to an unbatched one applying the same transitions in
+    /// the same order.
+    pub fn apply_batch_traced<S: Sink>(
+        &mut self,
+        batch: &mut TransitionBatch,
+        newly_enabled: &mut Vec<TaskId>,
+        events: &mut S,
+        clock: &mut impl FnMut() -> u64,
+        proc: ProcId,
+    ) {
+        for tr in batch.items.drain(..) {
+            let t = clock();
+            self.apply_traced(tr, newly_enabled, events, t, proc);
         }
     }
 
@@ -973,6 +1110,120 @@ mod tests {
             assert!(e.is_empty());
         }
         assert!(sync.all_complete());
+    }
+
+    /// Build the same mixed DAG twice: writer chains, a read fan-out and a
+    /// trailing writer across three objects.
+    fn mixed_dag() -> Synchronizer {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[], &[0, 1]));
+        sync.add_task(TaskId(1), &spec(&[0], &[]));
+        sync.add_task(TaskId(2), &spec(&[0], &[2]));
+        sync.add_task(TaskId(3), &spec(&[1, 2], &[]));
+        sync.add_task(TaskId(4), &spec(&[], &[0]));
+        sync
+    }
+
+    #[test]
+    fn batch_apply_matches_individual_transitions() {
+        // Applying [release(0,0), complete(0), complete(1)] as one batch
+        // must yield the same enables, in the same order, as the three
+        // individual calls.
+        let mut a = mixed_dag();
+        let mut b = mixed_dag();
+        let mut ea = Vec::new();
+        a.release(TaskId(0), o(0), &mut ea);
+        a.complete(TaskId(0), &mut ea);
+        a.complete(TaskId(1), &mut ea);
+
+        let mut batch = TransitionBatch::new();
+        batch.release(TaskId(0), o(0));
+        batch.complete(TaskId(0));
+        batch.complete(TaskId(1));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.completions(), 2);
+        let mut eb = Vec::new();
+        b.apply_batch(&mut batch, &mut eb);
+        assert!(batch.is_empty(), "apply_batch drains the batch");
+        assert_eq!(ea, eb, "batched enables diverge from individual calls");
+        assert_eq!(a.live_tasks(), b.live_tasks());
+        // Both synchronizers continue identically afterwards.
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        a.complete(TaskId(2), &mut ca);
+        b.complete(TaskId(2), &mut cb);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn batch_enable_order_is_deterministic() {
+        // A completion enabling several tasks keeps per-object program
+        // order, and a later transition's enables follow the earlier ones.
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[], &[0]));
+        sync.add_task(TaskId(1), &spec(&[], &[1]));
+        sync.add_task(TaskId(2), &spec(&[0], &[]));
+        sync.add_task(TaskId(3), &spec(&[0], &[]));
+        sync.add_task(TaskId(4), &spec(&[1], &[]));
+        let mut batch = TransitionBatch::new();
+        batch.complete(TaskId(0));
+        batch.complete(TaskId(1));
+        let mut enabled = Vec::new();
+        sync.apply_batch(&mut batch, &mut enabled);
+        assert_eq!(enabled, vec![TaskId(2), TaskId(3), TaskId(4)]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut sync = mixed_dag();
+        let live = sync.live_tasks();
+        let mut enabled = Vec::new();
+        sync.apply_batch(&mut TransitionBatch::new(), &mut enabled);
+        assert!(enabled.is_empty());
+        assert_eq!(sync.live_tasks(), live);
+    }
+
+    #[test]
+    fn batch_traced_stream_matches_individual_traced_calls() {
+        use crate::events::EventSink;
+        let mut a = mixed_dag();
+        let mut b = mixed_dag();
+        let (mut sa, mut sb) = (EventSink::recording(), EventSink::recording());
+        let mut clock = 0u64..;
+        let mut ea = Vec::new();
+        a.complete_traced(TaskId(0), &mut ea, &mut sa, clock.next().unwrap(), 0);
+        a.release_traced(TaskId(2), o(0), &mut ea, &mut sa, clock.next().unwrap(), 0);
+        a.complete_traced(TaskId(1), &mut ea, &mut sa, clock.next().unwrap(), 0);
+
+        let mut batch = TransitionBatch::new();
+        batch.complete(TaskId(0));
+        batch.release(TaskId(2), o(0));
+        batch.complete(TaskId(1));
+        let mut tick = 0u64..;
+        let mut eb = Vec::new();
+        b.apply_batch_traced(
+            &mut batch,
+            &mut eb,
+            &mut sb,
+            &mut || tick.next().unwrap(),
+            0,
+        );
+        assert_eq!(ea, eb);
+        assert_eq!(
+            sa.take(),
+            sb.take(),
+            "batched event stream must be bit-identical"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn batch_with_duplicate_completion_panics() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &AccessSpec::new());
+        let mut batch = TransitionBatch::new();
+        batch.complete(TaskId(0));
+        batch.complete(TaskId(0));
+        sync.apply_batch(&mut batch, &mut Vec::new());
     }
 
     #[test]

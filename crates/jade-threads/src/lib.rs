@@ -47,8 +47,9 @@
 pub use dsim::FaultPlan;
 use jade_core::{
     Event, EventKind, EventSink, JadeRuntime, Locality, NullSink, ObjectId, Sink, Store,
-    SyncSnapshot, Synchronizer, TaskCtx, TaskDef, TaskId,
+    SyncSnapshot, Synchronizer, TaskCtx, TaskDef, TaskId, Transition, TransitionBatch,
 };
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -68,6 +69,40 @@ struct InjectedFailure;
 /// its panic through `finish`; the shared state stays structurally valid).
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Drain-buffer size under [`BatchPolicy::Auto`]: how many locally
+/// finished tasks a worker accumulates before flushing them to the
+/// synchronizer in one lock acquisition. Small enough that successors are
+/// enabled promptly, large enough to amortize the lock on
+/// overhead-dominated workloads.
+const DRAIN_BATCH: usize = 8;
+
+/// How workers hand completed tasks back to the synchronizer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Flush after every completion — the pre-batching behavior (one
+    /// synchronizer-lock acquisition per task). The `batch=1` baseline in
+    /// `repro bench`.
+    PerTask,
+    /// Accumulate up to [`DRAIN_BATCH`] completions in a per-worker drain
+    /// buffer; flush on the size threshold or when the worker runs out of
+    /// work. With event tracing enabled the effective threshold is clamped
+    /// to 1 — tracing already takes the state lock per task (dispatch/start
+    /// events), so there is nothing to amortize, and the eager flush is
+    /// what keeps traced streams bit-identical to `PerTask` runs.
+    #[default]
+    Auto,
+}
+
+impl BatchPolicy {
+    /// The untraced drain-buffer flush threshold this policy requests.
+    fn threshold(self) -> usize {
+        match self {
+            BatchPolicy::PerTask => 1,
+            BatchPolicy::Auto => DRAIN_BATCH,
+        }
+    }
 }
 
 /// Which scheduler [`ThreadRuntime::finish`] runs the batch on.
@@ -101,6 +136,11 @@ pub struct BatchStats {
     pub checkpoints: usize,
     /// Recoveries that consulted a captured checkpoint.
     pub checkpoint_restores: usize,
+    /// Acquisitions of the lock guarding the synchronizer during the batch
+    /// (flushes of the drain buffer, plus traced/recovery/checkpoint
+    /// bookkeeping that must hold the same lock). The `repro bench`
+    /// lock-amortization figure is `sync_locks / executed`.
+    pub sync_locks: usize,
 }
 
 impl BatchStats {
@@ -111,6 +151,7 @@ impl BatchStats {
         self.recoveries += other.recoveries;
         self.checkpoints += other.checkpoints;
         self.checkpoint_restores += other.checkpoint_restores;
+        self.sync_locks += other.sync_locks;
     }
 }
 
@@ -187,7 +228,9 @@ pub struct ThreadRuntime {
     pending: Vec<(TaskId, TaskDef)>,
     next_id: u32,
     last_stats: BatchStats,
+    total_stats: BatchStats,
     mode: SchedMode,
+    batch: BatchPolicy,
     /// Record structured events for subsequent batches.
     trace_events: bool,
     /// Events accumulated by finished batches (drained by `take_events`).
@@ -214,7 +257,9 @@ impl ThreadRuntime {
             pending: Vec::new(),
             next_id: 0,
             last_stats: BatchStats::default(),
+            total_stats: BatchStats::default(),
             mode: SchedMode::default(),
+            batch: BatchPolicy::default(),
             trace_events: false,
             events: Vec::new(),
             event_clock: 0,
@@ -249,6 +294,21 @@ impl ThreadRuntime {
     /// Statistics from the most recently finished batch.
     pub fn last_stats(&self) -> BatchStats {
         self.last_stats
+    }
+
+    /// Statistics accumulated over every batch this runtime has finished.
+    pub fn total_stats(&self) -> BatchStats {
+        self.total_stats
+    }
+
+    /// How subsequent batches flush completed tasks to the synchronizer.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch
+    }
+
+    /// Select the drain-buffer flush policy for subsequent batches.
+    pub fn set_batch_policy(&mut self, policy: BatchPolicy) {
+        self.batch = policy;
     }
 
     /// Record structured lifecycle events ([`jade_core::events`]) for every
@@ -426,6 +486,10 @@ struct Sharded<'a, S> {
     store: &'a Store,
     base: usize,
     workers: usize,
+    /// Drain-buffer flush threshold (1 when tracing — see [`BatchPolicy`]).
+    drain: usize,
+    /// Acquisitions of `state` by workers ([`BatchStats::sync_locks`]).
+    sync_locks: AtomicUsize,
 }
 
 impl<'a, S: Sink> Sharded<'a, S> {
@@ -447,17 +511,30 @@ impl<'a, S: Sink> Sharded<'a, S> {
             % self.workers
     }
 
-    /// Append `local` to `target`'s deque and wake sleepers if any.
-    fn push_to(&self, target: usize, local: usize) {
+    /// Lock the synchronizer state, counting the acquisition
+    /// ([`BatchStats::sync_locks`] — the figure `repro bench` amortizes).
+    fn lock_state(&self) -> MutexGuard<'_, SyncState<S>> {
+        self.sync_locks.fetch_add(1, Ordering::Relaxed);
+        lock(&self.state)
+    }
+
+    /// Append `local` to `target`'s deque without announcing it. Callers
+    /// must follow up with [`announce`](Self::announce) (directly or via
+    /// [`push_to`](Self::push_to)) before they could possibly park.
+    fn enqueue(&self, target: usize, local: usize) {
         let q = &self.queues[target];
-        {
-            let mut jobs = lock(&q.jobs);
-            jobs.push_back(local);
-            q.len.store(jobs.len(), Ordering::Release);
-        }
+        let mut jobs = lock(&q.jobs);
+        jobs.push_back(local);
+        q.len.store(jobs.len(), Ordering::Release);
+    }
+
+    /// Publish previously enqueued work: one epoch bump, one sleeper check.
+    fn announce(&self) {
         // SeqCst orders this bump against parkers' sleeper registration:
         // either the parker re-checks and sees the new epoch, or we see
-        // `sleepers > 0` and notify under the idle lock.
+        // `sleepers > 0` and notify under the idle lock. The bump happens
+        // *after* every enqueue of the burst, so a parker that misses the
+        // work in its scan cannot also miss the epoch change.
         self.epoch.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             drop(lock(&self.idle));
@@ -465,16 +542,42 @@ impl<'a, S: Sink> Sharded<'a, S> {
         }
     }
 
-    /// Route a newly enabled task through the locality heuristic and queue
-    /// it there.
-    fn dispatch(&self, local: usize) {
+    /// Append `local` to `target`'s deque and wake sleepers if any.
+    fn push_to(&self, target: usize, local: usize) {
+        self.enqueue(target, local);
+        self.announce();
+    }
+
+    /// Queue `local` on the worker the locality heuristic targets, without
+    /// announcing (burst building block).
+    fn enqueue_dispatch(&self, local: usize) {
         let target = {
             let guard = lock(&self.bodies[local]);
             let def = guard.as_ref().expect("dispatching a running task");
             self.target_of(def)
         };
         self.targets[local].store(target, Ordering::Relaxed);
-        self.push_to(target, local);
+        self.enqueue(target, local);
+    }
+
+    /// Route a newly enabled task through the locality heuristic and queue
+    /// it there.
+    fn dispatch(&self, local: usize) {
+        self.enqueue_dispatch(local);
+        self.announce();
+    }
+
+    /// Route a whole flush's newly enabled tasks through the locality
+    /// heuristic in one burst: N enqueues, then a single epoch bump and
+    /// sleeper wakeup instead of N.
+    fn dispatch_burst(&self, newly: &[TaskId]) {
+        if newly.is_empty() {
+            return;
+        }
+        for n in newly {
+            self.enqueue_dispatch(n.index() - self.base);
+        }
+        self.announce();
     }
 
     /// Pop own front, else steal from the back of a random victim.
@@ -487,22 +590,20 @@ impl<'a, S: Sink> Sharded<'a, S> {
                 return Some((local, false));
             }
         }
-        // Randomized steal: random starting victim, then sweep everyone so
-        // no queue is ever structurally unreachable.
-        let start = rng.next() as usize % self.workers;
-        for k in 0..self.workers {
-            let v = (start + k) % self.workers;
-            if v == w {
-                continue;
-            }
-            let q = &self.queues[v];
-            if q.len.load(Ordering::Acquire) == 0 {
-                continue;
-            }
-            let mut jobs = lock(&q.jobs);
-            if let Some(local) = jobs.pop_back() {
-                q.len.store(jobs.len(), Ordering::Release);
-                return Some((local, true));
+        // Randomized steal: random first victim among the *other* workers,
+        // then the rest of the ring — no queue is ever structurally
+        // unreachable (see `steal_order`).
+        if self.workers > 1 {
+            for v in steal_order(w, self.workers, rng.next()) {
+                let q = &self.queues[v];
+                if q.len.load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                let mut jobs = lock(&q.jobs);
+                if let Some(local) = jobs.pop_back() {
+                    q.len.store(jobs.len(), Ordering::Release);
+                    return Some((local, true));
+                }
             }
         }
         None
@@ -541,6 +642,64 @@ impl<'a, S: Sink> Sharded<'a, S> {
         self.wake_all();
     }
 
+    /// Apply every buffered transition under ONE `state` acquisition,
+    /// then route the newly enabled tasks in one push burst. Returns
+    /// whether the flush drained the batch (`live` hit zero).
+    ///
+    /// Per-completion bookkeeping (the `live` decrement and the checkpoint
+    /// cadence) runs inside the loop so `checkpoints` counts exactly as if
+    /// each completion had been flushed individually — the counter stays a
+    /// pure function of the interval and the task count, independent of
+    /// batching, interleaving and scheduler mode.
+    fn flush(&self, w: usize, buf: &RefCell<TransitionBatch>, scratch: &mut Vec<TaskId>) -> bool {
+        let mut batch = buf.borrow_mut();
+        if batch.is_empty() {
+            return false;
+        }
+        scratch.clear();
+        let completions = batch.completions();
+        let drained = {
+            let mut guard = self.lock_state();
+            let st = &mut *guard;
+            if !S::ACTIVE && self.ckpt_every.is_none() {
+                // Fast path: no events, no checkpoint cadence — the whole
+                // batch applies in one call and `live` drops once.
+                st.sync.apply_batch(&mut batch, scratch);
+                self.live.fetch_sub(completions, Ordering::SeqCst) == completions
+            } else {
+                let mut drained = false;
+                for tr in batch.drain() {
+                    let is_completion = matches!(tr, jade_core::Transition::Complete(_));
+                    let t = st.tick();
+                    st.sync.apply_traced(tr, scratch, &mut st.events, t, w);
+                    if is_completion {
+                        let remaining = self.live.fetch_sub(1, Ordering::SeqCst) - 1;
+                        drained |= remaining == 0;
+                        st.since_ckpt += 1;
+                        if let Some(every) = self.ckpt_every {
+                            if st.since_ckpt >= every && remaining > 0 {
+                                st.since_ckpt = 0;
+                                let snap = st.sync.snapshot();
+                                let bytes = snap.encoded_len() as u64;
+                                let t = st.tick();
+                                st.events.emit(t, w, EventKind::CheckpointTaken { bytes });
+                                st.checkpoints += 1;
+                                st.last_ckpt = Some(snap);
+                            }
+                        }
+                    }
+                }
+                drained
+            }
+        };
+        drop(batch);
+        self.dispatch_burst(scratch);
+        if drained {
+            self.wake_all();
+        }
+        drained
+    }
+
     /// Run one picked task. Returns `false` if the worker must exit (a
     /// genuine panic was recorded).
     fn execute(
@@ -550,6 +709,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
         stolen: bool,
         stats: &mut BatchStats,
         scratch: &mut Vec<TaskId>,
+        buf: &RefCell<TransitionBatch>,
     ) -> bool {
         let def = lock(&self.bodies[local]).take().expect("task queued twice");
         let id = self.ids[local];
@@ -569,7 +729,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
             stats.locality_hits += 1;
         }
         if S::ACTIVE {
-            let mut st = lock(&self.state);
+            let mut st = self.lock_state();
             let t = st.tick();
             let locality = if hit { Locality::Hit } else { Locality::Miss };
             st.events
@@ -587,21 +747,15 @@ impl<'a, S: Sink> Sharded<'a, S> {
                 // effect is what makes the re-execution exact.
                 resume_unwind(Box::new(InjectedFailure));
             }
-            // Mid-task releases (Jade's pipelining statements) feed straight
-            // back into the synchronizer so successors start immediately.
+            // Mid-task releases (Jade's pipelining statements) flush
+            // eagerly — a buffered release could deadlock a pipeline whose
+            // consumer is the only other runnable task. The flush also
+            // applies any completions already sitting in the buffer, so the
+            // release still costs a single `state` acquisition.
             let hook = |obj: ObjectId| {
-                let newly = {
-                    let mut guard = lock(&self.state);
-                    let t = guard.tick();
-                    let st = &mut *guard;
-                    let mut newly = Vec::new();
-                    st.sync
-                        .release_traced(id, obj, &mut newly, &mut st.events, t, w);
-                    newly
-                };
-                for n in newly {
-                    self.dispatch(n.index() - self.base);
-                }
+                buf.borrow_mut().release(id, obj);
+                let mut newly = Vec::new();
+                self.flush(w, buf, &mut newly);
             };
             let ctx = TaskCtx::with_release_hook(self.store, id, def.label, &def.spec, &hook);
             (def.body)(&ctx);
@@ -614,36 +768,15 @@ impl<'a, S: Sink> Sharded<'a, S> {
                 for o in def.spec.written_objects() {
                     self.owners.record(o, w);
                 }
-                scratch.clear();
-                let drained = {
-                    let mut guard = lock(&self.state);
-                    let t = guard.tick();
-                    let st = &mut *guard;
-                    st.sync.complete_traced(id, scratch, &mut st.events, t, w);
-                    // `live` is decremented under the state lock so the
-                    // checkpoint cadence (capture every N completions while
-                    // tasks remain) counts exactly like the global-lock
-                    // scheduler, independent of interleaving.
-                    let remaining = self.live.fetch_sub(1, Ordering::SeqCst) - 1;
-                    st.since_ckpt += 1;
-                    if let Some(every) = self.ckpt_every {
-                        if st.since_ckpt >= every && remaining > 0 {
-                            st.since_ckpt = 0;
-                            let snap = st.sync.snapshot();
-                            let bytes = snap.encoded_len() as u64;
-                            let t = st.tick();
-                            st.events.emit(t, w, EventKind::CheckpointTaken { bytes });
-                            st.checkpoints += 1;
-                            st.last_ckpt = Some(snap);
-                        }
-                    }
-                    remaining == 0
-                };
-                for n in scratch.iter() {
-                    self.dispatch(n.index() - self.base);
-                }
-                if drained {
-                    self.wake_all();
+                // The completion lands in the worker's drain buffer; the
+                // synchronizer lock is only taken when the buffer reaches
+                // the flush threshold (or the worker runs dry — see
+                // `sharded_worker`). With tracing active `drain` is 1, so
+                // the flush below runs unconditionally and the event stream
+                // is byte-identical to per-task flushing.
+                buf.borrow_mut().complete(id);
+                if buf.borrow().len() >= self.drain {
+                    self.flush(w, buf, scratch);
                 }
                 true
             }
@@ -659,7 +792,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
                 // checkpoint lookup; untraced, checkpoint-free batches
                 // recover without touching it.
                 let restored = if S::ACTIVE || self.ckpt_every.is_some() {
-                    let mut st = lock(&self.state);
+                    let mut st = self.lock_state();
                     let t = st.tick();
                     st.events.emit(t, w, EventKind::WorkerFailed);
                     // With a checkpoint on file, recovery restores the
@@ -704,10 +837,28 @@ impl<'a, S: Sink> Sharded<'a, S> {
     }
 }
 
+/// Victim visit order for worker `w`'s steal sweep, given `workers > 1`
+/// and a random draw `r`: the first victim is drawn uniformly from the
+/// *other* workers (`w + 1 + r % (workers - 1)` can never be `w` modulo
+/// `workers`), then the sweep walks the whole ring skipping `w` — each
+/// other worker is visited exactly once.
+fn steal_order(w: usize, workers: usize, r: u64) -> impl Iterator<Item = usize> {
+    let start = (w + 1 + r as usize % (workers - 1)) % workers;
+    (0..workers)
+        .map(move |k| (start + k) % workers)
+        .filter(move |&v| v != w)
+}
+
 fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>) -> BatchStats {
     let mut rng = XorShift64::new(w as u64 + 1);
     let mut stats = BatchStats::default();
     let mut scratch = Vec::new();
+    // Worker-local drain buffer of finished-but-unflushed transitions. A
+    // RefCell because the mid-task release hook (an `Fn`) must reach it;
+    // it never crosses threads. A panic exit abandons the buffer — the
+    // recorded panic resumes before `run_sharded`'s drained assertion, the
+    // same contract the per-task scheduler had.
+    let buf = RefCell::new(TransitionBatch::new());
     loop {
         if sh.live.load(Ordering::SeqCst) == 0 || sh.panicked.load(Ordering::SeqCst) {
             sh.wake_all();
@@ -718,11 +869,22 @@ fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>) -> BatchStats {
         let epoch = sh.epoch.load(Ordering::SeqCst);
         match sh.try_pick(w, &mut rng) {
             Some((local, stolen)) => {
-                if !sh.execute(w, local, stolen, &mut stats, &mut scratch) {
+                if !sh.execute(w, local, stolen, &mut stats, &mut scratch, &buf) {
                     return stats;
                 }
             }
-            None => sh.park(epoch),
+            None => {
+                // Out of work: flush buffered completions before parking —
+                // they may enable the only runnable successors (or drain
+                // the batch), and `live` only reaches zero once every
+                // buffered completion lands. Park only with an empty
+                // buffer.
+                if buf.borrow().is_empty() {
+                    sh.park(epoch);
+                } else {
+                    sh.flush(w, &buf, &mut scratch);
+                }
+            }
         }
     }
 }
@@ -776,6 +938,11 @@ impl ThreadRuntime {
             store: &self.store,
             base,
             workers,
+            // Traced runs flush per task: tracing takes the state lock per
+            // task anyway (dispatch/start events), and the eager flush is
+            // what keeps 1-worker event streams identical across policies.
+            drain: if S::ACTIVE { 1 } else { self.batch.threshold() },
+            sync_locks: AtomicUsize::new(0),
         };
         for local in enabled0 {
             sh.dispatch(local);
@@ -798,14 +965,20 @@ impl ThreadRuntime {
             }
         });
         let Sharded {
-            state, live, panic, ..
+            state,
+            live,
+            panic,
+            sync_locks,
+            ..
         } = sh;
         let st = state.into_inner().unwrap_or_else(|e| e.into_inner());
         self.sync = st.sync;
         self.event_clock = st.clock;
         self.events.extend(st.events.into_events());
         merged.checkpoints = st.checkpoints;
+        merged.sync_locks = sync_locks.into_inner();
         self.last_stats = merged;
+        self.total_stats.absorb(&merged);
         if let Some(p) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
             resume_unwind(p);
         }
@@ -846,6 +1019,8 @@ struct Shared {
     since_ckpt: usize,
     /// Latest captured synchronizer checkpoint; recovery consults it.
     last_ckpt: Option<SyncSnapshot>,
+    /// Drain-buffer flush threshold (1 when tracing — see [`BatchPolicy`]).
+    drain: usize,
 }
 
 impl Shared {
@@ -854,6 +1029,58 @@ impl Shared {
         self.clock += 1;
         t
     }
+}
+
+/// Lock the global scheduler state, counting the acquisition
+/// ([`BatchStats::sync_locks`]). On this scheduler every pick already
+/// serializes on the same lock, so the figure honestly stays at ≈1 per
+/// task however large the drain buffer — the amortization only pays off
+/// once the lock is confined to the synchronizer (`SchedMode::Sharded`).
+fn lock_counted(shared: &Mutex<Shared>) -> MutexGuard<'_, Shared> {
+    let mut g = lock(shared);
+    g.stats.sync_locks += 1;
+    g
+}
+
+/// Apply every buffered transition under the already-held global lock,
+/// with the same per-completion bookkeeping as the sharded flush (see
+/// `Sharded::flush`), then route the newly enabled tasks and wake waiters
+/// once.
+fn flush_shared(sh: &mut Shared, buf: &mut TransitionBatch, base: usize, w: usize, cv: &Condvar) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut newly = Vec::new();
+    for tr in buf.drain() {
+        let is_completion = matches!(tr, Transition::Complete(_));
+        let t = sh.tick();
+        sh.sync.apply_traced(tr, &mut newly, &mut sh.events, t, w);
+        if is_completion {
+            sh.live -= 1;
+            sh.since_ckpt += 1;
+            // Interval checkpoint: capture the synchronizer state every
+            // N completions (nothing left to protect once the batch is
+            // drained). The count is interleaving-independent — it only
+            // depends on how many tasks completed.
+            if let Some(every) = sh.ckpt_every {
+                if sh.since_ckpt >= every && sh.live > 0 {
+                    sh.since_ckpt = 0;
+                    let snap = sh.sync.snapshot();
+                    let bytes = snap.encoded_len() as u64;
+                    let t = sh.tick();
+                    sh.events.emit(t, w, EventKind::CheckpointTaken { bytes });
+                    sh.stats.checkpoints += 1;
+                    sh.last_ckpt = Some(snap);
+                }
+            }
+        }
+    }
+    for n in newly {
+        let local = n.index() - base;
+        let target = sh.targets[local];
+        sh.queues[target].push_back(local);
+    }
+    cv.notify_all();
 }
 
 impl ThreadRuntime {
@@ -879,6 +1106,13 @@ impl ThreadRuntime {
             ckpt_every: self.ckpt_every,
             since_ckpt: 0,
             last_ckpt: None,
+            // Traced runs flush per task, keeping 1-worker event streams
+            // identical across batch policies (see `BatchPolicy::Auto`).
+            drain: if self.trace_events {
+                1
+            } else {
+                self.batch.threshold()
+            },
         };
         // Register in serial program order; queue the initially-enabled.
         let base = batch[0].0.index();
@@ -910,6 +1144,7 @@ impl ThreadRuntime {
         let mut sh = shared.into_inner().unwrap_or_else(|e| e.into_inner());
         self.sync = std::mem::take(&mut sh.sync);
         self.last_stats = sh.stats;
+        self.total_stats.absorb(&sh.stats);
         self.event_clock = sh.clock;
         self.events.extend(sh.events.take());
         if let Some(p) = sh.panic.take() {
@@ -927,7 +1162,11 @@ fn global_worker_loop(
     shared: &Mutex<Shared>,
     cv: &Condvar,
 ) {
-    let mut guard = lock(shared);
+    // Worker-local drain buffer; a RefCell so the mid-task release hook
+    // (an `Fn`) can reach it. Abandoned on the panic exit, like the
+    // sharded scheduler's.
+    let buf = RefCell::new(TransitionBatch::new());
+    let mut guard = lock_counted(shared);
     loop {
         if guard.live == 0 || guard.panic.is_some() {
             cv.notify_all();
@@ -945,6 +1184,13 @@ fn global_worker_loop(
             }
         }
         let Some((local, stolen)) = picked else {
+            // Out of work: flush buffered completions before waiting —
+            // they may enable the only runnable successors (or drain the
+            // batch). Wait only with an empty buffer.
+            if !buf.borrow().is_empty() {
+                flush_shared(&mut guard, &mut buf.borrow_mut(), base, w, cv);
+                continue;
+            }
             guard = cv.wait(guard).unwrap_or_else(|e| e.into_inner());
             continue;
         };
@@ -988,57 +1234,31 @@ fn global_worker_loop(
                 // effect is what makes the re-execution exact.
                 resume_unwind(Box::new(InjectedFailure));
             }
-            // Mid-task releases (Jade's pipelining statements) feed straight
-            // back into the synchronizer so successors start immediately.
+            // Mid-task releases (Jade's pipelining statements) flush
+            // eagerly — a buffered release could deadlock a pipeline whose
+            // consumer is the only other runnable task. The flush also
+            // applies any completions already sitting in the buffer, so
+            // the release still costs a single acquisition.
             let hook = |obj: ObjectId| {
-                let mut g = lock(shared);
-                let sh = &mut *g;
-                let t = sh.tick();
-                let mut newly = Vec::new();
-                sh.sync
-                    .release_traced(id, obj, &mut newly, &mut sh.events, t, w);
-                for n in newly {
-                    let local = n.index() - base;
-                    let target = sh.targets[local];
-                    sh.queues[target].push_back(local);
-                }
-                cv.notify_all();
+                let mut g = lock_counted(shared);
+                let mut b = buf.borrow_mut();
+                b.release(id, obj);
+                flush_shared(&mut g, &mut b, base, w, cv);
             };
             let ctx = TaskCtx::with_release_hook(store, id, def.label, &def.spec, &hook);
             (def.body)(&ctx);
         }));
 
-        guard = lock(shared);
+        guard = lock_counted(shared);
         match result {
             Ok(()) => {
-                let sh = &mut *guard;
-                let t = sh.tick();
-                let mut newly = Vec::new();
-                sh.sync
-                    .complete_traced(id, &mut newly, &mut sh.events, t, w);
-                for n in newly {
-                    let local = n.index() - base;
-                    let target = sh.targets[local];
-                    sh.queues[target].push_back(local);
+                // The completion lands in the drain buffer; the
+                // synchronizer transition is deferred until the buffer
+                // reaches the flush threshold or the worker runs dry.
+                buf.borrow_mut().complete(id);
+                if buf.borrow().len() >= guard.drain {
+                    flush_shared(&mut guard, &mut buf.borrow_mut(), base, w, cv);
                 }
-                sh.live -= 1;
-                sh.since_ckpt += 1;
-                // Interval checkpoint: capture the synchronizer state every
-                // N completions (nothing left to protect once the batch is
-                // drained). The count is interleaving-independent — it only
-                // depends on how many tasks completed.
-                if let Some(every) = sh.ckpt_every {
-                    if sh.since_ckpt >= every && sh.live > 0 {
-                        sh.since_ckpt = 0;
-                        let snap = sh.sync.snapshot();
-                        let bytes = snap.encoded_len() as u64;
-                        let t = sh.tick();
-                        sh.events.emit(t, w, EventKind::CheckpointTaken { bytes });
-                        sh.stats.checkpoints += 1;
-                        sh.last_ckpt = Some(snap);
-                    }
-                }
-                cv.notify_all();
             }
             Err(_) if injected && attempt + 1 < MAX_TASK_ATTEMPTS => {
                 // Recovery: quarantine the task off this (logically crashed)
@@ -1652,7 +1872,16 @@ mod tests {
         mode: SchedMode,
         workers: usize,
     ) -> (Vec<u64>, BatchStats, Vec<Event>) {
+        run_reference_workload_with(mode, workers, BatchPolicy::default())
+    }
+
+    fn run_reference_workload_with(
+        mode: SchedMode,
+        workers: usize,
+        policy: BatchPolicy,
+    ) -> (Vec<u64>, BatchStats, Vec<Event>) {
         let mut rt = ThreadRuntime::with_mode(workers, mode);
+        rt.set_batch_policy(policy);
         rt.enable_events();
         let outs: Vec<_> = (0..24)
             .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
@@ -1749,5 +1978,204 @@ mod tests {
             assert_eq!(*rt.store().read(c), 125);
         }
         assert_eq!(rt.last_stats().executed, 2000);
+    }
+
+    #[test]
+    fn steal_order_never_starts_at_self_and_visits_each_other_worker_once() {
+        // Regression for the old sweep, whose random start could be the
+        // stealing worker itself (wasting the first probe) — the sweep must
+        // start at a *different* worker and cover every other one exactly
+        // once, for every random draw.
+        for workers in 2..=8 {
+            for w in 0..workers {
+                for r in 0..64u64 {
+                    let order: Vec<usize> = steal_order(w, workers, r).collect();
+                    assert_ne!(order[0], w, "first victim is the stealer itself");
+                    assert_eq!(order.len(), workers - 1);
+                    let mut sorted = order.clone();
+                    sorted.sort_unstable();
+                    let expected: Vec<usize> = (0..workers).filter(|&v| v != w).collect();
+                    assert_eq!(sorted, expected, "sweep must visit each other worker once");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_steal_workload_pins_steal_accounting() {
+        // Two workers; a blocker task placed on worker 1 spins until all
+        // consumer tasks (also placed on worker 1) have run. Worker 1 is
+        // stuck in the blocker, so every consumer MUST be stolen by worker
+        // 0 — pinning `stats.steals` exactly. Consumers wait for the
+        // blocker to start so worker 0 can never drain queue 1 before
+        // worker 1 has claimed the blocker off its front.
+        const CONSUMERS: usize = 12;
+        let mut rt = ThreadRuntime::new(2);
+        let started = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done = Arc::new(AtomicUsize::new(0));
+        let blocker_out = rt.create("blocker", 8, 0u64);
+        {
+            let started = Arc::clone(&started);
+            let done = Arc::clone(&done);
+            rt.submit(
+                TaskBuilder::new("blocker")
+                    .wr(blocker_out)
+                    .place(1)
+                    .body(move |ctx| {
+                        started.store(true, Ordering::SeqCst);
+                        while done.load(Ordering::SeqCst) < CONSUMERS {
+                            std::hint::spin_loop();
+                        }
+                        *ctx.wr(blocker_out) = 1;
+                    }),
+            );
+        }
+        let outs: Vec<_> = (0..CONSUMERS)
+            .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+            .collect();
+        for (i, &o) in outs.iter().enumerate() {
+            let started = Arc::clone(&started);
+            let done = Arc::clone(&done);
+            rt.submit(
+                TaskBuilder::new("consumer")
+                    .wr(o)
+                    .place(1)
+                    .body(move |ctx| {
+                        while !started.load(Ordering::SeqCst) {
+                            std::hint::spin_loop();
+                        }
+                        *ctx.wr(o) = i as u64 + 1;
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }),
+            );
+        }
+        rt.finish();
+        for (i, &o) in outs.iter().enumerate() {
+            assert_eq!(*rt.store().read(o), i as u64 + 1);
+        }
+        let s = rt.last_stats();
+        assert_eq!(s.executed, CONSUMERS + 1);
+        assert_eq!(s.steals, CONSUMERS, "every consumer must be stolen");
+        assert_eq!(s.locality_hits, 1, "only the blocker runs on its target");
+    }
+
+    #[test]
+    fn batch_policies_agree_on_results() {
+        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+            let mut results = Vec::new();
+            for policy in [BatchPolicy::PerTask, BatchPolicy::Auto] {
+                let mut rt = ThreadRuntime::with_mode(4, mode);
+                rt.set_batch_policy(policy);
+                let v = rt.create("v", 0, Vec::<u32>::new());
+                let outs: Vec<_> = (0..30)
+                    .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+                    .collect();
+                for i in 0..30u32 {
+                    rt.submit(TaskBuilder::new("push").wr(v).body(move |ctx| {
+                        ctx.wr(v).push(i);
+                    }));
+                    let o = outs[i as usize];
+                    rt.submit(TaskBuilder::new("sq").wr(o).body(move |ctx| {
+                        *ctx.wr(o) = u64::from(i) * u64::from(i);
+                    }));
+                }
+                rt.finish();
+                let vals: Vec<u64> = outs.iter().map(|&o| *rt.store().read(o)).collect();
+                results.push((rt.store().read(v).clone(), vals, rt.last_stats().executed));
+            }
+            assert_eq!(results[0], results[1], "{mode:?}: policies diverged");
+        }
+    }
+
+    #[test]
+    fn drain_buffer_flushes_when_idle() {
+        // A dependency chain shorter than DRAIN_BATCH with more workers
+        // than work: the completion that enables each successor sits in a
+        // drain buffer below the flush threshold, so the run hangs unless
+        // idle workers flush before parking.
+        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+            let mut rt = ThreadRuntime::with_mode(4, mode);
+            rt.set_batch_policy(BatchPolicy::Auto);
+            let x = rt.create("x", 8, 0u64);
+            for _ in 0..DRAIN_BATCH / 2 {
+                rt.submit(TaskBuilder::new("inc").rd_wr(x).body(move |ctx| {
+                    *ctx.wr(x) += 1;
+                }));
+            }
+            rt.finish();
+            assert_eq!(*rt.store().read(x), DRAIN_BATCH as u64 / 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn auto_batching_amortizes_sync_locks() {
+        // Overhead-dominated independent tasks: under Auto the drain
+        // buffers fill to DRAIN_BATCH, so synchronizer-lock acquisitions
+        // fall well below one per task; under PerTask every completion
+        // takes the lock.
+        let run = |policy: BatchPolicy| {
+            let mut rt = ThreadRuntime::new(2);
+            rt.set_batch_policy(policy);
+            let outs: Vec<_> = (0..400)
+                .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+                .collect();
+            for (i, &o) in outs.iter().enumerate() {
+                rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                    *ctx.wr(o) = i as u64;
+                }));
+            }
+            rt.finish();
+            for (i, &o) in outs.iter().enumerate() {
+                assert_eq!(*rt.store().read(o), i as u64);
+            }
+            rt.last_stats()
+        };
+        let per_task = run(BatchPolicy::PerTask);
+        let auto = run(BatchPolicy::Auto);
+        assert_eq!(per_task.executed, 400);
+        assert_eq!(auto.executed, 400);
+        assert_eq!(
+            per_task.sync_locks, 400,
+            "PerTask takes the lock once per completion"
+        );
+        assert!(
+            auto.sync_locks * 2 <= auto.executed,
+            "Auto must amortize: {} locks for {} tasks",
+            auto.sync_locks,
+            auto.executed
+        );
+    }
+
+    #[test]
+    fn one_worker_event_streams_are_identical_across_batch_policies() {
+        // Tracing clamps the drain threshold to one, so a traced 1-worker
+        // run is byte-identical however the batch policy is set — the
+        // bit-for-bit parity contract of the bench harness.
+        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+            let (va, sa, ea) = run_reference_workload_with(mode, 1, BatchPolicy::PerTask);
+            let (vb, sb, eb) = run_reference_workload_with(mode, 1, BatchPolicy::Auto);
+            assert_eq!(va, vb, "{mode:?}: outputs diverged");
+            assert_eq!(sa.executed, sb.executed);
+            assert_eq!(ea, eb, "{mode:?}: event streams diverged across policies");
+        }
+    }
+
+    #[test]
+    fn total_stats_accumulate_across_batches() {
+        let mut rt = ThreadRuntime::new(2);
+        let x = rt.create("x", 8, 0u64);
+        for round in 0..3 {
+            rt.submit(TaskBuilder::new("a").wr(x).body(move |ctx| *ctx.wr(x) += 1));
+            rt.submit(
+                TaskBuilder::new("b")
+                    .rd_wr(x)
+                    .body(move |ctx| *ctx.wr(x) += 1),
+            );
+            rt.finish();
+            assert_eq!(rt.last_stats().executed, 2);
+            assert_eq!(rt.total_stats().executed, (round + 1) * 2);
+        }
+        assert_eq!(*rt.store().read(x), 6);
+        assert!(rt.total_stats().sync_locks >= rt.last_stats().sync_locks);
     }
 }

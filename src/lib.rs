@@ -31,4 +31,4 @@ pub use jade_core::{
     AccessMode, AccessSpec, Handle, JadeRuntime, LocalityMode, ObjectId, Store, Synchronizer,
     TaskBuilder, TaskCtx, TaskDef, TaskId, Trace, TraceRuntime,
 };
-pub use jade_threads::{SchedMode, ThreadRuntime};
+pub use jade_threads::{BatchPolicy, SchedMode, ThreadRuntime};

@@ -1,15 +1,19 @@
-//! Differential determinism between the two thread-backend schedulers.
+//! Differential determinism between the two thread-backend schedulers and
+//! the two batch policies.
 //!
 //! The sharded work-stealing executor must be *observationally identical*
 //! to the seed single-lock scheduler: for any random task DAG, any worker
 //! count and any injected-fault plan, both modes must produce bit-identical
-//! application results and the same deterministic event counters. Stealing
-//! and locality splits are scheduling accidents and legitimately differ;
-//! everything Jade semantics pins down must not.
+//! application results and the same deterministic event counters. The same
+//! contract holds for transition batching: a run that flushes completions
+//! through per-worker drain buffers (`BatchPolicy::Auto`) must be
+//! indistinguishable from per-task flushing (`BatchPolicy::PerTask`)
+//! except in speed. Stealing and locality splits are scheduling accidents
+//! and legitimately differ; everything Jade semantics pins down must not.
 
 use jade::core::Metrics;
 use jade::threads::FaultPlan;
-use jade::{JadeRuntime, SchedMode, TaskBuilder, ThreadRuntime};
+use jade::{BatchPolicy, JadeRuntime, SchedMode, TaskBuilder, ThreadRuntime};
 use proptest::prelude::*;
 
 const OBJECTS: usize = 4;
@@ -40,20 +44,8 @@ fn deterministic_counters(m: &Metrics) -> Counters {
     )
 }
 
-/// Run `prog` on a fresh runtime in `mode`; return the final value of every
-/// object (each task appends its id to each object it writes) plus the
-/// deterministic counters.
-fn run_mode(
-    prog: &[Vec<(u8, bool)>],
-    workers: usize,
-    mode: SchedMode,
-    plan: Option<FaultPlan>,
-) -> (Vec<Vec<u32>>, Counters) {
-    let mut rt = ThreadRuntime::with_mode(workers, mode);
-    rt.enable_events();
-    if let Some(p) = plan {
-        rt.inject_faults(p);
-    }
+/// Submit the random program's tasks to `rt` and return the object handles.
+fn submit_program(rt: &mut ThreadRuntime, prog: &[Vec<(u8, bool)>]) -> Vec<jade::Handle<Vec<u32>>> {
     let objs: Vec<_> = (0..OBJECTS)
         .map(|i| rt.create(&format!("o{i}"), 8, Vec::<u32>::new()))
         .collect();
@@ -80,12 +72,54 @@ fn run_mode(
             }
         }));
     }
+    objs
+}
+
+/// Run `prog` on a fresh *traced* runtime; return the final value of every
+/// object (each task appends its id to each object it writes) plus the
+/// deterministic counters.
+fn run_mode(
+    prog: &[Vec<(u8, bool)>],
+    workers: usize,
+    mode: SchedMode,
+    policy: BatchPolicy,
+    plan: Option<FaultPlan>,
+) -> (Vec<Vec<u32>>, Counters) {
+    let mut rt = ThreadRuntime::with_mode(workers, mode);
+    rt.set_batch_policy(policy);
+    rt.enable_events();
+    if let Some(p) = plan {
+        rt.inject_faults(p);
+    }
+    let objs = submit_program(&mut rt, prog);
     rt.finish();
     let results = objs.iter().map(|&h| rt.store().read(h).clone()).collect();
     let events = rt.take_events();
     jade::core::check_lifecycle(&events).expect("lifecycle holds");
     let m = Metrics::from_events(&events, workers);
     (results, deterministic_counters(&m))
+}
+
+/// Run `prog` *untraced*, so `BatchPolicy::Auto` drain buffers genuinely
+/// fill (tracing clamps the flush threshold to one). Returns outputs plus
+/// the deterministic slice of `BatchStats`.
+fn run_mode_untraced(
+    prog: &[Vec<(u8, bool)>],
+    workers: usize,
+    mode: SchedMode,
+    policy: BatchPolicy,
+    plan: Option<FaultPlan>,
+) -> (Vec<Vec<u32>>, (usize, usize, usize)) {
+    let mut rt = ThreadRuntime::with_mode(workers, mode);
+    rt.set_batch_policy(policy);
+    if let Some(p) = plan {
+        rt.inject_faults(p);
+    }
+    let objs = submit_program(&mut rt, prog);
+    rt.finish();
+    let results = objs.iter().map(|&h| rt.store().read(h).clone()).collect();
+    let s = rt.last_stats();
+    (results, (s.executed, s.recoveries, s.checkpoints))
 }
 
 proptest! {
@@ -96,8 +130,8 @@ proptest! {
     #[test]
     fn modes_agree_without_faults(prog in program_strategy(40)) {
         for workers in [1usize, 2, 4, 8] {
-            let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, None);
-            let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, None);
+            let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, BatchPolicy::Auto, None);
+            let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, BatchPolicy::Auto, None);
             prop_assert_eq!(&ra, &rb, "results diverged at {} workers", workers);
             prop_assert_eq!(ca, cb, "counters diverged at {} workers", workers);
         }
@@ -121,18 +155,77 @@ proptest! {
             checkpoint: Some(jade::dsim::SimDuration::from_secs_f64(5.0)),
             ..FaultPlan::none()
         };
-        let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, Some(plan));
-        let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, Some(plan));
+        let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, BatchPolicy::Auto, Some(plan));
+        let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, BatchPolicy::Auto, Some(plan));
         prop_assert_eq!(&ra, &rb, "results diverged: {} workers, p={}", workers, panic_p);
         prop_assert_eq!(ca, cb, "counters diverged: {} workers, p={}", workers, panic_p);
     }
 
-    /// One worker erases all scheduling freedom: the two modes must emit
-    /// *identical event streams*, not just identical counters.
+    /// Batched (`auto`) vs per-task (`batch=1`) flushing, untraced so the
+    /// drain buffers genuinely fill: bit-identical outputs and identical
+    /// deterministic stats, in both scheduler modes, across worker counts
+    /// and random crash injection.
+    #[test]
+    fn batch_policies_agree(
+        prog in program_strategy(30),
+        seed in any::<u64>(),
+        wsel in 0usize..4,
+        fsel in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 4, 8][wsel];
+        let plan = match fsel {
+            0 => None,
+            1 => Some(FaultPlan { panic_p: 0.3, seed, ..FaultPlan::none() }),
+            _ => Some(FaultPlan {
+                panic_p: 0.2,
+                seed,
+                checkpoint: Some(jade::dsim::SimDuration::from_secs_f64(4.0)),
+                ..FaultPlan::none()
+            }),
+        };
+        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+            let (ra, sa) = run_mode_untraced(&prog, workers, mode, BatchPolicy::Auto, plan);
+            let (rb, sb) = run_mode_untraced(&prog, workers, mode, BatchPolicy::PerTask, plan);
+            prop_assert_eq!(
+                &ra, &rb,
+                "{:?}: batched results diverged from batch=1 at {} workers (faults {})",
+                mode, workers, fsel
+            );
+            prop_assert_eq!(
+                sa, sb,
+                "{:?}: deterministic stats diverged at {} workers (faults {})",
+                mode, workers, fsel
+            );
+        }
+    }
+
+    /// Traced runs must be *event-stream* identical across batch policies
+    /// at one worker, and counter-identical at any worker count — batching
+    /// may never change what the metrics layer reconstructs.
+    #[test]
+    fn batch_policies_agree_on_traced_counters(
+        prog in program_strategy(25),
+        seed in any::<u64>(),
+        wsel in 0usize..4,
+    ) {
+        let workers = [1usize, 2, 4, 8][wsel];
+        let plan = FaultPlan { panic_p: 0.2, seed, ..FaultPlan::none() };
+        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
+            let (ra, ca) = run_mode(&prog, workers, mode, BatchPolicy::Auto, Some(plan));
+            let (rb, cb) = run_mode(&prog, workers, mode, BatchPolicy::PerTask, Some(plan));
+            prop_assert_eq!(&ra, &rb, "{:?}: results diverged at {} workers", mode, workers);
+            prop_assert_eq!(ca, cb, "{:?}: counters diverged at {} workers", mode, workers);
+        }
+    }
+
+    /// One worker erases all scheduling freedom: the two modes and the two
+    /// batch policies must emit *identical event streams*, not just
+    /// identical counters.
     #[test]
     fn one_worker_streams_identical(prog in program_strategy(25)) {
-        let run = |mode: SchedMode| {
+        let run = |mode: SchedMode, policy: BatchPolicy| {
             let mut rt = ThreadRuntime::with_mode(1, mode);
+            rt.set_batch_policy(policy);
             rt.enable_events();
             let objs: Vec<_> = (0..OBJECTS)
                 .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
@@ -163,8 +256,17 @@ proptest! {
             rt.finish();
             rt.take_events()
         };
-        let ea = run(SchedMode::Sharded);
-        let eb = run(SchedMode::GlobalLock);
-        prop_assert_eq!(ea, eb, "one-worker event streams diverged");
+        let reference = run(SchedMode::Sharded, BatchPolicy::PerTask);
+        for (mode, policy) in [
+            (SchedMode::Sharded, BatchPolicy::Auto),
+            (SchedMode::GlobalLock, BatchPolicy::PerTask),
+            (SchedMode::GlobalLock, BatchPolicy::Auto),
+        ] {
+            let eb = run(mode, policy);
+            prop_assert_eq!(
+                &reference, &eb,
+                "one-worker event streams diverged ({:?}, {:?})", mode, policy
+            );
+        }
     }
 }
