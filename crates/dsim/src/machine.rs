@@ -46,6 +46,13 @@ pub struct DashSpec {
     pub remote_clean_cycles: u64,
     /// Cycles for a dirty remote read (three-hop).
     pub remote_dirty_cycles: u64,
+    /// Per-line cycles for the *streamed* portion of a coalesced remote
+    /// transfer (inspector/executor aggregation, DESIGN.md §15). Once one
+    /// remote access has opened the path to a home cluster, further lines
+    /// bound for the same requester pipeline behind it at roughly the
+    /// cluster-bus occupancy instead of paying the full request/reply
+    /// round trip per line.
+    pub agg_streamed_cycles: u64,
 }
 
 impl DashSpec {
@@ -59,6 +66,7 @@ impl DashSpec {
             local_cycles: 29,
             remote_clean_cycles: 101,
             remote_dirty_cycles: 132,
+            agg_streamed_cycles: 45,
         }
     }
 
@@ -91,6 +99,14 @@ impl DashSpec {
             DashHit::RemoteDirty => self.remote_dirty_cycles,
         };
         SimDuration::from_cycles(self.lines(bytes) * cycles_per_line, self.clock_hz)
+    }
+
+    /// Time to move `bytes` as the streamed tail of a coalesced remote
+    /// transfer: the full round-trip latency was already paid by the
+    /// bundle's first remote access, so these lines cost only
+    /// [`Self::agg_streamed_cycles`] each.
+    pub fn streamed_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_cycles(self.lines(bytes) * self.agg_streamed_cycles, self.clock_hz)
     }
 
     /// Duration of `n` processor cycles.

@@ -7,14 +7,24 @@
 //! * [`ocean`] — eddy and boundary currents in large-scale ocean movements;
 //! * [`cholesky`] — panel Cholesky factorization of a sparse matrix.
 //!
+//! Plus two *irregular* applications whose access sets are computed from
+//! data at spawn time, exercising the inspector/executor aggregation pass
+//! (DESIGN.md §15):
+//!
+//! * [`pagerank`] — push-style PageRank over a seeded power-law graph;
+//! * [`halo`] — masked halo-exchange stencil over a sparse tile grid.
+//!
 //! Each module provides the Jade version (generic over any
 //! [`jade_core::JadeRuntime`]), a plain serial reference implementation, a
-//! deterministic workload generator, and the paper's calibration targets.
+//! deterministic workload generator, and the paper's calibration targets
+//! (synthetic anchors for the two non-paper apps).
 
 #![forbid(unsafe_code)]
 
 pub mod cholesky;
 pub mod common;
+pub mod halo;
 pub mod ocean;
+pub mod pagerank;
 pub mod string_app;
 pub mod water;

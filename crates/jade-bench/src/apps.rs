@@ -1,19 +1,27 @@
-//! Uniform interface over the four applications for the experiment harness.
+//! Uniform interface over the applications for the experiment harness.
 
-use jade_apps::{cholesky, ocean, string_app, water};
+use jade_apps::{cholesky, halo, ocean, pagerank, string_app, water};
 use jade_core::Trace;
 
-/// The paper's application set.
+/// The paper's application set plus the two irregular applications
+/// (data-dependent access sets; see DESIGN.md §15).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum App {
     Water,
     StringApp,
     Ocean,
     Cholesky,
+    Pagerank,
+    Halo,
 }
 
 impl App {
+    /// The paper's four applications — the set every paper table and
+    /// figure zips against. Deliberately excludes the irregular apps.
     pub const ALL: [App; 4] = [App::Water, App::StringApp, App::Ocean, App::Cholesky];
+
+    /// The two irregular applications driving the aggregation experiments.
+    pub const IRREGULAR: [App; 2] = [App::Pagerank, App::Halo];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -21,13 +29,29 @@ impl App {
             App::StringApp => "String",
             App::Ocean => "Ocean",
             App::Cholesky => "Panel Cholesky",
+            App::Pagerank => "PageRank",
+            App::Halo => "Halo",
+        }
+    }
+
+    /// Parse a user-facing app name (CLI `--app`).
+    pub fn parse(s: &str) -> Option<App> {
+        match s.to_ascii_lowercase().as_str() {
+            "water" => Some(App::Water),
+            "string" => Some(App::StringApp),
+            "ocean" => Some(App::Ocean),
+            "cholesky" => Some(App::Cholesky),
+            "pagerank" => Some(App::Pagerank),
+            "halo" => Some(App::Halo),
+            _ => None,
         }
     }
 
     /// Does the programmer provide explicit task placement for this app?
-    /// (Paper Section 5.2: only Ocean and Panel Cholesky.)
+    /// (Paper Section 5.2: only Ocean and Panel Cholesky; the irregular
+    /// apps also place tasks, at their data's home.)
     pub fn has_placement(self) -> bool {
-        matches!(self, App::Ocean | App::Cholesky)
+        matches!(self, App::Ocean | App::Cholesky | App::Pagerank | App::Halo)
     }
 
     /// Generate the program trace for `procs` processors at the given
@@ -88,6 +112,37 @@ impl App {
                 };
                 cholesky::run_trace(&cfg).0
             }
+            App::Pagerank => {
+                let cfg = if quick {
+                    // Denser than paper scale relative to its size: the
+                    // quick graph must still give every partition edges
+                    // into most others, or the aggregation sweep would
+                    // measure graph sparsity instead of coalescing.
+                    pagerank::PagerankConfig {
+                        nodes: 512,
+                        edges_per_node: 8,
+                        iterations: 6,
+                        ..pagerank::PagerankConfig::paper(procs)
+                    }
+                } else {
+                    pagerank::PagerankConfig::paper(procs)
+                };
+                pagerank::run_trace(&cfg).0
+            }
+            App::Halo => {
+                let cfg = if quick {
+                    halo::HaloConfig {
+                        tiles_x: 8,
+                        tiles_y: 8,
+                        tile: 8,
+                        iterations: 8,
+                        ..halo::HaloConfig::paper(procs)
+                    }
+                } else {
+                    halo::HaloConfig::paper(procs)
+                };
+                halo::run_trace(&cfg).0
+            }
         }
     }
 
@@ -119,6 +174,18 @@ impl App {
                 cholesky::calib::IPSC_SERIAL_S,
                 cholesky::calib::IPSC_STRIPPED_S,
             ),
+            App::Pagerank => (
+                pagerank::calib::DASH_SERIAL_S,
+                pagerank::calib::DASH_STRIPPED_S,
+                pagerank::calib::IPSC_SERIAL_S,
+                pagerank::calib::IPSC_STRIPPED_S,
+            ),
+            App::Halo => (
+                halo::calib::DASH_SERIAL_S,
+                halo::calib::DASH_STRIPPED_S,
+                halo::calib::IPSC_SERIAL_S,
+                halo::calib::IPSC_STRIPPED_S,
+            ),
         }
     }
 
@@ -142,7 +209,7 @@ mod tests {
 
     #[test]
     fn quick_traces_build_for_every_app() {
-        for app in App::ALL {
+        for app in App::ALL.into_iter().chain(App::IRREGULAR) {
             let t = app.trace(4, true);
             assert!(t.task_count() > 0, "{:?}", app);
             assert!(t.validate().is_empty());
@@ -157,5 +224,20 @@ mod tests {
         assert!(!App::StringApp.has_placement());
         assert!(App::Ocean.has_placement());
         assert!(App::Cholesky.has_placement());
+        assert!(App::Pagerank.has_placement());
+        assert!(App::Halo.has_placement());
+    }
+
+    #[test]
+    fn app_names_parse() {
+        for app in App::ALL.into_iter().chain(App::IRREGULAR) {
+            let key = match app {
+                App::StringApp => "string".to_string(),
+                App::Cholesky => "cholesky".to_string(),
+                other => other.name().to_ascii_lowercase(),
+            };
+            assert_eq!(App::parse(&key), Some(app), "{key}");
+        }
+        assert_eq!(App::parse("nope"), None);
     }
 }

@@ -23,7 +23,7 @@
 //! interrupted runs never leave a truncated committed file.
 
 use crate::apps::App;
-use jade_apps::{cholesky, ocean, string_app, water};
+use jade_apps::{cholesky, halo, ocean, pagerank, string_app, water};
 use jade_core::{JadeRuntime, TaskBuilder};
 use jade_threads::{BatchPolicy, SchedMode, ThreadRuntime};
 use std::time::Instant;
@@ -83,6 +83,8 @@ enum Output {
     StringApp(string_app::StringOutput),
     Ocean(ocean::OceanOutput),
     Cholesky(cholesky::CholeskyOutput),
+    Pagerank(pagerank::PagerankOutput),
+    Halo(halo::HaloOutput),
     /// The scheduler-stress microbenchmark's counter values.
     Stress(Vec<u64>),
 }
@@ -170,6 +172,32 @@ fn run_workload(
                 cholesky::CholeskyConfig::paper(procs)
             };
             Output::Cholesky(cholesky::run_on(rt, &cfg))
+        }
+        Some(App::Pagerank) => {
+            let cfg = if quick {
+                pagerank::PagerankConfig {
+                    nodes: 512,
+                    iterations: 6,
+                    ..pagerank::PagerankConfig::paper(procs)
+                }
+            } else {
+                pagerank::PagerankConfig::paper(procs)
+            };
+            Output::Pagerank(pagerank::run_on(rt, &cfg))
+        }
+        Some(App::Halo) => {
+            let cfg = if quick {
+                halo::HaloConfig {
+                    tiles_x: 8,
+                    tiles_y: 8,
+                    tile: 8,
+                    iterations: 8,
+                    ..halo::HaloConfig::paper(procs)
+                }
+            } else {
+                halo::HaloConfig::paper(procs)
+            };
+            Output::Halo(halo::run_on(rt, &cfg))
         }
         None => run_stress(rt, stress_tasks),
     }
@@ -517,11 +545,13 @@ pub fn run(quick: bool) -> Result<(), String> {
     let reps = if quick { 3 } else { 5 };
     let stress_tasks = if quick { 2000 } else { 20_000 };
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let workloads: [Option<App>; 5] = [
+    let workloads: [Option<App>; 7] = [
         Some(App::Water),
         Some(App::StringApp),
         Some(App::Ocean),
         Some(App::Cholesky),
+        Some(App::Pagerank),
+        Some(App::Halo),
         None, // SchedStress
     ];
 
@@ -597,7 +627,7 @@ pub fn run(quick: bool) -> Result<(), String> {
 
     println!("== repro bench: simulator host cost ==");
     let mut sim_results = Vec::new();
-    for app in App::ALL {
+    for app in App::ALL.into_iter().chain(App::IRREGULAR) {
         for &procs in &WORKER_COUNTS {
             for r in time_sim(app, procs, quick, warmup, reps) {
                 println!(

@@ -27,10 +27,16 @@ use jade_core::LocalityMode;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--trace-out FILE] [--faults SPEC] [--fault-seed N]\n\
-         \x20            [--checkpoint-interval N]... <experiment>...\n\
+         \x20            [--checkpoint-interval N]... [--app NAME [--aggregate]]\n\
+         \x20            <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
-         utilization, fault-sweep, checkpoint-sweep, bench\n\
+         utilization, fault-sweep, checkpoint-sweep, aggregation-sweep, bench\n\
+         --app NAME        run one application on the simulated iPSC/860 and\n\
+                           print its communication profile; NAME is one of\n\
+                           water, string, ocean, cholesky, pagerank, halo\n\
+         --aggregate       enable the inspector/executor fetch-aggregation\n\
+                           pass (DESIGN.md \u{a7}15) for --app runs\n\
          bench: wall-clock (host Instant) benchmark of the thread backend\n\
                 (Sharded vs GlobalLock, 1/2/4/8 workers) and the simulators;\n\
                 writes BENCH_threads.json + BENCH_sim.json at the repo root\n\
@@ -57,11 +63,18 @@ fn main() {
     let mut fault_seed: Option<u64> = None;
     let mut ckpt_intervals: Vec<f64> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
+    let mut single_app: Option<App> = None;
+    let mut aggregate = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--app" => match args.next().as_deref().and_then(App::parse) {
+                Some(app) => single_app = Some(app),
+                None => usage(),
+            },
+            "--aggregate" => aggregate = true,
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
                 None => usage(),
@@ -98,7 +111,7 @@ fn main() {
     if ckpt_intervals.is_empty() {
         ckpt_intervals = vec![0.5, 2.0];
     }
-    if wanted.is_empty() && trace_out.is_none() {
+    if wanted.is_empty() && trace_out.is_none() && single_app.is_none() {
         usage();
     }
     let mut plan = faults.unwrap_or_else(|| {
@@ -110,6 +123,9 @@ fn main() {
     let mut h = Harness::new(quick);
     if quick {
         println!("[quick mode: reduced workloads — shapes hold, absolute numbers shrink]");
+    }
+    if let Some(app) = single_app {
+        run_app(&mut h, app, aggregate);
     }
     for w in wanted.clone() {
         run_one(&mut h, &w, plan, &ckpt_intervals);
@@ -123,6 +139,35 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// `repro --app NAME [--aggregate]`: one application's communication
+/// profile on the simulated iPSC/860, across the processor sweep.
+fn run_app(h: &mut Harness, app: App, aggregate: bool) {
+    let mode = if app.has_placement() {
+        LocalityMode::TaskPlacement
+    } else {
+        LocalityMode::Locality
+    };
+    println!(
+        "{} on the simulated iPSC/860 (aggregation {}):",
+        app.name(),
+        if aggregate { "ON" } else { "off" }
+    );
+    for procs in [1usize, 2, 4, 8, 16] {
+        let r = h.ipsc_with(app, procs, mode, |c| c.aggregate_fetches = aggregate);
+        println!(
+            "  x{procs:<2}: {:.2}s | {} tasks | requests {} replies {} \
+             (bundles {} carrying {} objects) | {} object bytes",
+            r.exec_time_s,
+            r.tasks_executed,
+            r.requests,
+            r.fetch_messages,
+            r.agg_fetches,
+            r.agg_objects,
+            r.comm_bytes
+        );
     }
 }
 
@@ -220,6 +265,12 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan, ckpt_intervals: &
         "checkpoint-sweep" => {
             if let Err(why) = ex::checkpoint_sweep(h, plan, ckpt_intervals) {
                 eprintln!("checkpoint sweep FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+        "aggregation-sweep" => {
+            if let Err(why) = ex::aggregation_sweep(h) {
+                eprintln!("aggregation sweep FAILED: {why}");
                 std::process::exit(1);
             }
         }

@@ -54,6 +54,10 @@ fn args_json(e: &Event) -> String {
             parts.push(format!("\"bytes\":{bytes}"));
             parts.push(format!("\"receivers\":{receivers}"));
         }
+        EventKind::AggregatedFetch { objects, bytes } => {
+            parts.push(format!("\"bytes\":{bytes}"));
+            parts.push(format!("\"objects\":{objects}"));
+        }
         EventKind::PhaseStart { phase } | EventKind::PhaseEnd { phase } => {
             parts.push(format!("\"phase\":{phase}"));
         }

@@ -100,6 +100,13 @@ pub enum EventKind {
     /// Object data arrived at `proc`, creating a replica. `latency_ps` is
     /// the request-to-arrival latency (Figure 16-family numerator).
     ObjectFetch { bytes: u64, latency_ps: u64 },
+    /// A coalesced (inspector/executor) reply delivered `objects` remote
+    /// objects in **one** physical message; `bytes` is their combined
+    /// payload. Each delivered object still emits its own `ObjectFetch`
+    /// with its own payload bytes, so byte totals and per-object
+    /// attribution are unchanged — this event marks the message boundary
+    /// for message-count accounting (see `Metrics::fetch_messages`).
+    AggregatedFetch { objects: u32, bytes: u64 },
     /// A write retired all outdated replicas of `object`.
     ObjectInvalidate,
     /// One broadcast of `bytes` to `receivers` other processors.
@@ -163,6 +170,7 @@ impl EventKind {
             EventKind::AccessReleased => "access_released",
             EventKind::ObjectRequest { .. } => "object_request",
             EventKind::ObjectFetch { .. } => "object_fetch",
+            EventKind::AggregatedFetch { .. } => "aggregated_fetch",
             EventKind::ObjectInvalidate => "object_invalidate",
             EventKind::ObjectBroadcast { .. } => "object_broadcast",
             EventKind::EagerPush { .. } => "eager_push",
@@ -442,6 +450,14 @@ pub struct Metrics {
     /// Completed object fetches (point-to-point transfers / remote stalls).
     pub fetches: u64,
     pub fetch_bytes: u64,
+    /// Coalesced fetch messages (inspector/executor aggregation): each
+    /// delivered ≥ 2 objects in one physical message.
+    pub agg_fetches: u64,
+    /// Objects that arrived inside coalesced messages.
+    pub agg_objects: u64,
+    /// Combined payload of coalesced messages (already part of
+    /// [`Self::fetch_bytes`] via the per-object `ObjectFetch` events).
+    pub agg_bytes: u64,
     pub requests: u64,
     pub request_bytes: u64,
     pub invalidations: u64,
@@ -556,6 +572,11 @@ impl Metrics {
                         windows[i].2 = windows[i].2.max(e.time_ps);
                     }
                 }
+                EventKind::AggregatedFetch { objects, bytes } => {
+                    m.agg_fetches += 1;
+                    m.agg_objects += objects as u64;
+                    m.agg_bytes += bytes;
+                }
                 EventKind::ObjectInvalidate => m.invalidations += 1,
                 EventKind::ObjectBroadcast { bytes, receivers } => {
                     m.broadcasts += 1;
@@ -652,9 +673,18 @@ impl Metrics {
     }
 
     /// Total communicated bytes: fetches + broadcasts + eager pushes +
-    /// fail-stop object restores.
+    /// fail-stop object restores. Aggregation does not change this sum —
+    /// coalesced payloads are counted through their per-object
+    /// `ObjectFetch` events.
     pub fn comm_bytes(&self) -> u64 {
         self.fetch_bytes + self.broadcast_bytes + self.eager_bytes + self.restore_bytes
+    }
+
+    /// Physical fetch-reply messages on the wire: every uncoalesced fetch
+    /// is its own message, and each coalesced message replaces the
+    /// `agg_objects` it carried with a single `agg_fetches` entry.
+    pub fn fetch_messages(&self) -> u64 {
+        self.fetches - self.agg_objects + self.agg_fetches
     }
 
     /// Task locality percentage over tracked dispatches (0 when none were

@@ -98,6 +98,44 @@ impl MemSim {
         total
     }
 
+    /// Like [`task_accesses_with`](Self::task_accesses_with), but with the
+    /// inspector/executor aggregation pass applied (DESIGN.md §15): the
+    /// runtime inspected the task's declared access set at enable time, so
+    /// after the *first* remote miss has opened the path, every further
+    /// remote object in the same set streams behind it at
+    /// [`DashSpec::agg_streamed_cycles`] per line instead of paying a full
+    /// round trip. Directory state transitions and `bytes_moved` are
+    /// identical to the unaggregated walk — only the stall time shrinks.
+    /// Returns the total stall plus the number of remote objects coalesced.
+    pub fn task_accesses_agg_with(
+        &mut self,
+        proc: usize,
+        spec: &AccessSpec,
+        mut on_fetch: impl FnMut(jade_core::ObjectId, u64, SimDuration),
+    ) -> (SimDuration, u32) {
+        let cluster = self.machine.cluster_of(proc);
+        let mut total = SimDuration::ZERO;
+        let mut remote = 0u32;
+        for d in spec.decls() {
+            let (full_cost, bytes) = match d.mode {
+                AccessMode::Read => self.read(cluster, d.object.index()),
+                AccessMode::Write | AccessMode::ReadWrite => self.write(cluster, d.object.index()),
+            };
+            let cost = if bytes > 0 && remote > 0 {
+                // Streamed tail of the bundle: latency already paid.
+                self.machine.streamed_time(bytes as usize).min(full_cost)
+            } else {
+                full_cost
+            };
+            if bytes > 0 {
+                remote += 1;
+                on_fetch(d.object, bytes, cost);
+            }
+            total += cost;
+        }
+        (total, remote)
+    }
+
     fn hit_level(&self, cluster: usize, obj: usize) -> DashHit {
         let st = &self.objects[obj];
         if st.sharers[cluster] {

@@ -36,6 +36,12 @@ pub struct DashConfig {
     pub model_comm: bool,
     /// Disable read replication in the synchronizer (Section 5.1 analysis).
     pub replication: bool,
+    /// Inspector/executor aggregation (DESIGN.md §15): the runtime inspects
+    /// a task's declared access set before dispatch and coalesces its
+    /// remote fetches, so after the first remote miss the rest of the
+    /// bundle streams at [`DashSpec::agg_streamed_cycles`] per line.
+    /// Directory transitions and `bytes_moved` are unchanged.
+    pub aggregate_fetches: bool,
     /// Deterministic per-task duration jitter (fraction, mean zero),
     /// modeling the cache/contention variability of a real machine. Without
     /// it, equal-length tasks complete in lock step and the load balancer
@@ -60,6 +66,7 @@ impl DashConfig {
             work_free: false,
             model_comm: true,
             replication: true,
+            aggregate_fetches: false,
             jitter_frac: 0.08,
             faults: FaultPlan::none(),
         }
@@ -447,6 +454,13 @@ impl Sim<'_> {
         // Inter-cluster fetches this task stalls on, as (object, bytes, stall).
         let mut fetches: Vec<(jade_core::ObjectId, u64, SimDuration)> = Vec::new();
         let comm = match &mut self.mem {
+            Some(mem) if self.cfg.aggregate_fetches => {
+                let (comm, _remote) =
+                    mem.task_accesses_agg_with(p, &rec.spec, |o, bytes, stall| {
+                        fetches.push((o, bytes, stall))
+                    });
+                comm
+            }
             Some(mem) => mem.task_accesses_with(p, &rec.spec, |o, bytes, stall| {
                 fetches.push((o, bytes, stall))
             }),
@@ -462,6 +476,8 @@ impl Sim<'_> {
                 .span(end.0 - comm.0, p, Component::Comm, comm.0, Some(id));
             // Each fetch completes at its offset within the stall interval.
             let mut at = comm_start;
+            let first_obj = fetches.first().map(|&(o, _, _)| o);
+            let (mut agg_n, mut agg_bytes) = (0u32, 0u64);
             for (o, bytes, stall) in fetches {
                 at += stall;
                 self.events.emit_obj(
@@ -473,6 +489,22 @@ impl Sim<'_> {
                     },
                     Some(id),
                     o,
+                );
+                agg_n += 1;
+                agg_bytes += bytes;
+            }
+            // With aggregation on, ≥ 2 remote objects rode one coalesced
+            // transfer; mark the bundle for message-count accounting.
+            if self.cfg.aggregate_fetches && agg_n >= 2 {
+                self.events.emit_obj(
+                    at.0,
+                    p,
+                    EventKind::AggregatedFetch {
+                        objects: agg_n,
+                        bytes: agg_bytes,
+                    },
+                    Some(id),
+                    first_obj.expect("agg_n >= 2 implies a fetch"),
                 );
             }
         }

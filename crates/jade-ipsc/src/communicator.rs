@@ -159,6 +159,24 @@ impl Communicator {
         self.have[p][o.index()] != self.version[o.index()]
     }
 
+    /// Inspector pass of the aggregation optimization (DESIGN.md §15):
+    /// group a task's fetch set by each object's *current* owner,
+    /// preserving declaration order inside every group and
+    /// first-appearance order across groups (deterministic — no hashing).
+    /// The executor then coalesces each group that passes the Section 5.3
+    /// break-even test into one request/reply message pair.
+    pub fn group_by_owner(&self, objs: &[ObjectId]) -> Vec<(ProcId, Vec<ObjectId>)> {
+        let mut groups: Vec<(ProcId, Vec<ObjectId>)> = Vec::new();
+        for &o in objs {
+            let owner = self.owner(o);
+            match groups.iter_mut().find(|(p, _)| *p == owner) {
+                Some((_, g)) => g.push(o),
+                None => groups.push((owner, vec![o])),
+            }
+        }
+        groups
+    }
+
     /// Record that `requester` asked the owner for the current version —
     /// this is what the owner observes for the broadcast trigger. Payload
     /// bytes are accounted when the reply is *accepted* ([`Self::deliver`]),

@@ -30,6 +30,12 @@ pub struct IpscCosts {
     pub request_send_s: f64,
     /// Payload size of an object-request message.
     pub request_bytes: usize,
+    /// Per-object header entry inside a coalesced (aggregated) request or
+    /// reply: object id, version, offset and length of that object's
+    /// payload within the bundled message. Feeds the Section 5.3
+    /// break-even test: coalescing saves fixed per-message costs but pays
+    /// for these entries at the link bandwidth.
+    pub agg_entry_bytes: usize,
     /// Handler cost on a processor receiving an object reply.
     pub object_recv_s: f64,
     /// Completion-processing cost on the executing processor.
@@ -50,6 +56,7 @@ impl Default for IpscCosts {
             recv_handler_s: 100e-6,
             request_send_s: 50e-6,
             request_bytes: 32,
+            agg_entry_bytes: 16,
             object_recv_s: 50e-6,
             complete_s: 150e-6,
             notify_bytes: 32,

@@ -97,6 +97,13 @@ pub struct IpscConfig {
     /// Fetch a task's remote objects concurrently (Section 3.4.1). With
     /// `false`, each request waits for the previous reply (ablation).
     pub concurrent_fetches: bool,
+    /// Inspector/executor aggregation (DESIGN.md §15): before dispatching
+    /// a task's fetches, inspect its declared access set and coalesce the
+    /// objects owned by one processor into a single request/reply message
+    /// pair — when the Section 5.3 break-even test says the saved
+    /// per-message overhead exceeds the added per-object header bytes.
+    /// Only effective together with `concurrent_fetches`.
+    pub aggregate_fetches: bool,
     /// Work-free methodology (Figures 20/21).
     pub work_free: bool,
     /// Disable read replication in the synchronizer (Section 5.1 analysis).
@@ -134,6 +141,7 @@ impl IpscConfig {
             target_tasks: 1,
             adaptive_broadcast: true,
             concurrent_fetches: true,
+            aggregate_fetches: false,
             work_free: false,
             replication: true,
             eager_update: false,
@@ -159,6 +167,7 @@ impl IpscConfig {
             target_tasks: 1,
             adaptive_broadcast: true,
             concurrent_fetches: true,
+            aggregate_fetches: false,
             work_free: false,
             replication: true,
             eager_update: false,
@@ -194,6 +203,16 @@ pub struct IpscRunResult {
     pub task_latency_s: f64,
     /// Number of point-to-point object transfers.
     pub fetches: u64,
+    /// Object-request messages sent (one per uncoalesced fetch, one per
+    /// coalesced bundle).
+    pub requests: u64,
+    /// Coalesced fetch messages: replies that delivered ≥ 2 objects in one
+    /// physical message (inspector/executor aggregation).
+    pub agg_fetches: u64,
+    /// Objects delivered inside coalesced messages.
+    pub agg_objects: u64,
+    /// Physical fetch-reply messages: `fetches - agg_objects + agg_fetches`.
+    pub fetch_messages: u64,
     /// Number of broadcast operations.
     pub broadcasts: u64,
     /// Tasks that passed through the unassigned pool.
@@ -273,6 +292,23 @@ enum Ev {
     NotifyArrive {
         proc: ProcId,
         task: TaskId,
+    },
+    /// Coalesced request for several objects owned by one processor
+    /// (inspector/executor aggregation). The owner set is recomputed at
+    /// arrival; objects whose owner moved ride that owner's own bundle.
+    AggRequestArrive {
+        objs: Vec<ObjectId>,
+        requester: ProcId,
+        task: TaskId,
+        sent_at: SimTime,
+    },
+    /// Coalesced reply: one message delivering several `(object, version)`
+    /// payloads. Costs a single receive-handler interrupt.
+    AggObjectArrive {
+        proc: ProcId,
+        items: Vec<(ObjectId, u64)>,
+        task: TaskId,
+        requested_at: SimTime,
     },
     /// Ack timer for one fetch attempt: if the reply is still pending when
     /// this fires, the request is re-sent with exponential backoff.
@@ -526,6 +562,10 @@ pub fn try_run_traced(
         object_latency_s: SimDuration(m.object_latency_ps).as_secs_f64(),
         task_latency_s: SimDuration(m.task_latency_ps).as_secs_f64(),
         fetches: m.fetches,
+        requests: m.requests,
+        agg_fetches: m.agg_fetches,
+        agg_objects: m.agg_objects,
+        fetch_messages: m.fetch_messages(),
         broadcasts: m.broadcasts,
         pooled: m.pooled,
         mgmt_time_s: SimDuration(m.total().mgmt_ps).as_secs_f64(),
@@ -591,6 +631,18 @@ impl Sim<'_> {
                 task,
                 requested_at,
             } => self.on_object_arrive(proc, obj, version, task, requested_at, t),
+            Ev::AggRequestArrive {
+                objs,
+                requester,
+                task,
+                sent_at,
+            } => self.on_agg_request_arrive(objs, requester, task, sent_at, t),
+            Ev::AggObjectArrive {
+                proc,
+                items,
+                task,
+                requested_at,
+            } => self.on_agg_object_arrive(proc, items, task, requested_at, t),
             Ev::BroadcastArrive { proc, obj, version } => {
                 self.on_pushed_arrive(proc, obj, version, t)
             }
@@ -838,8 +890,22 @@ impl Sim<'_> {
             // themselves proceed in parallel at the owners.
             self.tstate[id.index()].pending = needed.iter().map(|&o| (o, 0)).collect();
             let mut t_cur = t;
-            for o in needed {
-                t_cur = self.send_fetch_request(p, id, o, 0, t_cur);
+            if self.cfg.aggregate_fetches {
+                // Inspector/executor pass: coalesce this task's fetches
+                // into one message per owner where the break-even holds.
+                for (owner, group) in self.comm.group_by_owner(&needed) {
+                    if group.len() >= 2 && self.aggregation_pays(group.len()) {
+                        t_cur = self.send_agg_fetch_request(p, id, owner, group, t_cur);
+                    } else {
+                        for o in group {
+                            t_cur = self.send_fetch_request(p, id, o, 0, t_cur);
+                        }
+                    }
+                }
+            } else {
+                for o in needed {
+                    t_cur = self.send_fetch_request(p, id, o, 0, t_cur);
+                }
             }
         } else {
             // Serial-fetch ablation: one request at a time.
@@ -918,6 +984,219 @@ impl Sim<'_> {
             );
         }
         sent
+    }
+
+    /// Section 5.3 break-even for coalescing `k` fetches from one owner
+    /// into a single request/reply pair. A message's fixed cost is its
+    /// wire latency both ways plus the sender/receiver software handlers;
+    /// coalescing saves `k - 1` of those and pays for `2k` per-object
+    /// header entries (request list + reply directory) at the link
+    /// bandwidth. Aggregate only when the savings win.
+    fn aggregation_pays(&self, k: usize) -> bool {
+        let m = &self.cfg.machine;
+        let c = &self.cfg.costs;
+        let per_msg =
+            2.0 * (m.message_latency_s + m.per_hop_s) + c.request_send_s + c.object_recv_s;
+        let saved = (k as f64 - 1.0) * per_msg;
+        let extra = 2.0 * k as f64 * c.agg_entry_bytes as f64 / m.link_bandwidth;
+        saved > extra
+    }
+
+    /// Send one coalesced request for `objs` (all owned by `owner` at
+    /// inspection time). The bundle shares a single message fate; when
+    /// message faults are possible each object still arms its own ack
+    /// timer, so a lost bundle degrades to the proven per-object
+    /// fetch/retry path.
+    fn send_agg_fetch_request(
+        &mut self,
+        p: ProcId,
+        id: TaskId,
+        owner: ProcId,
+        objs: Vec<ObjectId>,
+        t: SimTime,
+    ) -> SimTime {
+        let sent = self.handler_op(p, t, self.cfg.costs.request_send(), TimeKind::Comm);
+        let req_bytes = self.cfg.costs.request_bytes + objs.len() * self.cfg.costs.agg_entry_bytes;
+        self.events.emit_obj(
+            sent.0,
+            p,
+            EventKind::ObjectRequest {
+                bytes: req_bytes as u64,
+            },
+            Some(id),
+            objs[0],
+        );
+        let base = sent + self.msg(req_bytes, p, owner);
+        let fate = self.inj.message_fate();
+        if fate.dropped() {
+            self.n_dropped += 1;
+            self.events.emit_obj(
+                sent.0,
+                p,
+                EventKind::MsgDropped {
+                    bytes: req_bytes as u64,
+                },
+                Some(id),
+                objs[0],
+            );
+        } else {
+            for extra in fate.copies {
+                self.cal.schedule(
+                    base + extra,
+                    Ev::AggRequestArrive {
+                        objs: objs.clone(),
+                        requester: p,
+                        task: id,
+                        sent_at: sent,
+                    },
+                );
+            }
+        }
+        if self.lossy {
+            for &o in &objs {
+                let timeout = self.retry_timeout(o, p, owner, 0);
+                self.cal.schedule(
+                    sent + timeout,
+                    Ev::FetchTimeout {
+                        proc: p,
+                        task: id,
+                        obj: o,
+                        attempt: 0,
+                    },
+                );
+            }
+        }
+        sent
+    }
+
+    /// A coalesced request arrived. Owners are recomputed per object (a
+    /// fail-stop while the bundle was in flight moves recovery copies);
+    /// each current owner answers with its own coalesced reply, occupied
+    /// for the full bundled send like any reply (Section 5.3).
+    fn on_agg_request_arrive(
+        &mut self,
+        objs: Vec<ObjectId>,
+        requester: ProcId,
+        task: TaskId,
+        sent_at: SimTime,
+        t: SimTime,
+    ) {
+        let mut groups: Vec<(ProcId, Vec<ObjectId>)> = Vec::new();
+        for o in objs {
+            let owner = self.comm.owner(o);
+            match groups.iter_mut().find(|(g, _)| *g == owner) {
+                Some((_, v)) => v.push(o),
+                None => groups.push((owner, vec![o])),
+            }
+        }
+        for (owner, group) in groups {
+            let mut bytes = self.cfg.costs.agg_entry_bytes * group.len();
+            let mut items = Vec::with_capacity(group.len());
+            for &o in &group {
+                self.comm.record_request(requester, o);
+                bytes += self.trace.object_size(o);
+                items.push((o, self.comm.version(o)));
+            }
+            let dur = self.msg(bytes, owner, requester);
+            let mut send_end = self.handler_op(owner, t, dur, TimeKind::Comm);
+            if let Some(wire) = &mut self.wire {
+                send_end = wire.occupy(0, t, dur, TimeKind::Comm).max(send_end);
+            }
+            let fate = self.inj.message_fate();
+            if fate.dropped() {
+                self.n_dropped += 1;
+                self.events.emit_obj(
+                    send_end.0,
+                    owner,
+                    EventKind::MsgDropped {
+                        bytes: bytes as u64,
+                    },
+                    Some(task),
+                    group[0],
+                );
+            } else {
+                for extra in fate.copies {
+                    self.cal.schedule(
+                        send_end + extra,
+                        Ev::AggObjectArrive {
+                            proc: requester,
+                            items: items.clone(),
+                            task,
+                            requested_at: sent_at,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// A coalesced reply arrived: one receive-handler interrupt, then each
+    /// object delivers individually through the version-checked idempotent
+    /// path — stale or unwanted entries are discarded exactly like
+    /// uncoalesced duplicates (their ack timers re-fetch them singly).
+    fn on_agg_object_arrive(
+        &mut self,
+        p: ProcId,
+        items: Vec<(ObjectId, u64)>,
+        task: TaskId,
+        requested_at: SimTime,
+        t: SimTime,
+    ) {
+        if self.dead[p] {
+            return;
+        }
+        let t1 = self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
+        let mut delivered = 0u32;
+        let mut delivered_bytes = 0u64;
+        let mut first_obj = None;
+        for (obj, version) in items {
+            let bytes = self.trace.object_size(obj) as u64;
+            let ts = &self.tstate[task.index()];
+            let wanted = ts.assigned_to == p
+                && !ts.finished_local
+                && ts.pending.iter().any(|&(po, _)| po == obj);
+            if !wanted || !self.comm.deliver(p, obj, version, bytes) {
+                self.n_discarded += 1;
+                self.events
+                    .emit_obj(t.0, p, EventKind::MsgDiscarded { bytes }, Some(task), obj);
+                continue;
+            }
+            self.events.emit_obj(
+                t.0,
+                p,
+                EventKind::ObjectFetch {
+                    bytes,
+                    latency_ps: t.since(requested_at).0,
+                },
+                Some(task),
+                obj,
+            );
+            delivered += 1;
+            delivered_bytes += bytes;
+            first_obj.get_or_insert(obj);
+            self.tstate[task.index()]
+                .pending
+                .retain(|&(po, _)| po != obj);
+        }
+        if delivered >= 2 {
+            self.events.emit_obj(
+                t.0,
+                p,
+                EventKind::AggregatedFetch {
+                    objects: delivered,
+                    bytes: delivered_bytes,
+                },
+                Some(task),
+                first_obj.expect("delivered implies an object"),
+            );
+        }
+        if delivered > 0 {
+            let ts = &mut self.tstate[task.index()];
+            if ts.pending.is_empty() && ts.fetch_queue.is_empty() {
+                ts.ready = true;
+                self.try_execute(p, t1);
+            }
+        }
     }
 
     /// Ack timeout for fetch `attempt`: a generous multiple of the

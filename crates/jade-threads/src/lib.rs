@@ -209,13 +209,31 @@ impl OwnerTable {
 
     /// The worker owning the most recently written of `spec`'s objects,
     /// if any of them has ever been written by a task.
+    ///
+    /// Irregular apps (PageRank, masked halo exchange) compute their access
+    /// sets from data at spawn time, so a task's *written* objects say where
+    /// its output wants to live while its (often much larger) data-dependent
+    /// read set points at many producers. Prefer routing by the latest
+    /// writer among this task's own written declarations — ownership
+    /// transfer — and fall back to any declaration only when the task
+    /// writes nothing previously written.
     fn latest_writer(&self, spec: &jade_core::AccessSpec) -> Option<usize> {
-        let mut best = 0u64;
+        let mut best_written = 0u64;
+        let mut best_any = 0u64;
         for d in spec.decls() {
             if let Some(slot) = self.slots.get(d.object.index()) {
-                best = best.max(slot.load(Ordering::Relaxed));
+                let v = slot.load(Ordering::Relaxed);
+                best_any = best_any.max(v);
+                if d.mode.writes() {
+                    best_written = best_written.max(v);
+                }
             }
         }
+        let best = if best_written != 0 {
+            best_written
+        } else {
+            best_any
+        };
         (best != 0).then_some((best & 0xFFFF) as usize)
     }
 }
@@ -1311,6 +1329,31 @@ mod tests {
     use jade_core::TaskBuilder;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    #[test]
+    fn owner_table_prefers_written_decls() {
+        use jade_core::{AccessSpec, ObjectId};
+        let mut table = OwnerTable::default();
+        table.ensure(4);
+        // Worker 3 wrote object 0 first; worker 5 wrote object 1 later.
+        table.record(ObjectId(0), 3);
+        table.record(ObjectId(1), 5);
+        // A task writing object 0 and reading object 1 routes to object 0's
+        // writer even though the read's stamp is newer (ownership transfer
+        // for data-dependent irregular read sets).
+        let mut spec = AccessSpec::new();
+        spec.wr(ObjectId(0)).rd(ObjectId(1));
+        assert_eq!(table.latest_writer(&spec), Some(3));
+        // A task writing only never-written object 2 falls back to the
+        // newest stamp among all its declarations.
+        let mut spec = AccessSpec::new();
+        spec.wr(ObjectId(2)).rd(ObjectId(1));
+        assert_eq!(table.latest_writer(&spec), Some(5));
+        // No declaration ever written: no routing hint at all.
+        let mut spec = AccessSpec::new();
+        spec.rd(ObjectId(2)).wr(ObjectId(3));
+        assert_eq!(table.latest_writer(&spec), None);
+    }
 
     #[test]
     fn runs_simple_pipeline() {

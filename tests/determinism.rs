@@ -11,9 +11,10 @@
 //! except in speed. Stealing and locality splits are scheduling accidents
 //! and legitimately differ; everything Jade semantics pins down must not.
 
+use jade::apps::pagerank::{self, PagerankConfig};
 use jade::core::Metrics;
 use jade::threads::FaultPlan;
-use jade::{BatchPolicy, JadeRuntime, SchedMode, TaskBuilder, ThreadRuntime};
+use jade::{BatchPolicy, JadeRuntime, LocalityMode, SchedMode, TaskBuilder, ThreadRuntime};
 use proptest::prelude::*;
 
 const OBJECTS: usize = 4;
@@ -268,5 +269,80 @@ proptest! {
                 "one-worker event streams diverged ({:?}, {:?})", mode, policy
             );
         }
+    }
+
+    /// Irregular access sets don't weaken the contract: PageRank over a
+    /// *random* power-law graph (access sets computed from the graph at
+    /// spawn time) must produce bit-identical ranks and identical
+    /// deterministic counters across schedulers and worker counts.
+    #[test]
+    fn pagerank_modes_agree(
+        seed in any::<u64>(),
+        nodes in 48usize..160,
+        epn in 2usize..5,
+        iters in 1usize..4,
+    ) {
+        let run = |workers: usize, mode: SchedMode| {
+            let cfg = PagerankConfig {
+                nodes,
+                edges_per_node: epn,
+                iterations: iters,
+                ..PagerankConfig::small(workers)
+            };
+            let cfg = PagerankConfig { seed, ..cfg };
+            let mut rt = ThreadRuntime::with_mode(workers, mode);
+            rt.enable_events();
+            let out = pagerank::run_on(&mut rt, &cfg);
+            let events = rt.take_events();
+            jade::core::check_lifecycle(&events).expect("lifecycle holds");
+            let m = Metrics::from_events(&events, workers);
+            (out, deterministic_counters(&m))
+        };
+        for workers in [1usize, 2, 4] {
+            let (ra, ca) = run(workers, SchedMode::Sharded);
+            let (rb, cb) = run(workers, SchedMode::GlobalLock);
+            prop_assert_eq!(ra, rb, "ranks diverged at {} workers (seed {})", workers, seed);
+            prop_assert_eq!(ca, cb, "counters diverged at {} workers (seed {})", workers, seed);
+        }
+    }
+
+    /// The inspector/executor aggregation pass is a pure communication
+    /// optimization: on the simulated iPSC/860 it must leave the final
+    /// object versions (the application result as the communicator sees
+    /// it), the executed task count and the per-object fetch totals of a
+    /// random-graph PageRank untouched — only message counts may change.
+    #[test]
+    fn pagerank_aggregation_is_invisible(
+        seed in any::<u64>(),
+        nodes in 48usize..160,
+        psel in 0usize..3,
+    ) {
+        let procs = [2usize, 4, 8][psel];
+        let cfg = PagerankConfig {
+            nodes,
+            iterations: 2,
+            seed,
+            ..PagerankConfig::small(procs)
+        };
+        let (trace, _) = pagerank::run_trace(&cfg);
+        let spo = 1e-6;
+        let run = |aggregate: bool| {
+            let mut mc = jade::ipsc::IpscConfig::paper(procs, LocalityMode::TaskPlacement, spo);
+            mc.aggregate_fetches = aggregate;
+            jade::ipsc::run(&trace, &mc)
+        };
+        let off = run(false);
+        let on = run(true);
+        prop_assert_eq!(
+            &on.final_versions, &off.final_versions,
+            "final versions diverged (seed {}, x{})", seed, procs
+        );
+        prop_assert_eq!(on.tasks_executed, off.tasks_executed);
+        let msgs_off = off.requests + off.fetch_messages;
+        let msgs_on = on.requests + on.fetch_messages;
+        prop_assert!(
+            msgs_on <= msgs_off,
+            "aggregation added messages ({} -> {})", msgs_off, msgs_on
+        );
     }
 }

@@ -12,6 +12,8 @@
 //! random DAGs, and owner death must reset the adaptive-broadcast trigger
 //! so no broadcast ever targets a dead consumer set.
 
+use jade::apps::halo::{self, HaloConfig};
+use jade::apps::pagerank::{self, PagerankConfig};
 use jade::core::{
     check_conservation, check_lifecycle, AccessSpec, Metrics, ObjectId, SyncSnapshot, Synchronizer,
     TaskId, Trace, TraceBuilder,
@@ -440,5 +442,81 @@ proptest! {
         prop_assert_eq!(again.checkpoints, ck.checkpoints);
         prop_assert_eq!(again.checkpoint_bytes, ck.checkpoint_bytes);
         prop_assert_eq!(again.restore_bytes, ck.restore_bytes);
+    }
+
+    /// The irregular applications — data-dependent access sets over a
+    /// random graph / random tile mask — survive random fault plans with
+    /// the fetch-aggregation pass ON: a lost bundle degrades to per-object
+    /// retries, a fail-stop (with or without checkpoints) re-homes and
+    /// re-executes, and the results stay bit-identical to the fault-free
+    /// run both with and without aggregation.
+    #[test]
+    fn irregular_apps_survive_faults_with_aggregation(
+        pick_halo in any::<bool>(),
+        procs in 2usize..7,
+        drop in 0u32..16,
+        dup in 0u32..9,
+        fail in any::<bool>(),
+        ckpt in any::<bool>(),
+        fail_pick in any::<u64>(),
+        app_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let trace = if pick_halo {
+            let cfg = HaloConfig { seed: app_seed, ..HaloConfig::small(procs) };
+            halo::run_trace(&cfg).0
+        } else {
+            let cfg = PagerankConfig { seed: app_seed, ..PagerankConfig::small(procs) };
+            pagerank::run_trace(&cfg).0
+        };
+        let base = IpscConfig::paper(procs, LocalityMode::TaskPlacement, 1e-6);
+        let mut agg = base.clone();
+        agg.aggregate_fetches = true;
+        let clean_off = ipsc::try_run(&trace, &base).expect("fault-free run completes");
+        let clean = ipsc::try_run(&trace, &agg).expect("fault-free aggregated run completes");
+        prop_assert_eq!(
+            &clean.final_versions, &clean_off.final_versions,
+            "aggregation alone changed the results"
+        );
+
+        let mut plan = FaultPlan {
+            drop_p: drop as f64 / 100.0,
+            dup_p: dup as f64 / 100.0,
+            seed,
+            ..FaultPlan::none()
+        };
+        if fail {
+            plan.fail_proc = Some(1 + (fail_pick as usize) % (procs - 1));
+            plan.fail_at = SimDuration::from_secs_f64(clean.exec_time_s * 0.5);
+        }
+        if ckpt {
+            plan.checkpoint = Some(SimDuration::from_secs_f64(
+                (clean.exec_time_s * 0.25).max(1e-6),
+            ));
+        }
+        let mut cfg = agg.clone();
+        cfg.faults = plan;
+        let (faulty, events) =
+            ipsc::try_run_traced(&trace, &cfg).expect("faulty aggregated run completes");
+
+        prop_assert_eq!(&faulty.final_versions, &clean.final_versions);
+        prop_assert!(faulty.tasks_executed >= clean.tasks_executed);
+        prop_assert!(
+            faulty.tasks_executed as u64 <= clean.tasks_executed as u64 + faulty.tasks_reexecuted
+        );
+        check_lifecycle(&events).expect("lifecycle holds under faults with aggregation");
+        let m = Metrics::from_events(&events, procs);
+        check_conservation(&events, procs, m.makespan_ps)
+            .expect("spans tile the makespan under faults with aggregation");
+        prop_assert_eq!(m.agg_fetches, faulty.agg_fetches);
+        prop_assert_eq!(m.agg_objects, faulty.agg_objects);
+        prop_assert_eq!(m.msgs_dropped, faulty.msgs_dropped);
+        prop_assert_eq!(m.msgs_discarded, faulty.msgs_discarded);
+
+        // Same seed, same plan: deterministic.
+        let again = ipsc::try_run(&trace, &cfg).expect("repeat run completes");
+        prop_assert_eq!(again.exec_time_s, faulty.exec_time_s);
+        prop_assert_eq!(again.agg_fetches, faulty.agg_fetches);
+        prop_assert_eq!(again.msgs_retried, faulty.msgs_retried);
     }
 }
