@@ -116,8 +116,23 @@ impl FaultPlan {
         self
     }
 
-    /// Check that every probability is in `[0, 1]` and the checkpoint
-    /// interval, if any, is positive.
+    /// Longest admissible latency-class duration (`delay`, `reorder`,
+    /// `stall`): one virtual hour. These feed multiplied arithmetic (the
+    /// fetch retry backoff scales the delay window by up to 2048×), so an
+    /// unbounded value would overflow the picosecond clock mid-run; an hour
+    /// of *extra message latency* is already far beyond anything physical.
+    pub const MAX_LATENCY: SimDuration = SimDuration(3_600 * crate::time::PS_PER_SEC);
+
+    /// Longest admissible schedule-class duration (`fail_at`, `ckpt`): a
+    /// million virtual seconds, ~50× the longest run in the paper (String,
+    /// ~20,000 s). Keeps `t + interval` rescheduling far from the u64
+    /// picosecond limit.
+    pub const MAX_SCHEDULE: SimDuration = SimDuration(1_000_000 * crate::time::PS_PER_SEC);
+
+    /// Check that every probability is in `[0, 1]`, every duration is
+    /// within its admissible bound (so no downstream virtual-time
+    /// arithmetic can overflow), and the checkpoint interval, if any, is
+    /// positive.
     pub fn validate(&self) -> Result<(), String> {
         for (name, p) in [
             ("drop", self.drop_p),
@@ -129,6 +144,28 @@ impl FaultPlan {
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(format!("fault plan: {name} probability {p} not in [0, 1]"));
+            }
+        }
+        for (name, d) in [
+            ("delay", self.delay),
+            ("reorder", self.reorder_window),
+            ("stall", self.stall),
+        ] {
+            if d > Self::MAX_LATENCY {
+                return Err(format!(
+                    "fault plan: {name} duration {d:?} exceeds the {:?} limit",
+                    Self::MAX_LATENCY
+                ));
+            }
+        }
+        for (name, d) in [("fail_at", Some(self.fail_at)), ("ckpt", self.checkpoint)] {
+            if let Some(d) = d {
+                if d > Self::MAX_SCHEDULE {
+                    return Err(format!(
+                        "fault plan: {name} {d:?} exceeds the {:?} limit",
+                        Self::MAX_SCHEDULE
+                    ));
+                }
             }
         }
         if let Some(interval) = self.checkpoint {
@@ -399,6 +436,46 @@ fn scale(d: SimDuration, frac: f64) -> SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_bounds_durations() {
+        // A latency-class duration past the hour limit is rejected — left
+        // unchecked it would overflow the 2048× retry-backoff arithmetic.
+        let plan = FaultPlan {
+            delay_p: 0.1,
+            delay: FaultPlan::MAX_LATENCY + SimDuration(1),
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate().unwrap_err().contains("delay"));
+        let plan = FaultPlan {
+            stall_p: 0.1,
+            stall: FaultPlan::MAX_LATENCY + SimDuration(1),
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate().unwrap_err().contains("stall"));
+        // Schedule-class durations get the wider bound.
+        let plan = FaultPlan {
+            fail_proc: Some(1),
+            fail_at: FaultPlan::MAX_SCHEDULE + SimDuration(1),
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate().unwrap_err().contains("fail_at"));
+        let plan = FaultPlan {
+            checkpoint: Some(FaultPlan::MAX_SCHEDULE + SimDuration(1)),
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate().unwrap_err().contains("ckpt"));
+        // At the bounds everything is fine.
+        let plan = FaultPlan {
+            delay_p: 0.1,
+            delay: FaultPlan::MAX_LATENCY,
+            fail_proc: Some(1),
+            fail_at: FaultPlan::MAX_SCHEDULE,
+            checkpoint: Some(FaultPlan::MAX_SCHEDULE),
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.validate(), Ok(()));
+    }
 
     #[test]
     fn none_is_inactive() {

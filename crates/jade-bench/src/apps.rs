@@ -34,6 +34,11 @@ impl App {
         }
     }
 
+    /// Every CLI key accepted by [`App::parse`], in presentation order
+    /// (`repro --list-apps` and the unknown-name error print these).
+    pub const CLI_NAMES: [&'static str; 6] =
+        ["water", "string", "ocean", "cholesky", "pagerank", "halo"];
+
     /// Parse a user-facing app name (CLI `--app`).
     pub fn parse(s: &str) -> Option<App> {
         match s.to_ascii_lowercase().as_str() {
@@ -206,6 +211,24 @@ impl App {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_names_round_trip_through_parse() {
+        // The advertised list must stay in sync with the parser: every
+        // listed key parses, and every app is reachable from the list.
+        let parsed: Vec<App> = App::CLI_NAMES
+            .iter()
+            .map(|n| App::parse(n).unwrap_or_else(|| panic!("listed name `{n}` must parse")))
+            .collect();
+        for app in App::ALL.into_iter().chain(App::IRREGULAR) {
+            assert!(
+                parsed.contains(&app),
+                "{} missing from CLI_NAMES",
+                app.name()
+            );
+        }
+        assert_eq!(App::parse("no-such-app"), None);
+    }
 
     #[test]
     fn quick_traces_build_for_every_app() {

@@ -25,7 +25,10 @@
 use crate::apps::App;
 use jade_apps::{cholesky, halo, ocean, pagerank, string_app, water};
 use jade_core::{JadeRuntime, TaskBuilder};
-use jade_threads::{BatchPolicy, SchedMode, ThreadRuntime};
+use jade_threads::{
+    BatchPolicy, JadeService, Outcome, Program, SchedMode, ServiceConfig, TenantOptions,
+    ThreadRuntime,
+};
 use std::time::Instant;
 
 /// Worker / processor counts the benchmarks sweep before clamping.
@@ -432,6 +435,70 @@ fn time_sim(app: App, procs: usize, quick: bool, warmup: usize, reps: usize) -> 
     out
 }
 
+/// Chain length of the multi-tenant service microbenchmark's DAGs: long
+/// enough that per-tenant dependence tracking is exercised, short enough
+/// that throughput is dominated by the service hot path (admission,
+/// per-tenant synchronizer transitions, shared-pool pick, report
+/// assembly) rather than task bodies.
+const SERVICE_CHAIN: usize = 16;
+
+/// Push `dags` identical chain DAGs through a shared [`JadeService`] pool
+/// and wait for all of them; returns total tasks completed.
+fn run_service(workers: usize, dags: usize) -> usize {
+    let mut cfg = ServiceConfig::new(workers);
+    cfg.max_active = 8;
+    cfg.max_pending = dags; // throughput run: pure pipeline, no shedding
+    let svc = JadeService::new(cfg);
+    let mut ids = Vec::with_capacity(dags);
+    for _ in 0..dags {
+        let mut prog = Program::new();
+        let h = prog.create("acc", 8, 0u64);
+        for i in 0..SERVICE_CHAIN {
+            prog.submit(TaskBuilder::new("svc").rd_wr(h).body(move |ctx| {
+                let mut v = ctx.wr(h);
+                *v = v.wrapping_mul(31).wrapping_add(i as u64 + 1);
+            }));
+        }
+        ids.push((
+            svc.submit(prog, TenantOptions::default()).expect("admit"),
+            h,
+        ));
+    }
+    let mut completed = 0;
+    for (id, h) in ids {
+        let r = svc.wait(id);
+        assert!(matches!(r.outcome, Outcome::Completed), "{:?}", r.outcome);
+        completed += r.tasks_completed;
+        std::hint::black_box(*r.store.read(h));
+    }
+    completed
+}
+
+fn time_service(workers: usize, dags: usize, warmup: usize, reps: usize) -> BenchResult {
+    for _ in 0..warmup {
+        run_service(workers, dags);
+    }
+    let mut reps_secs = Vec::with_capacity(reps);
+    let mut tasks = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        tasks = run_service(workers, dags);
+        reps_secs.push(t0.elapsed().as_secs_f64());
+    }
+    BenchResult {
+        backend: "service",
+        app: "ServiceStress".to_string(),
+        workers,
+        mode: None,
+        batch: None,
+        tasks,
+        secs: trimmed_mean(&reps_secs),
+        reps_secs,
+        sim_exec_s: None,
+        sync_locks: None,
+    }
+}
+
 fn json_f(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
@@ -531,7 +598,7 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
 
 /// Write atomically-ish: dump to `<path>.tmp`, then rename over `path`
 /// (`BENCH_*.tmp` is gitignored, so an interrupted run leaves no debris).
-fn write_json(path: &str, body: &str) -> Result<(), String> {
+pub(crate) fn write_json(path: &str, body: &str) -> Result<(), String> {
     let tmp = format!("{path}.tmp");
     std::fs::write(&tmp, body).map_err(|e| format!("cannot write {tmp}: {e}"))?;
     std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} -> {path}: {e}"))
@@ -619,6 +686,20 @@ pub fn run(quick: bool) -> Result<(), String> {
             );
         }
     }
+    println!("== repro bench: multi-tenant service ({warmup} warmup + {reps} reps) ==");
+    let svc_dags = if quick { 64 } else { 512 };
+    for &workers in &counts {
+        let r = time_service(workers, svc_dags, warmup, reps);
+        println!(
+            "  {:>14} w={} {:>10.1} tasks/s ({:.4}s, {svc_dags} DAGs x {SERVICE_CHAIN} tasks)",
+            r.app,
+            r.workers,
+            r.tasks_per_sec(),
+            r.secs,
+        );
+        thread_results.push(r);
+    }
+
     write_json(
         "BENCH_threads.json",
         &render_json(quick, warmup, reps, &thread_results),

@@ -31,10 +31,15 @@ fn usage() -> ! {
          \x20            <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
-         utilization, fault-sweep, checkpoint-sweep, aggregation-sweep, bench\n\
+         utilization, fault-sweep, checkpoint-sweep, aggregation-sweep,\n\
+         service-stress, bench\n\
          --app NAME        run one application on the simulated iPSC/860 and\n\
                            print its communication profile; NAME is one of\n\
                            water, string, ocean, cholesky, pagerank, halo\n\
+         --list-apps       list the valid --app names and exit\n\
+         service-stress: multi-tenant service robustness gate — thousands of\n\
+                mixed clean/faulty/deadline DAGs through one shared worker\n\
+                pool; writes SERVICE_tenants.json at the repo root\n\
          --aggregate       enable the inspector/executor fetch-aggregation\n\
                            pass (DESIGN.md \u{a7}15) for --app runs\n\
          bench: wall-clock (host Instant) benchmark of the thread backend\n\
@@ -70,10 +75,26 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
-            "--app" => match args.next().as_deref().and_then(App::parse) {
-                Some(app) => single_app = Some(app),
+            "--app" => match args.next() {
+                Some(name) => match App::parse(&name) {
+                    Some(app) => single_app = Some(app),
+                    None => {
+                        eprintln!(
+                            "unknown app `{name}`; valid names: {}",
+                            App::CLI_NAMES.join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                },
                 None => usage(),
             },
+            "--list-apps" => {
+                for name in App::CLI_NAMES {
+                    let app = App::parse(name).expect("listed name parses");
+                    println!("{name:<10} {}", app.name());
+                }
+                std::process::exit(0);
+            }
             "--aggregate" => aggregate = true,
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
@@ -271,6 +292,12 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan, ckpt_intervals: &
         "aggregation-sweep" => {
             if let Err(why) = ex::aggregation_sweep(h) {
                 eprintln!("aggregation sweep FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+        "service-stress" => {
+            if let Err(why) = ex::service_stress(h) {
+                eprintln!("service stress FAILED: {why}");
                 std::process::exit(1);
             }
         }

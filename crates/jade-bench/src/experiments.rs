@@ -7,7 +7,16 @@ use crate::apps::App;
 use crate::harness::{header, row, Harness, PROCS};
 use crate::paper_data;
 use dsim::FaultPlan;
-use jade_core::LocalityMode;
+use jade_core::{
+    check_conservation_per_tenant, check_lifecycle_per_tenant, Handle, LocalityMode, Metrics,
+    TaggedEvent, TaskBuilder, TenantId,
+};
+use jade_threads::{
+    JadeService, Outcome, Program, ServiceConfig, ShedPolicy, SubmitError, TenantOptions,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 fn print_table(title: &str, rows: &[(String, Vec<f64>)], paper: Option<&paper_data::ExecTable>) {
     println!("\n{}", header(title));
@@ -1053,6 +1062,415 @@ pub fn aggregation_sweep(h: &mut Harness) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant service stress (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// Tenant classes mixed into the stress stream, keyed by DAG index so the
+/// mix is deterministic and every submitter thread sees every class.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TenantClass {
+    /// Plain DAG: must complete with bit-exact output and zero recoveries.
+    Clean,
+    /// Injected crashes (`panic_p`): must still complete bit-exact.
+    Faulty,
+    /// Zero wall-clock budget: must cancel before any task completes.
+    Deadline,
+    /// A genuinely buggy task body: must fail alone; the pool survives.
+    Buggy,
+}
+
+impl TenantClass {
+    fn of(i: usize) -> TenantClass {
+        match i % 10 {
+            7 => TenantClass::Faulty,
+            8 => TenantClass::Deadline,
+            9 => TenantClass::Buggy,
+            _ => TenantClass::Clean,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            TenantClass::Clean => "clean",
+            TenantClass::Faulty => "faulty",
+            TenantClass::Deadline => "deadline",
+            TenantClass::Buggy => "buggy",
+        }
+    }
+}
+
+/// A few microseconds of busy work per task, so the shared pool drains
+/// slower than the submitters produce and backpressure genuinely engages.
+fn stress_spin() {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..6_000 {
+        x = std::hint::black_box(x)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    std::hint::black_box(x);
+}
+
+/// Serial chain folding task indices into one accumulator.
+fn stress_chain(len: usize) -> (Program, Handle<u64>, u64) {
+    let mut prog = Program::new();
+    let h = prog.create("acc", 8, 0u64);
+    let mut want = 0u64;
+    for i in 0..len {
+        want = want.wrapping_mul(31).wrapping_add(i as u64 + 1);
+        prog.submit(TaskBuilder::new("svc-chain").rd_wr(h).body(move |ctx| {
+            stress_spin();
+            let mut v = ctx.wr(h);
+            *v = v.wrapping_mul(31).wrapping_add(i as u64 + 1);
+        }));
+    }
+    (prog, h, want)
+}
+
+/// Fan-out / fan-in: `w` independent writers joined by one summing task.
+fn stress_diamond(w: usize) -> (Program, Handle<u64>, u64) {
+    let mut prog = Program::new();
+    let slots: Vec<Handle<u64>> = (0..w)
+        .map(|i| prog.create(format!("slot{i}"), 8, 0u64))
+        .collect();
+    let acc = prog.create("acc", 8, 0u64);
+    for (i, &s) in slots.iter().enumerate() {
+        prog.submit(TaskBuilder::new("svc-fan").wr(s).body(move |ctx| {
+            stress_spin();
+            *ctx.wr(s) = (i as u64 + 1) * (i as u64 + 1);
+        }));
+    }
+    let mut join = TaskBuilder::new("svc-join").rd_wr(acc);
+    for &s in &slots {
+        join = join.rd(s);
+    }
+    prog.submit(join.body(move |ctx| {
+        let mut sum = 0u64;
+        for &s in &slots {
+            sum = sum.wrapping_add(*ctx.rd(s));
+        }
+        *ctx.wr(acc) = sum;
+    }));
+    let want = (1..=w as u64).map(|i| i * i).fold(0u64, u64::wrapping_add);
+    (prog, acc, want)
+}
+
+/// One good task, then a task whose body has a real bug.
+fn stress_buggy() -> (Program, Handle<u64>, u64) {
+    let mut prog = Program::new();
+    let h = prog.create("acc", 8, 0u64);
+    prog.submit(TaskBuilder::new("svc-ok").rd_wr(h).body(move |ctx| {
+        *ctx.wr(h) += 1;
+    }));
+    prog.submit(TaskBuilder::new("svc-bug").rd_wr(h).body(move |_ctx| {
+        panic!("tenant bug");
+    }));
+    (prog, h, 0)
+}
+
+fn stress_program(class: TenantClass, i: usize) -> (Program, Handle<u64>, u64) {
+    match class {
+        TenantClass::Buggy => stress_buggy(),
+        _ if i.is_multiple_of(3) => stress_diamond(3 + i % 5),
+        _ => stress_chain(3 + i % 8),
+    }
+}
+
+fn outcome_name(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Completed => "completed",
+        Outcome::DeadlineExceeded => "deadline_exceeded",
+        Outcome::Failed(_) => "failed",
+        Outcome::Shed => "shed",
+    }
+}
+
+/// One tenant awaiting `wait()`: id, class, output handle, expected output,
+/// task count.
+type Inflight = (TenantId, TenantClass, Handle<u64>, u64, usize);
+
+/// Per-tenant JSON row: id, class, outcome, tasks, completed, recoveries.
+type TenantRow = (u32, TenantClass, &'static str, usize, usize, usize);
+
+/// Wait for every in-flight tenant and verify its report against its class.
+#[allow(clippy::too_many_arguments)]
+fn settle(
+    svc: &JadeService,
+    inflight: &mut Vec<Inflight>,
+    errors: &Mutex<Vec<String>>,
+    tagged: &Mutex<Vec<TaggedEvent>>,
+    rows: &Mutex<Vec<TenantRow>>,
+    recoveries: &AtomicUsize,
+) {
+    for (id, class, want_h, want, tasks) in inflight.drain(..) {
+        let r = svc.wait(id);
+        let fail = |why: String| {
+            errors
+                .lock()
+                .unwrap()
+                .push(format!("tenant {id} ({}): {why}", class.name()));
+        };
+        match class {
+            TenantClass::Clean | TenantClass::Faulty => {
+                if r.outcome != Outcome::Completed {
+                    fail(format!("outcome {:?}, want Completed", r.outcome));
+                } else {
+                    let got = *r.store.read(want_h);
+                    if got != want {
+                        fail(format!("output {got:#x}, want {want:#x}"));
+                    }
+                    if r.tasks_completed != tasks {
+                        fail(format!("{}/{tasks} tasks completed", r.tasks_completed));
+                    }
+                    if class == TenantClass::Clean && r.recoveries != 0 {
+                        fail(format!("{} recoveries without a fault plan", r.recoveries));
+                    }
+                    tagged.lock().unwrap().extend(r.tagged_events());
+                }
+                recoveries.fetch_add(r.recoveries, Ordering::Relaxed);
+            }
+            TenantClass::Deadline => {
+                if r.outcome != Outcome::DeadlineExceeded {
+                    fail(format!("outcome {:?}, want DeadlineExceeded", r.outcome));
+                }
+                if r.tasks_completed != 0 {
+                    fail(format!(
+                        "{} tasks completed under a zero budget",
+                        r.tasks_completed
+                    ));
+                }
+                if r.tasks_cancelled != tasks {
+                    fail(format!("{}/{tasks} tasks cancelled", r.tasks_cancelled));
+                }
+            }
+            TenantClass::Buggy => match &r.outcome {
+                Outcome::Failed(msg) if msg.contains("tenant bug") => {}
+                other => fail(format!("outcome {other:?}, want Failed(tenant bug)")),
+            },
+        }
+        rows.lock().unwrap().push((
+            id.0,
+            class,
+            outcome_name(&r.outcome),
+            r.tasks_total,
+            r.tasks_completed,
+            r.recoveries,
+        ));
+    }
+}
+
+/// `repro service-stress`: thousands of independent DAGs from concurrent
+/// submitters over one shared worker pool, with injected-fault, zero-
+/// deadline and genuinely buggy tenants mixed in. Hard gates: every clean
+/// and faulty tenant completes bit-exact, every deadline tenant cancels
+/// with zero completions, every buggy tenant fails alone, backpressure
+/// engages at least once, per-tenant lifecycle/conservation checks are
+/// green, and event-stream re-executions reconcile with reported
+/// recoveries. Writes `SERVICE_tenants.json` (per-tenant metrics artifact).
+pub fn service_stress(h: &mut Harness) -> Result<(), String> {
+    let total: usize = if h.quick { 400 } else { 3000 };
+    let submitters = 4usize;
+    let workers = 4usize;
+    let batch = 16usize;
+
+    println!("\n{}", header("Multi-tenant service stress"));
+    println!(
+        "  {total} DAGs from {submitters} submitters over {workers} workers \
+         (max_active=6, max_pending=8, shed=reject-new)"
+    );
+
+    let mut cfg = ServiceConfig::new(workers);
+    cfg.max_active = 6;
+    cfg.max_pending = 8; // deliberately tight: backpressure must engage
+    cfg.shed = ShedPolicy::RejectNew;
+    let svc = JadeService::new(cfg);
+
+    // Buggy tenants genuinely panic inside pool workers; the default hook
+    // would spray backtraces over the report. Silence it for the duration.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let tagged: Mutex<Vec<TaggedEvent>> = Mutex::new(Vec::new());
+    let rows: Mutex<Vec<TenantRow>> = Mutex::new(Vec::new());
+    let overloads = AtomicUsize::new(0);
+    let recoveries = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..submitters {
+            let svc = &svc;
+            let (errors, tagged, rows) = (&errors, &tagged, &rows);
+            let (overloads, recoveries) = (&overloads, &recoveries);
+            s.spawn(move || {
+                let mut inflight: Vec<Inflight> = Vec::new();
+                let mut i = t;
+                while i < total {
+                    let class = TenantClass::of(i);
+                    let mut opts = TenantOptions::default().with_weight(1 + (i % 3) as u32);
+                    match class {
+                        TenantClass::Faulty => {
+                            opts = opts.with_faults(FaultPlan {
+                                panic_p: 0.3,
+                                seed: 0x5eed + i as u64,
+                                ..FaultPlan::none()
+                            });
+                        }
+                        TenantClass::Deadline => opts = opts.with_deadline(Duration::ZERO),
+                        _ => {}
+                    }
+                    let admitted = loop {
+                        // Rebuilt per attempt: `submit` consumes the program.
+                        let (prog, want_h, want) = stress_program(class, i);
+                        let tasks = prog.task_count();
+                        match svc.submit(prog, opts.clone()) {
+                            Ok(id) => break Some((id, class, want_h, want, tasks)),
+                            Err(SubmitError::Overloaded { .. }) => {
+                                overloads.fetch_add(1, Ordering::Relaxed);
+                                // Overload is backpressure, not failure:
+                                // settle our own backlog and try again.
+                                settle(svc, &mut inflight, errors, tagged, rows, recoveries);
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(e) => {
+                                errors
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("DAG {i} rejected: {e}"));
+                                break None;
+                            }
+                        }
+                    };
+                    inflight.extend(admitted);
+                    if inflight.len() >= batch {
+                        settle(svc, &mut inflight, errors, tagged, rows, recoveries);
+                    }
+                    i += submitters;
+                }
+                settle(svc, &mut inflight, errors, tagged, rows, recoveries);
+            });
+        }
+    });
+
+    std::panic::set_hook(default_hook);
+    svc.shutdown();
+
+    let errors = errors.into_inner().unwrap();
+    if !errors.is_empty() {
+        for e in errors.iter().take(10) {
+            println!("  FAIL {e}");
+        }
+        return Err(format!(
+            "service stress: {} per-tenant check(s) failed",
+            errors.len()
+        ));
+    }
+
+    let tagged = tagged.into_inner().unwrap();
+    let mut rows = rows.into_inner().unwrap();
+    rows.sort_by_key(|r| r.0);
+    if rows.len() != total {
+        return Err(format!("{} reports for {total} submitted DAGs", rows.len()));
+    }
+
+    // The class mix is a pure function of the index, so the outcome tallies
+    // are exact, not statistical.
+    let mut want_mix = [0usize; 4];
+    for i in 0..total {
+        want_mix[TenantClass::of(i) as usize] += 1;
+    }
+    let mut got_mix = [0usize; 4];
+    for r in &rows {
+        got_mix[r.1 as usize] += 1;
+    }
+    if want_mix != got_mix {
+        return Err(format!("class mix {got_mix:?}, want {want_mix:?}"));
+    }
+    let completed = rows.iter().filter(|r| r.2 == "completed").count();
+    let deadline = rows.iter().filter(|r| r.2 == "deadline_exceeded").count();
+    let failed = rows.iter().filter(|r| r.2 == "failed").count();
+    let (want_done, want_dl, want_bug) = (
+        want_mix[TenantClass::Clean as usize] + want_mix[TenantClass::Faulty as usize],
+        want_mix[TenantClass::Deadline as usize],
+        want_mix[TenantClass::Buggy as usize],
+    );
+    if (completed, deadline, failed) != (want_done, want_dl, want_bug) {
+        return Err(format!(
+            "outcomes ({completed}, {deadline}, {failed}), \
+             want ({want_done}, {want_dl}, {want_bug})"
+        ));
+    }
+
+    // Per-tenant event streams of every completed tenant: lifecycle chains,
+    // span conservation, and counter self-consistency.
+    check_lifecycle_per_tenant(&tagged).map_err(|e| format!("lifecycle: {e}"))?;
+    check_conservation_per_tenant(&tagged, workers).map_err(|e| format!("conservation: {e}"))?;
+    let mut metric_reexecs = 0usize;
+    for (t, m) in Metrics::per_tenant(&tagged, workers) {
+        if m.tasks_completed != m.tasks_created {
+            return Err(format!(
+                "tenant {t}: {} created but {} completed",
+                m.tasks_created, m.tasks_completed
+            ));
+        }
+        if m.tasks_started != m.tasks_completed + m.tasks_reexecuted as usize {
+            return Err(format!(
+                "tenant {t}: {} starts for {} completions + {} re-executions",
+                m.tasks_started, m.tasks_completed, m.tasks_reexecuted
+            ));
+        }
+        metric_reexecs += m.tasks_reexecuted as usize;
+    }
+    let recov = recoveries.load(Ordering::Relaxed);
+    if metric_reexecs != recov {
+        return Err(format!(
+            "event streams carry {metric_reexecs} re-executions \
+             but reports counted {recov} recoveries"
+        ));
+    }
+    let overload_n = overloads.load(Ordering::Relaxed);
+    if overload_n == 0 {
+        return Err("backpressure never engaged: no Overloaded rejection all run".to_string());
+    }
+    if recov == 0 {
+        return Err("no injected-crash recoveries: the fault mix never fired".to_string());
+    }
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"schema\": \"jade-service-stress/v1\",\n");
+    body.push_str(&format!("  \"quick\": {},\n", h.quick));
+    body.push_str(&format!(
+        "  \"dags\": {total},\n  \"workers\": {workers},\n  \"submitters\": {submitters},\n"
+    ));
+    body.push_str(&format!(
+        "  \"overload_rejections\": {overload_n},\n  \"recoveries\": {recov},\n"
+    ));
+    body.push_str(&format!(
+        "  \"outcomes\": {{ \"completed\": {completed}, \
+         \"deadline_exceeded\": {deadline}, \"failed\": {failed} }},\n"
+    ));
+    body.push_str("  \"tenants\": [\n");
+    for (k, (id, class, outcome, tasks, done, rec)) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{ \"tenant\": {id}, \"class\": \"{}\", \"outcome\": \"{outcome}\", \
+             \"tasks\": {tasks}, \"completed\": {done}, \"recoveries\": {rec} }}{}\n",
+            class.name(),
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    crate::bench::write_json("SERVICE_tenants.json", &body)?;
+    println!("  wrote SERVICE_tenants.json ({} tenants)", rows.len());
+
+    println!(
+        "PASS service-stress: {total} DAGs ({completed} completed, {deadline} \
+         deadline-exceeded, {failed} failed), {overload_n} overload rejections, \
+         {recov} recoveries, per-tenant lifecycle/conservation green"
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1068,6 +1486,12 @@ mod tests {
             let i = h.ipsc(app, 2, LocalityMode::Locality);
             assert!(i.exec_time_s > 0.0);
         }
+    }
+
+    #[test]
+    fn service_stress_quick_passes() {
+        let mut h = Harness::new(true);
+        service_stress(&mut h).expect("service stress");
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum IpscError {
     /// The fault plan is malformed (bad probability, or a fail-stop target
     /// that is the main processor or out of range).
     InvalidFaultPlan(String),
+    /// The machine/cost configuration is unusable (non-positive bandwidth,
+    /// negative latency or compute cost, oversized jitter, bad speed
+    /// factor): left unchecked these poison virtual-time arithmetic deep in
+    /// the event loop.
+    InvalidMachine(String),
     /// The event calendar drained before the program completed: `live`
     /// tasks never finished. Indicates a protocol bug, not an injected
     /// fault — the recovery machinery is supposed to make progress under
@@ -36,6 +41,7 @@ impl fmt::Display for IpscError {
         match self {
             IpscError::NoProcessors => write!(f, "need at least one processor"),
             IpscError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            IpscError::InvalidMachine(why) => write!(f, "invalid machine config: {why}"),
             IpscError::Stalled { live_tasks } => {
                 write!(f, "simulation stalled: {live_tasks} tasks never completed")
             }

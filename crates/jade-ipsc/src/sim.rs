@@ -129,6 +129,13 @@ pub struct IpscConfig {
     /// zero injector draws, so fault-free runs are bit-identical to runs
     /// on a build without the fault layer.
     pub faults: FaultPlan,
+    /// Virtual-time budget: when the main processor reaches this much
+    /// virtual time with program steps still left, it stops creating tasks,
+    /// the already-created ones drain, and the run reports
+    /// [`IpscRunResult::deadline_exceeded`] with partial metrics — the
+    /// simulator analogue of the thread service's per-tenant wall-clock
+    /// deadline. `None` = run to completion.
+    pub deadline: Option<SimDuration>,
 }
 
 impl IpscConfig {
@@ -149,6 +156,7 @@ impl IpscConfig {
             speed_factors: None,
             shared_medium: false,
             faults: FaultPlan::none(),
+            deadline: None,
         }
     }
 
@@ -175,6 +183,7 @@ impl IpscConfig {
             speed_factors: Some(speeds),
             shared_medium: true,
             faults: FaultPlan::none(),
+            deadline: None,
         }
     }
 }
@@ -252,6 +261,10 @@ pub struct IpscRunResult {
     /// communicator sees it. Two runs computed the same thing iff these
     /// (and `tasks_executed`) agree; fault-parity checks compare them.
     pub final_versions: Vec<u64>,
+    /// The [`IpscConfig::deadline`] budget expired before the program
+    /// finished: `tasks_executed` and all other metrics cover only the
+    /// prefix that ran. Always `false` without a configured deadline.
+    pub deadline_exceeded: bool,
 }
 
 #[derive(Debug)]
@@ -397,6 +410,10 @@ struct Sim<'a> {
     dead: Vec<bool>,
     /// Unrecoverable protocol failure; aborts the event loop.
     fatal: Option<IpscError>,
+    /// Virtual-time budget ([`IpscConfig::deadline`]).
+    budget: Option<dsim::SimBudget>,
+    /// The budget expired: main stopped creating tasks mid-program.
+    deadline_hit: bool,
     // Native fault tallies, cross-checked against the event stream.
     n_dropped: u64,
     n_retried: u64,
@@ -429,6 +446,52 @@ pub fn try_run(trace: &Trace, cfg: &IpscConfig) -> Result<IpscRunResult, IpscErr
     Ok(try_run_traced(trace, cfg)?.0)
 }
 
+/// Reject machine/cost parameters that would poison virtual-time
+/// arithmetic deep in the event loop (division by a non-positive
+/// bandwidth, a negative task duration, a jitter multiplier below zero):
+/// every value here is reachable from user configuration, so each failure
+/// is a typed [`IpscError::InvalidMachine`], not a panic.
+fn validate_machine(cfg: &IpscConfig) -> Result<(), IpscError> {
+    let bad = |why: String| Err(IpscError::InvalidMachine(why));
+    let m = &cfg.machine;
+    if !(m.link_bandwidth.is_finite() && m.link_bandwidth > 0.0) {
+        return bad(format!(
+            "link bandwidth must be finite and positive, got {}",
+            m.link_bandwidth
+        ));
+    }
+    for (name, v) in [
+        ("message latency", m.message_latency_s),
+        ("per-hop latency", m.per_hop_s),
+        ("sec_per_op", cfg.sec_per_op),
+    ] {
+        if !(v.is_finite() && (0.0..=3_600.0).contains(&v)) {
+            return bad(format!("{name} must be in [0, 3600] seconds, got {v}"));
+        }
+    }
+    // The jitter multiplier is `1 + frac * (u - 0.5)` with `u` in [0, 1);
+    // frac beyond 2 makes task durations negative.
+    if !(cfg.jitter_frac.is_finite() && (0.0..=2.0).contains(&cfg.jitter_frac)) {
+        return bad(format!(
+            "jitter fraction must be in [0, 2], got {}",
+            cfg.jitter_frac
+        ));
+    }
+    if let Some(speeds) = &cfg.speed_factors {
+        if speeds.is_empty() {
+            return bad("speed factor list is empty".into());
+        }
+        for (i, &s) in speeds.iter().enumerate() {
+            if !(s.is_finite() && s > 0.0) {
+                return bad(format!(
+                    "speed factor for processor {i} must be finite and positive, got {s}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Fallible variant of [`run_traced`]. The result is computed from the
 /// events (via [`Metrics::from_events`]), so the two views cannot diverge.
 pub fn try_run_traced(
@@ -439,6 +502,7 @@ pub fn try_run_traced(
     if procs < 1 {
         return Err(IpscError::NoProcessors);
     }
+    validate_machine(cfg)?;
     cfg.faults.validate().map_err(IpscError::InvalidFaultPlan)?;
     if let Some(fp) = cfg.faults.fail_proc {
         if fp == jade_core::MAIN_PROC {
@@ -483,6 +547,8 @@ pub fn try_run_traced(
         lossy: plan.drop_p > 0.0 || plan.dup_p > 0.0 || plan.delay_p > 0.0 || plan.reorder_p > 0.0,
         dead: vec![false; procs],
         fatal: None,
+        budget: cfg.deadline.map(dsim::SimBudget::new),
+        deadline_hit: false,
         n_dropped: 0,
         n_retried: 0,
         n_discarded: 0,
@@ -511,7 +577,10 @@ pub fn try_run_traced(
     if let Some(e) = sim.fatal {
         return Err(e);
     }
-    if !sim.main_done || !sim.sync.all_complete() {
+    // A deadline-cut run is a *successful partial* run, not a stall: tasks
+    // the gate refused (and program steps never taken) are the cancelled
+    // remainder the caller reads off `deadline_exceeded`.
+    if !sim.deadline_hit && (!sim.main_done || !sim.sync.all_complete()) {
         return Err(IpscError::Stalled {
             live_tasks: sim.sync.live_tasks(),
         });
@@ -597,6 +666,7 @@ pub fn try_run_traced(
         objects_restored: m.object_restores,
         restore_bytes: m.restore_bytes,
         final_versions: sim.comm.final_versions(),
+        deadline_exceeded: sim.deadline_hit,
     };
     Ok((result, events))
 }
@@ -727,6 +797,16 @@ impl Sim<'_> {
     }
 
     fn main_step(&mut self, t: SimTime) {
+        // Deadline: stop creating tasks once the budget is spent. The
+        // already-created suffix drains normally (each created task's
+        // predecessors were created before it), so the run terminates
+        // cleanly with partial metrics instead of wedging as `Stalled`.
+        if self.next_rec < self.trace.tasks.len() && self.budget.is_some_and(|b| b.exhausted(t)) {
+            self.deadline_hit = true;
+            self.main_done = true;
+            self.try_execute(0, t);
+            return;
+        }
         if self.next_rec == self.trace.tasks.len() {
             self.main_done = true;
             self.try_execute(0, t);
@@ -1369,6 +1449,17 @@ impl Sim<'_> {
         }
     }
 
+    /// The deadline gate: refuse to start new work at `t` once the budget
+    /// is spent. Sets `deadline_hit` — only called when a concrete ready
+    /// task is being refused, so the flag means work was actually cut.
+    fn deadline_cuts(&mut self, t: SimTime) -> bool {
+        if self.budget.is_some_and(|b| b.exhausted(t)) {
+            self.deadline_hit = true;
+            return true;
+        }
+        false
+    }
+
     fn try_execute(&mut self, p: ProcId, t: SimTime) {
         if self.pstate[p].executing.is_some() {
             return;
@@ -1378,6 +1469,9 @@ impl Sim<'_> {
         if p == 0 {
             if let Some(serial) = self.main_blocked {
                 if self.tstate[serial.index()].ready {
+                    if self.deadline_cuts(t) {
+                        return;
+                    }
                     self.start_task(0, serial, t);
                     return;
                 }
@@ -1391,6 +1485,9 @@ impl Sim<'_> {
             return;
         };
         if !self.tstate[head.index()].ready {
+            return;
+        }
+        if self.deadline_cuts(t) {
             return;
         }
         self.pstate[p].queue.pop_front();
@@ -1668,6 +1765,11 @@ impl Sim<'_> {
         if self.main_done && self.sync.all_complete() {
             return; // program over: end the tick chain
         }
+        if self.budget.is_some_and(|b| b.exhausted(t)) {
+            // Past the deadline no new work starts, so a deadline-cut run
+            // would otherwise tick forever against never-completing tasks.
+            return;
+        }
         let snap = self.comm.snapshot();
         let ssnap = self.sync.snapshot();
         let mut bytes = snap.table_bytes() + ssnap.encoded_len() as u64;
@@ -1716,11 +1818,12 @@ impl Sim<'_> {
             comm: snap,
             sync: ssnap,
         });
-        let iv = self
-            .cfg
-            .faults
-            .checkpoint
-            .expect("tick without an interval");
+        // The interval is always present while ticks are scheduled (ticks
+        // only start when the plan has one), but end the chain gracefully
+        // rather than panic if that invariant ever breaks.
+        let Some(iv) = self.cfg.faults.checkpoint else {
+            return;
+        };
         self.cal.schedule(t + iv, Ev::CheckpointTick);
     }
 
@@ -2488,5 +2591,159 @@ mod tests {
             try_run(&trace, &c),
             Err(IpscError::InvalidFaultPlan(_))
         ));
+    }
+
+    /// Audit (PR 7): `--faults` durations large enough to overflow the
+    /// retry-backoff arithmetic used to panic mid-run with "SimDuration
+    /// overflow"; now the plan is rejected up front as a value.
+    #[test]
+    fn oversized_plan_durations_are_rejected_not_panics() {
+        let trace = parallel_trace(4, 2, 0.1);
+        let mut c = cfg(2, LocalityMode::Locality);
+        // The same bound guards the CLI path up front: `--faults` specs
+        // with oversized durations fail at parse, not mid-run.
+        assert!(FaultPlan::parse("delay=0.5:10000,seed=1").is_err());
+        assert!(FaultPlan::parse("ckpt=2000000").is_err());
+        // A 10,000 s delay window: ×2048 in retry_timeout would overflow
+        // the u64 picosecond clock. (Constructed directly — parse rejects
+        // it — to pin the entry-point validation itself.)
+        c.faults = FaultPlan {
+            delay_p: 0.5,
+            delay: SimDuration::from_secs_f64(10_000.0),
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
+        c.faults = FaultPlan {
+            fail_proc: Some(1),
+            fail_at: SimDuration::from_secs_f64(2_000_000.0),
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
+        c.faults = FaultPlan {
+            stall_p: 0.5,
+            stall: SimDuration::from_secs_f64(10_000.0),
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
+        c.faults = FaultPlan {
+            checkpoint: Some(SimDuration::from_secs_f64(2_000_000.0)),
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidFaultPlan(_))
+        ));
+    }
+
+    /// Audit (PR 7): machine-config values reachable from user
+    /// configuration used to trip `from_secs_f64`'s asserts ("negative or
+    /// non-finite time") deep in the event loop; now each is a typed
+    /// `InvalidMachine` error from the entry point.
+    #[test]
+    fn bad_machine_configs_are_rejected_not_panics() {
+        let trace = parallel_trace(4, 2, 0.1);
+        // Non-positive bandwidth: message_time divides by it.
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.machine.link_bandwidth = 0.0;
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.machine.link_bandwidth = f64::NAN;
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+        // Negative latency or compute cost: negative task durations.
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.machine.message_latency_s = -1e-3;
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.sec_per_op = -1.0;
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+        // Jitter fraction beyond 2 makes the duration multiplier negative.
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.jitter_frac = 3.0;
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+        // Speed factors must be positive and finite.
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.speed_factors = Some(vec![1.0, -0.5]);
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.speed_factors = Some(Vec::new());
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(IpscError::InvalidMachine(_))
+        ));
+    }
+
+    #[test]
+    fn deadline_cuts_the_run_with_partial_metrics() {
+        let trace = parallel_trace(16, 2, 0.5);
+        let mut c = cfg(2, LocalityMode::Locality);
+        // Full run takes ~4+ virtual seconds; budget one.
+        c.deadline = Some(SimDuration::from_secs_f64(1.0));
+        let r = try_run(&trace, &c).expect("deadline run completes cleanly");
+        assert!(r.deadline_exceeded);
+        assert!(
+            r.tasks_executed < 16,
+            "expected a partial run, got {} tasks",
+            r.tasks_executed
+        );
+        assert!(r.tasks_executed > 0, "one virtual second fits some tasks");
+        // A zero budget executes nothing and still drains cleanly.
+        c.deadline = Some(SimDuration::ZERO);
+        let r0 = try_run(&trace, &c).expect("zero-deadline run");
+        assert!(r0.deadline_exceeded);
+        assert_eq!(r0.tasks_executed, 0);
+    }
+
+    #[test]
+    fn generous_deadline_is_bit_identical_to_none() {
+        let trace = commy_trace(4, 2);
+        let base = cfg(4, LocalityMode::Locality);
+        let mut budgeted = base.clone();
+        budgeted.deadline = Some(SimDuration::from_secs_f64(1e5));
+        let (ra, ea) = run_traced(&trace, &base);
+        let (rb, eb) = run_traced(&trace, &budgeted);
+        assert!(!rb.deadline_exceeded);
+        assert_eq!(ra.exec_time_s, rb.exec_time_s);
+        assert_eq!(ra.final_versions, rb.final_versions);
+        assert_eq!(ea, eb, "an unexercised budget changes nothing");
+    }
+
+    #[test]
+    fn deadline_with_checkpoint_ticks_terminates() {
+        // Regression companion to the checkpoint-tick let-else: a deadline
+        // must not leave the tick chain rescheduling forever after main
+        // stops creating tasks.
+        let trace = parallel_trace(16, 2, 0.5);
+        let mut c = faulty_cfg(2, "ckpt=0.3");
+        c.deadline = Some(SimDuration::from_secs_f64(1.0));
+        let r = try_run(&trace, &c).expect("budgeted checkpointed run");
+        assert!(r.deadline_exceeded);
+        assert!(r.checkpoints >= 1, "ticks ran before the budget expired");
     }
 }

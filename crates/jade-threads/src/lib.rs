@@ -44,10 +44,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod service;
+
 pub use dsim::FaultPlan;
 use jade_core::{
     Event, EventKind, EventSink, JadeRuntime, Locality, NullSink, ObjectId, Sink, Store,
     SyncSnapshot, Synchronizer, TaskCtx, TaskDef, TaskId, Transition, TransitionBatch,
+};
+pub use service::{
+    JadeService, Outcome, Program, ServiceConfig, ShedPolicy, SubmitError, TenantOptions,
+    TenantReport,
 };
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -58,16 +64,16 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 /// Retry budget for injected worker failures. Each attempt re-rolls the
 /// keyed fault hash, so with `panic_p < 1` a task clears this budget with
 /// overwhelming probability; exhausting it propagates the failure.
-const MAX_TASK_ATTEMPTS: u32 = 16;
+pub(crate) const MAX_TASK_ATTEMPTS: u32 = 16;
 
 /// Quiet panic payload for an injected worker failure: unwinds through
 /// `resume_unwind` so the default panic hook prints nothing — the crash is
 /// simulated, not a bug worth a backtrace.
-struct InjectedFailure;
+pub(crate) struct InjectedFailure;
 
 /// Lock a mutex, ignoring poisoning (a panicking task already propagates
 /// its panic through `finish`; the shared state stays structurally valid).
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -183,7 +189,7 @@ impl XorShift64 {
 /// persists across batches — phase `i+1` tasks land where phase `i` wrote
 /// their data.
 #[derive(Debug, Default)]
-struct OwnerTable {
+pub(crate) struct OwnerTable {
     slots: Vec<AtomicU64>,
     stamp: AtomicU64,
 }
@@ -191,7 +197,7 @@ struct OwnerTable {
 impl OwnerTable {
     /// Grow to cover `n` objects (called between batches, never racing
     /// workers).
-    fn ensure(&mut self, n: usize) {
+    pub(crate) fn ensure(&mut self, n: usize) {
         while self.slots.len() < n {
             self.slots.push(AtomicU64::new(0));
         }
@@ -200,7 +206,7 @@ impl OwnerTable {
     /// Record that worker `w` wrote `o`. Relaxed is enough: the table is a
     /// heuristic — a stale read changes *where* a task runs, never whether
     /// it runs correctly.
-    fn record(&self, o: ObjectId, w: usize) {
+    pub(crate) fn record(&self, o: ObjectId, w: usize) {
         if let Some(slot) = self.slots.get(o.index()) {
             let stamp = self.stamp.fetch_add(1, Ordering::Relaxed) + 1;
             slot.store((stamp << 16) | (w as u64 & 0xFFFF), Ordering::Relaxed);
@@ -217,7 +223,7 @@ impl OwnerTable {
     /// writer among this task's own written declarations — ownership
     /// transfer — and fall back to any declaration only when the task
     /// writes nothing previously written.
-    fn latest_writer(&self, spec: &jade_core::AccessSpec) -> Option<usize> {
+    pub(crate) fn latest_writer(&self, spec: &jade_core::AccessSpec) -> Option<usize> {
         let mut best_written = 0u64;
         let mut best_any = 0u64;
         for d in spec.decls() {
@@ -998,6 +1004,13 @@ impl ThreadRuntime {
         self.last_stats = merged;
         self.total_stats.absorb(&merged);
         if let Some(p) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            // A genuine panic aborts the batch. Discard the half-applied
+            // synchronizer state and restart task numbering so the same
+            // runtime can run a subsequent clean batch (`add_task` requires
+            // contiguous ids per synchronizer). Stats for the aborted batch
+            // were stored above; its partial events remain in the stream.
+            self.sync = Synchronizer::new(true);
+            self.next_id = 0;
             resume_unwind(p);
         }
         assert_eq!(
@@ -1166,6 +1179,11 @@ impl ThreadRuntime {
         self.event_clock = sh.clock;
         self.events.extend(sh.events.take());
         if let Some(p) = sh.panic.take() {
+            // Same abort semantics as the sharded path: reset the
+            // synchronizer and task numbering so the runtime stays usable
+            // for the next batch after the panic propagates.
+            self.sync = Synchronizer::new(true);
+            self.next_id = 0;
             resume_unwind(p);
         }
         assert_eq!(sh.live, 0, "worker pool exited with live tasks");

@@ -7,7 +7,9 @@
 //! * [`core`] — the programming model: shared objects, access
 //!   specifications, the `withonly` task construct, the queue-based
 //!   synchronizer, serial execution + trace recording;
-//! * [`threads`] — a real parallel executor on OS threads;
+//! * [`threads`] — a real parallel executor on OS threads, plus the
+//!   multi-tenant [`JadeService`] front end (admission control,
+//!   deadlines, tenant fault isolation; DESIGN.md §16);
 //! * [`dash`] — the simulated shared-memory machine (Stanford
 //!   DASH) with the locality-heuristic scheduler;
 //! * [`ipsc`] — the simulated message-passing machine (Intel
@@ -29,6 +31,9 @@ pub use jade_threads as threads;
 
 pub use jade_core::{
     AccessMode, AccessSpec, Handle, JadeRuntime, LocalityMode, ObjectId, Store, Synchronizer,
-    TaskBuilder, TaskCtx, TaskDef, TaskId, Trace, TraceRuntime,
+    TaskBuilder, TaskCtx, TaskDef, TaskId, TenantId, Trace, TraceRuntime,
 };
-pub use jade_threads::{BatchPolicy, SchedMode, ThreadRuntime};
+pub use jade_threads::{
+    BatchPolicy, JadeService, Outcome, Program, SchedMode, ServiceConfig, ShedPolicy, SubmitError,
+    TenantOptions, TenantReport, ThreadRuntime,
+};
