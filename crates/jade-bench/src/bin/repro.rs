@@ -27,12 +27,12 @@ use jade_core::LocalityMode;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--trace-out FILE] [--faults SPEC] [--fault-seed N]\n\
-         \x20            [--checkpoint-interval N]... [--app NAME [--aggregate]]\n\
+         \x20            [--checkpoint-interval N]... [--app NAME [--aggregate] [--prefetch]]\n\
          \x20            <experiment>...\n\
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
          utilization, fault-sweep, checkpoint-sweep, aggregation-sweep,\n\
-         service-stress, bench\n\
+         overlap-sweep, service-stress, bench\n\
          --app NAME        run one application on the simulated iPSC/860 and\n\
                            print its communication profile; NAME is one of\n\
                            water, string, ocean, cholesky, pagerank, halo\n\
@@ -42,6 +42,8 @@ fn usage() -> ! {
                 pool; writes SERVICE_tenants.json at the repo root\n\
          --aggregate       enable the inspector/executor fetch-aggregation\n\
                            pass (DESIGN.md \u{a7}15) for --app runs\n\
+         --prefetch        enable the split-phase prefetch path (DESIGN.md \u{a7}17)\n\
+                           for --app runs\n\
          bench: wall-clock (host Instant) benchmark of the thread backend\n\
                 (Sharded vs GlobalLock, 1/2/4/8 workers) and the simulators;\n\
                 writes BENCH_threads.json + BENCH_sim.json at the repo root\n\
@@ -70,6 +72,7 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut single_app: Option<App> = None;
     let mut aggregate = false;
+    let mut prefetch = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -96,6 +99,7 @@ fn main() {
                 std::process::exit(0);
             }
             "--aggregate" => aggregate = true,
+            "--prefetch" => prefetch = true,
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
                 None => usage(),
@@ -132,6 +136,16 @@ fn main() {
     if ckpt_intervals.is_empty() {
         ckpt_intervals = vec![0.5, 2.0];
     }
+    // `--aggregate` / `--prefetch` are per-app toggles; without `--app`
+    // they would be silently ignored, so reject the invocation instead.
+    if single_app.is_none() {
+        for (flag, set) in [("--aggregate", aggregate), ("--prefetch", prefetch)] {
+            if set {
+                eprintln!("{flag} requires --app NAME (see --list-apps)");
+                std::process::exit(2);
+            }
+        }
+    }
     if wanted.is_empty() && trace_out.is_none() && single_app.is_none() {
         usage();
     }
@@ -146,7 +160,7 @@ fn main() {
         println!("[quick mode: reduced workloads — shapes hold, absolute numbers shrink]");
     }
     if let Some(app) = single_app {
-        run_app(&mut h, app, aggregate);
+        run_app(&mut h, app, aggregate, prefetch);
     }
     for w in wanted.clone() {
         run_one(&mut h, &w, plan, &ckpt_intervals);
@@ -163,22 +177,27 @@ fn main() {
     }
 }
 
-/// `repro --app NAME [--aggregate]`: one application's communication
-/// profile on the simulated iPSC/860, across the processor sweep.
-fn run_app(h: &mut Harness, app: App, aggregate: bool) {
+/// `repro --app NAME [--aggregate] [--prefetch]`: one application's
+/// communication profile on the simulated iPSC/860, across the processor
+/// sweep.
+fn run_app(h: &mut Harness, app: App, aggregate: bool, prefetch: bool) {
     let mode = if app.has_placement() {
         LocalityMode::TaskPlacement
     } else {
         LocalityMode::Locality
     };
     println!(
-        "{} on the simulated iPSC/860 (aggregation {}):",
+        "{} on the simulated iPSC/860 (aggregation {}, prefetch {}):",
         app.name(),
-        if aggregate { "ON" } else { "off" }
+        if aggregate { "ON" } else { "off" },
+        if prefetch { "ON" } else { "off" }
     );
     for procs in [1usize, 2, 4, 8, 16] {
-        let r = h.ipsc_with(app, procs, mode, |c| c.aggregate_fetches = aggregate);
-        println!(
+        let r = h.ipsc_with(app, procs, mode, |c| {
+            c.aggregate_fetches = aggregate;
+            c.prefetch = prefetch;
+        });
+        print!(
             "  x{procs:<2}: {:.2}s | {} tasks | requests {} replies {} \
              (bundles {} carrying {} objects) | {} object bytes",
             r.exec_time_s,
@@ -189,6 +208,16 @@ fn run_app(h: &mut Harness, app: App, aggregate: bool) {
             r.agg_objects,
             r.comm_bytes
         );
+        if prefetch {
+            print!(
+                " | prefetches {} ({} hit, {} stale), overlap {:.0}%",
+                r.prefetches_issued,
+                r.prefetch_hits,
+                r.prefetch_stale,
+                r.overlap_frac * 100.0
+            );
+        }
+        println!();
     }
 }
 
@@ -292,6 +321,12 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan, ckpt_intervals: &
         "aggregation-sweep" => {
             if let Err(why) = ex::aggregation_sweep(h) {
                 eprintln!("aggregation sweep FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+        "overlap-sweep" => {
+            if let Err(why) = ex::overlap_sweep(h) {
+                eprintln!("overlap sweep FAILED: {why}");
                 std::process::exit(1);
             }
         }

@@ -1062,6 +1062,220 @@ pub fn aggregation_sweep(h: &mut Harness) -> Result<(), String> {
     Ok(())
 }
 
+/// Overlap sweep (DESIGN.md §17): run all six applications with the
+/// split-phase prefetch path off and on, and check the tentpole
+/// invariants — issuing fetches at task-enable time may only *hide*
+/// communication latency under computation, never change the application
+/// result or make any run slower. The on-run replays the off-run's
+/// schedule ([`Harness::ipsc_controlled`]): with placement and
+/// per-processor start order held fixed, the comparison isolates the
+/// communication effect of prefetching from Graham list-scheduling
+/// anomalies, and earlier data arrival can only move starts earlier.
+/// Hard gates: bit-identical final object versions, prefetch-on simulated
+/// time <= prefetch-off on every app/processor point, and a strictly
+/// positive overlap fraction (comm time hidden under busy spans) on the
+/// two irregular applications.
+/// Also checks composition with fetch aggregation (§15) and the DASH
+/// prefetch-stream path (bytes on the wire bit-identical, stalls only
+/// shrink). Writes the per-point numbers to `OVERLAP_sweep.json`.
+pub fn overlap_sweep(h: &mut Harness) -> Result<(), String> {
+    println!(
+        "\n{}",
+        header("Overlap sweep: split-phase prefetch, comm/comp overlap")
+    );
+    let procs_sweep = [2usize, 4, 8, 16];
+    let mut rows: Vec<String> = Vec::new();
+    let mut issued_total = 0u64;
+    let mut best_overlap: std::collections::BTreeMap<&'static str, f64> =
+        std::collections::BTreeMap::new();
+
+    for app in App::ALL.into_iter().chain(App::IRREGULAR) {
+        let mode = if app.has_placement() {
+            LocalityMode::TaskPlacement
+        } else {
+            LocalityMode::Locality
+        };
+        for &procs in &procs_sweep {
+            let (off, on) = h.ipsc_controlled(app, procs, mode, |_| {}, |c| c.prefetch = true);
+            println!(
+                "  {:>8} x{procs:<2}: {:.3}s -> {:.3}s | prefetches {} ({} hit, {} stale) | \
+                 overlap {:.0}%",
+                app.name(),
+                off.exec_time_s,
+                on.exec_time_s,
+                on.prefetches_issued,
+                on.prefetch_hits,
+                on.prefetch_stale,
+                on.overlap_frac * 100.0
+            );
+            if on.final_versions != off.final_versions {
+                return Err(format!(
+                    "{} x{procs}: final object versions diverged with prefetch on",
+                    app.name()
+                ));
+            }
+            if on.tasks_executed != off.tasks_executed {
+                return Err(format!(
+                    "{} x{procs}: {} tasks executed with prefetch vs {} without",
+                    app.name(),
+                    on.tasks_executed,
+                    off.tasks_executed
+                ));
+            }
+            if on.exec_time_s > off.exec_time_s + 1e-9 {
+                return Err(format!(
+                    "{} x{procs}: prefetch regressed simulated time \
+                     ({:.6}s vs {:.6}s)",
+                    app.name(),
+                    on.exec_time_s,
+                    off.exec_time_s
+                ));
+            }
+            issued_total += on.prefetches_issued;
+            let e = best_overlap.entry(app.name()).or_insert(0.0);
+            *e = e.max(on.overlap_frac);
+            rows.push(format!(
+                "{{\"backend\": \"ipsc\", \"app\": \"{}\", \"procs\": {procs}, \
+                 \"exec_off_s\": {:.6}, \"exec_on_s\": {:.6}, \"overlap_frac\": {:.6}, \
+                 \"prefetches\": {}, \"hits\": {}, \"stale\": {}}}",
+                app.name(),
+                off.exec_time_s,
+                on.exec_time_s,
+                on.overlap_frac,
+                on.prefetches_issued,
+                on.prefetch_hits,
+                on.prefetch_stale
+            ));
+        }
+    }
+    if issued_total == 0 {
+        return Err("prefetch path never fired across the whole sweep".into());
+    }
+
+    // Composition with the inspector/executor aggregation pass (§15): the
+    // prefetcher issues bundled fetches, and the combination must keep the
+    // result bit-identical while never running slower than aggregation
+    // alone.
+    for app in App::IRREGULAR {
+        for &procs in &[4usize, 8] {
+            let (base, both) = h.ipsc_controlled(
+                app,
+                procs,
+                LocalityMode::TaskPlacement,
+                |c| c.aggregate_fetches = true,
+                |c| c.prefetch = true,
+            );
+            println!(
+                "  {:>8} x{procs:<2} +agg: {:.3}s -> {:.3}s | prefetches {}",
+                app.name(),
+                base.exec_time_s,
+                both.exec_time_s,
+                both.prefetches_issued
+            );
+            if both.final_versions != base.final_versions {
+                return Err(format!(
+                    "{} x{procs}: prefetch+aggregation diverged from aggregation alone",
+                    app.name()
+                ));
+            }
+            if both.exec_time_s > base.exec_time_s + 1e-9 {
+                return Err(format!(
+                    "{} x{procs}: prefetch on top of aggregation regressed time \
+                     ({:.6}s vs {:.6}s)",
+                    app.name(),
+                    both.exec_time_s,
+                    base.exec_time_s
+                ));
+            }
+        }
+    }
+
+    // DASH: prefetch streams remote lines toward the target cluster at
+    // enable time. Directory traffic is bit-identical — only stalls shrink.
+    for app in App::IRREGULAR {
+        for &procs in &[4usize, 8] {
+            let off = h.dash(app, procs, LocalityMode::TaskPlacement);
+            let on = h.dash_with(app, procs, LocalityMode::TaskPlacement, |c| {
+                c.prefetch = true
+            });
+            println!(
+                "  {:>8} x{procs:<2} DASH: {:.3}s -> {:.3}s | bytes {} -> {} | \
+                 prefetches {} ({} hit)",
+                app.name(),
+                off.exec_time_s,
+                on.exec_time_s,
+                off.bytes_moved,
+                on.bytes_moved,
+                on.prefetches_issued,
+                on.prefetch_hits
+            );
+            if on.bytes_moved != off.bytes_moved {
+                return Err(format!(
+                    "{} x{procs} DASH: bytes moved changed with prefetch ({} vs {})",
+                    app.name(),
+                    on.bytes_moved,
+                    off.bytes_moved
+                ));
+            }
+            if on.tasks_executed != off.tasks_executed {
+                return Err(format!(
+                    "{} x{procs} DASH: task count changed with prefetch",
+                    app.name()
+                ));
+            }
+            if on.exec_time_s > off.exec_time_s + 1e-9 {
+                return Err(format!(
+                    "{} x{procs} DASH: prefetch regressed exec time ({:.6}s vs {:.6}s)",
+                    app.name(),
+                    on.exec_time_s,
+                    off.exec_time_s
+                ));
+            }
+            rows.push(format!(
+                "{{\"backend\": \"dash\", \"app\": \"{}\", \"procs\": {procs}, \
+                 \"exec_off_s\": {:.6}, \"exec_on_s\": {:.6}, \"overlap_frac\": {:.6}, \
+                 \"prefetches\": {}, \"hits\": {}, \"stale\": {}}}",
+                app.name(),
+                off.exec_time_s,
+                on.exec_time_s,
+                on.overlap_frac,
+                on.prefetches_issued,
+                on.prefetch_hits,
+                on.prefetch_stale
+            ));
+        }
+    }
+
+    let pagerank_overlap = *best_overlap.get(App::Pagerank.name()).unwrap_or(&0.0);
+    let halo_overlap = *best_overlap.get(App::Halo.name()).unwrap_or(&0.0);
+    if pagerank_overlap <= 0.0 || halo_overlap <= 0.0 {
+        return Err(format!(
+            "overlap gate failed: prefetch hid no communication on the irregular apps \
+             (pagerank {pagerank_overlap:.4}, halo {halo_overlap:.4})"
+        ));
+    }
+
+    let mut body = String::from("{\n  \"rows\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {r}{}\n",
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    crate::bench::write_json("OVERLAP_sweep.json", &body)?;
+    println!("  wrote OVERLAP_sweep.json ({} points)", rows.len());
+
+    println!(
+        "PASS overlap: {issued_total} prefetches issued, no run slower, results bit-identical, \
+         overlap pagerank {:.0}% / halo {:.0}%",
+        pagerank_overlap * 100.0,
+        halo_overlap * 100.0
+    );
+    println!("  overlap sweep passed: communication hidden, never added");
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Multi-tenant service stress (DESIGN.md §16)
 // ---------------------------------------------------------------------------

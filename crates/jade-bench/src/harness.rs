@@ -3,7 +3,7 @@
 use crate::apps::App;
 use jade_core::{LocalityMode, Trace};
 use jade_dash::{DashConfig, DashRunResult};
-use jade_ipsc::{IpscConfig, IpscRunResult};
+use jade_ipsc::{IpscConfig, IpscRunResult, PinnedSchedule};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -80,6 +80,34 @@ impl Harness {
         let mut cfg = IpscConfig::paper(procs, mode, spo);
         f(&mut cfg);
         jade_ipsc::run(&trace, &cfg)
+    }
+
+    /// Controlled iPSC comparison: run a baseline with the `base` tweaks
+    /// and record its schedule, then run again with `tweak` applied on top,
+    /// replaying the baseline's task placement and per-processor start
+    /// order ([`IpscConfig::pinned`]). Holding the schedule fixed isolates
+    /// the communication effect of the tweak from list-scheduling timing
+    /// anomalies — with identical task sets and per-processor order, a
+    /// change that only makes data available earlier can only move task
+    /// starts earlier (DESIGN.md §17). Returns `(baseline, tweaked)`.
+    pub fn ipsc_controlled(
+        &mut self,
+        app: App,
+        procs: usize,
+        mode: LocalityMode,
+        base: impl FnOnce(&mut IpscConfig),
+        tweak: impl FnOnce(&mut IpscConfig),
+    ) -> (IpscRunResult, IpscRunResult) {
+        let trace = self.trace(app, procs);
+        let spo = app.ipsc_sec_per_op(&trace);
+        let mut cfg = IpscConfig::paper(procs, mode, spo);
+        base(&mut cfg);
+        let (off, events) = jade_ipsc::run_traced(&trace, &cfg);
+        let mut cfg_on = cfg.clone();
+        tweak(&mut cfg_on);
+        cfg_on.pinned = Some(PinnedSchedule::from_events(trace.tasks.len(), &events));
+        let on = jade_ipsc::run(&trace, &cfg_on);
+        (off, on)
     }
 
     /// Run `app` with event recording on the chosen machine model and

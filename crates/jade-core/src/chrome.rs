@@ -42,7 +42,10 @@ fn args_json(e: &Event) -> String {
         | EventKind::MsgDiscarded { bytes }
         | EventKind::CheckpointTaken { bytes }
         | EventKind::CheckpointRestored { bytes }
-        | EventKind::ObjectRestored { bytes } => parts.push(format!("\"bytes\":{bytes}")),
+        | EventKind::ObjectRestored { bytes }
+        | EventKind::PrefetchIssued { bytes }
+        | EventKind::PrefetchHit { bytes }
+        | EventKind::PrefetchStale { bytes } => parts.push(format!("\"bytes\":{bytes}")),
         EventKind::ProcStalled { dur_ps } => {
             parts.push(format!("\"stall_us\":{}", micros(dur_ps)));
         }

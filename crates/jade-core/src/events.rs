@@ -156,6 +156,19 @@ pub enum EventKind {
     /// replica died with its owner) at the surviving owner, transferring
     /// `bytes` — the charged replacement for the old free-restore path.
     ObjectRestored { bytes: u64 },
+    /// Split-phase prefetch: a fetch for `object` was issued on behalf of a
+    /// task *before* that task reached its processor (DESIGN.md §17). The
+    /// transfer itself still emits ordinary `ObjectRequest`/`ObjectFetch`
+    /// events; this marks the early-issue decision.
+    PrefetchIssued { bytes: u64 },
+    /// A prefetched copy of `object` was still current when its task
+    /// arrived at the processor: the fetch latency was (at least partly)
+    /// hidden behind earlier work.
+    PrefetchHit { bytes: u64 },
+    /// A prefetched copy of `object` was written again before its task
+    /// started; the stale copy is discarded and the object refetched at the
+    /// normal (synchronous) point.
+    PrefetchStale { bytes: u64 },
 }
 
 impl EventKind {
@@ -188,6 +201,9 @@ impl EventKind {
             EventKind::CheckpointTaken { .. } => "checkpoint_taken",
             EventKind::CheckpointRestored { .. } => "checkpoint_restored",
             EventKind::ObjectRestored { .. } => "object_restored",
+            EventKind::PrefetchIssued { .. } => "prefetch_issued",
+            EventKind::PrefetchHit { .. } => "prefetch_hit",
+            EventKind::PrefetchStale { .. } => "prefetch_stale",
         }
     }
 }
@@ -512,6 +528,19 @@ pub struct Metrics {
     pub object_restores: u64,
     /// Payload bytes of those restores (part of [`Self::comm_bytes`]).
     pub restore_bytes: u64,
+    /// Split-phase fetches issued ahead of task arrival (DESIGN.md §17).
+    pub prefetches_issued: u64,
+    /// Payload bytes of those early-issued fetches.
+    pub prefetch_bytes: u64,
+    /// Prefetched copies still current when their task arrived.
+    pub prefetch_hits: u64,
+    /// Prefetched copies invalidated before task start (refetched).
+    pub prefetch_stale: u64,
+    /// Communication time hidden under application work: the summed
+    /// intersection of each fetch's in-flight window
+    /// `[arrival - latency, arrival]` with the fetching processor's `App`
+    /// spans. See [`Self::overlap_fraction`].
+    pub overlap_ps: u64,
 }
 
 impl Metrics {
@@ -524,6 +553,10 @@ impl Metrics {
         };
         // Per-task fetch window: (first request sent, last arrival).
         let mut windows: Vec<(TaskId, u64, u64)> = Vec::new();
+        // Per-processor App spans and per-fetch in-flight windows, for the
+        // overlap metric computed after the pass.
+        let mut app_spans: Vec<Vec<(u64, u64)>> = vec![Vec::new(); procs];
+        let mut flights: Vec<(ProcId, u64, u64)> = Vec::new();
         fn window_of(windows: &mut Vec<(TaskId, u64, u64)>, task: TaskId) -> usize {
             match windows.iter().position(|w| w.0 == task) {
                 Some(i) => i,
@@ -567,6 +600,9 @@ impl Metrics {
                     m.fetches += 1;
                     m.fetch_bytes += bytes;
                     m.object_latency_ps += latency_ps;
+                    if latency_ps > 0 {
+                        flights.push((e.proc, e.time_ps.saturating_sub(latency_ps), e.time_ps));
+                    }
                     if let Some(t) = e.task {
                         let i = window_of(&mut windows, t);
                         windows[i].2 = windows[i].2.max(e.time_ps);
@@ -605,9 +641,15 @@ impl Metrics {
                     if e.proc >= m.per_proc.len() {
                         m.per_proc.resize(e.proc + 1, ProcTimes::default());
                     }
+                    if e.proc >= app_spans.len() {
+                        app_spans.resize(e.proc + 1, Vec::new());
+                    }
                     let pt = &mut m.per_proc[e.proc];
                     match component {
-                        Component::App => pt.app_ps += dur_ps,
+                        Component::App => {
+                            pt.app_ps += dur_ps;
+                            app_spans[e.proc].push((e.time_ps, e.time_ps + dur_ps));
+                        }
                         Component::Comm => pt.comm_ps += dur_ps,
                         Component::Mgmt => pt.mgmt_ps += dur_ps,
                     }
@@ -643,11 +685,40 @@ impl Metrics {
                     m.object_restores += 1;
                     m.restore_bytes += bytes;
                 }
+                EventKind::PrefetchIssued { bytes } => {
+                    m.prefetches_issued += 1;
+                    m.prefetch_bytes += bytes;
+                }
+                EventKind::PrefetchHit { .. } => m.prefetch_hits += 1,
+                EventKind::PrefetchStale { .. } => m.prefetch_stale += 1,
             }
         }
         for (_, first, last) in windows {
             if first != u64::MAX && last >= first {
                 m.task_latency_ps += last - first;
+            }
+        }
+        // Overlap: how much of each fetch's in-flight time was hidden under
+        // App work on the fetching processor. Per-processor spans are
+        // emitted in time order (see `check_conservation`); the sort makes
+        // the computation robust to streams that were merged or filtered.
+        for spans in &mut app_spans {
+            spans.sort_unstable();
+        }
+        for (p, lo, hi) in flights {
+            let Some(spans) = app_spans.get(p) else {
+                continue;
+            };
+            // First span that could intersect: the one before the first
+            // span starting at or after `lo`, then walk forward.
+            let mut i = spans.partition_point(|&(s, _)| s < lo);
+            i = i.saturating_sub(1);
+            while let Some(&(s, e)) = spans.get(i) {
+                if s >= hi {
+                    break;
+                }
+                m.overlap_ps += e.min(hi).saturating_sub(s.max(lo));
+                i += 1;
             }
         }
         m
@@ -694,6 +765,19 @@ impl Metrics {
             0.0
         } else {
             100.0 * self.locality_hits as f64 / self.locality_tracked as f64
+        }
+    }
+
+    /// Fraction of total fetch latency that was hidden under application
+    /// work on the fetching processor (0.0 when nothing was fetched, 1.0
+    /// when every in-flight interval sat entirely under a busy `App` span).
+    /// This is the paper's communication/computation overlap, derived from
+    /// the event stream alone: no backend reports it natively.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.object_latency_ps == 0 {
+            0.0
+        } else {
+            self.overlap_ps as f64 / self.object_latency_ps as f64
         }
     }
 
@@ -1260,6 +1344,98 @@ mod tests {
     fn conservation_rejects_short_makespan() {
         let events = vec![span(0, 0, Component::App, 10)];
         assert!(check_conservation(&events, 1, 12).is_err());
+    }
+
+    #[test]
+    fn prefetch_counters_aggregate() {
+        let o = ObjectId(3);
+        let ev = |kind| Event {
+            time_ps: 0,
+            proc: 1,
+            kind,
+            task: Some(TaskId(0)),
+            object: Some(o),
+        };
+        let events = vec![
+            ev(EventKind::PrefetchIssued { bytes: 100 }),
+            ev(EventKind::PrefetchIssued { bytes: 50 }),
+            ev(EventKind::PrefetchHit { bytes: 100 }),
+            ev(EventKind::PrefetchStale { bytes: 50 }),
+        ];
+        let m = Metrics::from_events(&events, 2);
+        assert_eq!(m.prefetches_issued, 2);
+        assert_eq!(m.prefetch_bytes, 150);
+        assert_eq!(m.prefetch_hits, 1);
+        assert_eq!(m.prefetch_stale, 1);
+        // Lifecycle ignores prefetch events entirely.
+        assert!(check_lifecycle(&[]).is_ok());
+    }
+
+    #[test]
+    fn overlap_counts_fetch_time_under_app_spans() {
+        // Proc 1 runs App work over [10, 30); a fetch arrives at t=25 after
+        // 20 ps in flight ([5, 25]): 15 ps of the flight is hidden.
+        let fetch = Event {
+            time_ps: 25,
+            proc: 1,
+            kind: EventKind::ObjectFetch {
+                bytes: 64,
+                latency_ps: 20,
+            },
+            task: Some(TaskId(0)),
+            object: Some(ObjectId(0)),
+        };
+        let events = vec![span(10, 1, Component::App, 20), fetch];
+        let m = Metrics::from_events(&events, 2);
+        assert_eq!(m.overlap_ps, 15);
+        assert_eq!(m.overlap_fraction(), 15.0 / 20.0);
+    }
+
+    #[test]
+    fn overlap_ignores_other_processors_and_components() {
+        // App work on proc 0 and Comm work on proc 1 hide nothing of a
+        // fetch arriving at proc 1.
+        let fetch = Event {
+            time_ps: 30,
+            proc: 1,
+            kind: EventKind::ObjectFetch {
+                bytes: 64,
+                latency_ps: 30,
+            },
+            task: None,
+            object: Some(ObjectId(0)),
+        };
+        let events = vec![
+            span(0, 0, Component::App, 100),
+            span(0, 1, Component::Comm, 30),
+            fetch,
+        ];
+        let m = Metrics::from_events(&events, 2);
+        assert_eq!(m.overlap_ps, 0);
+        assert_eq!(m.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overlap_spans_multiple_app_intervals() {
+        // Flight [0, 100] over two disjoint App spans [10,20) and [40,60):
+        // 10 + 20 hidden of 100 in flight.
+        let fetch = Event {
+            time_ps: 100,
+            proc: 0,
+            kind: EventKind::ObjectFetch {
+                bytes: 8,
+                latency_ps: 100,
+            },
+            task: None,
+            object: Some(ObjectId(0)),
+        };
+        let events = vec![
+            span(10, 0, Component::App, 10),
+            span(40, 0, Component::App, 20),
+            fetch,
+        ];
+        let m = Metrics::from_events(&events, 1);
+        assert_eq!(m.overlap_ps, 30);
     }
 
     #[test]

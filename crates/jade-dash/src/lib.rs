@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 
 mod costs;
+mod error;
 mod memsim;
 mod scheduler;
 mod sim;
 
 pub use costs::DashCosts;
+pub use error::DashError;
 pub use memsim::MemSim;
 pub use scheduler::{DashScheduler, LocalityMode};
-pub use sim::{run, run_traced, DashConfig, DashRunResult};
+pub use sim::{run, run_traced, try_run, try_run_traced, DashConfig, DashRunResult};

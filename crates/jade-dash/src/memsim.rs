@@ -136,6 +136,18 @@ impl MemSim {
         (total, remote)
     }
 
+    /// Objects in `spec` that would miss in `cluster` right now, with their
+    /// transfer sizes — the candidate set a split-phase prefetch issued at
+    /// task-enable time would stream toward the cluster (DESIGN.md §17).
+    /// Read-only: no directory state changes.
+    pub fn missing_in(&self, cluster: usize, spec: &AccessSpec) -> Vec<(jade_core::ObjectId, u64)> {
+        spec.decls()
+            .iter()
+            .filter(|d| self.hit_level(cluster, d.object.index()) != DashHit::OwnCache)
+            .map(|d| (d.object, self.sizes[d.object.index()] as u64))
+            .collect()
+    }
+
     fn hit_level(&self, cluster: usize, obj: usize) -> DashHit {
         let st = &self.objects[obj];
         if st.sharers[cluster] {

@@ -48,46 +48,93 @@ impl ProcQueue {
         self.len += 1;
     }
 
+    // Invariant: `order` lists exactly the objects whose `by_obj` queue is
+    // non-empty, each once (`push` adds an object to `order` only when its
+    // queue was empty; both pops delist an object when its queue drains).
+    // The pops below still walk `order` defensively: a desynced entry —
+    // impossible today, loud in debug builds — is skipped and cleaned up
+    // instead of panicking mid-simulation.
+
     fn pop_first(&mut self) -> Option<TaskId> {
         if let Some(t) = self.pinned.pop_front() {
             self.len -= 1;
             return Some(t.task);
         }
-        let &obj = self.order.front()?;
-        let q = self.by_obj.get_mut(&obj).expect("order/by_obj out of sync");
-        let t = q.pop_front().expect("listed object queue is empty");
-        if q.is_empty() {
-            self.order.pop_front();
-            self.by_obj.remove(&obj);
+        while let Some(&obj) = self.order.front() {
+            match self.by_obj.get_mut(&obj).and_then(|q| q.pop_front()) {
+                Some(t) => {
+                    if self.by_obj.get(&obj).is_some_and(|q| q.is_empty()) {
+                        self.order.pop_front();
+                        self.by_obj.remove(&obj);
+                    }
+                    self.len -= 1;
+                    return Some(t.task);
+                }
+                None => {
+                    debug_assert!(false, "order/by_obj out of sync at {obj:?}");
+                    self.order.pop_front();
+                    self.by_obj.remove(&obj);
+                }
+            }
         }
-        self.len -= 1;
-        Some(t.task)
+        None
     }
 
     /// Steal the last task of the last object task queue.
     fn pop_last(&mut self) -> Option<TaskId> {
-        let &obj = self.order.back()?;
-        let q = self.by_obj.get_mut(&obj).expect("order/by_obj out of sync");
-        let t = q.pop_back().expect("listed object queue is empty");
-        if q.is_empty() {
-            self.order.pop_back();
-            self.by_obj.remove(&obj);
+        while let Some(&obj) = self.order.back() {
+            match self.by_obj.get_mut(&obj).and_then(|q| q.pop_back()) {
+                Some(t) => {
+                    if self.by_obj.get(&obj).is_some_and(|q| q.is_empty()) {
+                        self.order.pop_back();
+                        self.by_obj.remove(&obj);
+                    }
+                    self.len -= 1;
+                    return Some(t.task);
+                }
+                None => {
+                    debug_assert!(false, "order/by_obj out of sync at {obj:?}");
+                    self.order.pop_back();
+                    self.by_obj.remove(&obj);
+                }
+            }
         }
-        self.len -= 1;
-        Some(t.task)
+        None
     }
 
     /// Age of the oldest stealable (non-pinned) task.
     fn oldest_enqueue(&self) -> Option<SimTime> {
         self.order
             .iter()
-            .filter_map(|o| self.by_obj[o].front())
+            .filter_map(|o| self.by_obj.get(o).and_then(|q| q.front()))
             .map(|t| t.enqueued)
             .min()
     }
 
     fn stealable_len(&self) -> usize {
         self.len - self.pinned.len()
+    }
+
+    /// Check the `order`/`by_obj` bookkeeping invariant (test support).
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        use std::collections::HashSet;
+        let listed: HashSet<ObjectId> = self.order.iter().copied().collect();
+        assert_eq!(
+            listed.len(),
+            self.order.len(),
+            "order lists an object twice"
+        );
+        assert_eq!(
+            listed,
+            self.by_obj.keys().copied().collect::<HashSet<_>>(),
+            "order and by_obj disagree on the live objects"
+        );
+        for (o, q) in &self.by_obj {
+            assert!(!q.is_empty(), "empty queue left behind for {o:?}");
+        }
+        let tasks: usize = self.by_obj.values().map(|q| q.len()).sum();
+        assert_eq!(self.len, self.pinned.len() + tasks, "len out of sync");
     }
 }
 
@@ -302,5 +349,71 @@ mod tests {
         let mut s = DashScheduler::new(LocalityMode::Locality, 2);
         s.insert(TaskId(0), 1, None, false, T0);
         assert_eq!(s.pop_local(1), Some(TaskId(0)));
+    }
+
+    /// Regression test for the `order`/`by_obj` bookkeeping: drive a long
+    /// pseudo-random interleaving of inserts, local pops and steals —
+    /// including repeated objects, pinned tasks, nil locality objects and
+    /// the shrink-to-empty / regrow transitions — checking the structural
+    /// invariant after every operation and full conservation at the end.
+    #[test]
+    fn random_interleavings_keep_order_and_by_obj_in_sync() {
+        let mut s = DashScheduler::new(LocalityMode::Locality, 4);
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        let mut rnd = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as usize
+        };
+        let mut inserted = 0usize;
+        let mut popped = Vec::new();
+        for step in 0..20_000 {
+            match rnd() % 10 {
+                // Weighted toward inserts early, drains late.
+                0..=4 => {
+                    let target = rnd() % 4;
+                    // Few distinct objects => queues repeatedly drain to
+                    // empty and regrow; `None` exercises the nil id.
+                    let obj = match rnd() % 5 {
+                        4 => None,
+                        n => Some(ObjectId(n as u32)),
+                    };
+                    let pinned = rnd() % 8 == 0;
+                    s.insert(TaskId(inserted as u32), target, obj, pinned, SimTime(step));
+                    inserted += 1;
+                }
+                5..=7 => {
+                    if let Some(t) = s.pop_local(rnd() % 4) {
+                        popped.push(t);
+                    }
+                }
+                _ => {
+                    let cutoff = SimTime(step.saturating_sub(rnd() as u64 % 100));
+                    if let Some((t, _victim)) = s.steal(rnd() % 4, cutoff) {
+                        popped.push(t);
+                    }
+                }
+            }
+            for pq in &s.procs {
+                pq.check_invariants();
+            }
+            let live: usize = s.procs.iter().map(|pq| pq.len).sum();
+            assert_eq!(s.queued(), live, "queued counter out of sync");
+        }
+        // Drain whatever is left and account for every task exactly once.
+        for p in 0..4 {
+            while let Some(t) = s.pop_local(p) {
+                popped.push(t);
+            }
+        }
+        assert_eq!(popped.len(), inserted, "tasks lost or duplicated");
+        popped.sort();
+        popped.dedup();
+        assert_eq!(popped.len(), inserted, "a task was popped twice");
+        for pq in &s.procs {
+            pq.check_invariants();
+            assert_eq!(pq.len, 0);
+        }
     }
 }

@@ -11,13 +11,15 @@
 //! charges from [`MemSim`].
 
 use crate::costs::DashCosts;
+use crate::error::DashError;
 use crate::memsim::MemSim;
 use crate::scheduler::{DashScheduler, LocalityMode};
 use dsim::{
     Calendar, DashSpec, FaultInjector, FaultPlan, ProcClock, ProcId, SimDuration, SimTime, TimeKind,
 };
 use jade_core::{
-    Component, Event, EventKind, EventSink, Locality, Metrics, Synchronizer, TaskId, Trace,
+    AccessMode, Component, Event, EventKind, EventSink, Locality, Metrics, Synchronizer, TaskId,
+    Trace,
 };
 
 /// Configuration of one DASH run.
@@ -42,6 +44,23 @@ pub struct DashConfig {
     /// bundle streams at [`DashSpec::agg_streamed_cycles`] per line.
     /// Directory transitions and `bytes_moved` are unchanged.
     pub aggregate_fetches: bool,
+    /// Split-phase prefetch (DESIGN.md §17): when a task becomes enabled,
+    /// the runtime starts streaming the remote lines of its declared access
+    /// set toward the target processor's cluster, so fetches that would
+    /// stall the task at start time instead complete at the streamed-line
+    /// rate ([`DashSpec::agg_streamed_cycles`]). Directory transitions and
+    /// `bytes_moved` are identical to a demand-fetch run — only the stall
+    /// time shrinks, and only when the task actually runs in the cluster
+    /// the prefetch targeted (a stolen task pays full price). A prefetched
+    /// line invalidated by a later write is refetched at full cost and
+    /// reported as stale. No-op without `model_comm` or under `work_free`.
+    pub prefetch: bool,
+    /// Virtual-time budget (mirrors `IpscConfig::deadline`): when the main
+    /// thread reaches this much virtual time with trace records still left,
+    /// it stops creating tasks, the already-created ones drain, and the run
+    /// reports [`DashRunResult::deadline_exceeded`] with partial metrics.
+    /// `None` = run to completion.
+    pub deadline: Option<SimDuration>,
     /// Deterministic per-task duration jitter (fraction, mean zero),
     /// modeling the cache/contention variability of a real machine. Without
     /// it, equal-length tasks complete in lock step and the load balancer
@@ -67,6 +86,8 @@ impl DashConfig {
             model_comm: true,
             replication: true,
             aggregate_fetches: false,
+            prefetch: false,
+            deadline: None,
             jitter_frac: 0.08,
             faults: FaultPlan::none(),
         }
@@ -103,6 +124,21 @@ pub struct DashRunResult {
     pub stalls: u64,
     /// Total injected stall time.
     pub stall_time_s: f64,
+    /// Split-phase prefetches issued at task-enable time.
+    pub prefetches_issued: u64,
+    /// Prefetched lines that were still valid when the task started (the
+    /// fetch completed at the streamed rate instead of a full round trip).
+    pub prefetch_hits: u64,
+    /// Prefetched lines invalidated by a write before task start and
+    /// refetched at full cost.
+    pub prefetch_stale: u64,
+    /// Fraction of object-fetch latency hidden under application compute
+    /// (0 when nothing was fetched).
+    pub overlap_frac: f64,
+    /// The [`DashConfig::deadline`] budget expired before the program
+    /// finished: all metrics cover only the prefix that ran. Always `false`
+    /// without a configured deadline.
+    pub deadline_exceeded: bool,
     /// Per-processor busy time, split as (app, comm, mgmt) seconds.
     pub per_proc_busy: Vec<(f64, f64, f64)>,
 }
@@ -116,6 +152,10 @@ enum Ev {
     /// An idle processor re-checks for stealable work.
     Retry { proc: ProcId },
 }
+
+/// A task's prefetch record: the cluster the lines streamed into, plus the
+/// (object, write-epoch) pairs captured at enable time.
+type PrefetchMark = (usize, Vec<(jade_core::ObjectId, u64)>);
 
 struct Sim<'a> {
     trace: &'a Trace,
@@ -146,20 +186,56 @@ struct Sim<'a> {
     inj: FaultInjector,
     /// Native stall tally, cross-checked against the event stream.
     n_stalls: u64,
+    /// Per-task prefetch marks; `None` when no prefetch was issued
+    /// (prefetch off, or nothing was remote).
+    marks: Vec<Option<PrefetchMark>>,
+    /// Monotone per-object write counter backing stale-prefetch detection:
+    /// a prefetched line whose object epoch moved between enable and start
+    /// was invalidated in flight and must be refetched at full cost.
+    write_epoch: Vec<u64>,
+    /// Virtual-time budget ([`DashConfig::deadline`]).
+    budget: Option<dsim::SimBudget>,
+    /// The budget expired: main stopped creating tasks mid-program.
+    deadline_hit: bool,
+    // Native prefetch tallies, cross-checked against the event stream.
+    n_prefetch_issued: u64,
+    n_prefetch_hits: u64,
+    n_prefetch_stale: u64,
 }
 
 /// Simulate `trace` on the configured DASH machine.
+///
+/// Panics on a malformed configuration; see [`try_run`] for the typed-error
+/// variant.
 pub fn run(trace: &Trace, cfg: &DashConfig) -> DashRunResult {
     run_traced(trace, cfg).0
 }
 
 /// Simulate `trace` and also return the structured event stream the run's
 /// measurements were aggregated from (see [`jade_core::events`]).
+///
+/// Panics on a malformed configuration; see [`try_run_traced`].
 pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>) {
+    try_run_traced(trace, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run`].
+pub fn try_run(trace: &Trace, cfg: &DashConfig) -> Result<DashRunResult, DashError> {
+    Ok(try_run_traced(trace, cfg)?.0)
+}
+
+/// Fallible variant of [`run_traced`]: configuration problems and wedged
+/// event loops come back as [`DashError`] instead of panics.
+pub fn try_run_traced(
+    trace: &Trace,
+    cfg: &DashConfig,
+) -> Result<(DashRunResult, Vec<Event>), DashError> {
     let procs = cfg.machine.procs;
-    assert!(procs >= 1, "need at least one processor");
+    if procs < 1 {
+        return Err(DashError::NoProcessors);
+    }
     if let Err(why) = cfg.faults.validate() {
-        panic!("invalid fault plan: {why}");
+        return Err(DashError::InvalidFaultPlan(why));
     }
     let target = trace
         .tasks
@@ -189,6 +265,13 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
         events: EventSink::recording(),
         inj: FaultInjector::new(cfg.faults),
         n_stalls: 0,
+        marks: vec![None; trace.tasks.len()],
+        write_epoch: vec![0; trace.objects.len()],
+        budget: cfg.deadline.map(dsim::SimBudget::new),
+        deadline_hit: false,
+        n_prefetch_issued: 0,
+        n_prefetch_hits: 0,
+        n_prefetch_stale: 0,
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
     while let Some((t, ev)) = sim.cal.pop() {
@@ -201,15 +284,14 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
             }
         }
     }
-    assert!(
-        sim.main_done,
-        "simulation stalled: main thread never finished"
-    );
-    assert!(
-        sim.sync.all_complete(),
-        "simulation stalled: {} tasks never completed",
-        sim.sync.live_tasks()
-    );
+    // A deadline cut is a *successful partial* run, not a stall: tasks the
+    // gate refused (and trace records never created) are the cancelled
+    // remainder the caller reads off `deadline_exceeded`.
+    if !sim.deadline_hit && (!sim.main_done || !sim.sync.all_complete()) {
+        return Err(DashError::Stalled {
+            live_tasks: sim.sync.live_tasks(),
+        });
+    }
     let events = sim.events.into_events();
     let m = Metrics::from_events(&events, procs);
     debug_assert_eq!(
@@ -224,6 +306,18 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
     debug_assert_eq!(
         m.stalls, sim.n_stalls,
         "event stalls disagree with injector"
+    );
+    debug_assert_eq!(
+        m.prefetches_issued, sim.n_prefetch_issued,
+        "event prefetch issues disagree with simulator"
+    );
+    debug_assert_eq!(
+        m.prefetch_hits, sim.n_prefetch_hits,
+        "event prefetch hits disagree with simulator"
+    );
+    debug_assert_eq!(
+        m.prefetch_stale, sim.n_prefetch_stale,
+        "event prefetch staleness disagrees with simulator"
     );
     debug_assert!(
         jade_core::check_conservation(&events, procs, sim.pc.horizon().0).is_ok(),
@@ -244,6 +338,11 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
         bytes_moved: m.fetch_bytes,
         stalls: m.stalls,
         stall_time_s: SimDuration(m.stall_ps).as_secs_f64(),
+        prefetches_issued: m.prefetches_issued,
+        prefetch_hits: m.prefetch_hits,
+        prefetch_stale: m.prefetch_stale,
+        overlap_frac: m.overlap_fraction(),
+        deadline_exceeded: sim.deadline_hit,
         per_proc_busy: (0..procs)
             .map(|p| {
                 let u = sim.pc.usage(p);
@@ -255,7 +354,7 @@ pub fn run_traced(trace: &Trace, cfg: &DashConfig) -> (DashRunResult, Vec<Event>
             })
             .collect(),
     };
-    (result, events)
+    Ok((result, events))
 }
 
 /// Deterministic mean-zero multiplicative jitter for task `id`.
@@ -277,6 +376,16 @@ impl Sim<'_> {
     }
 
     fn main_step(&mut self, t: SimTime) {
+        // Deadline: stop creating tasks once the budget is spent. The
+        // already-created suffix drains normally (each created task's
+        // predecessors were created before it), so the run terminates
+        // cleanly with partial metrics instead of wedging as `Stalled`.
+        if self.next_rec < self.trace.tasks.len() && self.budget.is_some_and(|b| b.exhausted(t)) {
+            self.deadline_hit = true;
+            self.main_done = true;
+            self.try_fill(0, t);
+            return;
+        }
         if self.next_rec == self.trace.tasks.len() {
             self.main_done = true;
             self.try_fill(0, t);
@@ -315,6 +424,9 @@ impl Sim<'_> {
 
     fn on_enabled(&mut self, id: TaskId, t: SimTime) {
         if self.main_blocked == Some(id) {
+            if self.deadline_cuts(t) {
+                return;
+            }
             if self.running[0].is_none() {
                 self.start_task(0, id, t);
             } else {
@@ -332,6 +444,9 @@ impl Sim<'_> {
         };
         self.sched
             .insert(id, target, rec.spec.locality_object(), pinned, t);
+        if self.cfg.prefetch {
+            self.mark_prefetch(id, target, t);
+        }
         // Wake processors that could run it.
         if self.sched.mode().uses_locality() {
             if self.is_idle(target) {
@@ -350,6 +465,36 @@ impl Sim<'_> {
         }
     }
 
+    /// Start a split-phase prefetch for a newly enabled task: record which
+    /// of its declared objects are remote to the target processor's cluster
+    /// (with their current write epochs) and begin streaming them. The
+    /// payoff is applied in [`Sim::start_task`]: a still-valid prefetched
+    /// line completes at the streamed rate instead of a full round trip.
+    fn mark_prefetch(&mut self, id: TaskId, target: ProcId, t: SimTime) {
+        let Some(mem) = &self.mem else { return };
+        let cluster = self.cfg.machine.cluster_of(target);
+        let rec = &self.trace.tasks[id.index()];
+        let missing = mem.missing_in(cluster, &rec.spec);
+        if missing.is_empty() {
+            return;
+        }
+        for &(o, bytes) in &missing {
+            self.n_prefetch_issued += 1;
+            self.events.emit_obj(
+                t.0,
+                target,
+                EventKind::PrefetchIssued { bytes },
+                Some(id),
+                o,
+            );
+        }
+        let epochs = missing
+            .into_iter()
+            .map(|(o, _)| (o, self.write_epoch[o.index()]))
+            .collect();
+        self.marks[id.index()] = Some((cluster, epochs));
+    }
+
     /// Pseudo-randomly (but deterministically) pick an idle processor.
     fn pick_idle(&mut self) -> Option<ProcId> {
         let idle: Vec<ProcId> = (0..self.pc.procs()).filter(|&p| self.is_idle(p)).collect();
@@ -363,8 +508,22 @@ impl Sim<'_> {
         Some(idle[((self.lcg >> 33) as usize) % idle.len()])
     }
 
+    /// The deadline gate: refuse to start new work at `t` once the budget
+    /// is spent. Sets `deadline_hit` — only called when concrete ready work
+    /// is being refused, so the flag means work was actually cut.
+    fn deadline_cuts(&mut self, t: SimTime) -> bool {
+        if self.budget.is_some_and(|b| b.exhausted(t)) {
+            self.deadline_hit = true;
+            return true;
+        }
+        false
+    }
+
     fn try_fill(&mut self, p: ProcId, t: SimTime) {
         if !self.is_idle(p) {
+            return;
+        }
+        if self.sched.queued() > 0 && self.deadline_cuts(t) {
             return;
         }
         if let Some(task) = self.sched.pop_local(p) {
@@ -466,6 +625,41 @@ impl Sim<'_> {
             }),
             None => SimDuration::ZERO,
         };
+        // Split-phase prefetch payoff (DESIGN.md §17): fetches whose lines
+        // were streamed toward this cluster at enable time — and not
+        // invalidated by a write since — complete at the streamed rate.
+        // The directory transitions and `bytes_moved` charged above are
+        // untouched; only the stall time shrinks.
+        let mut comm = comm;
+        // Per-fetch prefetch outcome: Some(true) hit, Some(false) stale.
+        let mut outcome: Vec<Option<bool>> = vec![None; fetches.len()];
+        if let Some((cluster, marked)) = self.marks[id.index()].take() {
+            if cluster == self.cfg.machine.cluster_of(p) {
+                for (i, (o, bytes, stall)) in fetches.iter_mut().enumerate() {
+                    let Some(&(_, epoch)) = marked.iter().find(|(mo, _)| *mo == *o) else {
+                        continue;
+                    };
+                    if epoch == self.write_epoch[o.index()] {
+                        let fast = self.cfg.machine.streamed_time(*bytes as usize).min(*stall);
+                        comm = SimDuration(comm.0 - (stall.0 - fast.0));
+                        *stall = fast;
+                        self.n_prefetch_hits += 1;
+                        outcome[i] = Some(true);
+                    } else {
+                        // Invalidated in flight: refetched at full cost.
+                        self.n_prefetch_stale += 1;
+                        outcome[i] = Some(false);
+                    }
+                }
+            }
+        }
+        // The task's writes are visible to the directory from here on: any
+        // earlier prefetch of these objects now holds an invalidated copy.
+        for d in rec.spec.decls() {
+            if d.mode != AccessMode::Read {
+                self.write_epoch[d.object.index()] += 1;
+            }
+        }
         let mut end = self.pc.occupy(p, t, work, TimeKind::App);
         self.events
             .span(end.0 - work.0, p, Component::App, work.0, Some(id));
@@ -478,7 +672,7 @@ impl Sim<'_> {
             let mut at = comm_start;
             let first_obj = fetches.first().map(|&(o, _, _)| o);
             let (mut agg_n, mut agg_bytes) = (0u32, 0u64);
-            for (o, bytes, stall) in fetches {
+            for (i, (o, bytes, stall)) in fetches.into_iter().enumerate() {
                 at += stall;
                 self.events.emit_obj(
                     at.0,
@@ -490,6 +684,20 @@ impl Sim<'_> {
                     Some(id),
                     o,
                 );
+                match outcome[i] {
+                    Some(true) => {
+                        self.events
+                            .emit_obj(at.0, p, EventKind::PrefetchHit { bytes }, Some(id), o)
+                    }
+                    Some(false) => self.events.emit_obj(
+                        at.0,
+                        p,
+                        EventKind::PrefetchStale { bytes },
+                        Some(id),
+                        o,
+                    ),
+                    None => {}
+                }
                 agg_n += 1;
                 agg_bytes += bytes;
             }
@@ -532,6 +740,9 @@ impl Sim<'_> {
         // task that just finished, run it now.
         if p == 0 && self.main_serial_ready {
             if let Some(serial) = self.main_blocked {
+                if self.deadline_cuts(end) {
+                    return;
+                }
                 self.main_serial_ready = false;
                 self.start_task(0, serial, end);
                 return;
@@ -853,5 +1064,145 @@ mod tests {
             ..FaultPlan::none()
         };
         run(&trace, &c);
+    }
+
+    #[test]
+    fn config_errors_are_typed() {
+        let trace = parallel_trace(4, 2, 0.1);
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.machine.procs = 0;
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(crate::DashError::NoProcessors)
+        ));
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.faults = FaultPlan {
+            stall_p: 2.0,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            try_run(&trace, &c),
+            Err(crate::DashError::InvalidFaultPlan(_))
+        ));
+    }
+
+    // ---- split-phase prefetch ----
+
+    /// Tasks homed (via their small written locality object) on processor 4
+    /// — cluster 1 — each reading a distinct large object resident in
+    /// cluster 0: every read is a genuine first-touch remote fetch that a
+    /// prefetch issued at enable time can hide.
+    fn remote_read_trace(n: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        for i in 0..n {
+            let out = b.object(&format!("out{i}"), 64, Some(4));
+            let data = b.object(&format!("d{i}"), 200_000, Some(0));
+            let mut s = AccessSpec::new();
+            s.wr(out).rd(data);
+            b.task(s, 0.1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn prefetch_hides_stalls_without_changing_traffic() {
+        let trace = remote_read_trace(8);
+        let off = run(&trace, &cfg(8, LocalityMode::Locality));
+        let mut c = cfg(8, LocalityMode::Locality);
+        c.prefetch = true;
+        let (on, events) = run_traced(&trace, &c);
+        assert_eq!(on.tasks_executed, off.tasks_executed);
+        // Same coherence traffic, shorter stalls.
+        assert_eq!(on.bytes_moved, off.bytes_moved);
+        assert!(
+            on.prefetches_issued > 0,
+            "remote reads should be prefetched"
+        );
+        assert!(on.prefetch_hits > 0, "valid prefetches should hit");
+        assert_eq!(on.prefetch_stale, 0, "nothing invalidates these lines");
+        assert!(
+            on.comm_time_s < off.comm_time_s,
+            "prefetch comm {} should undercut demand-fetch comm {}",
+            on.comm_time_s,
+            off.comm_time_s
+        );
+        assert!(
+            on.exec_time_s <= off.exec_time_s + 1e-9,
+            "prefetch must never slow the run: {} vs {}",
+            on.exec_time_s,
+            off.exec_time_s
+        );
+        jade_core::check_lifecycle(&events).unwrap();
+        let m = Metrics::from_events(&events, 8);
+        jade_core::check_conservation(&events, 8, m.makespan_ps).unwrap();
+    }
+
+    #[test]
+    fn prefetch_composes_with_aggregation() {
+        let trace = remote_read_trace(8);
+        let mut agg = cfg(8, LocalityMode::Locality);
+        agg.aggregate_fetches = true;
+        let base = run(&trace, &agg);
+        let mut both = agg.clone();
+        both.prefetch = true;
+        let r = run(&trace, &both);
+        assert_eq!(r.bytes_moved, base.bytes_moved);
+        assert_eq!(r.tasks_executed, base.tasks_executed);
+        assert!(
+            r.exec_time_s <= base.exec_time_s + 1e-9,
+            "{} vs {}",
+            r.exec_time_s,
+            base.exec_time_s
+        );
+    }
+
+    #[test]
+    fn prefetch_is_deterministic() {
+        let trace = remote_read_trace(12);
+        let mut c = cfg(8, LocalityMode::Locality);
+        c.prefetch = true;
+        let (a, ea) = run_traced(&trace, &c);
+        let (b, eb) = run_traced(&trace, &c);
+        assert_eq!(a.exec_time_s, b.exec_time_s);
+        assert_eq!(a.prefetch_hits, b.prefetch_hits);
+        assert_eq!(ea, eb, "event streams must be identical");
+    }
+
+    // ---- deadline budget ----
+
+    #[test]
+    fn deadline_cuts_the_run_with_partial_metrics() {
+        let trace = parallel_trace(16, 2, 0.5);
+        let mut c = cfg(2, LocalityMode::Locality);
+        // Full run takes ~4+ virtual seconds; budget one.
+        c.deadline = Some(SimDuration::from_secs_f64(1.0));
+        let r = try_run(&trace, &c).expect("deadline run completes cleanly");
+        assert!(r.deadline_exceeded);
+        assert!(
+            r.tasks_executed < 16,
+            "expected a partial run, got {} tasks",
+            r.tasks_executed
+        );
+        assert!(r.tasks_executed > 0, "one virtual second fits some tasks");
+        // A zero budget creates nothing and still drains cleanly.
+        c.deadline = Some(SimDuration::ZERO);
+        let r0 = try_run(&trace, &c).expect("zero-deadline run");
+        assert!(r0.deadline_exceeded);
+        assert_eq!(r0.tasks_executed, 0);
+    }
+
+    #[test]
+    fn generous_deadline_is_bit_identical_to_none() {
+        let trace = parallel_trace(20, 4, 0.3);
+        let base_cfg = cfg(4, LocalityMode::Locality);
+        let (base, be) = run_traced(&trace, &base_cfg);
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.deadline = Some(SimDuration::from_secs_f64(1e6));
+        let (r, re) = run_traced(&trace, &c);
+        assert!(!r.deadline_exceeded);
+        assert_eq!(r.exec_time_s, base.exec_time_s);
+        assert_eq!(r.steals, base.steals);
+        assert_eq!(r.bytes_moved, base.bytes_moved);
+        assert_eq!(be, re, "generous budget must not perturb the event stream");
     }
 }

@@ -44,4 +44,6 @@ pub use costs::IpscCosts;
 pub use error::IpscError;
 pub use jade_core::LocalityMode;
 pub use scheduler::{Decision, IpscScheduler};
-pub use sim::{run, run_traced, try_run, try_run_traced, IpscConfig, IpscRunResult};
+pub use sim::{
+    run, run_traced, try_run, try_run_traced, IpscConfig, IpscRunResult, PinnedSchedule,
+};

@@ -125,6 +125,14 @@ pub struct IpscConfig {
     /// Ethernet) instead of a hypercube: all object transfers serialize on
     /// one wire.
     pub shared_medium: bool,
+    /// Split-phase prefetch (DESIGN.md §17): when a task is assigned to a
+    /// remote processor, the main processor immediately issues the task's
+    /// object requests on its behalf, so the replies stream toward the
+    /// processor while the assignment message is still in flight and its
+    /// predecessor tasks still run. Versioned delivery refetches any
+    /// object written again before the task starts. Only effective
+    /// together with `concurrent_fetches`; a no-op under `work_free`.
+    pub prefetch: bool,
     /// Fault injection plan (default: no faults). An inactive plan takes
     /// zero injector draws, so fault-free runs are bit-identical to runs
     /// on a build without the fault layer.
@@ -136,6 +144,50 @@ pub struct IpscConfig {
     /// simulator analogue of the thread service's per-tenant wall-clock
     /// deadline. `None` = run to completion.
     pub deadline: Option<SimDuration>,
+    /// Replay a recorded schedule: every task is assigned to the processor
+    /// that ran it in the recorded run, and each processor starts its tasks
+    /// in the recorded order. Used by the overlap sweep to isolate the
+    /// communication effect of [`IpscConfig::prefetch`] from list-scheduling
+    /// timing anomalies: with placement and order held fixed, earlier data
+    /// arrival can only move task starts earlier (DESIGN.md §17). Tasks the
+    /// recorded run never started (e.g. past a deadline cut) fall back to
+    /// the normal scheduler. `None` = schedule live.
+    pub pinned: Option<PinnedSchedule>,
+}
+
+/// A schedule recorded from a baseline run's event stream, for replay via
+/// [`IpscConfig::pinned`].
+#[derive(Clone, Debug, Default)]
+pub struct PinnedSchedule {
+    /// Per task: the processor that executed it (`None` if it never ran).
+    pub assign: Vec<Option<ProcId>>,
+    /// Per task: global start position in the recorded run (`u64::MAX` if
+    /// it never ran). Each processor's queue replays its tasks in this
+    /// order.
+    pub rank: Vec<u64>,
+}
+
+impl PinnedSchedule {
+    /// Extract the schedule from a traced run: the processor and global
+    /// position of every `TaskStarted` event (first start wins if a fault
+    /// plan re-executed a task).
+    pub fn from_events(n_tasks: usize, events: &[Event]) -> PinnedSchedule {
+        let mut assign = vec![None; n_tasks];
+        let mut rank = vec![u64::MAX; n_tasks];
+        let mut next = 0u64;
+        for e in events {
+            if matches!(e.kind, EventKind::TaskStarted) {
+                if let Some(t) = e.task {
+                    if rank[t.index()] == u64::MAX {
+                        assign[t.index()] = Some(e.proc);
+                        rank[t.index()] = next;
+                        next += 1;
+                    }
+                }
+            }
+        }
+        PinnedSchedule { assign, rank }
+    }
 }
 
 impl IpscConfig {
@@ -155,8 +207,10 @@ impl IpscConfig {
             jitter_frac: 0.08,
             speed_factors: None,
             shared_medium: false,
+            prefetch: false,
             faults: FaultPlan::none(),
             deadline: None,
+            pinned: None,
         }
     }
 
@@ -182,8 +236,10 @@ impl IpscConfig {
             jitter_frac: 0.08,
             speed_factors: Some(speeds),
             shared_medium: true,
+            prefetch: false,
             faults: FaultPlan::none(),
             deadline: None,
+            pinned: None,
         }
     }
 }
@@ -257,6 +313,19 @@ pub struct IpscRunResult {
     pub objects_restored: u64,
     /// Payload bytes of those restores (included in `comm_bytes`).
     pub restore_bytes: u64,
+    /// Object requests issued early by the split-phase prefetch path
+    /// ([`IpscConfig::prefetch`]).
+    pub prefetches_issued: u64,
+    /// Prefetched objects already resident when their task's assignment
+    /// arrived.
+    pub prefetch_hits: u64,
+    /// Prefetched objects written again before task start and refetched
+    /// through the normal path (versioned-delivery rule; only reachable
+    /// under fault injection).
+    pub prefetch_stale: u64,
+    /// Fraction of total object-fetch latency hidden under application
+    /// compute on the fetching processor (0 when nothing was fetched).
+    pub overlap_frac: f64,
     /// Final version of every shared object — the application result as the
     /// communicator sees it. Two runs computed the same thing iff these
     /// (and `tasks_executed`) agree; fault-parity checks compare them.
@@ -356,6 +425,11 @@ struct TState {
     /// be re-executed, even if its processor dies before the completion
     /// notification lands.
     finished_local: bool,
+    /// The split-phase prefetch path already issued this task's fetches at
+    /// assignment time; `on_assign_arrive` reconciles instead of issuing.
+    prefetch_issued: bool,
+    /// Objects the prefetch requested (hit/stale accounting at reconcile).
+    prefetched: Vec<ObjectId>,
 }
 
 struct PState {
@@ -410,6 +484,15 @@ struct Sim<'a> {
     dead: Vec<bool>,
     /// Unrecoverable protocol failure; aborts the event loop.
     fatal: Option<IpscError>,
+    /// Replay support ([`IpscConfig::pinned`]): each processor's recorded
+    /// task sequence in start order, and a cursor into it. A processor only
+    /// starts the task its cursor points at, so execution order matches the
+    /// recording even when assignment *arrivals* land in a different order.
+    pin_seq: Vec<Vec<TaskId>>,
+    pin_cursor: Vec<usize>,
+    /// Per-processor monotone floor for interrupt-handler completion
+    /// stamps ([`Sim::handler_op`]).
+    hstamp: Vec<SimTime>,
     /// Virtual-time budget ([`IpscConfig::deadline`]).
     budget: Option<dsim::SimBudget>,
     /// The budget expired: main stopped creating tasks mid-program.
@@ -424,6 +507,9 @@ struct Sim<'a> {
     n_ckpt_bytes: u64,
     n_ckpt_restores: u64,
     n_restore_bytes: u64,
+    n_prefetch_issued: u64,
+    n_prefetch_hits: u64,
+    n_prefetch_stale: u64,
     /// Latest captured checkpoint; fail-stop recovery consults it.
     last_ckpt: Option<Checkpoint>,
 }
@@ -520,6 +606,23 @@ pub fn try_run_traced(
     }
     let plan = cfg.faults;
     let nphases = trace.phases.max(1) as usize;
+    // Serial tasks never pass through the per-processor queues (main runs
+    // them directly), so the replay sequences hold ordinary tasks only.
+    let pin_seq: Vec<Vec<TaskId>> = if let Some(pin) = &cfg.pinned {
+        let mut order: Vec<usize> = (0..trace.tasks.len().min(pin.rank.len()))
+            .filter(|&i| pin.rank[i] != u64::MAX && !trace.tasks[i].serial_phase)
+            .collect();
+        order.sort_by_key(|&i| pin.rank[i]);
+        let mut per: Vec<Vec<TaskId>> = vec![Vec::new(); procs];
+        for i in order {
+            if let Some(p) = pin.assign[i] {
+                per[p.min(procs - 1)].push(trace.tasks[i].id);
+            }
+        }
+        per
+    } else {
+        Vec::new()
+    };
     let mut sim = Sim {
         trace,
         cfg,
@@ -547,6 +650,9 @@ pub fn try_run_traced(
         lossy: plan.drop_p > 0.0 || plan.dup_p > 0.0 || plan.delay_p > 0.0 || plan.reorder_p > 0.0,
         dead: vec![false; procs],
         fatal: None,
+        pin_seq,
+        pin_cursor: vec![0; procs],
+        hstamp: vec![SimTime::ZERO; procs],
         budget: cfg.deadline.map(dsim::SimBudget::new),
         deadline_hit: false,
         n_dropped: 0,
@@ -558,6 +664,9 @@ pub fn try_run_traced(
         n_ckpt_bytes: 0,
         n_ckpt_restores: 0,
         n_restore_bytes: 0,
+        n_prefetch_issued: 0,
+        n_prefetch_hits: 0,
+        n_prefetch_stale: 0,
         last_ckpt: None,
     };
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
@@ -602,6 +711,9 @@ pub fn try_run_traced(
     debug_assert_eq!(m.checkpoint_restores, sim.n_ckpt_restores);
     debug_assert_eq!(m.object_restores, sim.comm.object_restores);
     debug_assert_eq!(m.restore_bytes, sim.n_restore_bytes);
+    debug_assert_eq!(m.prefetches_issued, sim.n_prefetch_issued);
+    debug_assert_eq!(m.prefetch_hits, sim.n_prefetch_hits);
+    debug_assert_eq!(m.prefetch_stale, sim.n_prefetch_stale);
     debug_assert_eq!(
         m.workers_failed,
         sim.dead.iter().filter(|&&d| d).count() as u64
@@ -665,6 +777,10 @@ pub fn try_run_traced(
         checkpoint_restores: m.checkpoint_restores,
         objects_restored: m.object_restores,
         restore_bytes: m.restore_bytes,
+        prefetches_issued: m.prefetches_issued,
+        prefetch_hits: m.prefetch_hits,
+        prefetch_stale: m.prefetch_stale,
+        overlap_frac: m.overlap_fraction(),
         final_versions: sim.comm.final_versions(),
         deadline_exceeded: sim.deadline_hit,
     };
@@ -770,7 +886,14 @@ impl Sim<'_> {
     /// by the handler time; otherwise the handler serializes on `p`'s
     /// timeline like any other work. Returns the handler's finish time.
     fn handler_op(&mut self, p: ProcId, now: SimTime, dur: SimDuration, kind: TimeKind) -> SimTime {
-        if self.pstate[p].executing.is_some() {
+        // Interrupt handlers on one processor execute serially, so their
+        // completion stamps must never regress — even when an interrupt
+        // (stamped near calendar time) interleaves with queued idle-time
+        // handler work whose stamps were pushed into the future by a
+        // backlog. Without the floor, a pool-pull dispatch could be
+        // stamped before the same task's pooled record.
+        let now = now.max(self.hstamp[p]);
+        let end = if self.pstate[p].executing.is_some() {
             self.pc.account(p, dur, kind);
             match kind {
                 TimeKind::Comm => self.debt_comm[p] += dur,
@@ -779,7 +902,9 @@ impl Sim<'_> {
             now + dur
         } else {
             self.occupy_ev(p, now, dur, kind, None)
-        }
+        };
+        self.hstamp[p] = end;
+        end
     }
 
     /// Occupy `p`'s timeline and emit the matching event span.
@@ -874,7 +999,16 @@ impl Sim<'_> {
         }
         let rec = &self.trace.tasks[id.index()];
         let end = self.handler_op(0, t, self.cfg.costs.sched(), TimeKind::Mgmt);
-        let placement = if self.cfg.mode.honors_placement() {
+        // A replayed schedule overrides both the trace placement and the
+        // locality mode: the point of pinning is to reproduce the recorded
+        // run's task→processor map exactly.
+        let placement = if let Some(pin) = &self.cfg.pinned {
+            pin.assign
+                .get(id.index())
+                .copied()
+                .flatten()
+                .map(|p| p.min(self.pc.procs() - 1))
+        } else if self.cfg.mode.honors_placement() {
             rec.placement.map(|p| p.min(self.pc.procs() - 1))
         } else {
             None
@@ -911,6 +1045,9 @@ impl Sim<'_> {
         if p == 0 {
             self.cal.schedule(t, Ev::AssignArrive { proc: 0, task: id });
         } else {
+            if self.cfg.prefetch && self.cfg.concurrent_fetches && !self.cfg.work_free {
+                self.prefetch_issue(p, id, t);
+            }
             let dur = self.msg(self.cfg.costs.assign_bytes, 0, p);
             self.events.emit_task(
                 t.0,
@@ -940,9 +1077,126 @@ impl Sim<'_> {
             );
         }
         let t1 = self.handler_op(p, t, self.cfg.costs.recv_handler(), TimeKind::Mgmt);
-        self.pstate[p].queue.push_back(id);
-        self.issue_fetches(p, id, t1);
+        if let Some(pin) = &self.cfg.pinned {
+            // Replay: keep each processor's queue in the recorded start
+            // order, so differences in assignment *arrival* order (which
+            // shift when prefetch moves completion times around) cannot
+            // reorder execution.
+            let rank = |x: TaskId| pin.rank.get(x.index()).copied().unwrap_or(u64::MAX);
+            let key = rank(id);
+            let q = &mut self.pstate[p].queue;
+            let pos = q.iter().position(|&x| rank(x) > key).unwrap_or(q.len());
+            q.insert(pos, id);
+        } else {
+            self.pstate[p].queue.push_back(id);
+        }
+        if self.tstate[id.index()].prefetch_issued {
+            self.reconcile_prefetch(p, id, t1);
+        } else {
+            self.issue_fetches(p, id, t1);
+        }
         self.try_execute(p, t1);
+    }
+
+    /// Split-phase prefetch, issue half: main sends the object requests
+    /// for a task it just assigned to `p`, before the assignment message
+    /// itself lands. Main (the issuer) pays the request-send handler
+    /// time; the replies, ack timers and retries belong to `p`, so a lost
+    /// prefetch degrades to the proven per-object fetch/retry path.
+    fn prefetch_issue(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        let rec = &self.trace.tasks[id.index()];
+        let needed: Vec<ObjectId> = rec
+            .spec
+            .decls()
+            .iter()
+            .filter(|d| self.comm.needs_fetch(p, d.object))
+            .map(|d| d.object)
+            .collect();
+        let ts = &mut self.tstate[id.index()];
+        ts.prefetch_issued = true;
+        ts.prefetched = needed.clone();
+        if needed.is_empty() {
+            return;
+        }
+        ts.pending = needed.iter().map(|&o| (o, 0)).collect();
+        for &o in &needed {
+            self.n_prefetch_issued += 1;
+            self.events.emit_obj(
+                t.0,
+                0,
+                EventKind::PrefetchIssued {
+                    bytes: self.trace.object_size(o) as u64,
+                },
+                Some(id),
+                o,
+            );
+        }
+        let mut t_cur = t;
+        if self.cfg.aggregate_fetches {
+            for (owner, group) in self.comm.group_by_owner(&needed) {
+                if group.len() >= 2 && self.aggregation_pays(group.len()) {
+                    t_cur = self.send_agg_fetch_request(0, p, id, owner, group, t_cur);
+                } else {
+                    for o in group {
+                        t_cur = self.send_fetch_request(0, p, id, o, 0, t_cur);
+                    }
+                }
+            }
+        } else {
+            for o in needed {
+                t_cur = self.send_fetch_request(0, p, id, o, 0, t_cur);
+            }
+        }
+    }
+
+    /// Split-phase prefetch, reconcile half: the assignment arrived at
+    /// `p`; check every declared object against the prefetch. In-flight
+    /// prefetches keep waiting, resident objects count as hits, and an
+    /// object written again since the prefetch snapshot (reachable only
+    /// under fault injection — the synchronizer serializes writers against
+    /// enabled readers) is refetched through the normal path.
+    fn reconcile_prefetch(&mut self, p: ProcId, id: TaskId, t: SimTime) {
+        let decls: Vec<ObjectId> = self.trace.tasks[id.index()]
+            .spec
+            .decls()
+            .iter()
+            .map(|d| d.object)
+            .collect();
+        let mut t_cur = t;
+        for o in decls {
+            let bytes = self.trace.object_size(o) as u64;
+            let ts = &self.tstate[id.index()];
+            if ts.pending.iter().any(|&(po, _)| po == o) {
+                continue; // prefetch reply still in flight toward `p`
+            }
+            let was_prefetched = ts.prefetched.contains(&o);
+            if self.comm.needs_fetch(p, o) {
+                if was_prefetched {
+                    self.n_prefetch_stale += 1;
+                    self.events.emit_obj(
+                        t_cur.0,
+                        p,
+                        EventKind::PrefetchStale { bytes },
+                        Some(id),
+                        o,
+                    );
+                    // The refetch is an ordinary fetch, not a prefetch hit.
+                    self.tstate[id.index()].prefetched.retain(|&x| x != o);
+                }
+                self.tstate[id.index()].pending.push((o, 0));
+                t_cur = self.send_fetch_request(p, p, id, o, 0, t_cur);
+            } else {
+                // Locally satisfied — either the prefetch landed (its hit
+                // was counted at delivery) or no fetch was ever needed;
+                // both consume the version (feeds the adaptive-broadcast
+                // trigger, like `issue_fetches`).
+                self.comm.note_access(p, o);
+            }
+        }
+        let ts = &mut self.tstate[id.index()];
+        if ts.pending.is_empty() && ts.fetch_queue.is_empty() {
+            ts.ready = true;
+        }
     }
 
     fn issue_fetches(&mut self, p: ProcId, id: TaskId, t: SimTime) {
@@ -975,16 +1229,16 @@ impl Sim<'_> {
                 // into one message per owner where the break-even holds.
                 for (owner, group) in self.comm.group_by_owner(&needed) {
                     if group.len() >= 2 && self.aggregation_pays(group.len()) {
-                        t_cur = self.send_agg_fetch_request(p, id, owner, group, t_cur);
+                        t_cur = self.send_agg_fetch_request(p, p, id, owner, group, t_cur);
                     } else {
                         for o in group {
-                            t_cur = self.send_fetch_request(p, id, o, 0, t_cur);
+                            t_cur = self.send_fetch_request(p, p, id, o, 0, t_cur);
                         }
                     }
                 }
             } else {
                 for o in needed {
-                    t_cur = self.send_fetch_request(p, id, o, 0, t_cur);
+                    t_cur = self.send_fetch_request(p, p, id, o, 0, t_cur);
                 }
             }
         } else {
@@ -999,39 +1253,81 @@ impl Sim<'_> {
             return;
         };
         self.tstate[id.index()].pending.push((o, 0));
-        self.send_fetch_request(p, id, o, 0, t);
+        self.send_fetch_request(p, p, id, o, 0, t);
     }
 
     /// Send (or re-send) the request for one object of a task's fetch set,
     /// apply the network fault fate to the request message, and — when
     /// message faults are possible — arm the ack timer for this attempt.
-    /// Returns the time the request send completed on `p`.
+    /// Returns the time the request send completed on `issuer`.
+    ///
+    /// `issuer` pays the request-send handler time and the request's wire
+    /// leg; the reply, ack timer and any retries are bound to `p` (the
+    /// fetching processor). The two differ only on the split-phase
+    /// prefetch path, where the main processor issues on `p`'s behalf.
     fn send_fetch_request(
         &mut self,
+        issuer: ProcId,
         p: ProcId,
         id: TaskId,
         o: ObjectId,
         attempt: u32,
         t: SimTime,
     ) -> SimTime {
-        let sent = self.handler_op(p, t, self.cfg.costs.request_send(), TimeKind::Comm);
+        let owner = self.comm.owner(o);
+        if issuer == owner {
+            // Prefetch of an object the issuer already owns (main-resident
+            // data): there is no request message to compose or lose — the
+            // owner starts streaming the reply directly.
+            self.cal.schedule(
+                t,
+                Ev::RequestArrive {
+                    obj: o,
+                    requester: p,
+                    task: id,
+                    sent_at: t,
+                },
+            );
+            if self.lossy {
+                let timeout = self.retry_timeout(o, p, owner, attempt);
+                self.cal.schedule(
+                    t + timeout,
+                    Ev::FetchTimeout {
+                        proc: p,
+                        task: id,
+                        obj: o,
+                        attempt,
+                    },
+                );
+            }
+            return t;
+        }
+        // Issuing on behalf of another processor happens inside the
+        // dispatch handler main is already paying for (split-phase
+        // prefetch): the request packet joins the outgoing transfer, so
+        // no separate send-handler occupancy — the owner and requester
+        // still pay their full receive-side costs.
+        let sent = if issuer == p {
+            self.handler_op(issuer, t, self.cfg.costs.request_send(), TimeKind::Comm)
+        } else {
+            t
+        };
         self.events.emit_obj(
             sent.0,
-            p,
+            issuer,
             EventKind::ObjectRequest {
                 bytes: self.cfg.costs.request_bytes as u64,
             },
             Some(id),
             o,
         );
-        let owner = self.comm.owner(o);
-        let base = sent + self.msg(self.cfg.costs.request_bytes, p, owner);
+        let base = sent + self.msg(self.cfg.costs.request_bytes, issuer, owner);
         let fate = self.inj.message_fate();
         if fate.dropped() {
             self.n_dropped += 1;
             self.events.emit_obj(
                 sent.0,
-                p,
+                issuer,
                 EventKind::MsgDropped {
                     bytes: self.cfg.costs.request_bytes as u64,
                 },
@@ -1089,30 +1385,66 @@ impl Sim<'_> {
     /// fetch/retry path.
     fn send_agg_fetch_request(
         &mut self,
+        issuer: ProcId,
         p: ProcId,
         id: TaskId,
         owner: ProcId,
         objs: Vec<ObjectId>,
         t: SimTime,
     ) -> SimTime {
-        let sent = self.handler_op(p, t, self.cfg.costs.request_send(), TimeKind::Comm);
+        if issuer == owner {
+            // As in `send_fetch_request`: the issuer owns the whole group,
+            // so the coalesced reply starts without a request message.
+            self.cal.schedule(
+                t,
+                Ev::AggRequestArrive {
+                    objs: objs.clone(),
+                    requester: p,
+                    task: id,
+                    sent_at: t,
+                },
+            );
+            if self.lossy {
+                for &o in &objs {
+                    let timeout = self.retry_timeout(o, p, owner, 0);
+                    self.cal.schedule(
+                        t + timeout,
+                        Ev::FetchTimeout {
+                            proc: p,
+                            task: id,
+                            obj: o,
+                            attempt: 0,
+                        },
+                    );
+                }
+            }
+            return t;
+        }
+        // Same piggyback rule as `send_fetch_request`: a prefetch bundle
+        // issued for another processor rides the dispatch handler already
+        // in progress and costs the issuer no extra send-handler time.
+        let sent = if issuer == p {
+            self.handler_op(issuer, t, self.cfg.costs.request_send(), TimeKind::Comm)
+        } else {
+            t
+        };
         let req_bytes = self.cfg.costs.request_bytes + objs.len() * self.cfg.costs.agg_entry_bytes;
         self.events.emit_obj(
             sent.0,
-            p,
+            issuer,
             EventKind::ObjectRequest {
                 bytes: req_bytes as u64,
             },
             Some(id),
             objs[0],
         );
-        let base = sent + self.msg(req_bytes, p, owner);
+        let base = sent + self.msg(req_bytes, issuer, owner);
         let fate = self.inj.message_fate();
         if fate.dropped() {
             self.n_dropped += 1;
             self.events.emit_obj(
                 sent.0,
-                p,
+                issuer,
                 EventKind::MsgDropped {
                     bytes: req_bytes as u64,
                 },
@@ -1177,8 +1509,18 @@ impl Sim<'_> {
                 bytes += self.trace.object_size(o);
                 items.push((o, self.comm.version(o)));
             }
+            // Prefetch bundles stream asynchronously, like the single-object
+            // path in `on_request_arrive`: wire time, no owner stall.
+            let prefetch = {
+                let ts = &self.tstate[task.index()];
+                group.iter().any(|o| ts.prefetched.contains(o))
+            };
             let dur = self.msg(bytes, owner, requester);
-            let mut send_end = self.handler_op(owner, t, dur, TimeKind::Comm);
+            let mut send_end = if prefetch {
+                t + dur
+            } else {
+                self.handler_op(owner, t, dur, TimeKind::Comm)
+            };
             if let Some(wire) = &mut self.wire {
                 send_end = wire.occupy(0, t, dur, TimeKind::Comm).max(send_end);
             }
@@ -1225,7 +1567,15 @@ impl Sim<'_> {
         if self.dead[p] {
             return;
         }
-        let t1 = self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
+        let prefetch = {
+            let ts = &self.tstate[task.index()];
+            items.iter().any(|(o, _)| ts.prefetched.contains(o))
+        };
+        let t1 = if prefetch {
+            t
+        } else {
+            self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm)
+        };
         let mut delivered = 0u32;
         let mut delivered_bytes = 0u64;
         let mut first_obj = None;
@@ -1251,6 +1601,11 @@ impl Sim<'_> {
                 Some(task),
                 obj,
             );
+            if self.tstate[task.index()].prefetched.contains(&obj) {
+                self.n_prefetch_hits += 1;
+                self.events
+                    .emit_obj(t.0, p, EventKind::PrefetchHit { bytes }, Some(task), obj);
+            }
             delivered += 1;
             delivered_bytes += bytes;
             first_obj.get_or_insert(obj);
@@ -1326,7 +1681,7 @@ impl Sim<'_> {
             Some(id),
             o,
         );
-        self.send_fetch_request(p, id, o, next, t);
+        self.send_fetch_request(p, p, id, o, next, t);
     }
 
     fn on_request_arrive(
@@ -1344,9 +1699,17 @@ impl Sim<'_> {
         let bytes = self.trace.object_size(obj);
         self.comm.record_request(requester, obj);
         // The owner's processor is occupied for the full reply send: object
-        // distribution delays the owner's computation (Section 5.3).
+        // distribution delays the owner's computation (Section 5.3). The
+        // exception is a split-phase prefetch reply, which the message
+        // system streams asynchronously — the wire and byte counters see
+        // the traffic, but no processor stalls for it (DESIGN.md §17).
+        let prefetch = self.tstate[task.index()].prefetched.contains(&obj);
         let dur = self.msg(bytes, owner, requester);
-        let mut send_end = self.handler_op(owner, t, dur, TimeKind::Comm);
+        let mut send_end = if prefetch {
+            t + dur
+        } else {
+            self.handler_op(owner, t, dur, TimeKind::Comm)
+        };
         if let Some(wire) = &mut self.wire {
             // Workstation Ethernet: one transfer on the medium at a time.
             send_end = wire.occupy(0, t, dur, TimeKind::Comm).max(send_end);
@@ -1394,8 +1757,15 @@ impl Sim<'_> {
         }
         let bytes = self.trace.object_size(obj) as u64;
         // Receiving costs handler time whether or not the payload is kept:
-        // a duplicate still interrupts the processor.
-        let t1 = self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm);
+        // a duplicate still interrupts the processor. A prefetched reply
+        // instead lands by asynchronous transfer — no interrupt, the data
+        // is simply resident when the assignment reconciles (DESIGN.md §17).
+        let prefetch = self.tstate[task.index()].prefetched.contains(&obj);
+        let t1 = if prefetch {
+            t
+        } else {
+            self.handler_op(p, t, self.cfg.costs.object_recv(), TimeKind::Comm)
+        };
         let ts = &self.tstate[task.index()];
         let wanted = ts.assigned_to == p
             && !ts.finished_local
@@ -1418,6 +1788,13 @@ impl Sim<'_> {
             Some(task),
             obj,
         );
+        if self.tstate[task.index()].prefetched.contains(&obj) {
+            // The fetch this reply satisfies was initiated by the
+            // split-phase prefetch: the early issue paid off.
+            self.n_prefetch_hits += 1;
+            self.events
+                .emit_obj(t.0, p, EventKind::PrefetchHit { bytes }, Some(task), obj);
+        }
         let ts = &mut self.tstate[task.index()];
         ts.pending.retain(|&(po, _)| po != obj);
         if ts.pending.is_empty() && ts.fetch_queue.is_empty() {
@@ -1486,6 +1863,26 @@ impl Sim<'_> {
         };
         if !self.tstate[head.index()].ready {
             return;
+        }
+        if let Some(pin) = &self.cfg.pinned {
+            let rank = |x: TaskId| pin.rank.get(x.index()).copied().unwrap_or(u64::MAX);
+            let expected = self.pin_seq[p]
+                .get(self.pin_cursor[p])
+                .map_or(u64::MAX, |&x| rank(x));
+            let r = rank(head);
+            if r > expected {
+                // The recording runs another task next on this processor;
+                // its assignment has not arrived yet. Wait for it.
+                return;
+            }
+            // r < expected is a fault re-execution of a task the cursor
+            // already passed; let it through without advancing.
+            if r == expected && r != u64::MAX && !self.deadline_cuts(t) {
+                self.pin_cursor[p] += 1;
+                self.pstate[p].queue.pop_front();
+                self.start_task(p, head, t);
+                return;
+            }
         }
         if self.deadline_cuts(t) {
             return;
@@ -1899,6 +2296,8 @@ impl Sim<'_> {
             ts.ready = false;
             ts.pending.clear();
             ts.fetch_queue.clear();
+            ts.prefetch_issued = false;
+            ts.prefetched.clear();
             self.n_reexec += 1;
             self.events
                 .emit_task(t_cur.0, jade_core::MAIN_PROC, EventKind::TaskReExecuted, id);
@@ -2745,5 +3144,213 @@ mod tests {
         let r = try_run(&trace, &c).expect("budgeted checkpointed run");
         assert!(r.deadline_exceeded);
         assert!(r.checkpoints >= 1, "ticks ran before the budget expired");
+    }
+
+    // ---- split-phase prefetch ----
+
+    #[test]
+    fn prefetch_preserves_results_and_never_slows() {
+        let trace = commy_trace(4, 5);
+        let base = cfg(4, LocalityMode::Locality);
+        let mut pf = base.clone();
+        pf.prefetch = true;
+        let off = run(&trace, &base);
+        let (on, events) = run_traced(&trace, &pf);
+        assert!(on.prefetches_issued > 0, "no prefetches issued");
+        assert!(on.prefetch_hits > 0, "prefetched replies never landed");
+        assert_eq!(on.final_versions, off.final_versions);
+        assert_eq!(on.tasks_executed, off.tasks_executed);
+        assert!(
+            on.exec_time_s <= off.exec_time_s + 1e-9,
+            "prefetch on {} must not be slower than prefetch off {}",
+            on.exec_time_s,
+            off.exec_time_s
+        );
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    /// Tasks run at proc 1 (their out's home) and each reads a distinct
+    /// large object homed at proc 2 — every task fetches fresh data.
+    fn cross_trace(n: usize) -> jade_core::Trace {
+        let mut b = TraceBuilder::new();
+        for i in 0..n {
+            let out = b.object(&format!("out{i}"), 64, Some(1));
+            let data = b.object(&format!("d{i}"), 200_000, Some(2));
+            let mut s = AccessSpec::new();
+            s.wr(out).rd(data);
+            b.task(s, 0.3);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn prefetch_starts_fetches_before_assignment_arrives() {
+        // With prefetch, the first ObjectRequest for a remote task is
+        // issued by the main processor at assignment time — strictly
+        // before the per-task requests the demand path sends after the
+        // assignment message lands on the worker.
+        let trace = cross_trace(1);
+        let base = cfg(4, LocalityMode::Locality);
+        let mut pf = base.clone();
+        pf.prefetch = true;
+        let first_request = |events: &[Event]| {
+            events
+                .iter()
+                .find(|e| matches!(e.kind, EventKind::ObjectRequest { .. }))
+                .map(|e| (e.time_ps, e.proc))
+                .expect("cross trace always fetches")
+        };
+        let (_, e_off) = run_traced(&trace, &base);
+        let (_, e_on) = run_traced(&trace, &pf);
+        let (t_off, p_off) = first_request(&e_off);
+        let (t_on, p_on) = first_request(&e_on);
+        assert_ne!(p_off, 0, "demand requests come from the worker");
+        assert_eq!(p_on, 0, "prefetch requests come from main");
+        assert!(t_on < t_off, "prefetch {t_on} must precede demand {t_off}");
+    }
+
+    #[test]
+    fn prefetch_composes_with_aggregation() {
+        let trace = commy_trace(4, 3);
+        let mut base = cfg(4, LocalityMode::Locality);
+        base.aggregate_fetches = true;
+        let mut pf = base.clone();
+        pf.prefetch = true;
+        let off = run(&trace, &base);
+        let (on, events) = run_traced(&trace, &pf);
+        assert!(on.prefetches_issued > 0);
+        assert_eq!(on.final_versions, off.final_versions);
+        assert_eq!(on.tasks_executed, off.tasks_executed);
+        assert!(on.exec_time_s <= off.exec_time_s + 1e-9);
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn prefetch_survives_lossy_network() {
+        // Prefetched requests ride the same unreliable data plane: drops
+        // fall back to the per-object ack/retry path bound to the
+        // fetching processor, and the results still match the clean run.
+        let trace = commy_trace(4, 4);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let mut c = faulty_cfg(4, "drop=0.2,dup=0.1,delay=0.2:0.001,seed=21");
+        c.prefetch = true;
+        let (faulty, events) = run_traced(&trace, &c);
+        assert!(faulty.prefetches_issued > 0);
+        assert!(faulty.msgs_dropped > 0, "plan injected nothing");
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        assert_eq!(faulty.tasks_executed, clean.tasks_executed);
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn prefetch_survives_fail_stop_and_checkpoints() {
+        let trace = parallel_trace(12, 4, 1.0);
+        let clean = run(&trace, &cfg(4, LocalityMode::Locality));
+        let mut c = faulty_cfg(4, "fail=2@0.5,ckpt=0.25");
+        c.prefetch = true;
+        let (faulty, events) = run_traced(&trace, &c);
+        assert_eq!(faulty.workers_failed, 1);
+        assert_eq!(faulty.final_versions, clean.final_versions);
+        assert_eq!(faulty.tasks_executed as u64, 12 + faulty.tasks_reexecuted);
+        jade_core::check_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn prefetch_respects_deadline_budget() {
+        let trace = parallel_trace(16, 2, 0.5);
+        let mut c = cfg(2, LocalityMode::Locality);
+        c.prefetch = true;
+        c.deadline = Some(SimDuration::from_secs_f64(1.0));
+        let r = try_run(&trace, &c).expect("budgeted prefetch run");
+        assert!(r.deadline_exceeded);
+        assert!(r.tasks_executed > 0 && r.tasks_executed < 16);
+    }
+
+    #[test]
+    fn prefetch_is_deterministic() {
+        let trace = commy_trace(4, 3);
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.prefetch = true;
+        let (a, ea) = run_traced(&trace, &c);
+        let (b2, eb) = run_traced(&trace, &c);
+        assert_eq!(a.exec_time_s, b2.exec_time_s);
+        assert_eq!(a.prefetches_issued, b2.prefetches_issued);
+        assert_eq!(a.prefetch_hits, b2.prefetch_hits);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn prefetch_reports_overlap() {
+        // Latency-hiding config: with two in-flight tasks per processor
+        // the prefetched transfers overlap the predecessor's compute, and
+        // the overlap metric sees it.
+        let trace = cross_trace(8);
+        let mut c = cfg(4, LocalityMode::Locality);
+        c.prefetch = true;
+        c.target_tasks = 2;
+        let r = run(&trace, &c);
+        assert!(r.prefetches_issued > 0);
+        assert!(r.overlap_frac > 0.0, "no fetch time hidden under compute");
+        assert!(r.overlap_frac <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn pinned_replay_reproduces_the_recorded_run() {
+        // Replaying a run's own schedule must be a fixed point: the pinned
+        // run assigns every task to the processor the recording chose, in
+        // the recorded order, so the event stream is bit-identical.
+        let trace = commy_trace(4, 5);
+        let base = cfg(4, LocalityMode::Locality);
+        let (off, events) = run_traced(&trace, &base);
+        let mut pinned = base.clone();
+        pinned.pinned = Some(PinnedSchedule::from_events(trace.tasks.len(), &events));
+        let (rep, events_rep) = run_traced(&trace, &pinned);
+        assert_eq!(rep.exec_time_s, off.exec_time_s);
+        assert_eq!(rep.final_versions, off.final_versions);
+        assert_eq!(events, events_rep);
+    }
+
+    #[test]
+    fn pinned_prefetch_is_monotone() {
+        // The controlled comparison behind the overlap sweep: with the
+        // schedule held fixed, prefetch can only move data earlier, so the
+        // simulated time never grows and the result is bit-identical.
+        let trace = commy_trace(4, 6);
+        let base = cfg(4, LocalityMode::Locality);
+        let (off, events) = run_traced(&trace, &base);
+        let mut pf = base.clone();
+        pf.prefetch = true;
+        pf.pinned = Some(PinnedSchedule::from_events(trace.tasks.len(), &events));
+        let on = run(&trace, &pf);
+        assert!(on.prefetches_issued > 0, "no prefetches issued");
+        assert_eq!(on.final_versions, off.final_versions);
+        assert_eq!(on.tasks_executed, off.tasks_executed);
+        assert!(
+            on.exec_time_s <= off.exec_time_s + 1e-9,
+            "pinned prefetch run {} slower than its recording {}",
+            on.exec_time_s,
+            off.exec_time_s
+        );
+    }
+
+    #[test]
+    fn pinned_schedule_from_events_skips_unstarted_tasks() {
+        let trace = parallel_trace(6, 2, 0.4);
+        let (_, events) = run_traced(&trace, &cfg(2, LocalityMode::Locality));
+        let pin = PinnedSchedule::from_events(trace.tasks.len() + 3, &events);
+        // Tasks past the trace keep the "never ran" sentinel and fall back
+        // to live scheduling.
+        assert_eq!(pin.assign.len(), trace.tasks.len() + 3);
+        for i in trace.tasks.len()..trace.tasks.len() + 3 {
+            assert_eq!(pin.assign[i], None);
+            assert_eq!(pin.rank[i], u64::MAX);
+        }
+        // Every executed task got a distinct rank in event order.
+        let mut ranks: Vec<u64> = pin.rank[..trace.tasks.len()].to_vec();
+        ranks.retain(|&r| r != u64::MAX);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "ranks must be unique");
     }
 }

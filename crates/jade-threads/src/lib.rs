@@ -147,6 +147,10 @@ pub struct BatchStats {
     /// bookkeeping that must hold the same lock). The `repro bench`
     /// lock-amortization figure is `sync_locks / executed`.
     pub sync_locks: usize,
+    /// Tasks whose write ownership was pre-published to the locality table
+    /// at dispatch time (see [`ThreadRuntime::enable_prefetch`]); `0`
+    /// unless prefetch routing is enabled on the sharded scheduler.
+    pub prefetch_routes: usize,
 }
 
 impl BatchStats {
@@ -158,6 +162,7 @@ impl BatchStats {
         self.checkpoints += other.checkpoints;
         self.checkpoint_restores += other.checkpoint_restores;
         self.sync_locks += other.sync_locks;
+        self.prefetch_routes += other.prefetch_routes;
     }
 }
 
@@ -267,6 +272,9 @@ pub struct ThreadRuntime {
     faults: Option<FaultPlan>,
     /// Checkpoint interval in completed tasks; `None` disables capture.
     ckpt_every: Option<usize>,
+    /// Prefetch routing (split-phase locality): pre-publish each task's
+    /// write ownership when it is *queued*, not when it completes.
+    prefetch: bool,
     /// Dynamic locality: which worker last wrote each object.
     owners: OwnerTable,
 }
@@ -289,6 +297,7 @@ impl ThreadRuntime {
             event_clock: 0,
             faults: None,
             ckpt_every: None,
+            prefetch: false,
             owners: OwnerTable::default(),
         }
     }
@@ -375,6 +384,19 @@ impl ThreadRuntime {
             self.checkpoint_every((iv.as_secs_f64().round() as usize).max(1));
         }
         self.faults = Some(plan);
+    }
+
+    /// Enable prefetch routing on the sharded scheduler: when a task is
+    /// pushed onto a worker's deque, its *write* ownership is published to
+    /// the locality table immediately — the split-phase analogue of the
+    /// simulators' enable-time prefetch. Successors that become enabled
+    /// while the writer is still queued already route to its worker instead
+    /// of falling back to declared homes; the completion-time record then
+    /// confirms (or, after a steal, corrects) the hint. A pure routing
+    /// heuristic: results and the synchronizer schedule are unaffected.
+    /// Counted per routed task in [`BatchStats::prefetch_routes`].
+    pub fn enable_prefetch(&mut self) {
+        self.prefetch = true;
     }
 
     /// Capture a synchronizer checkpoint every `every` completed tasks in
@@ -514,6 +536,10 @@ struct Sharded<'a, S> {
     drain: usize,
     /// Acquisitions of `state` by workers ([`BatchStats::sync_locks`]).
     sync_locks: AtomicUsize,
+    /// Prefetch routing ([`ThreadRuntime::enable_prefetch`]).
+    prefetch: bool,
+    /// Tasks whose write ownership was pre-published at dispatch.
+    prefetch_routes: AtomicUsize,
 }
 
 impl<'a, S: Sink> Sharded<'a, S> {
@@ -578,7 +604,23 @@ impl<'a, S: Sink> Sharded<'a, S> {
         let target = {
             let guard = lock(&self.bodies[local]);
             let def = guard.as_ref().expect("dispatching a running task");
-            self.target_of(def)
+            let target = self.target_of(def);
+            // Prefetch routing: publish write ownership at queue time, so
+            // successors enabled while this task is still waiting in the
+            // deque already route toward its worker. Completion republishes
+            // with the worker that actually ran it (a steal corrects the
+            // hint), and the table stays a pure heuristic either way.
+            if self.prefetch {
+                let mut routed = false;
+                for o in def.spec.written_objects() {
+                    self.owners.record(o, target);
+                    routed = true;
+                }
+                if routed {
+                    self.prefetch_routes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            target
         };
         self.targets[local].store(target, Ordering::Relaxed);
         self.enqueue(target, local);
@@ -967,6 +1009,8 @@ impl ThreadRuntime {
             // what keeps 1-worker event streams identical across policies.
             drain: if S::ACTIVE { 1 } else { self.batch.threshold() },
             sync_locks: AtomicUsize::new(0),
+            prefetch: self.prefetch,
+            prefetch_routes: AtomicUsize::new(0),
         };
         for local in enabled0 {
             sh.dispatch(local);
@@ -993,6 +1037,7 @@ impl ThreadRuntime {
             live,
             panic,
             sync_locks,
+            prefetch_routes,
             ..
         } = sh;
         let st = state.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -1001,6 +1046,7 @@ impl ThreadRuntime {
         self.events.extend(st.events.into_events());
         merged.checkpoints = st.checkpoints;
         merged.sync_locks = sync_locks.into_inner();
+        merged.prefetch_routes = prefetch_routes.into_inner();
         self.last_stats = merged;
         self.total_stats.absorb(&merged);
         if let Some(p) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
@@ -1536,6 +1582,62 @@ mod tests {
         let mut far = jade_core::AccessSpec::new();
         far.rd(ObjectId(99));
         assert_eq!(t.latest_writer(&far), None);
+    }
+
+    #[test]
+    fn prefetch_routing_prepublishes_ownership() {
+        // With prefetch routing on, every writing task's ownership hint is
+        // published at queue time; results and the scheduling invariants
+        // are unchanged — it is a pure routing heuristic.
+        let mut rt = ThreadRuntime::new(4);
+        rt.enable_prefetch();
+        let objs: Vec<_> = (0..8)
+            .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+            .collect();
+        for (i, &o) in objs.iter().enumerate() {
+            rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                *ctx.wr(o) = i as u64 + 1;
+            }));
+        }
+        rt.finish();
+        for (i, &o) in objs.iter().enumerate() {
+            assert_eq!(*rt.store().read(o), i as u64 + 1);
+        }
+        let s = rt.last_stats();
+        assert_eq!(s.executed, 8);
+        assert_eq!(s.prefetch_routes, 8, "every writer is prefetch-routed");
+        assert_eq!(s.locality_hits + s.steals, 8);
+
+        // Default-off: an identical runtime without the flag reports zero.
+        let mut off = ThreadRuntime::new(4);
+        let o = off.create("x", 8, 0u64);
+        off.submit(TaskBuilder::new("w").wr(o).body(move |ctx| *ctx.wr(o) = 1));
+        off.finish();
+        assert_eq!(off.last_stats().prefetch_routes, 0);
+    }
+
+    #[test]
+    fn prefetch_routing_chains_successors_to_the_writer() {
+        // A producer→consumer chain submitted in one batch: the consumer is
+        // enabled at the producer's completion, *after* the pre-published
+        // (and completion-confirmed) ownership, so it targets the producer's
+        // worker. The chain's results are exact either way.
+        let mut rt = ThreadRuntime::new(4);
+        rt.enable_prefetch();
+        let x = rt.create("x", 8, 0u64);
+        let y = rt.create("y", 8, 0u64);
+        rt.submit(TaskBuilder::new("produce").wr(x).body(move |ctx| {
+            *ctx.wr(x) = 5;
+        }));
+        rt.submit(TaskBuilder::new("consume").rd(x).wr(y).body(move |ctx| {
+            *ctx.wr(y) = *ctx.rd(x) * 2;
+        }));
+        rt.finish();
+        assert_eq!(*rt.store().read(y), 10);
+        let s = rt.last_stats();
+        assert_eq!(s.executed, 2);
+        assert_eq!(s.prefetch_routes, 2, "both tasks write and get routed");
+        assert_eq!(s.locality_hits + s.steals, 2);
     }
 
     #[test]

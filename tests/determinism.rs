@@ -345,4 +345,80 @@ proptest! {
             "aggregation added messages ({} -> {})", msgs_off, msgs_on
         );
     }
+
+    /// Split-phase prefetch (DESIGN.md §17) is equally invisible: alone or
+    /// stacked on aggregation, a random-graph PageRank computes the same
+    /// final object versions and task count, every prefetched object is
+    /// accounted as a hit or a stale refetch, and the overlap fraction
+    /// stays in [0, 1].
+    #[test]
+    fn pagerank_prefetch_is_invisible(
+        seed in any::<u64>(),
+        nodes in 48usize..160,
+        psel in 0usize..3,
+        aggregate in any::<bool>(),
+    ) {
+        let procs = [2usize, 4, 8][psel];
+        let cfg = PagerankConfig {
+            nodes,
+            iterations: 2,
+            seed,
+            ..PagerankConfig::small(procs)
+        };
+        let (trace, _) = pagerank::run_trace(&cfg);
+        let run = |prefetch: bool| {
+            let mut mc = jade::ipsc::IpscConfig::paper(procs, LocalityMode::TaskPlacement, 1e-6);
+            mc.aggregate_fetches = aggregate;
+            mc.prefetch = prefetch;
+            jade::ipsc::run(&trace, &mc)
+        };
+        let off = run(false);
+        let on = run(true);
+        prop_assert_eq!(
+            &on.final_versions, &off.final_versions,
+            "final versions diverged (seed {}, x{}, agg {})", seed, procs, aggregate
+        );
+        prop_assert_eq!(on.tasks_executed, off.tasks_executed);
+        prop_assert_eq!(off.prefetches_issued, 0);
+        prop_assert!(
+            on.prefetch_hits + on.prefetch_stale <= on.prefetches_issued,
+            "hit/stale counts exceed issues ({} + {} > {})",
+            on.prefetch_hits, on.prefetch_stale, on.prefetches_issued
+        );
+        prop_assert!(on.overlap_frac >= 0.0 && on.overlap_frac <= 1.0 + 1e-12);
+    }
+
+    /// The schedule-replay harness behind the overlap sweep, as a property:
+    /// record a baseline, pin its placement and per-processor start order,
+    /// turn prefetch on, and the simulated time never grows — for any
+    /// random graph and processor count. This is the monotonicity argument
+    /// of DESIGN.md §17 checked end to end.
+    #[test]
+    fn pagerank_pinned_prefetch_is_monotone(
+        seed in any::<u64>(),
+        nodes in 48usize..120,
+        psel in 0usize..3,
+    ) {
+        let procs = [2usize, 4, 8][psel];
+        let cfg = PagerankConfig {
+            nodes,
+            iterations: 2,
+            seed,
+            ..PagerankConfig::small(procs)
+        };
+        let (trace, _) = pagerank::run_trace(&cfg);
+        let base = jade::ipsc::IpscConfig::paper(procs, LocalityMode::TaskPlacement, 1e-6);
+        let (off, events) = jade::ipsc::run_traced(&trace, &base);
+        let mut pf = base.clone();
+        pf.prefetch = true;
+        pf.pinned = Some(jade::ipsc::PinnedSchedule::from_events(trace.tasks.len(), &events));
+        let on = jade::ipsc::run(&trace, &pf);
+        prop_assert_eq!(&on.final_versions, &off.final_versions);
+        prop_assert_eq!(on.tasks_executed, off.tasks_executed);
+        prop_assert!(
+            on.exec_time_s <= off.exec_time_s + 1e-9,
+            "pinned prefetch run slower than its recording ({} vs {}, seed {}, x{})",
+            on.exec_time_s, off.exec_time_s, seed, procs
+        );
+    }
 }

@@ -519,4 +519,86 @@ proptest! {
         prop_assert_eq!(again.agg_fetches, faulty.agg_fetches);
         prop_assert_eq!(again.msgs_retried, faulty.msgs_retried);
     }
+
+    /// Split-phase prefetch (DESIGN.md §17) rides the same unreliable data
+    /// plane as demand fetches: under random drops, duplicates, fail-stops
+    /// and checkpoints — optionally stacked on aggregation — the prefetched
+    /// run still computes the fault-free final versions, the event stream
+    /// stays well-formed with prefetch counters matching the native
+    /// tallies, and the whole thing is deterministic per seed.
+    #[test]
+    fn irregular_apps_survive_faults_with_prefetch(
+        pick_halo in any::<bool>(),
+        procs in 2usize..7,
+        drop in 0u32..16,
+        dup in 0u32..9,
+        fail in any::<bool>(),
+        ckpt in any::<bool>(),
+        aggregate in any::<bool>(),
+        fail_pick in any::<u64>(),
+        app_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let trace = if pick_halo {
+            let cfg = HaloConfig { seed: app_seed, ..HaloConfig::small(procs) };
+            halo::run_trace(&cfg).0
+        } else {
+            let cfg = PagerankConfig { seed: app_seed, ..PagerankConfig::small(procs) };
+            pagerank::run_trace(&cfg).0
+        };
+        let base = IpscConfig::paper(procs, LocalityMode::TaskPlacement, 1e-6);
+        let mut pf = base.clone();
+        pf.prefetch = true;
+        pf.aggregate_fetches = aggregate;
+        let clean_off = ipsc::try_run(&trace, &base).expect("fault-free run completes");
+        let clean = ipsc::try_run(&trace, &pf).expect("fault-free prefetched run completes");
+        prop_assert_eq!(
+            &clean.final_versions, &clean_off.final_versions,
+            "prefetch alone changed the results"
+        );
+
+        let mut plan = FaultPlan {
+            drop_p: drop as f64 / 100.0,
+            dup_p: dup as f64 / 100.0,
+            seed,
+            ..FaultPlan::none()
+        };
+        if fail {
+            plan.fail_proc = Some(1 + (fail_pick as usize) % (procs - 1));
+            plan.fail_at = SimDuration::from_secs_f64(clean.exec_time_s * 0.5);
+        }
+        if ckpt {
+            plan.checkpoint = Some(SimDuration::from_secs_f64(
+                (clean.exec_time_s * 0.25).max(1e-6),
+            ));
+        }
+        let mut cfg = pf.clone();
+        cfg.faults = plan;
+        let (faulty, events) =
+            ipsc::try_run_traced(&trace, &cfg).expect("faulty prefetched run completes");
+
+        prop_assert_eq!(&faulty.final_versions, &clean.final_versions);
+        prop_assert!(faulty.tasks_executed >= clean.tasks_executed);
+        prop_assert!(
+            faulty.tasks_executed as u64 <= clean.tasks_executed as u64 + faulty.tasks_reexecuted
+        );
+        check_lifecycle(&events).expect("lifecycle holds under faults with prefetch");
+        let m = Metrics::from_events(&events, procs);
+        check_conservation(&events, procs, m.makespan_ps)
+            .expect("spans tile the makespan under faults with prefetch");
+        prop_assert_eq!(m.prefetches_issued, faulty.prefetches_issued);
+        prop_assert_eq!(m.prefetch_hits, faulty.prefetch_hits);
+        prop_assert_eq!(m.prefetch_stale, faulty.prefetch_stale);
+        prop_assert!(
+            faulty.prefetch_hits + faulty.prefetch_stale <= faulty.prefetches_issued,
+            "hit/stale accounting exceeds issues"
+        );
+        prop_assert!(faulty.overlap_frac >= 0.0 && faulty.overlap_frac <= 1.0 + 1e-12);
+
+        // Same seed, same plan: deterministic.
+        let again = ipsc::try_run(&trace, &cfg).expect("repeat run completes");
+        prop_assert_eq!(again.exec_time_s, faulty.exec_time_s);
+        prop_assert_eq!(again.prefetches_issued, faulty.prefetches_issued);
+        prop_assert_eq!(again.msgs_retried, faulty.msgs_retried);
+    }
 }
