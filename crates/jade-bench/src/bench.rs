@@ -26,7 +26,7 @@ use crate::apps::App;
 use jade_apps::{cholesky, halo, ocean, pagerank, string_app, water};
 use jade_core::{JadeRuntime, TaskBuilder};
 use jade_threads::{
-    BatchPolicy, JadeService, Outcome, Program, SchedMode, ServiceConfig, TenantOptions,
+    BatchPolicy, DequeImpl, JadeService, Outcome, Program, SchedMode, ServiceConfig, TenantOptions,
     ThreadRuntime,
 };
 use std::time::Instant;
@@ -56,6 +56,8 @@ struct BenchResult {
     mode: Option<SchedMode>,
     /// Drain-buffer policy (thread backend only).
     batch: Option<BatchPolicy>,
+    /// Ready-queue implementation (sharded scheduler only).
+    deque: Option<DequeImpl>,
     tasks: usize,
     secs: f64,
     reps_secs: Vec<f64>,
@@ -64,6 +66,10 @@ struct BenchResult {
     /// Synchronizer-lock acquisitions and tasks executed over one run
     /// (thread backend only) — the lock-amortization figure.
     sync_locks: Option<(usize, usize)>,
+    /// Steady-state heap allocations per task (SchedStress rows, `None`
+    /// when no counting allocator is active in this binary) — measured
+    /// differentially so per-batch fixed costs cancel.
+    allocs_per_task: Option<f64>,
 }
 
 impl BenchResult {
@@ -76,6 +82,22 @@ impl BenchResult {
     fn lock_acq_per_task(&self) -> Option<f64> {
         self.sync_locks
             .map(|(locks, executed)| locks as f64 / (executed.max(1)) as f64)
+    }
+
+    /// Sample standard deviation of the timed reps (0 for fewer than two).
+    fn stddev(&self) -> f64 {
+        let n = self.reps_secs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.reps_secs.iter().sum::<f64>() / n as f64;
+        let var = self
+            .reps_secs
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
     }
 }
 
@@ -272,6 +294,47 @@ fn verify_modes(quick: bool, stress_tasks: usize, workloads: &[Option<App>]) -> 
                     ));
                 }
             }
+            // Deque A/B: the Chase-Lev owner-LIFO pop order is a legal
+            // schedule, so outputs must be bit-identical to the locked
+            // FIFO deque and the interleaving-independent counters must
+            // match; event *streams* legitimately differ (dispatch order
+            // is a scheduling freedom), so they are not compared.
+            {
+                let run_deque = |deque: DequeImpl| {
+                    let mut rt = ThreadRuntime::with_mode(workers, SchedMode::Sharded);
+                    rt.set_deque_impl(deque);
+                    rt.enable_events();
+                    let out = run_workload(app, &mut rt, quick, stress_tasks);
+                    let events = rt.take_events();
+                    (out, events)
+                };
+                let (ol, el) = run_deque(DequeImpl::Locked);
+                let (oc, ec) = run_deque(DequeImpl::ChaseLev);
+                if oc != ol {
+                    return Err(format!(
+                        "{name} @ {workers} workers: chase-lev output differs from locked deque"
+                    ));
+                }
+                jade_core::check_lifecycle(&ec)
+                    .map_err(|e| format!("{name} @ {workers} chase-lev: {e}"))?;
+                let counters = |ev: &[jade_core::Event]| {
+                    let m = jade_core::Metrics::from_events(ev, workers);
+                    (
+                        m.tasks_created,
+                        m.tasks_enabled,
+                        m.tasks_dispatched,
+                        m.tasks_started,
+                        m.tasks_completed,
+                        m.releases,
+                    )
+                };
+                if counters(&ec) != counters(&el) {
+                    return Err(format!(
+                        "{name} @ {workers} workers: deterministic event counters \
+                         diverge between deque impls"
+                    ));
+                }
+            }
             let (oa, ea) = run(SchedMode::Sharded);
             let (ob, eb) = run(SchedMode::GlobalLock);
             if oa != ob {
@@ -339,11 +402,56 @@ struct SweepCfg {
     reps: usize,
 }
 
+/// Differential steady-state allocation measurement for one scheduler
+/// configuration, on the SchedStress shape (mirrors `tests/allocs.rs`):
+/// after warming the runtime at the larger batch size, allocations during
+/// `finish()` of a 2N-task batch minus an N-task batch, over N — per-batch
+/// fixed costs (thread spawns, handle vectors) cancel, so any nonzero
+/// value is genuine per-task allocation. `None` when no counting global
+/// allocator feeds `crate::alloc` in this binary.
+fn measure_allocs_per_task(
+    workers: usize,
+    mode: SchedMode,
+    policy: BatchPolicy,
+    deque: Option<DequeImpl>,
+) -> Option<f64> {
+    if !crate::alloc::counting_active() {
+        return None;
+    }
+    let mut rt = ThreadRuntime::with_mode(workers, mode);
+    rt.set_batch_policy(policy);
+    if let Some(d) = deque {
+        rt.set_deque_impl(d);
+    }
+    let counters: Vec<_> = (0..STRESS_OBJECTS)
+        .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+        .collect();
+    let n = 1000usize;
+    let submit = |rt: &mut ThreadRuntime, count: usize| {
+        for i in 0..count {
+            let c = counters[i % STRESS_OBJECTS];
+            rt.submit(TaskBuilder::new("inc").rd_wr(c).body(move |ctx| {
+                *ctx.wr(c) += 1;
+            }));
+        }
+    };
+    for _ in 0..3 {
+        submit(&mut rt, 2 * n);
+        rt.finish();
+    }
+    submit(&mut rt, n);
+    let (a1, ()) = crate::alloc::allocs_during(|| rt.finish());
+    submit(&mut rt, 2 * n);
+    let (a2, ()) = crate::alloc::allocs_during(|| rt.finish());
+    Some(a2.saturating_sub(a1) as f64 / n as f64)
+}
+
 fn time_threads(
     app: Option<App>,
     workers: usize,
     mode: SchedMode,
     policy: BatchPolicy,
+    deque: Option<DequeImpl>,
     cfg: &SweepCfg,
 ) -> BenchResult {
     let SweepCfg {
@@ -358,6 +466,9 @@ fn time_threads(
     for i in 0..warmup + reps {
         let mut rt = ThreadRuntime::with_mode(workers, mode);
         rt.set_batch_policy(policy);
+        if let Some(d) = deque {
+            rt.set_deque_impl(d);
+        }
         let t0 = Instant::now();
         let out = run_workload(app, &mut rt, quick, stress_tasks);
         let dt = t0.elapsed().as_secs_f64();
@@ -377,17 +488,26 @@ fn time_threads(
             Some(r) => debug_assert!(*r == out, "nondeterministic benchmark output"),
         }
     }
+    // The steady-state allocation figure only makes sense on the
+    // overhead-dominated microbenchmark (app bodies allocate freely).
+    let allocs_per_task = if app.is_none() {
+        measure_allocs_per_task(workers, mode, policy, deque)
+    } else {
+        None
+    };
     BenchResult {
         backend: "threads",
         app: workload_name(app).to_string(),
         workers,
         mode: Some(mode),
         batch: Some(policy),
+        deque,
         tasks: task_count(app, workers, quick, stress_tasks),
         secs: trimmed_mean(&reps_secs),
         reps_secs,
         sim_exec_s: None,
         sync_locks: Some(sync_locks),
+        allocs_per_task,
     }
 }
 
@@ -425,11 +545,13 @@ fn time_sim(app: App, procs: usize, quick: bool, warmup: usize, reps: usize) -> 
             workers: procs,
             mode: None,
             batch: None,
+            deque: None,
             tasks,
             secs: trimmed_mean(&reps_secs),
             reps_secs,
             sim_exec_s: Some(sim_exec_s),
             sync_locks: None,
+            allocs_per_task: None,
         });
     }
     out
@@ -491,12 +613,104 @@ fn time_service(workers: usize, dags: usize, warmup: usize, reps: usize) -> Benc
         workers,
         mode: None,
         batch: None,
+        deque: None,
         tasks,
         secs: trimmed_mean(&reps_secs),
         reps_secs,
         sim_exec_s: None,
         sync_locks: None,
+        allocs_per_task: None,
     }
+}
+
+/// Hard acceptance gates over the thread-backend sweep, each printing a
+/// `PASS:` marker line that CI greps for (so a silently-skipped gate
+/// fails the build, not just a violated one).
+///
+/// 1. **Lock amortization (sharded)** — SchedStress Sharded `batch=auto`
+///    must take < 1.0 synchronizer-lock acquisitions per task, for every
+///    worker count and deque impl.
+/// 2. **Lock amortization (global)** — GlobalLock `batch=auto` must also
+///    batch (the honest-baseline fix): < 1.0 global-lock *flush*
+///    acquisitions per task on SchedStress.
+/// 3. **Zero steady-state allocations** — SchedStress Sharded
+///    `batch=auto` rows must report `allocs_per_task == 0` (skipped with
+///    a `SKIP:` marker when no counting allocator is active).
+/// 4. **1-worker throughput** — SchedStress Sharded+auto+ChaseLev must
+///    reach at least GlobalLock+auto tasks/s at one worker: the
+///    "optimized" scheduler may not lose to the seed baseline even with
+///    no parallelism to win back.
+fn check_thread_gates(thread_results: &[BenchResult]) -> Result<(), String> {
+    let stress = |r: &&BenchResult| r.app == "SchedStress";
+    for r in thread_results.iter().filter(stress) {
+        if r.batch != Some(BatchPolicy::Auto) {
+            continue;
+        }
+        let per_task = r.lock_acq_per_task().unwrap_or(f64::NAN);
+        let mode = r.mode.map_or("?", mode_name);
+        let deque = r.deque.map_or("-", |d| d.name());
+        // NaN (no lock data) must fail the gate, hence the inverted test.
+        if per_task.partial_cmp(&1.0) != Some(std::cmp::Ordering::Less) {
+            return Err(format!(
+                "lock amortization failed: SchedStress {mode} batch=auto deque={deque} at \
+                 {} workers took {per_task:.3} lock acquisitions per task (>= 1.0)",
+                r.workers
+            ));
+        }
+        println!(
+            "PASS: lock-amortization SchedStress {mode} batch=auto deque={deque} w={} \
+             at {per_task:.3} locks/task",
+            r.workers
+        );
+    }
+    for r in thread_results.iter().filter(stress) {
+        if r.mode != Some(SchedMode::Sharded) || r.batch != Some(BatchPolicy::Auto) {
+            continue;
+        }
+        let deque = r.deque.map_or("-", |d| d.name());
+        match r.allocs_per_task {
+            Some(a) if a == 0.0 => println!(
+                "PASS: zero-alloc SchedStress Sharded batch=auto deque={deque} w={} \
+                 at {a:.3} allocs/task",
+                r.workers
+            ),
+            Some(a) => {
+                return Err(format!(
+                    "steady-state allocation gate failed: SchedStress Sharded batch=auto \
+                     deque={deque} at {} workers allocates {a:.3} times per task",
+                    r.workers
+                ))
+            }
+            None => println!("SKIP: zero-alloc gate (no counting global allocator in this binary)"),
+        }
+    }
+    let stress_tps = |mode: SchedMode, deque: Option<DequeImpl>| {
+        thread_results
+            .iter()
+            .find(|r| {
+                r.app == "SchedStress"
+                    && r.workers == 1
+                    && r.mode == Some(mode)
+                    && r.batch == Some(BatchPolicy::Auto)
+                    && r.deque == deque
+            })
+            .map(|r| r.tasks_per_sec())
+    };
+    let sharded = stress_tps(SchedMode::Sharded, Some(DequeImpl::ChaseLev))
+        .ok_or("missing SchedStress Sharded+auto+chase-lev 1-worker row")?;
+    let global = stress_tps(SchedMode::GlobalLock, None)
+        .ok_or("missing SchedStress GlobalLock+auto 1-worker row")?;
+    if sharded < global {
+        return Err(format!(
+            "1-worker throughput gate failed: SchedStress Sharded+auto+chase-lev \
+             {sharded:.1} tasks/s < GlobalLock+auto {global:.1} tasks/s"
+        ));
+    }
+    println!(
+        "PASS: 1-worker-throughput SchedStress Sharded+auto+chase-lev {sharded:.1} >= \
+         GlobalLock+auto {global:.1} tasks/s"
+    );
+    Ok(())
 }
 
 fn json_f(x: f64) -> String {
@@ -511,7 +725,7 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"jade-bench/v2\",\n");
+    s.push_str("  \"schema\": \"jade-bench/v3\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"host\": {{ \"cpus\": {cpus} }},\n"));
     s.push_str(&format!("  \"warmup\": {warmup},\n"));
@@ -519,8 +733,11 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
     s.push_str("  \"stat\": \"trimmed_mean\",\n");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
-        let reps_list = r
-            .reps_secs
+        // Sorted so reruns diff stably: the multiset of rep timings is
+        // the measurement; their arrival order is scheduler noise.
+        let mut sorted_reps = r.reps_secs.clone();
+        sorted_reps.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let reps_list = sorted_reps
             .iter()
             .map(|&x| json_f(x))
             .collect::<Vec<_>>()
@@ -535,11 +752,16 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
         if let Some(b) = r.batch {
             s.push_str(&format!("\"batch\": \"{}\", ", batch_name(b)));
         }
+        if let Some(d) = r.deque {
+            s.push_str(&format!("\"deque\": \"{}\", ", d.name()));
+        }
         s.push_str(&format!(
-            "\"tasks\": {}, \"secs\": {}, \"tasks_per_sec\": {}, \"reps_secs\": [{}]",
+            "\"tasks\": {}, \"secs\": {}, \"tasks_per_sec\": {}, \"stddev\": {}, \
+             \"reps_secs\": [{}]",
             r.tasks,
             json_f(r.secs),
             json_f(r.tasks_per_sec()),
+            json_f(r.stddev()),
             reps_list
         ));
         if let Some(sim) = r.sim_exec_s {
@@ -550,6 +772,9 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
                 ", \"sync_locks\": {locks}, \"lock_acq_per_task\": {}",
                 json_f(per_task)
             ));
+        }
+        if let Some(a) = r.allocs_per_task {
+            s.push_str(&format!(", \"allocs_per_task\": {}", json_f(a)));
         }
         s.push_str(" }");
         if i + 1 < results.len() {
@@ -575,8 +800,12 @@ fn render_json(quick: bool, warmup: usize, reps: usize, results: &[BenchResult])
                 .batch
                 .map(|b| format!("\"batch\": \"{}\", ", batch_name(b)))
                 .unwrap_or_default();
+            let deque_tag = r
+                .deque
+                .map(|d| format!("\"deque\": \"{}\", ", d.name()))
+                .unwrap_or_default();
             comps.push(format!(
-                "    {{ \"app\": \"{}\", \"workers\": {}, {batch_tag}\
+                "    {{ \"app\": \"{}\", \"workers\": {}, {batch_tag}{deque_tag}\
                  \"sharded_tasks_per_sec\": {}, \
                  \"global_lock_tasks_per_sec\": {}, \"speedup\": {} }}",
                 r.app,
@@ -643,49 +872,34 @@ pub fn run(quick: bool) -> Result<(), String> {
     for &app in &workloads {
         for &workers in &counts {
             for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
-                for policy in [BatchPolicy::PerTask, BatchPolicy::Auto] {
-                    let r = time_threads(app, workers, mode, policy, &cfg);
-                    println!(
-                        "  {:>14} w={} {:<10} batch={:<4} {:>10.1} tasks/s \
-                         ({:.4}s, {} tasks, {:.3} locks/task)",
-                        r.app,
-                        r.workers,
-                        mode_name(mode),
-                        batch_name(policy),
-                        r.tasks_per_sec(),
-                        r.secs,
-                        r.tasks,
-                        r.lock_acq_per_task().unwrap_or(f64::NAN)
-                    );
-                    thread_results.push(r);
+                // The deque A/B only exists in the sharded scheduler.
+                let deques: &[Option<DequeImpl>] = match mode {
+                    SchedMode::Sharded => &[Some(DequeImpl::Locked), Some(DequeImpl::ChaseLev)],
+                    SchedMode::GlobalLock => &[None],
+                };
+                for &deque in deques {
+                    for policy in [BatchPolicy::PerTask, BatchPolicy::Auto] {
+                        let r = time_threads(app, workers, mode, policy, deque, &cfg);
+                        println!(
+                            "  {:>14} w={} {:<10} batch={:<4} deque={:<9} {:>10.1} tasks/s \
+                             ({:.4}s, {} tasks, {:.3} locks/task)",
+                            r.app,
+                            r.workers,
+                            mode_name(mode),
+                            batch_name(policy),
+                            deque.map_or("-", |d| d.name()),
+                            r.tasks_per_sec(),
+                            r.secs,
+                            r.tasks,
+                            r.lock_acq_per_task().unwrap_or(f64::NAN)
+                        );
+                        thread_results.push(r);
+                    }
                 }
             }
         }
     }
-    // The tentpole's acceptance gate: on the scheduler-stress workload the
-    // sharded batched configuration must actually amortize — strictly
-    // fewer synchronizer-lock acquisitions than tasks.
-    for r in &thread_results {
-        if r.app == "SchedStress"
-            && r.mode == Some(SchedMode::Sharded)
-            && r.batch == Some(BatchPolicy::Auto)
-        {
-            let per_task = r.lock_acq_per_task().unwrap_or(f64::NAN);
-            // NaN (no lock data) must fail the gate, hence the inverted test.
-            if per_task.partial_cmp(&1.0) != Some(std::cmp::Ordering::Less) {
-                return Err(format!(
-                    "lock amortization failed: SchedStress sharded batch=auto at \
-                     {} workers took {per_task:.3} lock acquisitions per task (>= 1.0)",
-                    r.workers
-                ));
-            }
-            println!(
-                "lock amortization ok: SchedStress sharded batch=auto w={} at \
-                 {per_task:.3} locks/task",
-                r.workers
-            );
-        }
-    }
+    check_thread_gates(&thread_results)?;
     println!("== repro bench: multi-tenant service ({warmup} warmup + {reps} reps) ==");
     let svc_dags = if quick { 64 } else { 512 };
     for &workers in &counts {
@@ -793,11 +1007,13 @@ mod tests {
             workers: 2,
             mode: Some(SchedMode::Sharded),
             batch: Some(BatchPolicy::Auto),
+            deque: Some(DequeImpl::ChaseLev),
             tasks: 10,
             secs: 0.5,
-            reps_secs: vec![0.4, 0.5, 0.6],
+            reps_secs: vec![0.6, 0.4, 0.5],
             sim_exec_s: None,
             sync_locks: Some((4, 10)),
+            allocs_per_task: Some(0.0),
         };
         let g = BenchResult {
             backend: "threads",
@@ -805,11 +1021,13 @@ mod tests {
             workers: 2,
             mode: Some(SchedMode::GlobalLock),
             batch: Some(BatchPolicy::Auto),
+            deque: None,
             tasks: 10,
             secs: 1.0,
             reps_secs: vec![1.0, 1.0, 1.0],
             sim_exec_s: None,
             sync_locks: Some((12, 10)),
+            allocs_per_task: None,
         };
         let s = render_json(true, 1, 3, &[r, g]);
         assert_eq!(
@@ -817,11 +1035,39 @@ mod tests {
             s.matches('}').count(),
             "balanced braces:\n{s}"
         );
-        assert!(s.contains("\"schema\": \"jade-bench/v2\""));
+        assert!(s.contains("\"schema\": \"jade-bench/v3\""));
         assert!(s.contains("\"batch\": \"auto\""));
+        assert!(s.contains("\"deque\": \"chase-lev\""));
         assert!(s.contains("\"sync_locks\": 4"));
         assert!(s.contains("\"lock_acq_per_task\": 0.400000"));
+        assert!(s.contains("\"allocs_per_task\": 0.000000"));
         assert!(s.contains("\"speedup\": 2.000000"));
+        // reps_secs emitted sorted regardless of arrival order.
+        assert!(s.contains("\"reps_secs\": [0.400000, 0.500000, 0.600000]"));
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let r = BenchResult {
+            backend: "threads",
+            app: "X".to_string(),
+            workers: 1,
+            mode: None,
+            batch: None,
+            deque: None,
+            tasks: 1,
+            secs: 2.0,
+            reps_secs: vec![1.0, 2.0, 3.0],
+            sim_exec_s: None,
+            sync_locks: None,
+            allocs_per_task: None,
+        };
+        assert!((r.stddev() - 1.0).abs() < 1e-12);
+        let one = BenchResult {
+            reps_secs: vec![5.0],
+            ..r
+        };
+        assert_eq!(one.stddev(), 0.0);
     }
 
     #[test]

@@ -24,6 +24,33 @@ use jade_bench::experiments as ex;
 use jade_bench::{App, Harness, TraceBackend};
 use jade_core::LocalityMode;
 
+/// Counting global allocator feeding `jade_bench::alloc`, so `repro
+/// bench` can report `allocs_per_task`. Lives in this binary root (not
+/// the library, which is `#![forbid(unsafe_code)]`); the identical shim
+/// appears in the workspace `tests/allocs.rs`.
+struct CountingAlloc;
+
+// SAFETY: pure delegation to the system allocator — same layout
+// contracts, same returned pointers; the only addition is a relaxed
+// counter increment on the allocating paths.
+#[allow(unsafe_code)]
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        jade_bench::alloc::note_alloc();
+        std::alloc::GlobalAlloc::alloc(&std::alloc::System, layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::GlobalAlloc::dealloc(&std::alloc::System, ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        jade_bench::alloc::note_alloc();
+        std::alloc::GlobalAlloc::realloc(&std::alloc::System, ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--trace-out FILE] [--faults SPEC] [--fault-seed N]\n\

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alloc;
 pub mod apps;
 pub mod bench;
 pub mod experiments;

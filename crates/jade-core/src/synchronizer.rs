@@ -168,6 +168,11 @@ pub struct Synchronizer {
     /// serialize all of the applications".
     replication: bool,
     live_tasks: usize,
+    /// Id of the first task in the current window: [`recycle`] retires the
+    /// storage of completed batches by advancing this offset instead of
+    /// letting `tasks`/`decls` grow forever. Task `id` lives at slot
+    /// `id.index() - base`. Tasks below `base` are completed history.
+    base: u32,
 }
 
 impl Default for Synchronizer {
@@ -185,6 +190,7 @@ impl Synchronizer {
             decls: Vec::new(),
             replication,
             live_tasks: 0,
+            base: 0,
         }
     }
 
@@ -195,13 +201,58 @@ impl Synchronizer {
         &mut self.queues[o.index()]
     }
 
+    /// Slab slot of `id` in the current window.
+    #[inline]
+    fn slot(&self, id: TaskId) -> usize {
+        debug_assert!(
+            id.index() >= self.base as usize,
+            "task {id:?} predates the current window (base {})",
+            self.base
+        );
+        id.index() - self.base as usize
+    }
+
+    /// Retire the storage of a fully completed window: every registered
+    /// task has completed, so `tasks` and `decls` hold only history —
+    /// clear them (keeping capacity) and advance `base` past the retired
+    /// ids. Subsequent [`add_task`](Self::add_task) calls continue from
+    /// the next id, reusing the slabs instead of growing them, which is
+    /// what keeps a long-lived executor's steady state allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// If any registered task has not completed.
+    pub fn recycle(&mut self) {
+        assert!(
+            self.all_complete(),
+            "recycle with {} live tasks",
+            self.live_tasks
+        );
+        // All tasks complete ⇒ every access was retired: no granted
+        // entries remain aggregated and no waiter is parked.
+        debug_assert!(self
+            .queues
+            .iter()
+            .all(|q| q.granted_reads == 0 && !q.granted_writer && q.waiting.is_empty()));
+        self.base += self.tasks.len() as u32;
+        self.tasks.clear();
+        self.decls.clear();
+    }
+
+    /// Id of the first task in the current window (tasks below it were
+    /// retired by [`recycle`](Self::recycle); 0 unless recycling is used).
+    pub fn base_task(&self) -> u32 {
+        self.base
+    }
+
     /// Register a task. **Must** be called in serial program order: task ids
-    /// are consecutive from zero. Returns `true` if the task is immediately
-    /// enabled (all accesses granted).
+    /// are consecutive from [`base_task`](Self::base_task) (zero unless
+    /// [`recycle`](Self::recycle) is used). Returns `true` if the task is
+    /// immediately enabled (all accesses granted).
     pub fn add_task(&mut self, id: TaskId, spec: &AccessSpec) -> bool {
         assert_eq!(
             id.index(),
-            self.tasks.len(),
+            self.base as usize + self.tasks.len(),
             "tasks must be registered in serial program order"
         );
         let start = self.decls.len() as u32;
@@ -256,7 +307,7 @@ impl Synchronizer {
 
     /// True if every declared access of `id` is currently granted.
     pub fn is_enabled(&self, id: TaskId) -> bool {
-        let t = &self.tasks[id.index()];
+        let t = &self.tasks[self.slot(id)];
         !t.completed && t.ungranted == 0
     }
 
@@ -266,7 +317,8 @@ impl Synchronizer {
     /// is an O(1) counter update plus the grants it triggers — no queue is
     /// rescanned.
     pub fn complete(&mut self, id: TaskId, newly_enabled: &mut Vec<TaskId>) {
-        let state = &mut self.tasks[id.index()];
+        let slot = self.slot(id);
+        let state = &mut self.tasks[slot];
         assert!(!state.completed, "task {id:?} completed twice");
         assert_eq!(
             state.ungranted, 0,
@@ -294,7 +346,7 @@ impl Synchronizer {
     ///
     /// Panics if the task never declared (or already released) the object.
     pub fn release(&mut self, id: TaskId, object: ObjectId, newly_enabled: &mut Vec<TaskId>) {
-        let state = &self.tasks[id.index()];
+        let state = &self.tasks[self.slot(id)];
         assert!(!state.completed, "release after completion of {id:?}");
         let (start, len) = (state.decls_start as usize, state.decls_len as usize);
         let k = (start..start + len)
@@ -349,7 +401,8 @@ impl Synchronizer {
                 q.granted_writer = true;
             }
             self.decls[decl as usize].granted = true;
-            let ts = &mut self.tasks[task.index()];
+            let slot = self.slot(task);
+            let ts = &mut self.tasks[slot];
             ts.ungranted -= 1;
             if ts.ungranted == 0 {
                 newly_enabled.push(task);
@@ -532,7 +585,7 @@ impl Synchronizer {
                 }
                 objects.push(d.object);
                 if d.granted {
-                    queues[d.object.index()].push((TaskId(i as u32), d.mode, true));
+                    queues[d.object.index()].push((TaskId(self.base + i as u32), d.mode, true));
                 }
             }
             tasks.push(SnapTask {
@@ -548,6 +601,7 @@ impl Synchronizer {
         }
         SyncSnapshot {
             replication: self.replication,
+            base: self.base,
             tasks,
             queues,
         }
@@ -558,6 +612,7 @@ impl Synchronizer {
     /// completions enable the same successors in the same order.
     pub fn from_snapshot(snap: &SyncSnapshot) -> Synchronizer {
         let mut sync = Synchronizer::new(snap.replication);
+        sync.base = snap.base;
         sync.queues
             .resize_with(snap.queues.len(), ObjQueue::default);
         for t in &snap.tasks {
@@ -586,7 +641,7 @@ impl Synchronizer {
         for (oi, qsnap) in snap.queues.iter().enumerate() {
             let o = ObjectId(oi as u32);
             for &(task, mode, granted) in qsnap {
-                let ts = sync.tasks[task.index()];
+                let ts = sync.tasks[task.index() - snap.base as usize];
                 let range = ts.decls_start as usize..(ts.decls_start + ts.decls_len) as usize;
                 let k = range
                     .clone()
@@ -627,19 +682,25 @@ struct SnapTask {
 /// The binary format (all integers little-endian) is:
 ///
 /// ```text
-/// "JSNP" u16:version=1 u8:replication
+/// "JSNP" u16:version=2 u8:replication u32:base
 /// u32:ntasks  ( u8:completed u32:ungranted u32:nobjs u32:obj... )*
 /// u32:nqueues ( u32:len ( u32:task u8:mode u8:granted )* )*
 /// ```
+///
+/// `base` is the id of the first task in the window (tasks below it were
+/// retired by [`Synchronizer::recycle`] and report [`completed`]
+/// (Self::completed)); version 2 added it — version-1 snapshots are
+/// rejected rather than silently misread.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SyncSnapshot {
     replication: bool,
+    base: u32,
     tasks: Vec<SnapTask>,
     queues: Vec<Vec<(TaskId, AccessMode, bool)>>,
 }
 
 const SNAP_MAGIC: &[u8; 4] = b"JSNP";
-const SNAP_VERSION: u16 = 1;
+const SNAP_VERSION: u16 = 2;
 
 impl SyncSnapshot {
     /// Number of tasks registered at capture time.
@@ -653,9 +714,15 @@ impl SyncSnapshot {
     }
 
     /// Had `id` completed (committed) by capture time? Tasks registered
-    /// after the snapshot report `false`.
+    /// after the snapshot report `false`; tasks below the recycled window
+    /// base are completed history and report `true`.
     pub fn completed(&self, id: TaskId) -> bool {
-        self.tasks.get(id.index()).is_some_and(|t| t.completed)
+        if id.index() < self.base as usize {
+            return true;
+        }
+        self.tasks
+            .get(id.index() - self.base as usize)
+            .is_some_and(|t| t.completed)
     }
 
     /// Exact size of [`to_bytes`](Self::to_bytes) output, used to charge
@@ -663,7 +730,7 @@ impl SyncSnapshot {
     pub fn encoded_len(&self) -> usize {
         let task_bytes: usize = self.tasks.iter().map(|t| 9 + 4 * t.objects.len()).sum();
         let queue_bytes: usize = self.queues.iter().map(|q| 4 + 6 * q.len()).sum();
-        4 + 2 + 1 + 4 + task_bytes + 4 + queue_bytes
+        4 + 2 + 1 + 4 + 4 + task_bytes + 4 + queue_bytes
     }
 
     /// Encode to the binary checkpoint format.
@@ -672,6 +739,7 @@ impl SyncSnapshot {
         out.extend_from_slice(SNAP_MAGIC);
         out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
         out.push(self.replication as u8);
+        out.extend_from_slice(&self.base.to_le_bytes());
         out.extend_from_slice(&(self.tasks.len() as u32).to_le_bytes());
         for t in &self.tasks {
             out.push(t.completed as u8);
@@ -709,6 +777,7 @@ impl SyncSnapshot {
             return Err(format!("sync snapshot: unsupported version {version}"));
         }
         let replication = r.flag()?;
+        let base = r.u32()?;
         let ntasks = r.len32()?;
         let mut tasks = Vec::with_capacity(ntasks);
         for _ in 0..ntasks {
@@ -748,6 +817,7 @@ impl SyncSnapshot {
         }
         Ok(SyncSnapshot {
             replication,
+            base,
             tasks,
             queues,
         })
@@ -1244,5 +1314,72 @@ mod tests {
         a.complete(TaskId(0), &mut ea);
         b.complete_traced(TaskId(0), &mut eb, &mut sink, 2, 0);
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn recycle_reuses_slabs_across_windows() {
+        let mut sync = Synchronizer::default();
+        let mut next = 0u32;
+        let run_window = |sync: &mut Synchronizer, next: &mut u32, n: u32| {
+            // Pipeline over one object: deterministic completion order.
+            let first = *next;
+            for i in 0..n {
+                sync.add_task(TaskId(first + i), &spec(&[], &[0]));
+            }
+            *next += n;
+            let mut ready = vec![TaskId(first)];
+            let mut order = Vec::new();
+            while let Some(t) = ready.pop() {
+                order.push(t);
+                sync.complete(t, &mut ready);
+            }
+            assert_eq!(order, (first..first + n).map(TaskId).collect::<Vec<_>>());
+        };
+        run_window(&mut sync, &mut next, 8);
+        assert!(sync.all_complete());
+        sync.recycle();
+        assert_eq!(sync.base_task(), 8);
+        assert_eq!(sync.task_count(), 0);
+        // Ids keep advancing; the second window reuses the cleared slabs.
+        run_window(&mut sync, &mut next, 8);
+        sync.recycle();
+        assert_eq!(sync.base_task(), 16);
+        run_window(&mut sync, &mut next, 4);
+        assert!(sync.all_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "recycle with")]
+    fn recycle_with_live_tasks_panics() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[], &[0]));
+        sync.recycle();
+    }
+
+    #[test]
+    fn windowed_snapshot_round_trips_and_reports_history_complete() {
+        let mut sync = Synchronizer::default();
+        sync.add_task(TaskId(0), &spec(&[], &[0]));
+        let mut e = Vec::new();
+        sync.complete(TaskId(0), &mut e);
+        sync.recycle();
+        // Window now starts at id 1, with a dependence inside it.
+        assert!(sync.add_task(TaskId(1), &spec(&[], &[0])));
+        assert!(!sync.add_task(TaskId(2), &spec(&[0], &[])));
+        let snap = sync.snapshot();
+        assert_eq!(snap.task_count(), 2);
+        assert!(snap.completed(TaskId(0)), "pre-window id is history");
+        assert!(!snap.completed(TaskId(1)));
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.encoded_len());
+        let decoded = SyncSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        let mut restored = Synchronizer::from_snapshot(&decoded);
+        assert_eq!(restored.base_task(), 1);
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        sync.complete(TaskId(1), &mut ea);
+        restored.complete(TaskId(1), &mut eb);
+        assert_eq!(ea, eb);
+        assert_eq!(ea, vec![TaskId(2)]);
     }
 }

@@ -42,10 +42,16 @@
 //! assert_eq!(*rt.store().read(total), 10.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the vendored Chase-Lev deque (`deque`
+// module) opts back in with a scoped `allow` and a written safety argument
+// (DESIGN.md §18). Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 
+mod deque;
 pub mod service;
 
+pub use deque::DequeImpl;
+use deque::TaskQueue;
 pub use dsim::FaultPlan;
 use jade_core::{
     Event, EventKind, EventSink, JadeRuntime, Locality, NullSink, ObjectId, Sink, Store,
@@ -277,6 +283,12 @@ pub struct ThreadRuntime {
     prefetch: bool,
     /// Dynamic locality: which worker last wrote each object.
     owners: OwnerTable,
+    /// Which per-worker queue implementation the sharded scheduler uses.
+    deque: DequeImpl,
+    /// Recycled scheduling storage (queues, bodies, attempt counters, drain
+    /// buffers): batches after the first reuse it instead of reallocating,
+    /// which is what makes the equilibrium task cycle allocation-free.
+    arena: SchedArena,
 }
 
 impl ThreadRuntime {
@@ -299,6 +311,8 @@ impl ThreadRuntime {
             ckpt_every: None,
             prefetch: false,
             owners: OwnerTable::default(),
+            deque: DequeImpl::default(),
+            arena: SchedArena::default(),
         }
     }
 
@@ -322,6 +336,26 @@ impl ThreadRuntime {
     /// Select the scheduler for subsequent batches (A/B comparisons).
     pub fn set_sched_mode(&mut self, mode: SchedMode) {
         self.mode = mode;
+    }
+
+    /// Which per-worker ready-queue implementation the sharded scheduler
+    /// runs on ([`DequeImpl::Locked`] by default).
+    pub fn deque_impl(&self) -> DequeImpl {
+        self.deque
+    }
+
+    /// Select the sharded scheduler's ready-queue implementation for
+    /// subsequent batches. [`DequeImpl::ChaseLev`] swaps the per-worker
+    /// `Mutex<VecDeque>` for the vendored lock-free Chase-Lev deque: the
+    /// owning worker's push/pop take no lock, and the owner drains its own
+    /// queue LIFO instead of FIFO. Both orders are correct — the
+    /// synchronizer enforces every dependence edge and only enabled tasks
+    /// are ever queued — but the *dispatch event order* of a run can
+    /// differ, so A/B comparisons should assert on results and
+    /// deterministic counters, not raw event streams. No effect on
+    /// [`SchedMode::GlobalLock`].
+    pub fn set_deque_impl(&mut self, deque: DequeImpl) {
+        self.deque = deque;
     }
 
     /// Statistics from the most recently finished batch.
@@ -471,14 +505,105 @@ impl JadeRuntime for ThreadRuntime {
 // Sharded scheduler (default)
 // ---------------------------------------------------------------------------
 
-/// One worker's deque of runnable batch-local task indices. The owner pops
-/// the front (FIFO preserves serial program order for its own work);
-/// thieves pop the back. `len` is a hint maintained under the lock so
-/// pickers can skip empty queues without touching the mutex.
+/// Per-worker mutable scratch handed to each worker thread by `&mut` and
+/// recycled across batches: the drain buffer of finished-but-unflushed
+/// transitions plus the enable-burst vector `flush` fills. `RefCell`
+/// because the mid-task release hook (an `Fn`) must reach both; neither
+/// ever crosses threads.
 #[derive(Default)]
-struct WorkerQueue {
-    jobs: Mutex<VecDeque<usize>>,
-    len: AtomicUsize,
+pub(crate) struct WorkerScratch {
+    buf: RefCell<TransitionBatch>,
+    newly: RefCell<Vec<TaskId>>,
+}
+
+/// Recycled sharded-scheduler storage owned by the [`ThreadRuntime`].
+/// `run_sharded` used to rebuild every slab per batch; reusing them is what
+/// takes the equilibrium dispatch→execute→complete→retire cycle to zero
+/// heap allocations (asserted by `tests/allocs.rs` and gated in
+/// `repro bench`).
+#[derive(Default)]
+pub(crate) struct SchedArena {
+    /// One ready queue per worker ([`DequeImpl`] selected at prepare time).
+    queues: Vec<TaskQueue>,
+    /// Task bodies, taken by the executing worker. A task index lives in
+    /// exactly one queue at a time, so each mutex is uncontended — it
+    /// exists to move `TaskDef`s between threads without `unsafe`.
+    bodies: Vec<Mutex<Option<TaskDef>>>,
+    /// Map batch-local index -> global TaskId.
+    ids: Vec<TaskId>,
+    /// Execution attempts per batch-local task (keys the fault hash).
+    attempts: Vec<AtomicU32>,
+    /// Worker the locality heuristic targeted at enable time.
+    targets: Vec<AtomicUsize>,
+    /// Per-worker drain buffers and enable scratch.
+    scratch: Vec<WorkerScratch>,
+    /// Batch-local indices of the initially-enabled tasks (setup scratch).
+    enabled0: Vec<usize>,
+    /// How many times `prepare` had to allocate or grow storage. A second
+    /// same-shape batch must leave this untouched (tested below); the
+    /// equilibrium-allocation gate depends on it.
+    grows: usize,
+}
+
+impl SchedArena {
+    /// Make every slab ready for a batch of `n` tasks on `workers` workers
+    /// using the `deque` queue implementation, reusing existing capacity
+    /// wherever shapes allow. Slots are cleared (an aborted batch may leave
+    /// stale bodies or queued indices behind); `ids` is left empty for the
+    /// registration loop to fill.
+    fn prepare(&mut self, n: usize, workers: usize, deque: DequeImpl) {
+        let rebuild =
+            self.queues.len() != workers || self.queues.first().is_some_and(|q| q.kind() != deque);
+        if rebuild {
+            self.grows += 1;
+            self.queues.clear();
+            self.queues
+                .extend((0..workers).map(|_| TaskQueue::new(deque, n)));
+        } else {
+            for q in &mut self.queues {
+                if q.reset(n) {
+                    self.grows += 1;
+                }
+            }
+        }
+        if self.bodies.len() < n {
+            self.grows += 1;
+            self.bodies.resize_with(n, || Mutex::new(None));
+        }
+        if self.attempts.len() < n {
+            self.grows += 1;
+            self.attempts.resize_with(n, || AtomicU32::new(0));
+        }
+        if self.targets.len() < n {
+            self.grows += 1;
+            self.targets.resize_with(n, || AtomicUsize::new(0));
+        }
+        if self.scratch.len() < workers {
+            self.grows += 1;
+            self.scratch.resize_with(workers, WorkerScratch::default);
+        }
+        self.ids.clear();
+        if self.ids.capacity() < n {
+            self.grows += 1;
+            self.ids.reserve(n);
+        }
+        self.enabled0.clear();
+        for i in 0..n {
+            // Exclusive access between batches: `get_mut` skips the locks.
+            *lock_mut(&mut self.bodies[i]) = None;
+            *self.attempts[i].get_mut() = 0;
+            *self.targets[i].get_mut() = 0;
+        }
+        for ws in &mut self.scratch {
+            ws.buf.get_mut().clear();
+            ws.newly.get_mut().clear();
+        }
+    }
+}
+
+/// `Mutex::get_mut`, ignoring poisoning (see [`lock`]).
+pub(crate) fn lock_mut<T>(m: &mut Mutex<T>) -> &mut T {
+    m.get_mut().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Everything serialized by the one remaining global lock: the
@@ -501,18 +626,26 @@ impl<S> SyncState<S> {
     }
 }
 
+/// Pusher identity passed through the dispatch helpers when the push
+/// happens on the setup thread, before any worker exists: every queue may
+/// be owner-pushed then (the `thread::scope` spawn is a happens-before
+/// edge to all workers).
+const SETUP: usize = usize::MAX;
+
 struct Sharded<'a, S> {
-    queues: Box<[WorkerQueue]>,
+    /// Per-worker ready queues, borrowed from the runtime's [`SchedArena`]
+    /// (as are the slabs below — batches reuse the storage).
+    queues: &'a [TaskQueue],
     /// Task bodies, taken by the executing worker. A task index lives in
-    /// exactly one deque at a time, so each mutex is uncontended — it
+    /// exactly one queue at a time, so each mutex is uncontended — it
     /// exists to move `TaskDef`s between threads without `unsafe`.
-    bodies: Box<[Mutex<Option<TaskDef>>]>,
+    bodies: &'a [Mutex<Option<TaskDef>>],
     /// Map batch-local index -> global TaskId.
-    ids: Vec<TaskId>,
+    ids: &'a [TaskId],
     /// Execution attempts per batch-local task (keys the fault hash).
-    attempts: Box<[AtomicU32]>,
+    attempts: &'a [AtomicU32],
     /// Worker the locality heuristic targeted at enable time.
-    targets: Box<[AtomicUsize]>,
+    targets: &'a [AtomicUsize],
     state: Mutex<SyncState<S>>,
     /// Registered-but-not-completed tasks; 0 means the batch is drained.
     live: AtomicUsize,
@@ -568,18 +701,23 @@ impl<'a, S: Sink> Sharded<'a, S> {
         lock(&self.state)
     }
 
-    /// Append `local` to `target`'s deque without announcing it. Callers
+    /// Append `local` to `target`'s queue without announcing it. Callers
     /// must follow up with [`announce`](Self::announce) (directly or via
     /// [`push_to`](Self::push_to)) before they could possibly park.
-    fn enqueue(&self, target: usize, local: usize) {
-        let q = &self.queues[target];
-        let mut jobs = lock(&q.jobs);
-        jobs.push_back(local);
-        q.len.store(jobs.len(), Ordering::Release);
+    /// `pusher` identifies the calling worker ([`SETUP`] pre-spawn) so the
+    /// Chase-Lev queue can tell owner pushes from remote injections.
+    fn enqueue(&self, target: usize, local: usize, pusher: usize) {
+        self.queues[target].push(local, pusher == target || pusher == SETUP);
     }
 
     /// Publish previously enqueued work: one epoch bump, one sleeper check.
     fn announce(&self) {
+        // Single worker: the only worker is the one pushing (setup pushes
+        // happen before it spawns), so there is never a sleeper to wake —
+        // it re-scans its own queue before it could possibly park.
+        if self.workers == 1 {
+            return;
+        }
         // SeqCst orders this bump against parkers' sleeper registration:
         // either the parker re-checks and sees the new epoch, or we see
         // `sleepers > 0` and notify under the idle lock. The bump happens
@@ -592,15 +730,21 @@ impl<'a, S: Sink> Sharded<'a, S> {
         }
     }
 
-    /// Append `local` to `target`'s deque and wake sleepers if any.
-    fn push_to(&self, target: usize, local: usize) {
-        self.enqueue(target, local);
+    /// Append `local` to `target`'s queue and wake sleepers if any.
+    fn push_to(&self, target: usize, local: usize, pusher: usize) {
+        self.enqueue(target, local, pusher);
         self.announce();
     }
 
     /// Queue `local` on the worker the locality heuristic targets, without
     /// announcing (burst building block).
-    fn enqueue_dispatch(&self, local: usize) {
+    fn enqueue_dispatch(&self, local: usize, pusher: usize) {
+        // Single worker, no prefetch: every target is 0 (and `targets` was
+        // arena-reset to 0), so skip the body lock and the heuristic.
+        if self.workers == 1 && !self.prefetch {
+            self.queues[0].push(local, true);
+            return;
+        }
         let target = {
             let guard = lock(&self.bodies[local]);
             let def = guard.as_ref().expect("dispatching a running task");
@@ -623,36 +767,36 @@ impl<'a, S: Sink> Sharded<'a, S> {
             target
         };
         self.targets[local].store(target, Ordering::Relaxed);
-        self.enqueue(target, local);
+        self.enqueue(target, local, pusher);
     }
 
     /// Route a newly enabled task through the locality heuristic and queue
     /// it there.
-    fn dispatch(&self, local: usize) {
-        self.enqueue_dispatch(local);
+    fn dispatch(&self, local: usize, pusher: usize) {
+        self.enqueue_dispatch(local, pusher);
         self.announce();
     }
 
     /// Route a whole flush's newly enabled tasks through the locality
     /// heuristic in one burst: N enqueues, then a single epoch bump and
     /// sleeper wakeup instead of N.
-    fn dispatch_burst(&self, newly: &[TaskId]) {
+    fn dispatch_burst(&self, newly: &[TaskId], pusher: usize) {
         if newly.is_empty() {
             return;
         }
         for n in newly {
-            self.enqueue_dispatch(n.index() - self.base);
+            self.enqueue_dispatch(n.index() - self.base, pusher);
         }
         self.announce();
     }
 
-    /// Pop own front, else steal from the back of a random victim.
+    /// Pop own queue, else steal from a random victim. The pop order (FIFO
+    /// for [`DequeImpl::Locked`], LIFO for [`DequeImpl::ChaseLev`]) is a
+    /// scheduling freedom — only enabled tasks are ever queued.
     fn try_pick(&self, w: usize, rng: &mut XorShift64) -> Option<(usize, bool)> {
         let own = &self.queues[w];
-        if own.len.load(Ordering::Acquire) > 0 {
-            let mut jobs = lock(&own.jobs);
-            if let Some(local) = jobs.pop_front() {
-                own.len.store(jobs.len(), Ordering::Release);
+        if !own.is_empty_hint() {
+            if let Some(local) = own.pop() {
                 return Some((local, false));
             }
         }
@@ -662,12 +806,10 @@ impl<'a, S: Sink> Sharded<'a, S> {
         if self.workers > 1 {
             for v in steal_order(w, self.workers, rng.next()) {
                 let q = &self.queues[v];
-                if q.len.load(Ordering::Acquire) == 0 {
+                if q.is_empty_hint() {
                     continue;
                 }
-                let mut jobs = lock(&q.jobs);
-                if let Some(local) = jobs.pop_back() {
-                    q.len.store(jobs.len(), Ordering::Release);
+                if let Some(local) = q.steal() {
                     return Some((local, true));
                 }
             }
@@ -759,7 +901,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
             }
         };
         drop(batch);
-        self.dispatch_burst(scratch);
+        self.dispatch_burst(scratch, w);
         if drained {
             self.wake_all();
         }
@@ -774,8 +916,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
         local: usize,
         stolen: bool,
         stats: &mut BatchStats,
-        scratch: &mut Vec<TaskId>,
-        buf: &RefCell<TransitionBatch>,
+        ws: &WorkerScratch,
     ) -> bool {
         let def = lock(&self.bodies[local]).take().expect("task queued twice");
         let id = self.ids[local];
@@ -819,9 +960,8 @@ impl<'a, S: Sink> Sharded<'a, S> {
             // applies any completions already sitting in the buffer, so the
             // release still costs a single `state` acquisition.
             let hook = |obj: ObjectId| {
-                buf.borrow_mut().release(id, obj);
-                let mut newly = Vec::new();
-                self.flush(w, buf, &mut newly);
+                ws.buf.borrow_mut().release(id, obj);
+                self.flush(w, &ws.buf, &mut ws.newly.borrow_mut());
             };
             let ctx = TaskCtx::with_release_hook(self.store, id, def.label, &def.spec, &hook);
             (def.body)(&ctx);
@@ -830,9 +970,13 @@ impl<'a, S: Sink> Sharded<'a, S> {
         match result {
             Ok(()) => {
                 // Publish write ownership *before* successors are enabled,
-                // so the heuristic routes them to this worker.
-                for o in def.spec.written_objects() {
-                    self.owners.record(o, w);
+                // so the heuristic routes them to this worker. With a
+                // single worker the table cannot change any routing
+                // decision (every target is 0), so skip the stamping.
+                if self.workers > 1 || self.prefetch {
+                    for o in def.spec.written_objects() {
+                        self.owners.record(o, w);
+                    }
                 }
                 // The completion lands in the worker's drain buffer; the
                 // synchronizer lock is only taken when the buffer reaches
@@ -840,9 +984,9 @@ impl<'a, S: Sink> Sharded<'a, S> {
                 // `sharded_worker`). With tracing active `drain` is 1, so
                 // the flush below runs unconditionally and the event stream
                 // is byte-identical to per-task flushing.
-                buf.borrow_mut().complete(id);
-                if buf.borrow().len() >= self.drain {
-                    self.flush(w, buf, scratch);
+                ws.buf.borrow_mut().complete(id);
+                if ws.buf.borrow().len() >= self.drain {
+                    self.flush(w, &ws.buf, &mut ws.newly.borrow_mut());
                 }
                 true
             }
@@ -890,7 +1034,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
                 *lock(&self.bodies[local]) = Some(def);
                 // Original target kept: the re-pick on the next worker
                 // counts as neither hit nor steal, like the seed scheduler.
-                self.push_to((w + 1) % self.workers, local);
+                self.push_to((w + 1) % self.workers, local, w);
                 true
             }
             Err(p) => {
@@ -915,16 +1059,15 @@ fn steal_order(w: usize, workers: usize, r: u64) -> impl Iterator<Item = usize> 
         .filter(move |&v| v != w)
 }
 
-fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>) -> BatchStats {
+fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>, ws: &mut WorkerScratch) -> BatchStats {
     let mut rng = XorShift64::new(w as u64 + 1);
     let mut stats = BatchStats::default();
-    let mut scratch = Vec::new();
-    // Worker-local drain buffer of finished-but-unflushed transitions. A
-    // RefCell because the mid-task release hook (an `Fn`) must reach it;
-    // it never crosses threads. A panic exit abandons the buffer — the
-    // recorded panic resumes before `run_sharded`'s drained assertion, the
-    // same contract the per-task scheduler had.
-    let buf = RefCell::new(TransitionBatch::new());
+    // `ws` holds the worker-local drain buffer of finished-but-unflushed
+    // transitions plus the enable scratch, both recycled across batches. A
+    // panic exit abandons the buffer — the recorded panic resumes before
+    // `run_sharded`'s drained assertion, the same contract the per-task
+    // scheduler had (the arena clears it before the next batch).
+    let ws = &*ws;
     loop {
         if sh.live.load(Ordering::SeqCst) == 0 || sh.panicked.load(Ordering::SeqCst) {
             sh.wake_all();
@@ -935,7 +1078,7 @@ fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>) -> BatchStats {
         let epoch = sh.epoch.load(Ordering::SeqCst);
         match sh.try_pick(w, &mut rng) {
             Some((local, stolen)) => {
-                if !sh.execute(w, local, stolen, &mut stats, &mut scratch, &buf) {
+                if !sh.execute(w, local, stolen, &mut stats, ws) {
                     return stats;
                 }
             }
@@ -945,10 +1088,10 @@ fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>) -> BatchStats {
                 // the batch), and `live` only reaches zero once every
                 // buffered completion lands. Park only with an empty
                 // buffer.
-                if buf.borrow().is_empty() {
+                if ws.buf.borrow().is_empty() {
                     sh.park(epoch);
                 } else {
-                    sh.flush(w, &buf, &mut scratch);
+                    sh.flush(w, &ws.buf, &mut ws.newly.borrow_mut());
                 }
             }
         }
@@ -959,7 +1102,15 @@ impl ThreadRuntime {
     fn run_sharded<S: Sink + Send>(&mut self, batch: Vec<(TaskId, TaskDef)>, events: S) {
         let n = batch.len();
         let base = batch[0].0.index();
+        // Retire the previous batch's fully-completed synchronizer window:
+        // task/decl slabs are cleared with capacity kept, so steady-state
+        // same-shape batches register tasks without growing them.
+        if self.sync.all_complete() && self.sync.task_count() > 0 {
+            self.sync.recycle();
+        }
         self.owners.ensure(self.store.len());
+        let workers = self.workers;
+        self.arena.prepare(n, workers, self.deque);
         let mut state = SyncState {
             sync: std::mem::take(&mut self.sync),
             events,
@@ -968,28 +1119,37 @@ impl ThreadRuntime {
             last_ckpt: None,
             checkpoints: 0,
         };
-        let mut ids = Vec::with_capacity(n);
-        let mut bodies = Vec::with_capacity(n);
-        let mut enabled0 = Vec::new();
+        // Split the arena into its disjoint slabs: the workers share the
+        // queues and task slabs; each worker additionally gets exclusive
+        // use of its own `scratch` slot.
+        let SchedArena {
+            queues,
+            bodies,
+            ids,
+            attempts,
+            targets,
+            scratch,
+            enabled0,
+            ..
+        } = &mut self.arena;
         // Register in serial program order; queue the initially-enabled.
-        for (id, def) in batch {
+        for (i, (id, def)) in batch.into_iter().enumerate() {
             let t = state.tick();
             let enabled = state
                 .sync
                 .add_task_traced(id, &def.spec, &mut state.events, t, 0);
             ids.push(id);
-            bodies.push(Mutex::new(Some(def)));
+            *lock_mut(&mut bodies[i]) = Some(def);
             if enabled {
-                enabled0.push(id.index() - base);
+                enabled0.push(i);
             }
         }
-        let workers = self.workers;
         let sh = Sharded {
-            queues: (0..workers).map(|_| WorkerQueue::default()).collect(),
-            bodies: bodies.into_boxed_slice(),
-            ids,
-            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
-            targets: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            queues: &queues[..workers],
+            bodies: &bodies[..n],
+            ids: &ids[..n],
+            attempts: &attempts[..n],
+            targets: &targets[..n],
             state: Mutex::new(state),
             live: AtomicUsize::new(n),
             epoch: AtomicU64::new(0),
@@ -1012,15 +1172,17 @@ impl ThreadRuntime {
             prefetch: self.prefetch,
             prefetch_routes: AtomicUsize::new(0),
         };
-        for local in enabled0 {
-            sh.dispatch(local);
+        for &local in enabled0.iter() {
+            sh.dispatch(local, SETUP);
         }
         let mut merged = BatchStats::default();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
+            let handles: Vec<_> = scratch[..workers]
+                .iter_mut()
+                .enumerate()
+                .map(|(w, ws)| {
                     let sh = &sh;
-                    scope.spawn(move || sharded_worker(w, sh))
+                    scope.spawn(move || sharded_worker(w, sh, ws))
                 })
                 .collect();
             for h in handles {
@@ -1122,16 +1284,24 @@ fn lock_counted(shared: &Mutex<Shared>) -> MutexGuard<'_, Shared> {
 /// Apply every buffered transition under the already-held global lock,
 /// with the same per-completion bookkeeping as the sharded flush (see
 /// `Sharded::flush`), then route the newly enabled tasks and wake waiters
-/// once.
-fn flush_shared(sh: &mut Shared, buf: &mut TransitionBatch, base: usize, w: usize, cv: &Condvar) {
+/// once. `newly` is caller-owned scratch (cleared here) so a steady-state
+/// flush performs no allocation.
+fn flush_shared(
+    sh: &mut Shared,
+    buf: &mut TransitionBatch,
+    newly: &mut Vec<TaskId>,
+    base: usize,
+    w: usize,
+    cv: &Condvar,
+) {
     if buf.is_empty() {
         return;
     }
-    let mut newly = Vec::new();
+    newly.clear();
     for tr in buf.drain() {
         let is_completion = matches!(tr, Transition::Complete(_));
         let t = sh.tick();
-        sh.sync.apply_traced(tr, &mut newly, &mut sh.events, t, w);
+        sh.sync.apply_traced(tr, newly, &mut sh.events, t, w);
         if is_completion {
             sh.live -= 1;
             sh.since_ckpt += 1;
@@ -1152,7 +1322,7 @@ fn flush_shared(sh: &mut Shared, buf: &mut TransitionBatch, base: usize, w: usiz
             }
         }
     }
-    for n in newly {
+    for n in newly.iter() {
         let local = n.index() - base;
         let target = sh.targets[local];
         sh.queues[target].push_back(local);
@@ -1163,6 +1333,10 @@ fn flush_shared(sh: &mut Shared, buf: &mut TransitionBatch, base: usize, w: usiz
 impl ThreadRuntime {
     fn run_global(&mut self, batch: Vec<(TaskId, TaskDef)>) {
         let n = batch.len();
+        // Same window retirement as the sharded path (see `run_sharded`).
+        if self.sync.all_complete() && self.sync.task_count() > 0 {
+            self.sync.recycle();
+        }
         let mut shared = Shared {
             queues: vec![VecDeque::new(); self.workers],
             bodies: Vec::with_capacity(n),
@@ -1236,6 +1410,17 @@ impl ThreadRuntime {
     }
 }
 
+/// One claimed task: batch-local index, its taken body, id, attempt
+/// number, and the injected-failure roll (steal accounting happens at
+/// claim time, so `stolen` is not carried).
+struct Claim {
+    local: usize,
+    def: TaskDef,
+    id: TaskId,
+    attempt: u32,
+    injected: bool,
+}
+
 fn global_worker_loop(
     w: usize,
     workers: usize,
@@ -1246,145 +1431,210 @@ fn global_worker_loop(
 ) {
     // Worker-local drain buffer; a RefCell so the mid-task release hook
     // (an `Fn`) can reach it. Abandoned on the panic exit, like the
-    // sharded scheduler's.
+    // sharded scheduler's. `newly` is the flush's enable scratch, `claims`
+    // the tasks taken under the current lock acquisition — all reused so
+    // the steady state allocates nothing.
     let buf = RefCell::new(TransitionBatch::new());
+    let newly: RefCell<Vec<TaskId>> = RefCell::new(Vec::new());
+    let mut claims: Vec<Claim> = Vec::new();
     let mut guard = lock_counted(shared);
     loop {
+        // Flush buffered completions from the previous round under the
+        // guard we already hold. With tracing (`drain == 1`) this runs
+        // before the next dispatch is emitted, which keeps the event
+        // stream byte-identical to per-task flushing.
+        if buf.borrow().len() >= guard.drain {
+            flush_shared(
+                &mut guard,
+                &mut buf.borrow_mut(),
+                &mut newly.borrow_mut(),
+                base,
+                w,
+                cv,
+            );
+        }
         if guard.live == 0 || guard.panic.is_some() {
             cv.notify_all();
             return;
         }
-        // Own queue first (front), then steal from the back of others.
-        let mut picked = guard.queues[w].pop_front().map(|t| (t, false));
-        if picked.is_none() {
+        // Claim up to `drain` tasks from our own queue (front; FIFO), else
+        // steal one from the back of another worker's. Claiming a run of
+        // tasks under ONE acquisition and executing them outside the lock
+        // is what lets this scheduler amortize the global lock under
+        // `BatchPolicy::Auto` — before, every pick reacquired it, so
+        // `batch=1` and `auto` measured identically.
+        debug_assert!(claims.is_empty());
+        while claims.len() < guard.drain {
+            let Some(local) = guard.queues[w].pop_front() else {
+                break;
+            };
+            claim(&mut guard, w, local, false, &mut claims);
+        }
+        if claims.is_empty() {
             for k in 1..workers {
                 let v = (w + k) % workers;
-                if let Some(t) = guard.queues[v].pop_back() {
-                    picked = Some((t, true));
+                if let Some(local) = guard.queues[v].pop_back() {
+                    claim(&mut guard, w, local, true, &mut claims);
                     break;
                 }
             }
         }
-        let Some((local, stolen)) = picked else {
+        if claims.is_empty() {
             // Out of work: flush buffered completions before waiting —
             // they may enable the only runnable successors (or drain the
             // batch). Wait only with an empty buffer.
             if !buf.borrow().is_empty() {
-                flush_shared(&mut guard, &mut buf.borrow_mut(), base, w, cv);
+                flush_shared(
+                    &mut guard,
+                    &mut buf.borrow_mut(),
+                    &mut newly.borrow_mut(),
+                    base,
+                    w,
+                    cv,
+                );
                 continue;
             }
             guard = cv.wait(guard).unwrap_or_else(|e| e.into_inner());
             continue;
-        };
-        let def = guard.bodies[local].take().expect("task queued twice");
-        let id = guard.ids[local];
-        let attempt = guard.attempts[local];
-        let injected = guard
-            .faults
-            .as_ref()
-            .is_some_and(|plan| plan.task_fails(id.0 as u64, attempt));
-        guard.stats.executed += 1;
-        if stolen {
-            guard.stats.steals += 1;
-        } else if guard.targets[local] == w {
-            guard.stats.locality_hits += 1;
-        }
-        {
-            // A task's own queue normally only holds tasks targeted at it —
-            // but a recovered task is re-queued on the *next* worker, so the
-            // locality of a non-stolen pick still has to be checked.
-            let sh = &mut *guard;
-            let t = sh.tick();
-            let locality = if !stolen && sh.targets[local] == w {
-                Locality::Hit
-            } else {
-                Locality::Miss
-            };
-            sh.events
-                .emit_task(t, w, EventKind::TaskDispatched { stolen, locality }, id);
-            sh.events.emit_task(t, w, EventKind::TaskStarted, id);
         }
         drop(guard);
 
-        // The task body stays outside the closure (`TaskBody` is `Fn`), so
-        // a caught unwind leaves `def` intact for re-execution.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            if injected {
-                // Simulated worker crash before the body runs: unwind
-                // quietly (no panic hook) — this is an injected fault, not
-                // a bug worth a backtrace. Crashing *before* any body
-                // effect is what makes the re-execution exact.
-                resume_unwind(Box::new(InjectedFailure));
-            }
-            // Mid-task releases (Jade's pipelining statements) flush
-            // eagerly — a buffered release could deadlock a pipeline whose
-            // consumer is the only other runnable task. The flush also
-            // applies any completions already sitting in the buffer, so
-            // the release still costs a single acquisition.
-            let hook = |obj: ObjectId| {
-                let mut g = lock_counted(shared);
-                let mut b = buf.borrow_mut();
-                b.release(id, obj);
-                flush_shared(&mut g, &mut b, base, w, cv);
-            };
-            let ctx = TaskCtx::with_release_hook(store, id, def.label, &def.spec, &hook);
-            (def.body)(&ctx);
-        }));
+        for c in claims.drain(..) {
+            let Claim {
+                local,
+                def,
+                id,
+                attempt,
+                injected,
+            } = c;
+            // The task body stays outside the closure (`TaskBody` is
+            // `Fn`), so a caught unwind leaves `def` intact for
+            // re-execution.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if injected {
+                    // Simulated worker crash before the body runs: unwind
+                    // quietly (no panic hook) — this is an injected fault,
+                    // not a bug worth a backtrace. Crashing *before* any
+                    // body effect is what makes the re-execution exact.
+                    resume_unwind(Box::new(InjectedFailure));
+                }
+                // Mid-task releases (Jade's pipelining statements) flush
+                // eagerly — a buffered release could deadlock a pipeline
+                // whose consumer is the only other runnable task. The
+                // flush also applies any completions already sitting in
+                // the buffer, so the release still costs a single
+                // acquisition.
+                let hook = |obj: ObjectId| {
+                    let mut g = lock_counted(shared);
+                    let mut b = buf.borrow_mut();
+                    b.release(id, obj);
+                    flush_shared(&mut g, &mut b, &mut newly.borrow_mut(), base, w, cv);
+                };
+                let ctx = TaskCtx::with_release_hook(store, id, def.label, &def.spec, &hook);
+                (def.body)(&ctx);
+            }));
 
-        guard = lock_counted(shared);
-        match result {
-            Ok(()) => {
-                // The completion lands in the drain buffer; the
-                // synchronizer transition is deferred until the buffer
-                // reaches the flush threshold or the worker runs dry.
-                buf.borrow_mut().complete(id);
-                if buf.borrow().len() >= guard.drain {
-                    flush_shared(&mut guard, &mut buf.borrow_mut(), base, w, cv);
+            match result {
+                Ok(()) => {
+                    // The completion lands in the drain buffer; the
+                    // synchronizer transition is deferred until the buffer
+                    // reaches the flush threshold or the worker runs dry
+                    // (both checked at the top of the loop, under the next
+                    // acquisition).
+                    buf.borrow_mut().complete(id);
                 }
-            }
-            Err(_) if injected && attempt + 1 < MAX_TASK_ATTEMPTS => {
-                // Recovery: quarantine the task off this (logically crashed)
-                // worker and hand it to the next one; the bumped attempt
-                // number re-rolls the fault hash. The execution/start
-                // tallies above deliberately count the failed attempt — they
-                // match the event stream's `tasks_started`.
-                let sh = &mut *guard;
-                sh.attempts[local] = attempt + 1;
-                sh.stats.recoveries += 1;
-                let t = sh.tick();
-                sh.events.emit(t, w, EventKind::WorkerFailed);
-                // With a checkpoint on file, recovery restores the crashed
-                // task's scheduling state from it: the capture must agree
-                // that the task had not committed (a committed task is
-                // never re-executed).
-                if let Some(snap) = &sh.last_ckpt {
-                    debug_assert!(
-                        !snap.completed(id),
-                        "checkpoint marks crashed task {id:?} committed"
-                    );
-                    let bytes = snap.encoded_len() as u64;
-                    sh.stats.checkpoint_restores += 1;
+                Err(_) if injected && attempt + 1 < MAX_TASK_ATTEMPTS => {
+                    // Recovery: quarantine the task off this (logically
+                    // crashed) worker and hand it to the next one; the
+                    // bumped attempt number re-rolls the fault hash. The
+                    // execution/start tallies at claim time deliberately
+                    // count the failed attempt — they match the event
+                    // stream's `tasks_started`.
+                    let mut g = lock_counted(shared);
+                    let sh = &mut *g;
+                    sh.attempts[local] = attempt + 1;
+                    sh.stats.recoveries += 1;
                     let t = sh.tick();
-                    sh.events
-                        .emit(t, w, EventKind::CheckpointRestored { bytes });
+                    sh.events.emit(t, w, EventKind::WorkerFailed);
+                    // With a checkpoint on file, recovery restores the
+                    // crashed task's scheduling state from it: the capture
+                    // must agree that the task had not committed (a
+                    // committed task is never re-executed).
+                    if let Some(snap) = &sh.last_ckpt {
+                        debug_assert!(
+                            !snap.completed(id),
+                            "checkpoint marks crashed task {id:?} committed"
+                        );
+                        let bytes = snap.encoded_len() as u64;
+                        sh.stats.checkpoint_restores += 1;
+                        let t = sh.tick();
+                        sh.events
+                            .emit(t, w, EventKind::CheckpointRestored { bytes });
+                    }
+                    let t = sh.tick();
+                    sh.events.emit_task(t, w, EventKind::TaskReExecuted, id);
+                    sh.bodies[local] = Some(def);
+                    sh.queues[(w + 1) % workers].push_back(local);
+                    cv.notify_all();
                 }
-                let t = sh.tick();
-                sh.events.emit_task(t, w, EventKind::TaskReExecuted, id);
-                sh.bodies[local] = Some(def);
-                sh.queues[(w + 1) % workers].push_back(local);
-                cv.notify_all();
-            }
-            Err(p) => {
-                // Genuine application panic (or an exhausted retry budget):
-                // first panic wins; wake everyone so the pool drains.
-                if guard.panic.is_none() {
-                    guard.panic = Some(p);
+                Err(p) => {
+                    // Genuine application panic (or an exhausted retry
+                    // budget): first panic wins; wake everyone so the pool
+                    // drains. Returning drops the remaining claims — the
+                    // batch is aborting anyway.
+                    let mut g = lock(shared);
+                    if g.panic.is_none() {
+                        g.panic = Some(p);
+                    }
+                    cv.notify_all();
+                    return;
                 }
-                cv.notify_all();
-                return;
             }
         }
+        guard = lock_counted(shared);
     }
+}
+
+/// Take `local`'s body and account its pick under the held guard
+/// (dispatch/start events, executed/steal/locality tallies) — the
+/// claim half of `global_worker_loop`'s claim-then-execute round.
+fn claim(
+    guard: &mut MutexGuard<'_, Shared>,
+    w: usize,
+    local: usize,
+    stolen: bool,
+    out: &mut Vec<Claim>,
+) {
+    let sh = &mut **guard;
+    let def = sh.bodies[local].take().expect("task queued twice");
+    let id = sh.ids[local];
+    let attempt = sh.attempts[local];
+    let injected = sh
+        .faults
+        .as_ref()
+        .is_some_and(|plan| plan.task_fails(id.0 as u64, attempt));
+    sh.stats.executed += 1;
+    // A worker's own queue normally only holds tasks targeted at it — but
+    // a recovered task is re-queued on the *next* worker, so the locality
+    // of a non-stolen pick still has to be checked.
+    let hit = !stolen && sh.targets[local] == w;
+    if stolen {
+        sh.stats.steals += 1;
+    } else if hit {
+        sh.stats.locality_hits += 1;
+    }
+    let t = sh.tick();
+    let locality = if hit { Locality::Hit } else { Locality::Miss };
+    sh.events
+        .emit_task(t, w, EventKind::TaskDispatched { stolen, locality }, id);
+    sh.events.emit_task(t, w, EventKind::TaskStarted, id);
+    out.push(Claim {
+        local,
+        def,
+        id,
+        attempt,
+        injected,
+    });
 }
 
 #[cfg(test)]
@@ -2340,5 +2590,176 @@ mod tests {
         }
         assert_eq!(*rt.store().read(x), 6);
         assert!(rt.total_stats().sync_locks >= rt.last_stats().sync_locks);
+    }
+
+    /// Submit `n` independent counter increments over `objs` objects
+    /// (the SchedStress shape) and finish the batch.
+    fn run_counter_batch(rt: &mut ThreadRuntime, n: usize, handles: &[jade_core::Handle<u64>]) {
+        for i in 0..n {
+            let h = handles[i % handles.len()];
+            rt.submit(
+                TaskBuilder::new("inc")
+                    .rd_wr(h)
+                    .body(move |ctx| *ctx.wr(h) += 1),
+            );
+        }
+        rt.finish();
+    }
+
+    #[test]
+    fn second_same_shape_batch_triggers_zero_slab_growth() {
+        for deque in [DequeImpl::Locked, DequeImpl::ChaseLev] {
+            for workers in [1, 3] {
+                let mut rt = ThreadRuntime::new(workers);
+                rt.set_deque_impl(deque);
+                let handles: Vec<_> = (0..8)
+                    .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+                    .collect();
+                run_counter_batch(&mut rt, 64, &handles);
+                let grows = rt.arena.grows;
+                assert!(grows > 0, "first batch must build the arena");
+                run_counter_batch(&mut rt, 64, &handles);
+                assert_eq!(
+                    rt.arena.grows, grows,
+                    "{deque:?}/{workers}w: same-shape batch re-grew the arena"
+                );
+                // A smaller batch must reuse as well; only a bigger one grows.
+                run_counter_batch(&mut rt, 32, &handles);
+                assert_eq!(rt.arena.grows, grows, "{deque:?}: smaller batch re-grew");
+                run_counter_batch(&mut rt, 256, &handles);
+                assert!(rt.arena.grows > grows, "{deque:?}: bigger batch must grow");
+                assert_eq!(*rt.store().read(handles[0]), (64 + 64 + 32 + 256) / 8);
+            }
+        }
+    }
+
+    #[test]
+    fn chase_lev_matches_locked_results_and_counters() {
+        // The deque impl is a scheduling freedom: outputs and the
+        // deterministic counters must be bit-identical; dispatch order
+        // (and hence steal/locality split) may differ.
+        for workers in [1, 2, 4] {
+            let run = |deque: DequeImpl| {
+                let mut rt = ThreadRuntime::new(workers);
+                rt.set_deque_impl(deque);
+                let outs: Vec<_> = (0..24)
+                    .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+                    .collect();
+                let acc = rt.create("acc", 8, 0u64);
+                for (i, &o) in outs.iter().enumerate() {
+                    rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                        *ctx.wr(o) = (i as u64 + 1) * 3;
+                    }));
+                }
+                for &o in &outs {
+                    rt.submit(TaskBuilder::new("acc").rd(o).rd_wr(acc).body(move |ctx| {
+                        *ctx.wr(acc) += *ctx.rd(o);
+                    }));
+                }
+                rt.finish();
+                let vals: Vec<u64> = outs
+                    .iter()
+                    .map(|&o| *rt.store().read(o))
+                    .chain(std::iter::once(*rt.store().read(acc)))
+                    .collect();
+                (vals, rt.last_stats())
+            };
+            let (va, sa) = run(DequeImpl::Locked);
+            let (vb, sb) = run(DequeImpl::ChaseLev);
+            assert_eq!(va, vb, "outputs diverged at {workers} workers");
+            assert_eq!(sa.executed, sb.executed);
+            assert_eq!(sa.recoveries, sb.recoveries);
+            assert_eq!(sa.locality_hits + sa.steals, sb.locality_hits + sb.steals);
+        }
+    }
+
+    #[test]
+    fn chase_lev_inbox_work_is_stealable_while_owner_spins() {
+        // Liveness: work remote-pushed onto a worker that never goes idle
+        // (its owner is spinning inside a task) must still be reachable by
+        // thieves — the Chase-Lev inject inbox would otherwise deadlock
+        // this pipeline.
+        let mut rt = ThreadRuntime::new(2);
+        rt.set_deque_impl(DequeImpl::ChaseLev);
+        let done = Arc::new(AtomicUsize::new(0));
+        let x = rt.create("x", 8, 0u64);
+        let y = rt.create("y", 8, 0u64);
+        let flag = rt.create("flag", 8, 0u64);
+        // Blocker on worker 0 spins until the dependent task B (also
+        // targeted at worker 0 by placement) has run — which can only
+        // happen if worker 1 steals B out of worker 0's inbox.
+        let d0 = Arc::clone(&done);
+        rt.submit(TaskBuilder::new("blocker").wr(y).place(0).body(move |ctx| {
+            while d0.load(Ordering::SeqCst) == 0 {
+                std::hint::spin_loop();
+            }
+            *ctx.wr(y) = 1;
+        }));
+        rt.submit(
+            TaskBuilder::new("a")
+                .wr(x)
+                .place(1)
+                .body(move |ctx| *ctx.wr(x) = 7),
+        );
+        let d1 = Arc::clone(&done);
+        rt.submit(
+            TaskBuilder::new("b")
+                .rd(x)
+                .wr(flag)
+                .place(0)
+                .body(move |ctx| {
+                    *ctx.wr(flag) = *ctx.rd(x) + 1;
+                    d1.store(1, Ordering::SeqCst);
+                }),
+        );
+        rt.finish();
+        assert_eq!(*rt.store().read(y), 1);
+        assert_eq!(*rt.store().read(flag), 8);
+        assert_eq!(rt.last_stats().executed, 3);
+    }
+
+    #[test]
+    fn global_lock_auto_batching_amortizes_locks() {
+        // Regression for the dishonest A/B: GlobalLock used to reacquire
+        // the lock for every pick regardless of policy, so `batch=1` and
+        // `auto` measured identical sync_locks. The claim loop must take
+        // several tasks per acquisition under Auto.
+        let run = |policy: BatchPolicy| {
+            let mut rt = ThreadRuntime::with_mode(2, SchedMode::GlobalLock);
+            rt.set_batch_policy(policy);
+            let outs: Vec<_> = (0..400)
+                .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+                .collect();
+            for (i, &o) in outs.iter().enumerate() {
+                rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                    *ctx.wr(o) = i as u64;
+                }));
+            }
+            rt.finish();
+            for (i, &o) in outs.iter().enumerate() {
+                assert_eq!(*rt.store().read(o), i as u64);
+            }
+            rt.last_stats()
+        };
+        let per_task = run(BatchPolicy::PerTask);
+        let auto = run(BatchPolicy::Auto);
+        assert_eq!(per_task.executed, 400);
+        assert_eq!(auto.executed, 400);
+        assert!(
+            per_task.sync_locks >= 400,
+            "PerTask takes the lock at least once per completion"
+        );
+        assert!(
+            (auto.sync_locks as f64) < 1.0 * auto.executed as f64,
+            "GlobalLock auto must amortize below one lock per task: {} locks / {} tasks",
+            auto.sync_locks,
+            auto.executed
+        );
+        assert!(
+            auto.sync_locks * 2 <= auto.executed,
+            "GlobalLock auto should amortize well below one lock per task: {} locks / {} tasks",
+            auto.sync_locks,
+            auto.executed
+        );
     }
 }

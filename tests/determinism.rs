@@ -14,7 +14,9 @@
 use jade::apps::pagerank::{self, PagerankConfig};
 use jade::core::Metrics;
 use jade::threads::FaultPlan;
-use jade::{BatchPolicy, JadeRuntime, LocalityMode, SchedMode, TaskBuilder, ThreadRuntime};
+use jade::{
+    BatchPolicy, DequeImpl, JadeRuntime, LocalityMode, SchedMode, TaskBuilder, ThreadRuntime,
+};
 use proptest::prelude::*;
 
 const OBJECTS: usize = 4;
@@ -83,10 +85,12 @@ fn run_mode(
     prog: &[Vec<(u8, bool)>],
     workers: usize,
     mode: SchedMode,
+    deque: DequeImpl,
     policy: BatchPolicy,
     plan: Option<FaultPlan>,
 ) -> (Vec<Vec<u32>>, Counters) {
     let mut rt = ThreadRuntime::with_mode(workers, mode);
+    rt.set_deque_impl(deque);
     rt.set_batch_policy(policy);
     rt.enable_events();
     if let Some(p) = plan {
@@ -108,10 +112,12 @@ fn run_mode_untraced(
     prog: &[Vec<(u8, bool)>],
     workers: usize,
     mode: SchedMode,
+    deque: DequeImpl,
     policy: BatchPolicy,
     plan: Option<FaultPlan>,
 ) -> (Vec<Vec<u32>>, (usize, usize, usize)) {
     let mut rt = ThreadRuntime::with_mode(workers, mode);
+    rt.set_deque_impl(deque);
     rt.set_batch_policy(policy);
     if let Some(p) = plan {
         rt.inject_faults(p);
@@ -126,15 +132,25 @@ fn run_mode_untraced(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Fault-free: both schedulers agree on results and counters for every
-    /// worker count.
+    /// Fault-free: both schedulers — and both sharded deque impls — agree
+    /// on results and counters for every worker count.
     #[test]
     fn modes_agree_without_faults(prog in program_strategy(40)) {
         for workers in [1usize, 2, 4, 8] {
-            let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, BatchPolicy::Auto, None);
-            let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, BatchPolicy::Auto, None);
-            prop_assert_eq!(&ra, &rb, "results diverged at {} workers", workers);
-            prop_assert_eq!(ca, cb, "counters diverged at {} workers", workers);
+            let (rb, cb) = run_mode(
+                &prog, workers, SchedMode::GlobalLock, DequeImpl::Locked, BatchPolicy::Auto, None,
+            );
+            for deque in [DequeImpl::Locked, DequeImpl::ChaseLev] {
+                let (ra, ca) = run_mode(
+                    &prog, workers, SchedMode::Sharded, deque, BatchPolicy::Auto, None,
+                );
+                prop_assert_eq!(
+                    &ra, &rb, "results diverged at {} workers ({:?})", workers, deque
+                );
+                prop_assert_eq!(
+                    ca, cb, "counters diverged at {} workers ({:?})", workers, deque
+                );
+            }
         }
     }
 
@@ -156,10 +172,20 @@ proptest! {
             checkpoint: Some(jade::dsim::SimDuration::from_secs_f64(5.0)),
             ..FaultPlan::none()
         };
-        let (ra, ca) = run_mode(&prog, workers, SchedMode::Sharded, BatchPolicy::Auto, Some(plan));
-        let (rb, cb) = run_mode(&prog, workers, SchedMode::GlobalLock, BatchPolicy::Auto, Some(plan));
-        prop_assert_eq!(&ra, &rb, "results diverged: {} workers, p={}", workers, panic_p);
-        prop_assert_eq!(ca, cb, "counters diverged: {} workers, p={}", workers, panic_p);
+        let (rb, cb) = run_mode(
+            &prog, workers, SchedMode::GlobalLock, DequeImpl::Locked, BatchPolicy::Auto, Some(plan),
+        );
+        for deque in [DequeImpl::Locked, DequeImpl::ChaseLev] {
+            let (ra, ca) = run_mode(
+                &prog, workers, SchedMode::Sharded, deque, BatchPolicy::Auto, Some(plan),
+            );
+            prop_assert_eq!(
+                &ra, &rb, "results diverged: {} workers, p={}, {:?}", workers, panic_p, deque
+            );
+            prop_assert_eq!(
+                ca, cb, "counters diverged: {} workers, p={}, {:?}", workers, panic_p, deque
+            );
+        }
     }
 
     /// Batched (`auto`) vs per-task (`batch=1`) flushing, untraced so the
@@ -184,18 +210,22 @@ proptest! {
                 ..FaultPlan::none()
             }),
         };
-        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
-            let (ra, sa) = run_mode_untraced(&prog, workers, mode, BatchPolicy::Auto, plan);
-            let (rb, sb) = run_mode_untraced(&prog, workers, mode, BatchPolicy::PerTask, plan);
+        for (mode, deque) in [
+            (SchedMode::Sharded, DequeImpl::Locked),
+            (SchedMode::Sharded, DequeImpl::ChaseLev),
+            (SchedMode::GlobalLock, DequeImpl::Locked),
+        ] {
+            let (ra, sa) = run_mode_untraced(&prog, workers, mode, deque, BatchPolicy::Auto, plan);
+            let (rb, sb) = run_mode_untraced(&prog, workers, mode, deque, BatchPolicy::PerTask, plan);
             prop_assert_eq!(
                 &ra, &rb,
-                "{:?}: batched results diverged from batch=1 at {} workers (faults {})",
-                mode, workers, fsel
+                "{:?}/{:?}: batched results diverged from batch=1 at {} workers (faults {})",
+                mode, deque, workers, fsel
             );
             prop_assert_eq!(
                 sa, sb,
-                "{:?}: deterministic stats diverged at {} workers (faults {})",
-                mode, workers, fsel
+                "{:?}/{:?}: deterministic stats diverged at {} workers (faults {})",
+                mode, deque, workers, fsel
             );
         }
     }
@@ -211,17 +241,28 @@ proptest! {
     ) {
         let workers = [1usize, 2, 4, 8][wsel];
         let plan = FaultPlan { panic_p: 0.2, seed, ..FaultPlan::none() };
-        for mode in [SchedMode::Sharded, SchedMode::GlobalLock] {
-            let (ra, ca) = run_mode(&prog, workers, mode, BatchPolicy::Auto, Some(plan));
-            let (rb, cb) = run_mode(&prog, workers, mode, BatchPolicy::PerTask, Some(plan));
-            prop_assert_eq!(&ra, &rb, "{:?}: results diverged at {} workers", mode, workers);
-            prop_assert_eq!(ca, cb, "{:?}: counters diverged at {} workers", mode, workers);
+        for (mode, deque) in [
+            (SchedMode::Sharded, DequeImpl::Locked),
+            (SchedMode::Sharded, DequeImpl::ChaseLev),
+            (SchedMode::GlobalLock, DequeImpl::Locked),
+        ] {
+            let (ra, ca) = run_mode(&prog, workers, mode, deque, BatchPolicy::Auto, Some(plan));
+            let (rb, cb) = run_mode(&prog, workers, mode, deque, BatchPolicy::PerTask, Some(plan));
+            prop_assert_eq!(
+                &ra, &rb, "{:?}/{:?}: results diverged at {} workers", mode, deque, workers
+            );
+            prop_assert_eq!(
+                ca, cb, "{:?}/{:?}: counters diverged at {} workers", mode, deque, workers
+            );
         }
     }
 
     /// One worker erases all scheduling freedom: the two modes and the two
     /// batch policies must emit *identical event streams*, not just
-    /// identical counters.
+    /// identical counters. (The default `DequeImpl::Locked` only: the
+    /// Chase-Lev deque pops owner-LIFO, a different — equally legal —
+    /// dispatch order, so its streams are covered by the counter and
+    /// output checks above instead.)
     #[test]
     fn one_worker_streams_identical(prog in program_strategy(25)) {
         let run = |mode: SchedMode, policy: BatchPolicy| {
@@ -282,7 +323,7 @@ proptest! {
         epn in 2usize..5,
         iters in 1usize..4,
     ) {
-        let run = |workers: usize, mode: SchedMode| {
+        let run = |workers: usize, mode: SchedMode, deque: DequeImpl| {
             let cfg = PagerankConfig {
                 nodes,
                 edges_per_node: epn,
@@ -291,6 +332,7 @@ proptest! {
             };
             let cfg = PagerankConfig { seed, ..cfg };
             let mut rt = ThreadRuntime::with_mode(workers, mode);
+            rt.set_deque_impl(deque);
             rt.enable_events();
             let out = pagerank::run_on(&mut rt, &cfg);
             let events = rt.take_events();
@@ -299,10 +341,17 @@ proptest! {
             (out, deterministic_counters(&m))
         };
         for workers in [1usize, 2, 4] {
-            let (ra, ca) = run(workers, SchedMode::Sharded);
-            let (rb, cb) = run(workers, SchedMode::GlobalLock);
-            prop_assert_eq!(ra, rb, "ranks diverged at {} workers (seed {})", workers, seed);
-            prop_assert_eq!(ca, cb, "counters diverged at {} workers (seed {})", workers, seed);
+            let (rb, cb) = run(workers, SchedMode::GlobalLock, DequeImpl::Locked);
+            for deque in [DequeImpl::Locked, DequeImpl::ChaseLev] {
+                let (ra, ca) = run(workers, SchedMode::Sharded, deque);
+                prop_assert_eq!(
+                    ra, rb.clone(),
+                    "ranks diverged at {} workers (seed {}, {:?})", workers, seed, deque
+                );
+                prop_assert_eq!(
+                    ca, cb, "counters diverged at {} workers (seed {}, {:?})", workers, seed, deque
+                );
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 use jade::core::Metrics;
 use jade::threads::FaultPlan;
 use jade::{
-    JadeRuntime, JadeService, Outcome, Program, ServiceConfig, SubmitError, TaskBuilder,
+    DequeImpl, JadeRuntime, JadeService, Outcome, Program, ServiceConfig, SubmitError, TaskBuilder,
     TenantOptions, ThreadRuntime,
 };
 use proptest::prelude::*;
@@ -112,6 +112,42 @@ type Observation = (
     (usize, usize, usize, usize, usize, u64, u64, u64),
 );
 
+/// Run the same random program directly on a standalone [`ThreadRuntime`]
+/// (no service front end) with the given deque implementation, returning
+/// the final per-object write logs.
+fn run_on_thread_runtime(prog: &[Vec<(u8, bool)>], deque: DequeImpl) -> Vec<Vec<u32>> {
+    let mut rt = ThreadRuntime::new(WORKERS);
+    rt.set_deque_impl(deque);
+    let objs: Vec<_> = (0..OBJECTS)
+        .map(|i| rt.create(&format!("o{i}"), 8, Vec::<u32>::new()))
+        .collect();
+    for (i, accesses) in prog.iter().enumerate() {
+        let mut tb = TaskBuilder::new("p");
+        let mut writes = Vec::new();
+        let mut seen = [false; OBJECTS];
+        for &(o, w) in accesses {
+            let o = o as usize % OBJECTS;
+            if seen[o] {
+                continue;
+            }
+            seen[o] = true;
+            if w {
+                tb = tb.rd_wr(objs[o]);
+                writes.push(objs[o]);
+            } else {
+                tb = tb.rd(objs[o]);
+            }
+        }
+        rt.submit(tb.body(move |ctx| {
+            for &h in &writes {
+                ctx.wr(h).push(i as u32);
+            }
+        }));
+    }
+    rt.finish();
+    objs.iter().map(|&h| rt.store().read(h).clone()).collect()
+}
+
 /// Run `clean` as the only tenant of a fresh service and observe it.
 fn observe_solo(clean: &[Vec<(u8, bool)>]) -> Observation {
     let svc = JadeService::new(ServiceConfig::new(WORKERS));
@@ -198,6 +234,26 @@ proptest! {
         prop_assert_eq!(m.tasks_completed, prog.len());
         prop_assert_eq!(m.tasks_started, m.tasks_completed + m.tasks_reexecuted as usize);
     }
+
+    /// The service front end and a standalone `ThreadRuntime` agree on
+    /// final object state — for both work-stealing deque implementations.
+    /// (The service pool has its own dispatch loop; this pins the whole
+    /// stack to one observable semantics regardless of the deque choice.)
+    #[test]
+    fn service_agrees_with_solo_thread_runtime_for_both_deques(
+        prog in program_strategy(25),
+    ) {
+        let (svc_outs, _) = observe_solo(&prog);
+        for deque in [DequeImpl::Locked, DequeImpl::ChaseLev] {
+            let rt_outs = run_on_thread_runtime(&prog, deque);
+            prop_assert_eq!(
+                &svc_outs,
+                &rt_outs,
+                "service and ThreadRuntime({}) diverged",
+                deque.name()
+            );
+        }
+    }
 }
 
 #[test]
@@ -257,7 +313,14 @@ fn overload_surfaces_as_submit_error() {
 #[test]
 fn thread_runtime_survives_a_caught_mid_batch_panic() {
     quiet_expected_panics();
+    for deque in [DequeImpl::Locked, DequeImpl::ChaseLev] {
+        survives_mid_batch_panic(deque);
+    }
+}
+
+fn survives_mid_batch_panic(deque: DequeImpl) {
     let mut rt = ThreadRuntime::new(3);
+    rt.set_deque_impl(deque);
     let a = rt.create("a", 8, 0u64);
     for i in 0..5u64 {
         rt.submit(TaskBuilder::new("ok").rd_wr(a).body(move |ctx| {
