@@ -59,7 +59,7 @@ fn usage() -> ! {
          experiments: all, tables, figures, table1..table14, fig2..fig21,\n\
          replication, bcast-analysis, latency-hiding, concurrent-fetch, ablations,\n\
          utilization, fault-sweep, checkpoint-sweep, aggregation-sweep,\n\
-         overlap-sweep, service-stress, bench\n\
+         overlap-sweep, service-stress, tune-sweep, bench\n\
          --app NAME        run one application on the simulated iPSC/860 and\n\
                            print its communication profile; NAME is one of\n\
                            water, string, ocean, cholesky, pagerank, halo\n\
@@ -67,6 +67,10 @@ fn usage() -> ! {
          service-stress: multi-tenant service robustness gate — thousands of\n\
                 mixed clean/faulty/deadline DAGs through one shared worker\n\
                 pool; writes SERVICE_tenants.json at the repo root\n\
+         tune-sweep: feedback-controller gate — on every app, the controller\n\
+                must land within 5% of the best static knob setting in the\n\
+                sweep grid, bit-identically across repeats; writes\n\
+                TUNE_sweep.json at the repo root\n\
          --aggregate       enable the inspector/executor fetch-aggregation\n\
                            pass (DESIGN.md \u{a7}15) for --app runs\n\
          --prefetch        enable the split-phase prefetch path (DESIGN.md \u{a7}17)\n\
@@ -360,6 +364,12 @@ fn run_one(h: &mut Harness, what: &str, plan: dsim::FaultPlan, ckpt_intervals: &
         "service-stress" => {
             if let Err(why) = ex::service_stress(h) {
                 eprintln!("service stress FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+        "tune-sweep" => {
+            if let Err(why) = ex::tune_sweep(h) {
+                eprintln!("tune sweep FAILED: {why}");
                 std::process::exit(1);
             }
         }

@@ -48,6 +48,7 @@ mod store;
 mod synchronizer;
 mod task;
 mod trace;
+pub mod tune;
 
 pub use access::{AccessDecl, AccessMode, AccessSpec};
 pub use events::{
@@ -61,3 +62,4 @@ pub use store::{ReadGuard, Store, WriteGuard};
 pub use synchronizer::{SyncSnapshot, Synchronizer, Transition, TransitionBatch};
 pub use task::{TaskBody, TaskBuilder, TaskCtx, TaskDef};
 pub use trace::{ObjectRecord, TaskRecord, Trace, TraceBuilder, TraceRuntime};
+pub use tune::{BatchShape, Controller, Decision, Knob, TuneLog};

@@ -70,8 +70,22 @@ pub struct Communicator {
     adaptive_broadcast: bool,
     /// Consecutive retired versions of each object that were widely
     /// accessed — the accumulated consumer evidence for the broadcast
-    /// trigger. Reset by a narrowly-accessed version and by owner death.
+    /// trigger. Reset by a narrowly-accessed version and by *any*
+    /// alive-set change: evidence accumulated against a larger receiver
+    /// set must not satisfy the smaller set's cheaper break-even (a
+    /// fail-stop shrinks [`Self::evidence_needed`], and stale evidence
+    /// would instantly flip an object into broadcast mode on an unrelated
+    /// death).
     evidence: Vec<u32>,
+    /// Extra evidence demanded on top of the §3.4.2 break-even before an
+    /// object flips into broadcast mode — the feedback controller's knob
+    /// (DESIGN.md §19); 0 (the default) is the paper's behavior.
+    margin: u32,
+    /// Retired versions that were widely accessed (feedback-controller
+    /// observation; deterministic — a pure function of trace and plan).
+    pub wide_retired: u64,
+    /// Retired versions that were not widely accessed.
+    pub narrow_retired: u64,
     /// Configured data-message loss rate (from the fault plan). Under loss
     /// each broadcast multiplies the retransmission surface by its receiver
     /// count, so the §3.4.2 break-even needs proportionally more evidence
@@ -120,6 +134,9 @@ impl Communicator {
             broadcast_mode: vec![false; n],
             adaptive_broadcast,
             evidence: vec![0; n],
+            margin: 0,
+            wide_retired: 0,
+            narrow_retired: 0,
             drop_p,
             alive: vec![true; procs],
             traffic: vec![ObjectTraffic::default(); n],
@@ -234,7 +251,19 @@ impl Communicator {
     /// much extra evidence that the all-consumer pattern is persistent.
     pub fn evidence_needed(&self) -> u32 {
         let receivers = self.alive.iter().filter(|&&a| a).count().saturating_sub(1);
-        1 + (self.drop_p * receivers as f64).ceil() as u32
+        1 + (self.drop_p * receivers as f64).ceil() as u32 + self.margin
+    }
+
+    /// Extra evidence currently demanded beyond the drop-rate break-even.
+    pub fn evidence_margin(&self) -> u32 {
+        self.margin
+    }
+
+    /// Set the evidence margin (the feedback controller's knob). Takes
+    /// effect on the next trigger evaluation; already-flipped objects stay
+    /// in broadcast mode.
+    pub fn set_evidence_margin(&mut self, margin: u32) {
+        self.margin = margin;
     }
 
     /// A writer task on `p` completed, producing a new version of `o`.
@@ -246,11 +275,13 @@ impl Communicator {
         // resets it.
         if self.adaptive_broadcast {
             if self.widely_accessed(o) {
+                self.wide_retired += 1;
                 self.evidence[i] += 1;
                 if self.evidence[i] >= self.evidence_needed() {
                     self.broadcast_mode[i] = true;
                 }
             } else {
+                self.narrow_retired += 1;
                 self.evidence[i] = 0;
             }
         }
@@ -335,11 +366,18 @@ impl Communicator {
     /// Processor `p` fail-stopped. Its replicas and trigger evidence are
     /// gone; objects it owned move to a live holder of the current version,
     /// or — when the dead processor held the only copy — are re-materialized
-    /// at the main processor (the runtime's recovery copy). For every object
-    /// the dead processor owned, the accumulated broadcast-trigger evidence
-    /// and `broadcast_mode` reset: the evidence was the dead owner's
-    /// observations of a consumer set that no longer exists, and the new
-    /// owner must re-earn the §3.4.2 break-even before broadcasting.
+    /// at the main processor (the runtime's recovery copy).
+    ///
+    /// **Every** object's accumulated broadcast-trigger evidence resets on
+    /// the alive-set change, not just the dead processor's: the death
+    /// shrinks the receiver count and with it [`Self::evidence_needed`],
+    /// so evidence accumulated under the old, larger threshold could
+    /// otherwise instantly flip an object into broadcast mode on an
+    /// unrelated fail-stop. The streak must be re-earned against the live
+    /// set. Objects the dead processor owned additionally reset
+    /// `broadcast_mode` and their consumer sets — the dead owner's
+    /// observations described a consumer set that no longer exists — and
+    /// move ownership.
     ///
     /// Returns the objects whose **only** copy died with `p`. The caller
     /// must charge each restore transfer through the machine cost model and
@@ -351,9 +389,9 @@ impl Communicator {
         for i in 0..self.version.len() {
             self.have[p][i] = NO_VERSION;
             self.accessed[i][p] = false;
+            self.evidence[i] = 0;
             if self.owner[i] == p {
                 self.accessed[i].iter_mut().for_each(|a| *a = false);
-                self.evidence[i] = 0;
                 self.broadcast_mode[i] = false;
                 let v = self.version[i];
                 let holder = (0..self.procs).find(|&q| self.alive[q] && self.have[q][i] == v);
@@ -697,6 +735,65 @@ mod tests {
             c.note_access(0, o(0));
             assert!(!c.on_write_complete(0, o(0)));
         }
+    }
+
+    #[test]
+    fn non_owner_death_does_not_instantly_flip_broadcast_mode() {
+        // Fail-stop mid-accumulation: with 4 live processors and drop=0.4
+        // the break-even needs 3 consecutive widely-accessed versions.
+        let mut c = Communicator::new(&trace2(), 4, true, 0.4);
+        assert_eq!(c.evidence_needed(), 3);
+        let consume_all = |c: &mut Communicator, owner: ProcId| {
+            for p in 0..4 {
+                if p != owner && c.is_alive(p) {
+                    c.record_request(p, o(0));
+                }
+            }
+            c.note_access(owner, o(0));
+        };
+        consume_all(&mut c, 0);
+        assert!(!c.on_write_complete(0, o(0)), "evidence 1 of 3");
+        consume_all(&mut c, 0);
+        assert!(!c.on_write_complete(0, o(0)), "evidence 2 of 3");
+        // A *non-owner* dies: the threshold shrinks to 1 + ceil(0.4 * 2)
+        // = 2. The two units of evidence were earned against the larger
+        // receiver set — they must not satisfy the smaller break-even.
+        let restored = c.fail_proc(3);
+        assert!(restored.is_empty(), "proc 3 owned nothing");
+        assert_eq!(c.evidence_needed(), 2);
+        consume_all(&mut c, 0);
+        assert!(
+            !c.on_write_complete(0, o(0)),
+            "stale evidence must not flip the object on an unrelated death"
+        );
+        assert!(!c.in_broadcast_mode(o(0)));
+        // The streak re-earned against the live set flips as normal.
+        consume_all(&mut c, 0);
+        assert!(c.on_write_complete(0, o(0)), "re-earned evidence 2 of 2");
+        assert!(c.in_broadcast_mode(o(0)));
+    }
+
+    #[test]
+    fn evidence_margin_raises_the_break_even() {
+        let mut c = Communicator::new(&trace2(), 4, true, 0.0);
+        assert_eq!(c.evidence_needed(), 1);
+        c.set_evidence_margin(1);
+        assert_eq!(c.evidence_needed(), 2);
+        assert_eq!(c.evidence_margin(), 1);
+        let consume_all = |c: &mut Communicator| {
+            for p in 1..4 {
+                c.record_request(p, o(0));
+            }
+            c.note_access(0, o(0));
+        };
+        consume_all(&mut c);
+        assert!(!c.on_write_complete(0, o(0)), "margin demands a streak");
+        consume_all(&mut c);
+        assert!(c.on_write_complete(0, o(0)), "streak satisfies margin");
+        // Width statistics accumulated for the controller.
+        assert_eq!((c.wide_retired, c.narrow_retired), (2, 0));
+        c.on_write_complete(0, o(0));
+        assert_eq!((c.wide_retired, c.narrow_retired), (2, 1));
     }
 
     #[test]

@@ -153,6 +153,19 @@ pub struct IpscConfig {
     /// recorded run never started (e.g. past a deadline cut) fall back to
     /// the normal scheduler. `None` = schedule live.
     pub pinned: Option<PinnedSchedule>,
+    /// Static adaptive-broadcast evidence margin: extra consecutive
+    /// widely-accessed versions required (on top of the drop-probability
+    /// floor) before an object flips to broadcast mode. The tune-sweep
+    /// static grid varies this; [`IpscConfig::tune`] overrides it online.
+    pub evidence_margin: u32,
+    /// Online self-tuning (DESIGN.md §19): re-derive the adaptive-broadcast
+    /// evidence margin from the communicator's wide/narrow retired-version
+    /// counters after every write retirement, and re-derive the checkpoint
+    /// interval at every capture from the measured virtual capture cost and
+    /// the plan's failure horizon (Young's approximation). All inputs are
+    /// deterministic virtual-time quantities, so tuned runs stay
+    /// bit-identical across repeats.
+    pub tune: bool,
 }
 
 /// A schedule recorded from a baseline run's event stream, for replay via
@@ -211,6 +224,8 @@ impl IpscConfig {
             faults: FaultPlan::none(),
             deadline: None,
             pinned: None,
+            evidence_margin: 0,
+            tune: false,
         }
     }
 
@@ -240,6 +255,8 @@ impl IpscConfig {
             faults: FaultPlan::none(),
             deadline: None,
             pinned: None,
+            evidence_margin: 0,
+            tune: false,
         }
     }
 }
@@ -334,6 +351,10 @@ pub struct IpscRunResult {
     /// finished: `tasks_executed` and all other metrics cover only the
     /// prefix that ran. Always `false` without a configured deadline.
     pub deadline_exceeded: bool,
+    /// Knob decisions the controller took during the run. Empty unless
+    /// [`IpscConfig::tune`] is set; deterministic, so two runs of the same
+    /// configuration produce equal logs.
+    pub tune: jade_core::TuneLog,
 }
 
 #[derive(Debug)]
@@ -512,6 +533,9 @@ struct Sim<'a> {
     n_prefetch_stale: u64,
     /// Latest captured checkpoint; fail-stop recovery consults it.
     last_ckpt: Option<Checkpoint>,
+    /// Feedback controller ([`IpscConfig::tune`]); its log is surfaced in
+    /// [`IpscRunResult::tune`].
+    ctl: jade_core::Controller,
 }
 
 /// Simulate `trace` on the configured iPSC/860.
@@ -668,7 +692,9 @@ pub fn try_run_traced(
         n_prefetch_hits: 0,
         n_prefetch_stale: 0,
         last_ckpt: None,
+        ctl: jade_core::Controller::new(),
     };
+    sim.comm.set_evidence_margin(cfg.evidence_margin);
     sim.cal.schedule(SimTime::ZERO, Ev::MainStep);
     if let Some(fp) = plan.fail_proc {
         sim.cal
@@ -783,6 +809,7 @@ pub fn try_run_traced(
         overlap_frac: m.overlap_fraction(),
         final_versions: sim.comm.final_versions(),
         deadline_exceeded: sim.deadline_hit,
+        tune: sim.ctl.log.clone(),
     };
     Ok((result, events))
 }
@@ -1951,6 +1978,16 @@ impl Sim<'_> {
                 Vec::new()
             };
             let bcast = self.comm.on_write_complete(p, o);
+            if self.cfg.tune && self.cfg.adaptive_broadcast {
+                // Re-derive the evidence margin from the width statistics
+                // the retirement just updated. Both counters are pure
+                // functions of the trace and the fault plan, so the margin
+                // trajectory is identical across repeats.
+                let m = self
+                    .ctl
+                    .evidence_margin(self.comm.wide_retired, self.comm.narrow_retired);
+                self.comm.set_evidence_margin(m);
+            }
             self.events
                 .emit_obj(t_cur.0, p, EventKind::ObjectInvalidate, Some(id), o);
             if bcast && !self.cfg.work_free && self.pc.procs() == 1 {
@@ -2167,6 +2204,23 @@ impl Sim<'_> {
             // would otherwise tick forever against never-completing tasks.
             return;
         }
+        // Remaining failure horizon: virtual picoseconds until the plan's
+        // pending fail-stop, `None` once it landed (or was never planned).
+        let horizon = match self.cfg.faults.fail_proc {
+            Some(fp) if !self.dead[fp] => {
+                Some(self.cfg.faults.fail_at.0.saturating_sub(t.0).max(1))
+            }
+            _ => None,
+        };
+        if self.cfg.tune && horizon.is_none() {
+            // Nothing left to recover from: a capture here is pure
+            // overhead — and its traffic rides the same lossy links as
+            // real fetches — so skip it and stretch the tick chain to the
+            // controller's maximum instead.
+            let iv = self.ctl.checkpoint_interval_ps(1, None);
+            self.cal.schedule(t + SimDuration(iv), Ev::CheckpointTick);
+            return;
+        }
         let snap = self.comm.snapshot();
         let ssnap = self.sync.snapshot();
         let mut bytes = snap.table_bytes() + ssnap.encoded_len() as u64;
@@ -2215,11 +2269,22 @@ impl Sim<'_> {
             comm: snap,
             sync: ssnap,
         });
-        // The interval is always present while ticks are scheduled (ticks
-        // only start when the plan has one), but end the chain gracefully
-        // rather than panic if that invariant ever breaks.
-        let Some(iv) = self.cfg.faults.checkpoint else {
+        // Re-arm the tick chain. The interval is always present while ticks
+        // are scheduled (ticks only start when the plan has one), but end
+        // the chain gracefully rather than panic if that invariant ever
+        // breaks. With tuning on, the controller aims the next tick one
+        // capture-cost guard ahead of the plan's pending fail-stop, using
+        // the cost just measured on the virtual clock (`end - t`); the
+        // no-pending-failure case was handled (capture skipped, chain
+        // stretched) before the capture above.
+        let Some(static_iv) = self.cfg.faults.checkpoint else {
             return;
+        };
+        let iv = if self.cfg.tune {
+            let cost = end.0.saturating_sub(t.0).max(1);
+            SimDuration(self.ctl.checkpoint_interval_ps(cost, horizon))
+        } else {
+            static_iv
         };
         self.cal.schedule(t + iv, Ev::CheckpointTick);
     }
@@ -2966,6 +3031,83 @@ mod tests {
         assert_eq!(a.checkpoints, b.checkpoints);
         assert_eq!(a.checkpoint_bytes, b.checkpoint_bytes);
         assert_eq!(ea, eb, "same plan + seed => same event stream");
+    }
+
+    /// Repeated update-then-read-everywhere phases on a hot object — the
+    /// workload the adaptive-broadcast evidence machinery reacts to.
+    fn hot_trace(procs: usize, rounds: usize) -> jade_core::Trace {
+        let mut b = TraceBuilder::new();
+        let hot = b.object("hot", 200_000, Some(0));
+        let outs: Vec<_> = (0..procs)
+            .map(|i| b.object(&format!("o{i}"), 8, Some(i)))
+            .collect();
+        for _ in 0..rounds {
+            b.task_full(spec(&[], &[hot]), 0.01, None, true);
+            b.next_phase();
+            for &o in &outs {
+                b.task(spec(&[hot], &[o]), 2.0);
+            }
+            b.next_phase();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tuned_run_is_deterministic_and_preserves_results() {
+        let trace = hot_trace(4, 5);
+        let c = faulty_cfg(4, "fail=2@3.0,ckpt=0.5,drop=0.05,seed=9");
+        let mut tuned = c.clone();
+        tuned.tune = true;
+        let untuned = run(&trace, &c);
+        let (a, ea) = run_traced(&trace, &tuned);
+        let (b, eb) = run_traced(&trace, &tuned);
+        assert_eq!(ea, eb, "tuned runs must be bit-identical");
+        assert_eq!(a.tune, b.tune);
+        assert!(!a.tune.decisions.is_empty(), "controller took no decisions");
+        a.tune.check_ranges().unwrap();
+        assert_eq!(a.final_versions, untuned.final_versions);
+        assert_eq!(a.tasks_executed, untuned.tasks_executed);
+        assert!(untuned.tune.decisions.is_empty());
+    }
+
+    #[test]
+    fn tuned_checkpoints_stretch_when_no_failure_is_pending() {
+        // Checkpoint-only plan: nothing will ever need recovering, so after
+        // the first (statically scheduled) capture measures the cost, the
+        // controller stretches the interval to its maximum and the capture
+        // overhead all but disappears.
+        let trace = commy_trace(4, 3);
+        let c = faulty_cfg(4, "ckpt=0.05");
+        let mut tuned = c.clone();
+        tuned.tune = true;
+        let stat = run(&trace, &c);
+        let r = run(&trace, &tuned);
+        assert!(
+            r.checkpoints < stat.checkpoints,
+            "tuned {} checkpoints vs static {}",
+            r.checkpoints,
+            stat.checkpoints
+        );
+        assert_eq!(r.final_versions, stat.final_versions);
+        assert!(r.exec_time_s <= stat.exec_time_s);
+    }
+
+    #[test]
+    fn static_evidence_margin_delays_broadcast_flip() {
+        let trace = hot_trace(8, 6);
+        let base = cfg(8, LocalityMode::Locality);
+        let mut wide = base.clone();
+        wide.evidence_margin = 4;
+        let r0 = run(&trace, &base);
+        let r4 = run(&trace, &wide);
+        assert!(r0.broadcasts > 0, "broadcast mode should trigger");
+        assert!(
+            r4.broadcasts < r0.broadcasts,
+            "margin 4 ({}) should flip later than margin 0 ({})",
+            r4.broadcasts,
+            r0.broadcasts
+        );
+        assert_eq!(r4.final_versions, r0.final_versions);
     }
 
     #[test]

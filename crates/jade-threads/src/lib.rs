@@ -53,6 +53,7 @@ pub mod service;
 pub use deque::DequeImpl;
 use deque::TaskQueue;
 pub use dsim::FaultPlan;
+use jade_core::tune::{BatchShape, Controller, TuneLog};
 use jade_core::{
     Event, EventKind, EventSink, JadeRuntime, Locality, NullSink, ObjectId, Sink, Store,
     SyncSnapshot, Synchronizer, TaskCtx, TaskDef, TaskId, Transition, TransitionBatch,
@@ -81,6 +82,27 @@ pub(crate) struct InjectedFailure;
 /// its panic through `finish`; the shared state stays structurally valid).
 pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Largest checkpoint interval, in completed tasks, the seconds→tasks
+/// mapping of [`ThreadRuntime::try_inject_faults`] accepts. Far above any
+/// real batch; the cap exists so the conversion is checked end to end
+/// rather than saturating through an `as` cast.
+pub const MAX_CKPT_TASKS: usize = u32::MAX as usize;
+
+/// Checked seconds→tasks checkpoint conversion: round to the nearest task
+/// count, floor 1 (a sub-task interval means "as often as possible"), and
+/// reject anything non-finite, negative, or above [`MAX_CKPT_TASKS`] with
+/// an error naming the bad value.
+fn checkpoint_tasks(secs: f64) -> Result<usize, String> {
+    let tasks = secs.round();
+    if !tasks.is_finite() || !(0.0..=MAX_CKPT_TASKS as f64).contains(&tasks) {
+        return Err(format!(
+            "fault plan: checkpoint interval {secs} does not map to a \
+             task count in 1..={MAX_CKPT_TASKS}"
+        ));
+    }
+    Ok((tasks as usize).max(1))
 }
 
 /// Drain-buffer size under [`BatchPolicy::Auto`]: how many locally
@@ -281,6 +303,10 @@ pub struct ThreadRuntime {
     /// Prefetch routing (split-phase locality): pre-publish each task's
     /// write ownership when it is *queued*, not when it completes.
     prefetch: bool,
+    /// Self-tuning feedback controller (DESIGN.md §19); `None` (the
+    /// default) keeps the static [`BatchPolicy`] threshold and the
+    /// exhaustive steal sweep.
+    tune: Option<Controller>,
     /// Dynamic locality: which worker last wrote each object.
     owners: OwnerTable,
     /// Which per-worker queue implementation the sharded scheduler uses.
@@ -310,6 +336,7 @@ impl ThreadRuntime {
             faults: None,
             ckpt_every: None,
             prefetch: false,
+            tune: None,
             owners: OwnerTable::default(),
             deque: DequeImpl::default(),
             arena: SchedArena::default(),
@@ -406,18 +433,53 @@ impl ThreadRuntime {
     ///
     /// # Panics
     ///
-    /// If the plan is malformed (probability outside `[0, 1]`).
+    /// If the plan is malformed (probability outside `[0, 1]`) or its
+    /// checkpoint interval does not map to a task count — use
+    /// [`try_inject_faults`](Self::try_inject_faults) to handle malformed
+    /// plans as config errors instead.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
-        if let Err(why) = plan.validate() {
+        if let Err(why) = self.try_inject_faults(plan) {
             panic!("invalid fault plan: {why}");
         }
+    }
+
+    /// Fallible [`inject_faults`](Self::inject_faults): validates the plan
+    /// and performs the seconds→tasks checkpoint mapping with a *checked*
+    /// conversion. A non-finite or out-of-range interval is a config error
+    /// naming the offending value, not a silently saturating `as` cast
+    /// (the same contract `dsim::SimDuration::try_from_secs_f64` gives the
+    /// simulators).
+    pub fn try_inject_faults(&mut self, plan: FaultPlan) -> Result<(), String> {
+        plan.validate()?;
         // The simulators interpret `ckpt=` as simulated seconds; this
         // backend has no simulated clock, so the numeric value maps to a
         // completed-task interval instead.
         if let Some(iv) = plan.checkpoint {
-            self.checkpoint_every((iv.as_secs_f64().round() as usize).max(1));
+            self.checkpoint_every(checkpoint_tasks(iv.as_secs_f64())?);
         }
         self.faults = Some(plan);
+        Ok(())
+    }
+
+    /// Enable the self-tuning feedback controller (DESIGN.md §19) for
+    /// subsequent batches: the drain-batch threshold and the steal sweep
+    /// budget are decided per batch from its deterministic shape (task
+    /// count, worker count, initial parallelism width) instead of the
+    /// static [`BatchPolicy`] constant. Decisions are pure functions of
+    /// the batch shape — no wall-clock, no interleaving-dependent counter
+    /// — so controller-on runs stay bit-identical across repeats and
+    /// produce the same results as controller-off runs. Every decision is
+    /// recorded in [`tune_log`](Self::tune_log).
+    pub fn enable_tuning(&mut self) {
+        if self.tune.is_none() {
+            self.tune = Some(Controller::new());
+        }
+    }
+
+    /// The decision log of the feedback controller, if tuning is enabled
+    /// ([`enable_tuning`](Self::enable_tuning)).
+    pub fn tune_log(&self) -> Option<&TuneLog> {
+        self.tune.as_ref().map(|c| &c.log)
     }
 
     /// Enable prefetch routing on the sharded scheduler: when a task is
@@ -667,6 +729,10 @@ struct Sharded<'a, S> {
     workers: usize,
     /// Drain-buffer flush threshold (1 when tracing — see [`BatchPolicy`]).
     drain: usize,
+    /// Victims a failed own-pop probes before giving up the round. The
+    /// pre-park sweep stays exhaustive, so a bounded budget affects only
+    /// how fast an idle worker reaches the park decision, never liveness.
+    steal_budget: usize,
     /// Acquisitions of `state` by workers ([`BatchStats::sync_locks`]).
     sync_locks: AtomicUsize,
     /// Prefetch routing ([`ThreadRuntime::enable_prefetch`]).
@@ -793,7 +859,7 @@ impl<'a, S: Sink> Sharded<'a, S> {
     /// Pop own queue, else steal from a random victim. The pop order (FIFO
     /// for [`DequeImpl::Locked`], LIFO for [`DequeImpl::ChaseLev`]) is a
     /// scheduling freedom — only enabled tasks are ever queued.
-    fn try_pick(&self, w: usize, rng: &mut XorShift64) -> Option<(usize, bool)> {
+    fn try_pick(&self, w: usize, rng: &mut XorShift64, budget: usize) -> Option<(usize, bool)> {
         let own = &self.queues[w];
         if !own.is_empty_hint() {
             if let Some(local) = own.pop() {
@@ -801,10 +867,11 @@ impl<'a, S: Sink> Sharded<'a, S> {
             }
         }
         // Randomized steal: random first victim among the *other* workers,
-        // then the rest of the ring — no queue is ever structurally
-        // unreachable (see `steal_order`).
+        // then the rest of the ring up to `budget` victims — no queue is
+        // ever structurally unreachable (see `steal_order`; the pre-park
+        // sweep in `sharded_worker` always runs unbudgeted).
         if self.workers > 1 {
-            for v in steal_order(w, self.workers, rng.next()) {
+            for v in steal_order(w, self.workers, rng.next()).take(budget) {
                 let q = &self.queues[v];
                 if q.is_empty_hint() {
                     continue;
@@ -1076,7 +1143,7 @@ fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>, ws: &mut WorkerScratch
         // Epoch read precedes the scan: any push racing the scan either
         // lands in it or changes the epoch and defeats the park below.
         let epoch = sh.epoch.load(Ordering::SeqCst);
-        match sh.try_pick(w, &mut rng) {
+        match sh.try_pick(w, &mut rng, sh.steal_budget) {
             Some((local, stolen)) => {
                 if !sh.execute(w, local, stolen, &mut stats, ws) {
                     return stats;
@@ -1087,11 +1154,22 @@ fn sharded_worker<S: Sink>(w: usize, sh: &Sharded<'_, S>, ws: &mut WorkerScratch
                 // they may enable the only runnable successors (or drain
                 // the batch), and `live` only reaches zero once every
                 // buffered completion lands. Park only with an empty
-                // buffer.
-                if ws.buf.borrow().is_empty() {
-                    sh.park(epoch);
-                } else {
+                // buffer, and only after an *exhaustive* steal sweep — a
+                // tuned budget shorter than the ring must never park past
+                // work sitting in an unprobed queue.
+                if !ws.buf.borrow().is_empty() {
                     sh.flush(w, &ws.buf, &mut ws.newly.borrow_mut());
+                } else if sh.steal_budget + 1 < sh.workers {
+                    match sh.try_pick(w, &mut rng, usize::MAX) {
+                        Some((local, stolen)) => {
+                            if !sh.execute(w, local, stolen, &mut stats, ws) {
+                                return stats;
+                            }
+                        }
+                        None => sh.park(epoch),
+                    }
+                } else {
+                    sh.park(epoch);
                 }
             }
         }
@@ -1144,6 +1222,27 @@ impl ThreadRuntime {
                 enabled0.push(i);
             }
         }
+        // Controller-on batches decide the drain threshold and steal
+        // budget from the batch shape — fixed here, before any worker
+        // runs, so the decisions (and their log) are deterministic.
+        let (drain, steal_budget) = match self.tune.as_mut() {
+            Some(ctl) => {
+                let shape = BatchShape {
+                    tasks: n,
+                    workers,
+                    enabled0: enabled0.len(),
+                };
+                let d = ctl.drain_threshold(&shape);
+                let b = ctl.steal_budget(&shape);
+                // Tracing still clamps the *applied* drain to 1 (see the
+                // `drain` field note below); the decision stays logged.
+                (if S::ACTIVE { 1 } else { d }, b)
+            }
+            None => (
+                if S::ACTIVE { 1 } else { self.batch.threshold() },
+                workers.saturating_sub(1).max(1),
+            ),
+        };
         let sh = Sharded {
             queues: &queues[..workers],
             bodies: &bodies[..n],
@@ -1167,7 +1266,8 @@ impl ThreadRuntime {
             // Traced runs flush per task: tracing takes the state lock per
             // task anyway (dispatch/start events), and the eager flush is
             // what keeps 1-worker event streams identical across policies.
-            drain: if S::ACTIVE { 1 } else { self.batch.threshold() },
+            drain,
+            steal_budget,
             sync_locks: AtomicUsize::new(0),
             prefetch: self.prefetch,
             prefetch_routes: AtomicUsize::new(0),
@@ -1379,6 +1479,20 @@ impl ThreadRuntime {
             shared.bodies.push(Some(def));
             if enabled {
                 shared.queues[target].push_back(local);
+            }
+        }
+        // Controller-on batches tune the drain threshold from the batch
+        // shape (same law as the sharded path; tracing keeps the applied
+        // value clamped to 1, the decision stays logged).
+        if let Some(ctl) = self.tune.as_mut() {
+            let enabled0 = shared.queues.iter().map(|q| q.len()).sum();
+            let d = ctl.drain_threshold(&BatchShape {
+                tasks: n,
+                workers: self.workers,
+                enabled0,
+            });
+            if !self.trace_events {
+                shared.drain = d;
             }
         }
         let shared = Mutex::new(shared);
@@ -2257,6 +2371,99 @@ mod tests {
     fn zero_checkpoint_interval_rejected() {
         let mut rt = ThreadRuntime::new(2);
         rt.checkpoint_every(0);
+    }
+
+    #[test]
+    fn checkpoint_seconds_to_tasks_conversion_is_checked() {
+        // Nominal mappings (round to nearest, floor one task).
+        assert_eq!(checkpoint_tasks(3.0), Ok(3));
+        assert_eq!(checkpoint_tasks(0.25), Ok(1));
+        assert_eq!(checkpoint_tasks(7.6), Ok(8));
+        // Degenerate values are config errors naming the bad value, not
+        // silently saturating casts.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 1e18] {
+            let err = checkpoint_tasks(bad).unwrap_err();
+            assert!(
+                err.contains(&format!("{bad}")),
+                "error must name the value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_inject_faults_returns_config_error_for_bad_checkpoint() {
+        let mut rt = ThreadRuntime::new(2);
+        let plan = FaultPlan {
+            checkpoint: Some(dsim::SimDuration(u64::MAX)),
+            ..FaultPlan::none()
+        };
+        let err = rt.try_inject_faults(plan).unwrap_err();
+        assert!(err.contains("ckpt"), "error names the knob: {err}");
+        // The runtime stays usable and unconfigured.
+        assert!(rt.faults.is_none() && rt.ckpt_every.is_none());
+    }
+
+    #[test]
+    fn tuned_runs_are_deterministic_and_match_untuned_results() {
+        let run = |tuned: bool| {
+            let mut rt = ThreadRuntime::new(4);
+            if tuned {
+                rt.enable_tuning();
+            }
+            let outs: Vec<_> = (0..48)
+                .map(|i| rt.create(&format!("o{i}"), 8, 0u64))
+                .collect();
+            let acc = rt.create("acc", 8, 0u64);
+            for (i, &o) in outs.iter().enumerate() {
+                rt.submit(TaskBuilder::new("w").wr(o).body(move |ctx| {
+                    *ctx.wr(o) = (i as u64 + 1) * 7;
+                }));
+            }
+            for &o in &outs {
+                rt.submit(TaskBuilder::new("fold").rd(o).rd_wr(acc).body(move |ctx| {
+                    *ctx.wr(acc) += *ctx.rd(o);
+                }));
+            }
+            rt.finish();
+            let values: Vec<u64> = outs
+                .iter()
+                .map(|&o| *rt.store().read(o))
+                .chain(std::iter::once(*rt.store().read(acc)))
+                .collect();
+            let log = rt.tune_log().cloned();
+            (values, log)
+        };
+        let (v_off, log_off) = run(false);
+        let (v_on_a, log_a) = run(true);
+        let (v_on_b, log_b) = run(true);
+        assert_eq!(v_on_a, v_off, "controller must not change results");
+        assert_eq!(v_on_a, v_on_b, "controller-on repeats bit-identical");
+        assert!(log_off.is_none());
+        assert_eq!(log_a, log_b, "decision logs identical across repeats");
+        let log = log_a.expect("tuned run records decisions");
+        assert!(!log.decisions.is_empty());
+        log.check_ranges().unwrap();
+    }
+
+    #[test]
+    fn tuned_steal_budget_preserves_work_conservation() {
+        // Many park/wake cycles with a bounded steal budget: the
+        // exhaustive pre-park sweep must keep every task reachable.
+        let mut rt = ThreadRuntime::new(8);
+        rt.enable_tuning();
+        let counters: Vec<_> = (0..16)
+            .map(|i| rt.create(&format!("c{i}"), 8, 0u64))
+            .collect();
+        for i in 0..2000 {
+            let c = counters[i % 16];
+            rt.submit(TaskBuilder::new("inc").rd_wr(c).body(move |ctx| {
+                *ctx.wr(c) += 1;
+            }));
+        }
+        rt.finish();
+        let total: u64 = counters.iter().map(|&c| *rt.store().read(c)).sum();
+        assert_eq!(total, 2000);
+        rt.tune_log().unwrap().check_ranges().unwrap();
     }
 
     #[test]

@@ -122,6 +122,12 @@ pub struct ServiceConfig {
     pub max_pending: usize,
     /// Behavior when the pending queue is full.
     pub shed: ShedPolicy,
+    /// Tenant-aware fair-share tuning (DESIGN.md §19): cap how many
+    /// consecutive dispatches one tenant receives while other tenants have
+    /// ready work, banking the unserved portion of its weighted turn so
+    /// long-run weight ratios are preserved. Bounds the dispatch-latency
+    /// skew a single heavy tenant can impose on small tenants.
+    pub tune: bool,
 }
 
 impl ServiceConfig {
@@ -131,6 +137,7 @@ impl ServiceConfig {
             max_active: 8,
             max_pending: 32,
             shed: ShedPolicy::RejectNew,
+            tune: false,
         }
     }
 }
@@ -283,6 +290,10 @@ struct Tenant {
     deadline: Option<Instant>,
     faults: Option<FaultPlan>,
     weight: u32,
+    /// Unserved dispatches banked when the controller cut this tenant's
+    /// weighted turn short ([`ServiceConfig::tune`]); restored as the grant
+    /// of its next turn so long-run weight ratios survive the cap.
+    carry: u32,
 }
 
 /// A submission waiting for an active slot.
@@ -304,6 +315,12 @@ struct Core {
     /// Dispatches left in the cursor tenant's turn (its weight, counted
     /// down; at zero the next scan starts after the cursor).
     rr_credit: u32,
+    /// Consecutive dispatches the cursor tenant has received in its current
+    /// stretch; the tuned policy forces a handoff when this reaches the
+    /// controller's credit cap while other tenants have ready work.
+    burst: u32,
+    /// Fair-share feedback controller ([`ServiceConfig::tune`]).
+    ctl: jade_core::Controller,
     /// Service-global logical event clock shared by every tenant's stream.
     clock: u64,
     shutdown: bool,
@@ -359,6 +376,8 @@ impl JadeService {
                 next_id: 0,
                 rr_cursor: 0,
                 rr_credit: 0,
+                burst: 0,
+                ctl: jade_core::Controller::new(),
                 clock: 0,
                 shutdown: false,
             }),
@@ -379,6 +398,12 @@ impl JadeService {
 
     pub fn workers(&self) -> usize {
         self.inner.cfg.workers
+    }
+
+    /// Decisions the fair-share controller has taken so far. Empty unless
+    /// [`ServiceConfig::tune`] is set.
+    pub fn tune_log(&self) -> jade_core::TuneLog {
+        lock(&self.inner.core).ctl.log.clone()
     }
 
     /// Submit a tenant program. Returns its [`TenantId`] (pass to
@@ -555,6 +580,7 @@ fn register_tenant(core: &mut Core, pend: PendingTenant) {
         deadline,
         faults,
         weight,
+        carry: 0,
     };
     tenant.owners.ensure(tenant.store.len());
     for (i, def) in prog.tasks.into_iter().enumerate() {
@@ -644,6 +670,22 @@ fn pick(core: &mut Core, inner: &Inner, w: usize) -> Option<Picked> {
     if ids.is_empty() {
         return None;
     }
+    // Tuned policy: bound how long one tenant may monopolize the dispatch
+    // stream while others wait. The cap shrinks as more tenants have ready
+    // work; u32::MAX (tuning off) makes the forced-handoff branch dead.
+    let (cap, ready_tenants) = if inner.cfg.tune {
+        let ready_tenants = ids
+            .iter()
+            .filter(|i| {
+                core.active
+                    .get(i)
+                    .is_some_and(|t| t.cancel.is_none() && !t.ready.is_empty())
+            })
+            .count();
+        (core.ctl.credit_cap(ready_tenants), ready_tenants)
+    } else {
+        (u32::MAX, 0)
+    };
     // Weighted round-robin: keep serving the cursor tenant while it has
     // credit, otherwise start scanning just past it.
     let start = if core.rr_credit > 0 {
@@ -659,11 +701,28 @@ fn pick(core: &mut Core, inner: &Inner, w: usize) -> Option<Picked> {
         if t.cancel.is_some() || t.ready.is_empty() {
             continue;
         }
-        if id != core.rr_cursor || core.rr_credit == 0 {
+        let continuing = id == core.rr_cursor && core.rr_credit > 0;
+        if continuing && core.burst >= cap && ready_tenants > 1 {
+            // Forced handoff: bank the unserved credit so the tenant's next
+            // turn finishes it (long-run weight ratios are untouched) and
+            // let the scan move on to the waiting tenants.
+            t.carry = t.carry.saturating_add(core.rr_credit);
+            core.rr_credit = 0;
+            continue;
+        }
+        if !continuing {
+            if id != core.rr_cursor {
+                core.burst = 0;
+            }
             core.rr_cursor = id;
-            core.rr_credit = t.weight.max(1);
+            core.rr_credit = if t.carry > 0 {
+                std::mem::take(&mut t.carry)
+            } else {
+                t.weight.max(1)
+            };
         }
         core.rr_credit -= 1;
+        core.burst = core.burst.saturating_add(1);
         let local = t.ready.pop_front().expect("ready checked non-empty");
         let def = t.bodies[local].take().expect("task dispatched twice");
         let attempt = t.attempts[local];
@@ -1088,6 +1147,7 @@ mod tests {
             max_active: 1,
             max_pending: 2,
             shed: ShedPolicy::RejectNew,
+            tune: false,
         };
         let svc = JadeService::new(cfg);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
@@ -1138,6 +1198,7 @@ mod tests {
             max_active: 1,
             max_pending: 1,
             shed: ShedPolicy::DropOldest,
+            tune: false,
         };
         let svc = JadeService::new(cfg);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
@@ -1181,6 +1242,7 @@ mod tests {
             max_active: 8,
             max_pending: 8,
             shed: ShedPolicy::RejectNew,
+            tune: false,
         };
         let svc = JadeService::new(cfg);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
@@ -1253,6 +1315,7 @@ mod tests {
             max_active: 4,
             max_pending: 4,
             shed: ShedPolicy::RejectNew,
+            tune: false,
         };
         let svc = JadeService::new(cfg);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
@@ -1314,6 +1377,80 @@ mod tests {
             heavy_picks.windows(2).any(|p| p[1] - p[0] == 1),
             "weight-3 tenant never got consecutive dispatches: {dispatches:?}"
         );
+    }
+
+    /// Heavy-skew starvation bound (tuned policy): a weight-8 tenant with a
+    /// huge DAG gets its turn cut at the controller's credit cap while the
+    /// weight-1 tenant has ready work, and the banked carry preserves the
+    /// long-run weight ratio.
+    #[test]
+    fn tuned_credit_cap_bounds_heavy_tenant_bursts() {
+        let cfg = ServiceConfig {
+            workers: 1,
+            max_active: 4,
+            max_pending: 4,
+            shed: ShedPolicy::RejectNew,
+            tune: true,
+        };
+        let svc = JadeService::new(cfg);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut blocker = Program::new();
+        let hb = blocker.create("b", 8, 0u64);
+        let g = Arc::clone(&gate);
+        blocker.submit(TaskBuilder::new("block").rd_wr(hb).body(move |_| {
+            let (m, cv) = &*g;
+            let mut open = lock(m);
+            while !*open {
+                open = cv.wait(open).unwrap_or_else(|e| e.into_inner());
+            }
+        }));
+        let b = svc.submit(blocker, TenantOptions::default()).unwrap();
+        while svc.active_len() == 0 {
+            std::thread::yield_now();
+        }
+        let heavy = svc
+            .submit(wide_program(48).0, TenantOptions::default().with_weight(8))
+            .unwrap();
+        let light = svc
+            .submit(wide_program(12).0, TenantOptions::default().with_weight(1))
+            .unwrap();
+        let (m, cv) = &*gate;
+        *lock(m) = true;
+        cv.notify_all();
+        let _ = svc.wait(b);
+        let rh = svc.wait(heavy);
+        let rl = svc.wait(light);
+        assert_eq!(rh.outcome, Outcome::Completed);
+        assert_eq!(rl.outcome, Outcome::Completed);
+        let mut tagged = rh.tagged_events();
+        tagged.extend(rl.tagged_events());
+        tagged.sort_by_key(|te| te.event.time_ps);
+        let dispatches: Vec<TenantId> = tagged
+            .iter()
+            .filter(|te| matches!(te.event.kind, EventKind::TaskDispatched { .. }))
+            .map(|te| te.tenant)
+            .collect();
+        // Between two light dispatches both tenants are continuously ready,
+        // so the cap (CREDIT_CAP_MAX / 2 ready tenants = 4) bounds every
+        // heavy stretch — even though heavy's weight is 8.
+        let light_picks: Vec<usize> = dispatches
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == light)
+            .map(|(i, _)| i)
+            .collect();
+        let cap = (jade_core::tune::CREDIT_CAP_MAX / 2) as usize;
+        for pair in light_picks.windows(2) {
+            let gap = pair[1] - pair[0];
+            assert!(
+                gap <= cap + 1,
+                "light tenant starved: gap {gap} > {} in {dispatches:?}",
+                cap + 1
+            );
+        }
+        let log = svc.tune_log();
+        assert!(!log.decisions.is_empty(), "controller took no decisions");
+        log.check_ranges().unwrap();
     }
 
     #[test]
